@@ -1,0 +1,87 @@
+//! End-to-end benchmarks: request-handling throughput of the StarCDN
+//! fleet and its variants, access-log resolution, and the parallel
+//! replayer against the sequential engine.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use spacegen::classes::TrafficClass;
+use spacegen::production::ProductionModel;
+use spacegen::trace::Location;
+use starcdn::config::StarCdnConfig;
+use starcdn::system::SpaceCdn;
+use starcdn::variants::Variant;
+use starcdn_constellation::failures::FailureModel;
+use starcdn_orbit::time::SimDuration;
+use starcdn_sim::access_log::{build_access_log, AccessLog};
+use starcdn_sim::engine::{run_space, SimConfig};
+use starcdn_sim::replayer::replay_parallel;
+use starcdn_sim::world::World;
+
+fn small_log() -> AccessLog {
+    let locations = Location::akamai_nine();
+    let model = ProductionModel::build(TrafficClass::Video.params().scaled(0.02), &locations, 3);
+    let trace = model.generate_trace(SimDuration::from_mins(45), 3);
+    build_access_log(
+        &World::starlink_nine_cities(),
+        &trace,
+        15,
+        &SimConfig::default().scheduler(),
+    )
+}
+
+fn bench_request_path(c: &mut Criterion) {
+    let log = small_log();
+    let mut g = c.benchmark_group("fleet_replay");
+    g.sample_size(20);
+    for (name, variant) in [
+        ("starcdn_l4", Variant::StarCdn { l: 4 }),
+        ("starcdn_l9", Variant::StarCdn { l: 9 }),
+        ("no_relay_l4", Variant::StarCdnNoRelay { l: 4 }),
+        ("naive_lru", Variant::NaiveLru),
+    ] {
+        let cfg = variant.space_config(5_000_000).unwrap();
+        g.bench_with_input(BenchmarkId::new("engine", name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut cdn = SpaceCdn::new(cfg.clone());
+                black_box(run_space(&mut cdn, &log).stats.requests)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_replayer(c: &mut Criterion) {
+    let log = small_log();
+    let cfg = StarCdnConfig::starcdn_no_relay(9, 5_000_000);
+    let mut g = c.benchmark_group("parallel_replayer");
+    g.sample_size(15);
+    for workers in [1usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
+            b.iter(|| {
+                black_box(
+                    replay_parallel(cfg.clone(), FailureModel::none(), &log, w).stats.requests,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_access_log(c: &mut Criterion) {
+    let locations = Location::akamai_nine();
+    let model = ProductionModel::build(TrafficClass::Video.params().scaled(0.02), &locations, 3);
+    let trace = model.generate_trace(SimDuration::from_mins(30), 3);
+    let world = World::starlink_nine_cities();
+    let mut g = c.benchmark_group("scheduling");
+    g.sample_size(15);
+    g.bench_function("build_access_log_30min", |b| {
+        b.iter(|| {
+            black_box(
+                build_access_log(&world, &trace, 15, &SimConfig::default().scheduler()).len(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_request_path, bench_replayer, bench_access_log);
+criterion_main!(benches);

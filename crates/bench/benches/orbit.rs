@@ -1,0 +1,51 @@
+//! Microbenchmarks of the orbital substrate: propagation, snapshots,
+//! and the per-epoch visibility scan that dominates scheduling cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use starcdn_orbit::coords::Geodetic;
+use starcdn_orbit::propagator::SnapshotPropagator;
+use starcdn_orbit::time::SimTime;
+use starcdn_orbit::visibility::{visible_from_positions, visible_satellites};
+use starcdn_orbit::walker::WalkerConstellation;
+
+fn bench_orbit(c: &mut Criterion) {
+    let shell = WalkerConstellation::starlink_shell1();
+    let sats = shell.satellites();
+
+    c.bench_function("propagate_one_satellite", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 15;
+            black_box(sats[100].orbit.position_eci(SimTime::from_secs(t)))
+        })
+    });
+
+    c.bench_function("snapshot_advance_1296", |b| {
+        let mut snap = SnapshotPropagator::new(sats.clone(), shell.sats_per_plane);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 15;
+            snap.advance_to(SimTime::from_secs(t));
+            black_box(snap.positions().len())
+        })
+    });
+
+    let nyc = Geodetic::from_degrees(40.7128, -74.0060, 0.0);
+    c.bench_function("visibility_scan_direct_1296", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 15;
+            black_box(visible_satellites(&sats, nyc, SimTime::from_secs(t), 25.0).len())
+        })
+    });
+
+    c.bench_function("visibility_scan_snapshot_1296", |b| {
+        let snap = SnapshotPropagator::new(sats.clone(), shell.sats_per_plane);
+        b.iter(|| {
+            black_box(visible_from_positions(snap.satellites(), snap.positions(), nyc, 25.0).len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_orbit);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Microbenchmarks of grid routing and bucket resolution — the per-
+//! request hot path of consistent hashing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use starcdn_constellation::buckets::{BucketId, BucketTiling};
+use starcdn_constellation::failures::FailureModel;
+use starcdn_constellation::grid::GridTopology;
+use starcdn_constellation::hashring::{mix64, HashRing};
+use starcdn_constellation::routing::{shortest_path, shortest_path_avoiding};
+use starcdn_orbit::walker::SatelliteId;
+
+fn bench_routing(c: &mut Criterion) {
+    let grid = GridTopology::starlink();
+    let tiling = BucketTiling::new(9).unwrap();
+
+    c.bench_function("nearest_owner", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            let from = SatelliteId::new((k % 72) as u16, (k % 18) as u16);
+            let bucket = BucketId((mix64(k) % 9) as u32);
+            black_box(tiling.nearest_owner(&grid, from, bucket))
+        })
+    });
+
+    c.bench_function("shortest_path_healthy", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            let a = SatelliteId::new((k % 72) as u16, (k % 18) as u16);
+            let bm = mix64(k);
+            let z = SatelliteId::new((bm % 72) as u16, ((bm >> 8) % 18) as u16);
+            black_box(shortest_path(&grid, a, z).len())
+        })
+    });
+
+    let failures = FailureModel::sample(&grid, 126, 1);
+    c.bench_function("shortest_path_bfs_with_outage", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            let a = SatelliteId::new((k % 72) as u16, (k % 18) as u16);
+            let bm = mix64(k);
+            let z = SatelliteId::new((bm % 72) as u16, ((bm >> 8) % 18) as u16);
+            black_box(
+                shortest_path_avoiding(&grid, a, z, |id| failures.is_alive(id)).map(|p| p.len()),
+            )
+        })
+    });
+
+    c.bench_function("failure_resolve_owner", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            let id = SatelliteId::new((k % 72) as u16, (k % 18) as u16);
+            black_box(failures.resolve_owner(&grid, id))
+        })
+    });
+}
+
+fn bench_hashring(c: &mut Criterion) {
+    let ring: HashRing<u32> = HashRing::new((0..1296u64).map(|i| (i, i as u32)), 64);
+    c.bench_function("hashring_lookup_1296x64", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(ring.node_for(k))
+        })
+    });
+}
+
+criterion_group!(benches, bench_routing, bench_hashring);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Benchmarks of the SpaceGEN pipeline: pFD extraction (Fenwick stack
+//! distances), the generation stack treap, and Algorithm 1 throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use spacegen::classes::TrafficClass;
+use spacegen::fd::FootprintDescriptor;
+use spacegen::generator::{generate, GeneratorConfig};
+use spacegen::gpd::GlobalPopularity;
+use spacegen::production::ProductionModel;
+use spacegen::stack::{CacheStack, StackEntry};
+use spacegen::trace::Location;
+use starcdn_cache::object::ObjectId;
+use starcdn_orbit::time::SimDuration;
+
+fn bench_stack(c: &mut Criterion) {
+    c.bench_function("cache_stack_pop_insert_10k", |b| {
+        // Steady-state churn of the generation stack.
+        let mut s = CacheStack::new();
+        for i in 0..10_000u64 {
+            s.push_back(StackEntry { object: ObjectId(i), popularity: 10, size: 1000 });
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let e = s.pop_front().unwrap();
+            s.insert_at_bytes(k % 10_000_000, e);
+            black_box(s.len())
+        })
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let locations = Location::akamai_nine();
+    let model = ProductionModel::build(TrafficClass::Video.params().scaled(0.02), &locations, 3);
+    let trace = model.generate_trace(SimDuration::from_hours(2), 3);
+    let per_loc = trace.split_by_location(locations.len());
+
+    c.bench_function("pfd_extraction", |b| {
+        b.iter(|| black_box(FootprintDescriptor::from_trace(&per_loc[4], 0).class_count()))
+    });
+
+    c.bench_function("gpd_extraction", |b| {
+        b.iter(|| black_box(GlobalPopularity::from_trace(&trace, locations.len()).len()))
+    });
+
+    let pfds: Vec<_> = per_loc
+        .iter()
+        .enumerate()
+        .map(|(i, t)| FootprintDescriptor::from_trace(t, i as u64))
+        .collect();
+    let gpd = GlobalPopularity::from_trace(&trace, locations.len());
+    c.bench_function("algorithm1_generate_5k", |b| {
+        b.iter(|| {
+            let cfg = GeneratorConfig { requests_at_fastest: 5_000, seed: 7, ..Default::default() };
+            black_box(generate(&gpd, &pfds, &cfg).len())
+        })
+    });
+
+    c.bench_function("production_trace_generation_1h", |b| {
+        b.iter(|| black_box(model.generate_trace(SimDuration::from_hours(1), 11).len()))
+    });
+}
+
+criterion_group!(benches, bench_stack, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Minimal CLI argument handling shared by all experiment binaries.
+
+/// Workload scale preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-fast sanity run.
+    Smoke,
+    /// Shape-reproducing run (~a minute per figure).
+    Default,
+    /// The longest traces (minutes).
+    Full,
+}
+
+impl Scale {
+    /// Parse from the CLI token.
+    pub fn parse(s: &str) -> Result<Scale, String> {
+        match s {
+            "smoke" => Ok(Scale::Smoke),
+            "default" => Ok(Scale::Default),
+            "full" => Ok(Scale::Full),
+            other => Err(format!("unknown scale `{other}` (smoke|default|full)")),
+        }
+    }
+
+    /// Catalog-size multiplier applied to the traffic-class parameters.
+    pub fn catalog_factor(self) -> f64 {
+        match self {
+            Scale::Smoke => 0.02,
+            Scale::Default => 0.5,
+            Scale::Full => 1.0,
+        }
+    }
+
+    /// Request-rate multiplier. Kept high relative to the catalog factor:
+    /// the paper's traces run at hundreds of requests/second per city, so
+    /// a satellite warms its cache *within* one pass over a region —
+    /// scaling the rate down with the catalog would exaggerate cold-cache
+    /// effects and understate the LRU baseline.
+    pub fn rate_factor(self) -> f64 {
+        match self {
+            Scale::Smoke => 0.15,
+            Scale::Default => 2.0,
+            Scale::Full => 3.0,
+        }
+    }
+
+    /// Trace duration, hours.
+    pub fn trace_hours(self) -> u64 {
+        match self {
+            Scale::Smoke => 2,
+            Scale::Default => 24,
+            Scale::Full => 120, // the paper's 5 days
+        }
+    }
+}
+
+/// Parsed common arguments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Args {
+    pub scale: Scale,
+    pub seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args { scale: Scale::Default, seed: 42 }
+    }
+}
+
+/// Parse `--scale` / `--seed` from an iterator of CLI tokens (exits the
+/// process with a message on malformed input).
+pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Args {
+    let mut args = Args::default();
+    let mut it = argv.into_iter();
+    while let Some(tok) = it.next() {
+        match tok.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_else(|| die("--scale needs a value"));
+                args.scale = Scale::parse(&v).unwrap_or_else(|e| die(&e));
+            }
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| die("--seed needs a value"));
+                args.seed = v.parse().unwrap_or_else(|_| die("--seed needs a u64"));
+            }
+            "--help" | "-h" => die("usage: [--scale smoke|default|full] [--seed <u64>]"),
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}
+
+/// Parse the current process's arguments.
+pub fn from_env() -> Args {
+    parse_args(std::env::args().skip(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let a = parse_args(Vec::<String>::new());
+        assert_eq!(a, Args { scale: Scale::Default, seed: 42 });
+    }
+
+    #[test]
+    fn parses_scale_and_seed() {
+        let a = parse_args(["--scale", "smoke", "--seed", "7"].map(String::from));
+        assert_eq!(a.scale, Scale::Smoke);
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn scale_presets_ordered() {
+        assert!(Scale::Smoke.catalog_factor() < Scale::Default.catalog_factor());
+        assert!(Scale::Default.catalog_factor() < Scale::Full.catalog_factor());
+        assert!(Scale::Smoke.rate_factor() < Scale::Default.rate_factor());
+        assert_eq!(Scale::Full.trace_hours(), 120);
+    }
+
+    #[test]
+    fn scale_parse_errors() {
+        assert!(Scale::parse("medium").is_err());
+        assert_eq!(Scale::parse("full"), Ok(Scale::Full));
+    }
+}

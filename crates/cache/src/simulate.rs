@@ -1,0 +1,185 @@
+//! Trace-replay harness: run a request sequence through a cache and
+//! produce hit-rate statistics and hit-rate curves (HRCs).
+//!
+//! The paper's Fig. 6c/6d (CDN LRU simulation across cache sizes) and
+//! all of Fig. 7/12's per-cache-size sweeps are built on this harness.
+
+use crate::object::ObjectId;
+use crate::policy::{Cache, PolicyKind};
+use crate::stats::CacheStats;
+
+/// A single replayable access: `(object, size_bytes)`.
+pub type Access = (ObjectId, u64);
+
+/// Replay `accesses` through `cache`, returning aggregate statistics.
+pub fn replay<C: Cache + ?Sized>(
+    cache: &mut C,
+    accesses: impl IntoIterator<Item = Access>,
+) -> CacheStats {
+    let mut stats = CacheStats::default();
+    for (id, size) in accesses {
+        let outcome = cache.access(id, size);
+        stats.record(outcome, size);
+    }
+    stats
+}
+
+/// One point on a hit-rate curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HrcPoint {
+    pub cache_bytes: u64,
+    pub stats: CacheStats,
+}
+
+/// Replay the same trace through fresh caches of each size, producing a
+/// hit-rate curve. The trace is materialized once and reused.
+pub fn hit_rate_curve(
+    policy: PolicyKind,
+    cache_sizes: &[u64],
+    accesses: &[Access],
+) -> Vec<HrcPoint> {
+    cache_sizes
+        .iter()
+        .map(|&cache_bytes| {
+            let mut cache = policy.build(cache_bytes);
+            let stats = replay(cache.as_mut(), accesses.iter().copied());
+            HrcPoint { cache_bytes, stats }
+        })
+        .collect()
+}
+
+/// Unique objects and unique bytes in a trace (the working-set footprint,
+/// which normalizes cache sizes across scales).
+pub fn working_set(accesses: &[Access]) -> (usize, u64) {
+    let mut seen = std::collections::HashMap::new();
+    for &(id, size) in accesses {
+        seen.entry(id).or_insert(size);
+    }
+    let bytes = seen.values().sum();
+    (seen.len(), bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn zipf_trace(n_objects: u64, n_requests: usize, alpha: f64, seed: u64) -> Vec<Access> {
+        // Inverse-CDF Zipf sampling without external deps.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights: Vec<f64> = (1..=n_objects).map(|r| 1.0 / (r as f64).powf(alpha)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        (0..n_requests)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                let idx = cdf.partition_point(|&c| c < u) as u64;
+                (ObjectId(idx), 100)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn replay_counts_all_requests() {
+        let trace: Vec<Access> = vec![(ObjectId(1), 10), (ObjectId(1), 10), (ObjectId(2), 20)];
+        let mut cache = PolicyKind::Lru.build(1000);
+        let stats = replay(cache.as_mut(), trace);
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.bytes_requested, 40);
+        assert_eq!(stats.bytes_hit, 10);
+    }
+
+    #[test]
+    fn hrc_monotone_for_lru_on_zipf() {
+        // LRU obeys inclusion, so its HRC is non-decreasing in cache size.
+        let trace = zipf_trace(2000, 30_000, 0.9, 7);
+        let sizes = [1_000u64, 5_000, 20_000, 50_000, 100_000];
+        let curve = hit_rate_curve(PolicyKind::Lru, &sizes, &trace);
+        assert_eq!(curve.len(), sizes.len());
+        for w in curve.windows(2) {
+            assert!(
+                w[1].stats.request_hit_rate() >= w[0].stats.request_hit_rate() - 1e-12,
+                "HRC not monotone: {:?}",
+                curve.iter().map(|p| p.stats.request_hit_rate()).collect::<Vec<_>>()
+            );
+        }
+        // A cache holding the whole working set hits at (R - U)/R.
+        let (uniq, bytes) = working_set(&trace);
+        let full = hit_rate_curve(PolicyKind::Lru, &[bytes], &trace)[0].stats;
+        let expected = (trace.len() - uniq) as f64 / trace.len() as f64;
+        assert!((full.request_hit_rate() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_policies_agree_on_infinite_cache() {
+        let trace = zipf_trace(500, 5_000, 1.0, 11);
+        let (uniq, _) = working_set(&trace);
+        let expected_hits = (trace.len() - uniq) as u64;
+        for policy in PolicyKind::ALL {
+            let mut cache = policy.build(u64::MAX);
+            let stats = replay(cache.as_mut(), trace.iter().copied());
+            assert_eq!(stats.hits, expected_hits, "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn lfu_beats_lru_on_scan_polluted_workload() {
+        // Hot set + one-hit-wonder scan: frequency information wins.
+        let mut trace: Vec<Access> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..20_000u64 {
+            // 70%: one of 20 hot objects; 30%: cold scan object.
+            if rng.gen_bool(0.7) {
+                trace.push((ObjectId(rng.gen_range(0..20)), 100));
+            } else {
+                trace.push((ObjectId(1_000_000 + i), 100));
+            }
+        }
+        let size = 2_500u64; // holds 25 objects
+        let lru = hit_rate_curve(PolicyKind::Lru, &[size], &trace)[0].stats;
+        let lfu = hit_rate_curve(PolicyKind::Lfu, &[size], &trace)[0].stats;
+        assert!(
+            lfu.request_hit_rate() > lru.request_hit_rate(),
+            "lfu {:.3} !> lru {:.3}",
+            lfu.request_hit_rate(),
+            lru.request_hit_rate()
+        );
+    }
+
+    #[test]
+    fn sieve_at_least_matches_fifo_on_zipf() {
+        let trace = zipf_trace(3000, 40_000, 0.8, 5);
+        let size = 30_000u64;
+        let fifo = hit_rate_curve(PolicyKind::Fifo, &[size], &trace)[0].stats;
+        let sieve = hit_rate_curve(PolicyKind::Sieve, &[size], &trace)[0].stats;
+        assert!(
+            sieve.request_hit_rate() >= fifo.request_hit_rate() - 0.01,
+            "sieve {:.3} << fifo {:.3}",
+            sieve.request_hit_rate(),
+            fifo.request_hit_rate()
+        );
+    }
+
+    #[test]
+    fn working_set_counts_first_size() {
+        let trace: Vec<Access> = vec![(ObjectId(1), 10), (ObjectId(2), 20), (ObjectId(1), 10)];
+        let (uniq, bytes) = working_set(&trace);
+        assert_eq!(uniq, 2);
+        assert_eq!(bytes, 30);
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_stats() {
+        let mut cache = PolicyKind::Lru.build(100);
+        let stats = replay(cache.as_mut(), std::iter::empty());
+        assert_eq!(stats, CacheStats::default());
+        let (uniq, bytes) = working_set(&[]);
+        assert_eq!((uniq, bytes), (0, 0));
+    }
+}

@@ -1,0 +1,304 @@
+//! Satellite unavailability and consistent-hash remapping (§3.4).
+//!
+//! The paper observed 126 of 1296 shell slots (9.7 %) out of slot,
+//! breaking 438 ISLs among the remaining satellites. StarCDN handles
+//! long-term unavailability by remapping the dead satellite's bucket to
+//! the *next available satellite* along its orbit; that satellite then
+//! serves multiple bucket IDs (Fig. 11 groups hit rates by this count).
+
+use crate::buckets::{BucketId, BucketTiling};
+use crate::grid::{Direction, GridTopology};
+use rand_like::SmallRng;
+use serde::{Deserialize, Serialize};
+use starcdn_orbit::walker::SatelliteId;
+use std::collections::BTreeSet;
+
+/// Deterministic xorshift generator so this crate does not need a `rand`
+/// dependency for the one sampling task it performs.
+mod rand_like {
+    pub struct SmallRng(u64);
+    impl SmallRng {
+        pub fn new(seed: u64) -> Self {
+            SmallRng(seed.max(1))
+        }
+        pub fn next_u64(&mut self) -> u64 {
+            // xorshift64*
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+        pub fn gen_range(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// The set of unavailable (out-of-slot) satellites.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FailureModel {
+    dead: BTreeSet<SatelliteId>,
+}
+
+impl FailureModel {
+    /// No failures.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Build from an explicit set.
+    pub fn from_dead(dead: impl IntoIterator<Item = SatelliteId>) -> Self {
+        FailureModel { dead: dead.into_iter().collect() }
+    }
+
+    /// Sample `count` distinct dead satellites uniformly (deterministic in
+    /// `seed`). Mirrors the paper's observed 126-of-1296 outage pattern:
+    /// `FailureModel::sample(&grid, 126, seed)`.
+    pub fn sample(grid: &GridTopology, count: usize, seed: u64) -> Self {
+        assert!(count <= grid.total_slots(), "cannot kill more slots than exist");
+        let mut rng = SmallRng::new(seed);
+        let mut dead = BTreeSet::new();
+        while dead.len() < count {
+            let o = rng.gen_range(grid.num_planes as u64) as u16;
+            let s = rng.gen_range(grid.sats_per_plane as u64) as u16;
+            dead.insert(SatelliteId::new(o, s));
+        }
+        FailureModel { dead }
+    }
+
+    /// Is this satellite alive?
+    pub fn is_alive(&self, id: SatelliteId) -> bool {
+        !self.dead.contains(&id)
+    }
+
+    /// Number of dead satellites.
+    pub fn dead_count(&self) -> usize {
+        self.dead.len()
+    }
+
+    /// Iterate over dead satellites.
+    pub fn dead(&self) -> impl Iterator<Item = SatelliteId> + '_ {
+        self.dead.iter().copied()
+    }
+
+    /// Number of ISLs lost to the failures: every link incident to a dead
+    /// satellite is unusable (links between two dead satellites counted
+    /// once).
+    pub fn broken_isl_count(&self, grid: &GridTopology) -> usize {
+        let mut broken = 0usize;
+        for &d in &self.dead {
+            for (_, n) in grid.neighbors(d) {
+                if self.dead.contains(&n) {
+                    // Count the dead-dead link only from the smaller id.
+                    if d < n {
+                        broken += 1;
+                    }
+                } else {
+                    broken += 1;
+                }
+            }
+        }
+        broken
+    }
+
+    /// The satellite that actually serves `preferred`'s responsibilities:
+    /// `preferred` itself when alive, else the next available satellite
+    /// along the orbital direction (north), spilling east one plane at a
+    /// time if an entire plane is dead. Returns `None` only if every
+    /// satellite is dead.
+    pub fn resolve_owner(&self, grid: &GridTopology, preferred: SatelliteId) -> Option<SatelliteId> {
+        if self.is_alive(preferred) {
+            return Some(preferred);
+        }
+        let mut cur = preferred;
+        for _ in 0..grid.total_slots() {
+            // Walk north; after a full plane revolution, step east.
+            let next = grid
+                .neighbor(cur, Direction::North)
+                .expect("intra-orbit links always wrap");
+            cur = if next == first_visited_in_plane(preferred, cur, grid) {
+                grid.neighbor(cur, Direction::East).unwrap_or(next)
+            } else {
+                next
+            };
+            if self.is_alive(cur) {
+                return Some(cur);
+            }
+        }
+        None
+    }
+
+    /// For each alive satellite: the set of distinct bucket IDs it serves
+    /// under `tiling` after remapping (its own bucket plus any inherited
+    /// from dead satellites that resolve to it).
+    ///
+    /// This is the grouping variable of Fig. 11.
+    pub fn buckets_served(
+        &self,
+        grid: &GridTopology,
+        tiling: &BucketTiling,
+    ) -> Vec<(SatelliteId, BTreeSet<BucketId>)> {
+        let spp = grid.sats_per_plane;
+        let mut served: Vec<BTreeSet<BucketId>> = vec![BTreeSet::new(); grid.total_slots()];
+        for id in grid.iter_ids() {
+            if let Some(owner) = self.resolve_owner(grid, id) {
+                served[owner.index(spp)].insert(tiling.bucket_of_sat(id));
+            }
+        }
+        grid.iter_ids()
+            .filter(|&id| self.is_alive(id))
+            .map(|id| (id, std::mem::take(&mut served[id.index(spp)])))
+            .collect()
+    }
+}
+
+/// Helper: detect a full wrap of the north-walk within `preferred`'s
+/// current plane (the walk started at `preferred`'s slot).
+fn first_visited_in_plane(preferred: SatelliteId, cur: SatelliteId, _grid: &GridTopology) -> SatelliteId {
+    SatelliteId::new(cur.orbit, preferred.slot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn grid() -> GridTopology {
+        GridTopology::starlink()
+    }
+
+    #[test]
+    fn no_failures_resolves_to_self() {
+        let g = grid();
+        let f = FailureModel::none();
+        assert_eq!(f.dead_count(), 0);
+        for id in [SatelliteId::new(0, 0), SatelliteId::new(71, 17)] {
+            assert_eq!(f.resolve_owner(&g, id), Some(id));
+        }
+    }
+
+    #[test]
+    fn dead_satellite_resolves_to_next_in_orbit() {
+        let g = grid();
+        let dead = SatelliteId::new(5, 5);
+        let f = FailureModel::from_dead([dead]);
+        assert!(!f.is_alive(dead));
+        assert_eq!(f.resolve_owner(&g, dead), Some(SatelliteId::new(5, 6)));
+    }
+
+    #[test]
+    fn run_of_dead_satellites_skipped() {
+        let g = grid();
+        let f = FailureModel::from_dead([
+            SatelliteId::new(5, 5),
+            SatelliteId::new(5, 6),
+            SatelliteId::new(5, 7),
+        ]);
+        assert_eq!(f.resolve_owner(&g, SatelliteId::new(5, 5)), Some(SatelliteId::new(5, 8)));
+    }
+
+    #[test]
+    fn wrap_within_plane() {
+        let g = grid();
+        let f = FailureModel::from_dead([SatelliteId::new(5, 17)]);
+        assert_eq!(f.resolve_owner(&g, SatelliteId::new(5, 17)), Some(SatelliteId::new(5, 0)));
+    }
+
+    #[test]
+    fn whole_plane_dead_spills_east() {
+        let g = grid();
+        let f = FailureModel::from_dead((0..18).map(|s| SatelliteId::new(5, s)));
+        let resolved = f.resolve_owner(&g, SatelliteId::new(5, 3)).unwrap();
+        assert_eq!(resolved.orbit, 6, "should spill to the next plane east");
+        assert!(f.is_alive(resolved));
+    }
+
+    #[test]
+    fn everything_dead_returns_none() {
+        let g = GridTopology { num_planes: 2, sats_per_plane: 2, seamless: true };
+        let f = FailureModel::from_dead(g.iter_ids());
+        assert_eq!(f.resolve_owner(&g, SatelliteId::new(0, 0)), None);
+    }
+
+    #[test]
+    fn broken_isl_counts() {
+        let g = grid();
+        // One isolated dead satellite: 4 broken links.
+        let f = FailureModel::from_dead([SatelliteId::new(10, 10)]);
+        assert_eq!(f.broken_isl_count(&g), 4);
+        // Two adjacent dead satellites: 4 + 4 - 1 shared = 7.
+        let f = FailureModel::from_dead([SatelliteId::new(10, 10), SatelliteId::new(10, 11)]);
+        assert_eq!(f.broken_isl_count(&g), 7);
+        // Two far-apart dead satellites: 8.
+        let f = FailureModel::from_dead([SatelliteId::new(10, 10), SatelliteId::new(40, 3)]);
+        assert_eq!(f.broken_isl_count(&g), 8);
+    }
+
+    #[test]
+    fn paper_scale_outage() {
+        // The paper: 126/1296 out of slot → 438 broken ISLs. A uniform
+        // random 126-satellite outage lands in the same regime (the exact
+        // figure depends on which satellites failed; 126 isolated failures
+        // would break ≤504, clustering reduces it).
+        let g = grid();
+        let f = FailureModel::sample(&g, 126, 7);
+        assert_eq!(f.dead_count(), 126);
+        let broken = f.broken_isl_count(&g);
+        assert!((380..=504).contains(&broken), "broken ISLs = {broken}");
+    }
+
+    #[test]
+    fn buckets_served_no_failures_is_one_each() {
+        let g = grid();
+        let t = BucketTiling::new(9).unwrap();
+        let f = FailureModel::none();
+        let served = f.buckets_served(&g, &t);
+        assert_eq!(served.len(), 1296);
+        for (id, buckets) in served {
+            assert_eq!(buckets.len(), 1, "{id} serves {buckets:?}");
+            assert!(buckets.contains(&t.bucket_of_sat(id)));
+        }
+    }
+
+    #[test]
+    fn buckets_served_accumulates_under_failures() {
+        let g = grid();
+        let t = BucketTiling::new(9).unwrap();
+        let f = FailureModel::sample(&g, 126, 42);
+        let served = f.buckets_served(&g, &t);
+        assert_eq!(served.len(), 1296 - 126);
+        let max_served = served.iter().map(|(_, b)| b.len()).max().unwrap();
+        let total: usize = served.iter().map(|(_, b)| b.len()).sum();
+        // Every original responsibility is covered by someone.
+        assert!(total >= 1296 - 126, "coverage total {total}");
+        // Fig. 11's x-axis extends to 4+ buckets under the paper's outage.
+        assert!(max_served >= 2, "max buckets served {max_served}");
+        assert!(max_served <= 9);
+        // All satellites still serve their own bucket.
+        for (id, buckets) in &served {
+            assert!(buckets.contains(&t.bucket_of_sat(*id)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_resolved_owner_always_alive(seed in 1u64..500, kill in 1usize..300) {
+            let g = grid();
+            let f = FailureModel::sample(&g, kill, seed);
+            for id in [SatelliteId::new(0, 0), SatelliteId::new(35, 9), SatelliteId::new(71, 17)] {
+                let owner = f.resolve_owner(&g, id).unwrap();
+                prop_assert!(f.is_alive(owner));
+            }
+        }
+
+        #[test]
+        fn prop_sample_deterministic(seed in 1u64..100) {
+            let g = grid();
+            let a = FailureModel::sample(&g, 50, seed);
+            let b = FailureModel::sample(&g, 50, seed);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

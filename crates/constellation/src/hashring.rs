@@ -1,0 +1,201 @@
+//! Classic consistent hashing ring (Karger et al., STOC '97).
+//!
+//! Terrestrial CDNs use a ring of servers with virtual nodes inside each
+//! edge cluster; StarCDN's §3.2 derives its bucket tiling from this
+//! scheme. The ring is used here (a) as the reference implementation the
+//! tiling is compared against in tests, and (b) by the failure handler to
+//! remap an unavailable satellite's bucket to "the next available
+//! satellite" deterministically.
+
+use serde::{Deserialize, Serialize};
+
+/// A consistent hashing ring mapping `u64` keys onto node identifiers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HashRing<N: Clone + Eq> {
+    /// `(position, node)` sorted by position.
+    points: Vec<(u64, N)>,
+}
+
+/// 64-bit mix (splitmix64 finalizer): cheap, high-quality avalanche for
+/// deriving ring positions and object buckets.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hash arbitrary bytes to a u64 (FNV-1a folded through mix64).
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    mix64(h)
+}
+
+impl<N: Clone + Eq> HashRing<N> {
+    /// Build a ring with `vnodes` virtual nodes per physical node. Node
+    /// positions derive from `(node_seed, replica)` so the ring is stable
+    /// across membership changes.
+    pub fn new(nodes: impl IntoIterator<Item = (u64, N)>, vnodes: u32) -> Self {
+        assert!(vnodes > 0, "vnodes must be positive");
+        let mut points = Vec::new();
+        for (seed, node) in nodes {
+            for r in 0..vnodes {
+                points.push((mix64(seed ^ mix64(r as u64)), node.clone()));
+            }
+        }
+        points.sort_by_key(|(p, _)| *p);
+        points.dedup_by_key(|(p, _)| *p);
+        HashRing { points }
+    }
+
+    /// Number of ring points (virtual nodes).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the ring has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The node owning `key`: the first ring point clockwise from the
+    /// key's position.
+    pub fn node_for(&self, key: u64) -> Option<&N> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let pos = mix64(key);
+        let idx = match self.points.binary_search_by_key(&pos, |(p, _)| *p) {
+            Ok(i) => i,
+            Err(i) => i % self.points.len(),
+        };
+        Some(&self.points[idx].1)
+    }
+
+    /// The first node clockwise from `key` that satisfies `pred` —
+    /// the "next available" walk used for failure remapping.
+    pub fn node_for_where(&self, key: u64, pred: impl Fn(&N) -> bool) -> Option<&N> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let pos = mix64(key);
+        let start = match self.points.binary_search_by_key(&pos, |(p, _)| *p) {
+            Ok(i) => i,
+            Err(i) => i % self.points.len(),
+        };
+        (0..self.points.len())
+            .map(|k| &self.points[(start + k) % self.points.len()].1)
+            .find(|n| pred(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    fn ring(n: u64) -> HashRing<u64> {
+        HashRing::new((0..n).map(|i| (i, i)), 64)
+    }
+
+    #[test]
+    fn empty_ring_returns_none() {
+        let r: HashRing<u64> = HashRing::new(std::iter::empty(), 8);
+        assert!(r.is_empty());
+        assert_eq!(r.node_for(42), None);
+        assert_eq!(r.node_for_where(42, |_| true), None);
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let r = ring(1);
+        for k in 0..100u64 {
+            assert_eq!(r.node_for(k), Some(&0));
+        }
+    }
+
+    #[test]
+    fn load_roughly_balanced() {
+        let r = ring(10);
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for k in 0..20_000u64 {
+            *counts.entry(*r.node_for(k).unwrap()).or_default() += 1;
+        }
+        for n in 0..10u64 {
+            let c = counts.get(&n).copied().unwrap_or(0);
+            assert!(
+                (800..4000).contains(&c),
+                "node {n} owns {c} of 20000 keys (expected ~2000)"
+            );
+        }
+    }
+
+    #[test]
+    fn removal_only_moves_removed_nodes_keys() {
+        // Consistency property: removing node 7 must not change the owner
+        // of keys that node 7 did not own.
+        let full = ring(10);
+        let reduced = HashRing::new((0..10u64).filter(|&i| i != 7).map(|i| (i, i)), 64);
+        for k in 0..5_000u64 {
+            let before = *full.node_for(k).unwrap();
+            let after = *reduced.node_for(k).unwrap();
+            if before != 7 {
+                assert_eq!(before, after, "key {k} moved needlessly");
+            } else {
+                assert_ne!(after, 7);
+            }
+        }
+    }
+
+    #[test]
+    fn node_for_where_skips_failed() {
+        let r = ring(10);
+        for k in 0..1000u64 {
+            let owner = *r.node_for(k).unwrap();
+            let alt = *r.node_for_where(k, |&n| n != owner).unwrap();
+            assert_ne!(alt, owner);
+        }
+    }
+
+    #[test]
+    fn node_for_where_none_when_no_match() {
+        let r = ring(3);
+        assert_eq!(r.node_for_where(5, |_| false), None);
+    }
+
+    #[test]
+    fn mix64_avalanches() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let a = mix64(0x1234_5678);
+        let b = mix64(0x1234_5679);
+        let flipped = (a ^ b).count_ones();
+        assert!((16..=48).contains(&flipped), "only {flipped} bits flipped");
+    }
+
+    #[test]
+    fn hash_bytes_distinguishes_content() {
+        assert_ne!(hash_bytes(b"object-1"), hash_bytes(b"object-2"));
+        assert_eq!(hash_bytes(b"same"), hash_bytes(b"same"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_node_for_deterministic(k in any::<u64>()) {
+            let r = ring(5);
+            prop_assert_eq!(r.node_for(k), r.node_for(k));
+        }
+
+        #[test]
+        fn prop_where_honours_predicate(k in any::<u64>(), banned in 0u64..5) {
+            let r = ring(5);
+            let got = r.node_for_where(k, |&n| n != banned).copied();
+            prop_assert!(got.is_some());
+            prop_assert_ne!(got.unwrap(), banned);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Shortest-path routing on the ISL grid.
+//!
+//! On the healthy torus, a shortest path is any monotone staircase along
+//! the two wrap-minimal axes; we return the canonical "planes first, then
+//! slots" path. With failures (missing satellites or cut links) routing
+//! falls back to breadth-first search over the surviving grid.
+
+use crate::grid::{Direction, GridTopology};
+use crate::isl::{IslKind, LinkModel};
+use std::collections::VecDeque;
+use starcdn_orbit::walker::SatelliteId;
+
+/// A path across the grid: the sequence of hops (directions taken) plus
+/// the satellites visited (including both endpoints).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridPath {
+    pub hops: Vec<Direction>,
+    pub nodes: Vec<SatelliteId>,
+}
+
+impl GridPath {
+    /// Number of ISL hops.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// True for a zero-hop (self) path.
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// Total one-way propagation delay along the path under `model`, ms.
+    pub fn delay_ms(&self, model: &LinkModel) -> f64 {
+        self.hops.iter().map(|&d| model.delay_ms(IslKind::of_direction(d))).sum()
+    }
+
+    /// Count of (intra, inter) hops.
+    pub fn hop_mix(&self) -> (usize, usize) {
+        let inter = self.hops.iter().filter(|d| d.is_inter_orbit()).count();
+        (self.hops.len() - inter, inter)
+    }
+}
+
+/// Canonical shortest path on the healthy torus: wrap-minimal plane moves
+/// first, then wrap-minimal slot moves.
+pub fn shortest_path(grid: &GridTopology, from: SatelliteId, to: SatelliteId) -> GridPath {
+    debug_assert!(grid.contains(from) && grid.contains(to));
+    let mut hops = Vec::new();
+    let mut nodes = vec![from];
+    let mut cur = from;
+
+    // Plane axis: choose the wrap direction with fewer hops (east = +1).
+    let p = grid.num_planes;
+    let fwd = (to.orbit + p - cur.orbit) % p; // hops going east
+    let (pd, psteps) = if fwd <= p - fwd { (Direction::East, fwd) } else { (Direction::West, p - fwd) };
+    for _ in 0..psteps {
+        cur = grid.neighbor(cur, pd).expect("torus east/west neighbour");
+        hops.push(pd);
+        nodes.push(cur);
+    }
+
+    // Slot axis (north = +1).
+    let s = grid.sats_per_plane;
+    let fwd = (to.slot + s - cur.slot) % s;
+    let (sd, ssteps) = if fwd <= s - fwd { (Direction::North, fwd) } else { (Direction::South, s - fwd) };
+    for _ in 0..ssteps {
+        cur = grid.neighbor(cur, sd).expect("torus north/south neighbour");
+        hops.push(sd);
+        nodes.push(cur);
+    }
+
+    debug_assert_eq!(cur, to);
+    GridPath { hops, nodes }
+}
+
+/// BFS shortest path avoiding satellites for which `alive` returns false.
+/// Endpoints must be alive. Returns `None` if `to` is unreachable.
+pub fn shortest_path_avoiding(
+    grid: &GridTopology,
+    from: SatelliteId,
+    to: SatelliteId,
+    alive: impl Fn(SatelliteId) -> bool,
+) -> Option<GridPath> {
+    if !alive(from) || !alive(to) {
+        return None;
+    }
+    if from == to {
+        return Some(GridPath { hops: vec![], nodes: vec![from] });
+    }
+    let spp = grid.sats_per_plane;
+    let mut prev: Vec<Option<(SatelliteId, Direction)>> = vec![None; grid.total_slots()];
+    let mut visited = vec![false; grid.total_slots()];
+    visited[from.index(spp)] = true;
+    let mut q = VecDeque::from([from]);
+    while let Some(cur) = q.pop_front() {
+        for (d, n) in grid.neighbors(cur) {
+            if visited[n.index(spp)] || !alive(n) {
+                continue;
+            }
+            visited[n.index(spp)] = true;
+            prev[n.index(spp)] = Some((cur, d));
+            if n == to {
+                // Reconstruct.
+                let mut hops = Vec::new();
+                let mut nodes = vec![to];
+                let mut walk = to;
+                while walk != from {
+                    let (p, d) = prev[walk.index(spp)].expect("prev chain");
+                    hops.push(d);
+                    nodes.push(p);
+                    walk = p;
+                }
+                hops.reverse();
+                nodes.reverse();
+                return Some(GridPath { hops, nodes });
+            }
+            q.push_back(n);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn grid() -> GridTopology {
+        GridTopology::starlink()
+    }
+
+    #[test]
+    fn self_path_is_empty() {
+        let g = grid();
+        let p = shortest_path(&g, SatelliteId::new(3, 4), SatelliteId::new(3, 4));
+        assert!(p.is_empty());
+        assert_eq!(p.nodes, vec![SatelliteId::new(3, 4)]);
+        assert_eq!(p.delay_ms(&LinkModel::table1()), 0.0);
+    }
+
+    #[test]
+    fn single_hop_paths() {
+        let g = grid();
+        let p = shortest_path(&g, SatelliteId::new(0, 0), SatelliteId::new(1, 0));
+        assert_eq!(p.hops, vec![Direction::East]);
+        let p = shortest_path(&g, SatelliteId::new(0, 0), SatelliteId::new(0, 1));
+        assert_eq!(p.hops, vec![Direction::North]);
+    }
+
+    #[test]
+    fn wrap_around_paths_take_short_side() {
+        let g = grid();
+        // Plane 71 → plane 0 is one hop east via the seam.
+        let p = shortest_path(&g, SatelliteId::new(71, 5), SatelliteId::new(0, 5));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.hops, vec![Direction::East]);
+        // Slot 0 → slot 17 is one hop south via the wrap.
+        let p = shortest_path(&g, SatelliteId::new(4, 0), SatelliteId::new(4, 17));
+        assert_eq!(p.hops, vec![Direction::South]);
+    }
+
+    #[test]
+    fn path_delay_accounts_link_kinds() {
+        let g = grid();
+        let m = LinkModel::table1();
+        // 2 east + 1 north = 2×2.15 + 8.03 = 12.33 ms.
+        let p = shortest_path(&g, SatelliteId::new(0, 0), SatelliteId::new(2, 1));
+        assert_eq!(p.hop_mix(), (1, 2));
+        assert!((p.delay_ms(&m) - 12.33).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bfs_agrees_with_manhattan_when_healthy() {
+        let g = grid();
+        for (a, b) in [
+            (SatelliteId::new(0, 0), SatelliteId::new(5, 3)),
+            (SatelliteId::new(70, 16), SatelliteId::new(1, 1)),
+            (SatelliteId::new(36, 9), SatelliteId::new(0, 0)),
+        ] {
+            let direct = shortest_path(&g, a, b);
+            let bfs = shortest_path_avoiding(&g, a, b, |_| true).unwrap();
+            assert_eq!(direct.len(), bfs.len(), "{a} -> {b}");
+            assert_eq!(direct.len() as u16, g.hop_distance(a, b));
+        }
+    }
+
+    #[test]
+    fn bfs_routes_around_dead_satellite() {
+        let g = grid();
+        let from = SatelliteId::new(0, 0);
+        let to = SatelliteId::new(2, 0);
+        let dead = SatelliteId::new(1, 0);
+        let p = shortest_path_avoiding(&g, from, to, |id| id != dead).unwrap();
+        assert!(!p.nodes.contains(&dead));
+        assert_eq!(p.len(), 4, "detour adds two hops");
+    }
+
+    #[test]
+    fn bfs_none_when_endpoint_dead() {
+        let g = grid();
+        let a = SatelliteId::new(0, 0);
+        let b = SatelliteId::new(1, 0);
+        assert!(shortest_path_avoiding(&g, a, b, |id| id != a).is_none());
+        assert!(shortest_path_avoiding(&g, a, b, |id| id != b).is_none());
+    }
+
+    #[test]
+    fn bfs_none_when_isolated() {
+        let g = grid();
+        let target = SatelliteId::new(10, 10);
+        let ring: Vec<SatelliteId> = g.neighbors(target).into_iter().map(|(_, n)| n).collect();
+        let p = shortest_path_avoiding(&g, SatelliteId::new(0, 0), target, |id| !ring.contains(&id));
+        assert!(p.is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_path_length_equals_hop_distance(
+            o1 in 0u16..72, s1 in 0u16..18, o2 in 0u16..72, s2 in 0u16..18,
+        ) {
+            let g = grid();
+            let a = SatelliteId::new(o1, s1);
+            let b = SatelliteId::new(o2, s2);
+            let p = shortest_path(&g, a, b);
+            prop_assert_eq!(p.len() as u16, g.hop_distance(a, b));
+            // Path is connected and ends at b.
+            prop_assert_eq!(*p.nodes.first().unwrap(), a);
+            prop_assert_eq!(*p.nodes.last().unwrap(), b);
+            for w in p.nodes.windows(2) {
+                prop_assert_eq!(g.hop_distance(w[0], w[1]), 1);
+            }
+        }
+
+        #[test]
+        fn prop_bfs_no_longer_than_manhattan_plus_detours(
+            o1 in 0u16..72, s1 in 0u16..18, o2 in 0u16..72, s2 in 0u16..18,
+            dead_o in 0u16..72, dead_s in 0u16..18,
+        ) {
+            let g = grid();
+            let a = SatelliteId::new(o1, s1);
+            let b = SatelliteId::new(o2, s2);
+            let dead = SatelliteId::new(dead_o, dead_s);
+            prop_assume!(a != dead && b != dead);
+            let p = shortest_path_avoiding(&g, a, b, |id| id != dead).unwrap();
+            // One dead satellite can add at most 2 hops on a torus.
+            prop_assert!(p.len() as u16 <= g.hop_distance(a, b) + 2);
+            prop_assert!(p.len() as u16 >= g.hop_distance(a, b));
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Evaluation baselines (§5.1).
+//!
+//! * **Naive LRU** — independent per-satellite LRU caches, as proposed by
+//!   prior in-orbit-computing work. Built as a [`SpaceCdn`] with
+//!   [`StarCdnConfig::naive_lru`]; nothing extra lives here.
+//! * **Static Cache** — the unachievable ideal: no orbital motion, each
+//!   location permanently served by its own dedicated cache.
+//! * **No Cache** — today's Starlink: every byte crosses the uplink and
+//!   every request pays the bent-pipe path to a terrestrial CDN.
+
+use crate::latency::LatencyModel;
+use crate::metrics::SystemMetrics;
+use crate::system::ServedFrom;
+use starcdn_cache::object::ObjectId;
+use starcdn_cache::policy::{Cache, PolicyKind};
+use starcdn_orbit::walker::SatelliteId;
+
+#[allow(unused_imports)] // referenced by the module docs
+use crate::config::StarCdnConfig;
+#[allow(unused_imports)]
+use crate::system::SpaceCdn;
+
+/// The Static Cache ideal: one permanently-overhead cache per location.
+pub struct StaticCacheBaseline {
+    caches: Vec<Box<dyn Cache + Send>>,
+    latency: LatencyModel,
+    /// Aggregate run metrics (owner satellite ids are synthetic:
+    /// `(u16::MAX, location)`).
+    pub metrics: SystemMetrics,
+}
+
+impl StaticCacheBaseline {
+    /// One cache of `capacity_bytes` per location.
+    pub fn new(num_locations: usize, capacity_bytes: u64, policy: PolicyKind) -> Self {
+        StaticCacheBaseline {
+            caches: (0..num_locations).map(|_| policy.build(capacity_bytes)).collect(),
+            latency: LatencyModel::default(),
+            metrics: SystemMetrics::default(),
+        }
+    }
+
+    /// Handle a request from `location`.
+    pub fn handle_request(
+        &mut self,
+        location: usize,
+        object: ObjectId,
+        size: u64,
+        gsl_oneway_ms: f64,
+    ) -> (ServedFrom, f64) {
+        let outcome = self.caches[location].access(object, size);
+        let hit = outcome.is_hit();
+        let latency = self.latency.static_cache_rtt_ms(gsl_oneway_ms, hit);
+        let from = if hit { ServedFrom::LocalHit } else { ServedFrom::Ground };
+        self.metrics.record(SatelliteId::new(u16::MAX, location as u16), from, size, latency);
+        (from, latency)
+    }
+}
+
+/// Today's Starlink: no cache in space at all.
+pub struct NoCacheBaseline {
+    latency: LatencyModel,
+    /// Aggregate run metrics; every request is a ground fetch.
+    pub metrics: SystemMetrics,
+}
+
+impl NoCacheBaseline {
+    /// Build with the default (Table-1 calibrated) latency model.
+    pub fn new() -> Self {
+        NoCacheBaseline { latency: LatencyModel::default(), metrics: SystemMetrics::default() }
+    }
+
+    /// Handle a request: always a bent-pipe fetch.
+    pub fn handle_request(&mut self, size: u64, gsl_oneway_ms: f64) -> f64 {
+        let latency = self.latency.starlink_no_cache_rtt_ms(gsl_oneway_ms);
+        self.metrics.record(SatelliteId::new(u16::MAX, u16::MAX), ServedFrom::Ground, size, latency);
+        latency
+    }
+}
+
+impl Default for NoCacheBaseline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The terrestrial-CDN reference curve of Fig. 10 (terrestrial users,
+/// no satellites involved): a latency distribution around the paper's
+/// ~20 ms median, sampled deterministically.
+pub struct TerrestrialCdnBaseline {
+    latency: LatencyModel,
+    counter: u64,
+    /// Latency samples only (no cache semantics).
+    pub metrics: SystemMetrics,
+}
+
+impl TerrestrialCdnBaseline {
+    /// Build with the default latency model.
+    pub fn new() -> Self {
+        TerrestrialCdnBaseline {
+            latency: LatencyModel::default(),
+            counter: 0,
+            metrics: SystemMetrics::default(),
+        }
+    }
+
+    /// Record one request's latency sample.
+    pub fn handle_request(&mut self, size: u64) -> f64 {
+        // Low-discrepancy uniform sequence (golden-ratio stride) for a
+        // smooth, deterministic CDF.
+        self.counter += 1;
+        let u = (self.counter as f64 * 0.618_033_988_749_894_8).fract();
+        let latency = self.latency.terrestrial_cdn_rtt_ms(u);
+        self.metrics.record(SatelliteId::new(u16::MAX, 0), ServedFrom::LocalHit, size, latency);
+        latency
+    }
+}
+
+impl Default for TerrestrialCdnBaseline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_cache_per_location_isolation() {
+        let mut b = StaticCacheBaseline::new(3, 1000, PolicyKind::Lru);
+        let (f1, _) = b.handle_request(0, ObjectId(1), 100, 2.0);
+        assert_eq!(f1, ServedFrom::Ground);
+        let (f2, _) = b.handle_request(0, ObjectId(1), 100, 2.0);
+        assert_eq!(f2, ServedFrom::LocalHit);
+        // Another location does not share the cache.
+        let (f3, _) = b.handle_request(1, ObjectId(1), 100, 2.0);
+        assert_eq!(f3, ServedFrom::Ground);
+        assert_eq!(b.metrics.stats.requests, 3);
+        assert_eq!(b.metrics.uplink_bytes, 200);
+    }
+
+    #[test]
+    fn static_cache_hit_latency_is_gsl_only() {
+        let mut b = StaticCacheBaseline::new(1, 1000, PolicyKind::Lru);
+        b.handle_request(0, ObjectId(1), 100, 2.5);
+        let (_, lat) = b.handle_request(0, ObjectId(1), 100, 2.5);
+        assert!((lat - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_cache_charges_every_byte() {
+        let mut b = NoCacheBaseline::new();
+        let l1 = b.handle_request(100, 2.9);
+        let l2 = b.handle_request(200, 2.9);
+        assert!((l1 - l2).abs() < 1e-9, "latency independent of size");
+        assert!((l1 - 55.0).abs() < 3.0, "no-cache median ≈ 55 ms, got {l1}");
+        assert_eq!(b.metrics.uplink_bytes, 300);
+        assert!((b.metrics.uplink_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(b.metrics.stats.request_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn terrestrial_cdn_median_near_20ms() {
+        let mut b = TerrestrialCdnBaseline::new();
+        for _ in 0..10_001 {
+            b.handle_request(100);
+        }
+        let med = b.metrics.latency_cdf().median().unwrap();
+        assert!((med - 20.0).abs() < 3.0, "terrestrial median {med}");
+        // Deterministic across runs.
+        let mut b2 = TerrestrialCdnBaseline::new();
+        for _ in 0..10_001 {
+            b2.handle_request(100);
+        }
+        assert_eq!(b.metrics.latencies_ms, b2.metrics.latencies_ms);
+    }
+}

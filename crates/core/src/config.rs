@@ -1,0 +1,176 @@
+//! StarCDN system configuration.
+
+use serde::{Deserialize, Serialize};
+use starcdn_cache::policy::PolicyKind;
+use starcdn_constellation::grid::GridTopology;
+use starcdn_constellation::isl::LinkModel;
+
+/// Which inter-orbit same-bucket neighbours a cache miss may relay to
+/// (§3.3). The west neighbour retraces this satellite's ground track one
+/// period earlier (Fig. 3) and is the profitable direction; east is kept
+/// because it costs no extra latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RelayPolicy {
+    /// No relayed fetch (the "StarCDN-Fetch" ablation of §5.2).
+    None,
+    /// West inter-orbit neighbour only.
+    WestOnly,
+    /// East inter-orbit neighbour only.
+    EastOnly,
+    /// West first, then east (the full StarCDN design).
+    Both,
+}
+
+impl RelayPolicy {
+    /// Whether any relaying happens.
+    pub fn enabled(self) -> bool {
+        !matches!(self, RelayPolicy::None)
+    }
+}
+
+/// Full system configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StarCdnConfig {
+    /// ISL grid (defaults to the 72×18 Starlink shell).
+    pub grid: GridTopology,
+    /// Number of consistent-hashing buckets `L` (perfect square). `None`
+    /// disables hashing: every request is handled by its first-contact
+    /// satellite (the "StarCDN-Hashing" ablation / Naive LRU baseline).
+    pub num_buckets: Option<u32>,
+    /// Relayed-fetch policy.
+    pub relay: RelayPolicy,
+    /// Per-satellite cache capacity, bytes.
+    pub cache_capacity_bytes: u64,
+    /// Eviction policy of each satellite cache.
+    pub policy: PolicyKind,
+    /// Link delay/bandwidth model for latency accounting.
+    pub link_model: LinkModel,
+    /// Record per-request neighbour availability on every miss
+    /// (the Table-3 monitor; costs two probes per miss).
+    pub probe_neighbors_on_miss: bool,
+    /// Proactive prefetch (the §3.3 rejected alternative): every
+    /// scheduler epoch, each satellite copies its west same-bucket
+    /// neighbour's `top_k` hottest objects into its own cache. `None`
+    /// disables it (StarCDN's choice — relayed fetch only reacts to
+    /// actual misses, never wasting cache space, power, or ISL
+    /// bandwidth on content nobody asks for).
+    pub prefetch_top_k: Option<usize>,
+    /// §3.4 failure response. `true` (StarCDN's long-term response):
+    /// a dead satellite's bucket remaps to the next available satellite.
+    /// `false` (the transient response): requests for a dead owner simply
+    /// fall back to a ground fetch.
+    pub remap_on_failure: bool,
+    /// Add first-order transmission (serialization) delays to latency
+    /// accounting: the response body is clocked out once per
+    /// store-and-forward hop at that link's bandwidth. Off by default —
+    /// the paper compares *idle* (propagation-only) latencies and leaves
+    /// link-layer modelling to future work (§7).
+    pub model_transmission_delay: bool,
+}
+
+impl StarCdnConfig {
+    /// The full StarCDN design: hashing with `L` buckets plus
+    /// bidirectional relayed fetch.
+    pub fn starcdn(num_buckets: u32, cache_capacity_bytes: u64) -> Self {
+        StarCdnConfig {
+            grid: GridTopology::starlink(),
+            num_buckets: Some(num_buckets),
+            relay: RelayPolicy::Both,
+            cache_capacity_bytes,
+            policy: PolicyKind::Lru,
+            link_model: LinkModel::table1(),
+            probe_neighbors_on_miss: false,
+            prefetch_top_k: None,
+            remap_on_failure: true,
+            model_transmission_delay: false,
+        }
+    }
+
+    /// The proactive-prefetch alternative the paper evaluated and
+    /// rejected (§3.3): hashing plus per-epoch top-k prefetch from the
+    /// west same-bucket neighbour, no reactive relay.
+    pub fn starcdn_prefetch(num_buckets: u32, cache_capacity_bytes: u64, top_k: usize) -> Self {
+        StarCdnConfig {
+            relay: RelayPolicy::None,
+            prefetch_top_k: Some(top_k),
+            ..Self::starcdn(num_buckets, cache_capacity_bytes)
+        }
+    }
+
+    /// "StarCDN-Fetch" (§5.2): consistent hashing only, no relayed fetch.
+    pub fn starcdn_no_relay(num_buckets: u32, cache_capacity_bytes: u64) -> Self {
+        StarCdnConfig { relay: RelayPolicy::None, ..Self::starcdn(num_buckets, cache_capacity_bytes) }
+    }
+
+    /// "StarCDN-Hashing" (§5.2): relayed fetch only, no hashing — every
+    /// request served by the first-contact satellite, relaying to its
+    /// immediate inter-orbit neighbours on a miss.
+    pub fn starcdn_no_hashing(cache_capacity_bytes: u64) -> Self {
+        StarCdnConfig { num_buckets: None, ..Self::starcdn(4, cache_capacity_bytes) }
+    }
+
+    /// Naive LRU baseline (past work): independent per-satellite LRU, no
+    /// hashing, no relay.
+    pub fn naive_lru(cache_capacity_bytes: u64) -> Self {
+        StarCdnConfig {
+            num_buckets: None,
+            relay: RelayPolicy::None,
+            ..Self::starcdn(4, cache_capacity_bytes)
+        }
+    }
+
+    /// Inter-orbit planes between same-bucket neighbours: √L with
+    /// hashing, 1 without (every satellite holds "the" bucket).
+    pub fn relay_span_planes(&self) -> u16 {
+        match self.num_buckets {
+            Some(l) => (l as f64).sqrt().round() as u16,
+            None => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_variants() {
+        let full = StarCdnConfig::starcdn(9, 100);
+        assert_eq!(full.num_buckets, Some(9));
+        assert!(full.relay.enabled());
+
+        let no_relay = StarCdnConfig::starcdn_no_relay(9, 100);
+        assert_eq!(no_relay.relay, RelayPolicy::None);
+        assert_eq!(no_relay.num_buckets, Some(9));
+
+        let no_hash = StarCdnConfig::starcdn_no_hashing(100);
+        assert_eq!(no_hash.num_buckets, None);
+        assert!(no_hash.relay.enabled());
+
+        let naive = StarCdnConfig::naive_lru(100);
+        assert_eq!(naive.num_buckets, None);
+        assert!(!naive.relay.enabled());
+        assert_eq!(naive.policy, PolicyKind::Lru);
+        assert_eq!(naive.prefetch_top_k, None);
+
+        let prefetch = StarCdnConfig::starcdn_prefetch(4, 100, 32);
+        assert_eq!(prefetch.prefetch_top_k, Some(32));
+        assert!(!prefetch.relay.enabled());
+        assert_eq!(prefetch.num_buckets, Some(4));
+    }
+
+    #[test]
+    fn relay_span() {
+        assert_eq!(StarCdnConfig::starcdn(4, 1).relay_span_planes(), 2);
+        assert_eq!(StarCdnConfig::starcdn(9, 1).relay_span_planes(), 3);
+        assert_eq!(StarCdnConfig::starcdn_no_hashing(1).relay_span_planes(), 1);
+    }
+
+    #[test]
+    fn relay_policy_enabled() {
+        assert!(!RelayPolicy::None.enabled());
+        assert!(RelayPolicy::WestOnly.enabled());
+        assert!(RelayPolicy::EastOnly.enabled());
+        assert!(RelayPolicy::Both.enabled());
+    }
+}

@@ -1,0 +1,225 @@
+//! System-level metrics: hit rates, uplink usage, latency samples,
+//! serve-source breakdown, per-satellite statistics, and the Table-3
+//! neighbour-availability monitor.
+
+use crate::latency::LatencyCdf;
+use crate::system::ServedFrom;
+use serde::{Deserialize, Serialize};
+use starcdn_cache::policy::AccessOutcome;
+use starcdn_cache::stats::CacheStats;
+use starcdn_orbit::walker::SatelliteId;
+use std::collections::HashMap;
+
+/// Table-3 counters: on a miss at the bucket owner, was the object
+/// available in the west / east / both same-bucket neighbours?
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeighborAvailability {
+    pub west_only_requests: u64,
+    pub west_only_bytes: u64,
+    pub east_only_requests: u64,
+    pub east_only_bytes: u64,
+    pub both_requests: u64,
+    pub both_bytes: u64,
+    pub neither_requests: u64,
+    pub neither_bytes: u64,
+}
+
+impl NeighborAvailability {
+    /// Record one miss probe.
+    pub fn record(&mut self, west: bool, east: bool, bytes: u64) {
+        match (west, east) {
+            (true, false) => {
+                self.west_only_requests += 1;
+                self.west_only_bytes += bytes;
+            }
+            (false, true) => {
+                self.east_only_requests += 1;
+                self.east_only_bytes += bytes;
+            }
+            (true, true) => {
+                self.both_requests += 1;
+                self.both_bytes += bytes;
+            }
+            (false, false) => {
+                self.neither_requests += 1;
+                self.neither_bytes += bytes;
+            }
+        }
+    }
+
+    /// Total probed misses.
+    pub fn total_misses(&self) -> u64 {
+        self.west_only_requests + self.east_only_requests + self.both_requests + self.neither_requests
+    }
+}
+
+/// Aggregate metrics of one simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SystemMetrics {
+    /// System-wide hit statistics: a "hit" is any request served from
+    /// space (owner cache or relayed neighbour).
+    pub stats: CacheStats,
+    /// Bytes uploaded from ground to space (= miss bytes).
+    pub uplink_bytes: u64,
+    /// Per-source serve counts.
+    pub served_local: u64,
+    pub served_relay_west: u64,
+    pub served_relay_east: u64,
+    pub served_ground: u64,
+    /// Bytes copied between satellites by relayed fetch (ISL traffic).
+    #[serde(default)]
+    pub relay_bytes: u64,
+    /// Bytes copied between satellites by proactive prefetch (ISL
+    /// traffic; the §3.3 rejected-alternative ablation).
+    #[serde(default)]
+    pub prefetch_bytes: u64,
+    /// Objects copied by proactive prefetch.
+    #[serde(default)]
+    pub prefetch_copies: u64,
+    /// Raw latency samples, ms.
+    pub latencies_ms: Vec<f64>,
+    /// Per-owner-satellite hit statistics (Fig. 11 grouping).
+    pub per_satellite: HashMap<SatelliteId, CacheStats>,
+    /// Table-3 monitor (populated when `probe_neighbors_on_miss` is on).
+    pub neighbor_availability: NeighborAvailability,
+}
+
+impl SystemMetrics {
+    /// Record one served request.
+    pub fn record(&mut self, owner: SatelliteId, from: ServedFrom, size: u64, latency_ms: f64) {
+        let outcome = if from.is_space_hit() { AccessOutcome::Hit } else { AccessOutcome::Miss };
+        self.stats.record(outcome, size);
+        self.per_satellite.entry(owner).or_default().record(outcome, size);
+        self.latencies_ms.push(latency_ms);
+        match from {
+            ServedFrom::LocalHit => self.served_local += 1,
+            ServedFrom::RelayWest => {
+                self.served_relay_west += 1;
+                self.relay_bytes += size;
+            }
+            ServedFrom::RelayEast => {
+                self.served_relay_east += 1;
+                self.relay_bytes += size;
+            }
+            ServedFrom::Ground => {
+                self.served_ground += 1;
+                self.uplink_bytes += size;
+            }
+        }
+    }
+
+    /// Uplink bandwidth normalized to serving everything from ground
+    /// (the Fig. 8 metric; 1.0 = no cache at all).
+    pub fn uplink_fraction(&self) -> f64 {
+        if self.stats.bytes_requested == 0 {
+            0.0
+        } else {
+            self.uplink_bytes as f64 / self.stats.bytes_requested as f64
+        }
+    }
+
+    /// Latency CDF over all recorded samples.
+    pub fn latency_cdf(&self) -> LatencyCdf {
+        LatencyCdf::from_samples(self.latencies_ms.clone())
+    }
+
+    /// Merge another run's metrics into this one.
+    pub fn merge(&mut self, other: &SystemMetrics) {
+        self.stats += other.stats;
+        self.uplink_bytes += other.uplink_bytes;
+        self.served_local += other.served_local;
+        self.served_relay_west += other.served_relay_west;
+        self.served_relay_east += other.served_relay_east;
+        self.served_ground += other.served_ground;
+        self.relay_bytes += other.relay_bytes;
+        self.prefetch_bytes += other.prefetch_bytes;
+        self.prefetch_copies += other.prefetch_copies;
+        self.latencies_ms.extend_from_slice(&other.latencies_ms);
+        for (sat, st) in &other.per_satellite {
+            *self.per_satellite.entry(*sat).or_default() += *st;
+        }
+        let n = &mut self.neighbor_availability;
+        let o = &other.neighbor_availability;
+        n.west_only_requests += o.west_only_requests;
+        n.west_only_bytes += o.west_only_bytes;
+        n.east_only_requests += o.east_only_requests;
+        n.east_only_bytes += o.east_only_bytes;
+        n.both_requests += o.both_requests;
+        n.both_bytes += o.both_bytes;
+        n.neither_requests += o.neither_requests;
+        n.neither_bytes += o.neither_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_classifies_sources() {
+        let mut m = SystemMetrics::default();
+        let sat = SatelliteId::new(1, 1);
+        m.record(sat, ServedFrom::LocalHit, 100, 10.0);
+        m.record(sat, ServedFrom::RelayWest, 100, 20.0);
+        m.record(sat, ServedFrom::RelayEast, 100, 20.0);
+        m.record(sat, ServedFrom::Ground, 100, 70.0);
+        assert_eq!(m.served_local, 1);
+        assert_eq!(m.served_relay_west, 1);
+        assert_eq!(m.served_relay_east, 1);
+        assert_eq!(m.served_ground, 1);
+        assert_eq!(m.relay_bytes, 200, "both relay hits move bytes over ISLs");
+        // Relay hits count as space hits.
+        assert!((m.stats.request_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(m.uplink_bytes, 100);
+        assert!((m.uplink_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(m.per_satellite[&sat].requests, 4);
+    }
+
+    #[test]
+    fn empty_metrics() {
+        let m = SystemMetrics::default();
+        assert_eq!(m.uplink_fraction(), 0.0);
+        assert!(m.latency_cdf().is_empty());
+    }
+
+    #[test]
+    fn neighbor_availability_cells() {
+        let mut n = NeighborAvailability::default();
+        n.record(true, false, 10);
+        n.record(false, true, 20);
+        n.record(true, true, 30);
+        n.record(false, false, 40);
+        assert_eq!(n.west_only_requests, 1);
+        assert_eq!(n.west_only_bytes, 10);
+        assert_eq!(n.east_only_bytes, 20);
+        assert_eq!(n.both_bytes, 30);
+        assert_eq!(n.neither_bytes, 40);
+        assert_eq!(n.total_misses(), 4);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let sat = SatelliteId::new(0, 0);
+        let mut a = SystemMetrics::default();
+        a.record(sat, ServedFrom::LocalHit, 10, 5.0);
+        let mut b = SystemMetrics::default();
+        b.record(sat, ServedFrom::Ground, 30, 60.0);
+        b.neighbor_availability.record(true, true, 30);
+        a.merge(&b);
+        assert_eq!(a.stats.requests, 2);
+        assert_eq!(a.uplink_bytes, 30);
+        assert_eq!(a.latencies_ms.len(), 2);
+        assert_eq!(a.per_satellite[&sat].requests, 2);
+        assert_eq!(a.neighbor_availability.both_requests, 1);
+    }
+
+    #[test]
+    fn latency_cdf_from_metrics() {
+        let mut m = SystemMetrics::default();
+        let sat = SatelliteId::new(0, 0);
+        for (i, lat) in [10.0, 30.0, 20.0].into_iter().enumerate() {
+            m.record(sat, ServedFrom::LocalHit, i as u64 + 1, lat);
+        }
+        assert_eq!(m.latency_cdf().median(), Some(20.0));
+    }
+}

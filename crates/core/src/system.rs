@@ -1,0 +1,641 @@
+//! The StarCDN system: request handling across the satellite fleet.
+//!
+//! [`SpaceCdn`] owns one cache per grid slot and implements the full
+//! request pipeline of Fig. 5a:
+//!
+//! 1. the user's request arrives at its *first-contact* satellite
+//!    (chosen by the link scheduler — outside StarCDN's control);
+//! 2. with hashing enabled, the request is routed over ISLs to the
+//!    nearest owner of the object's bucket (≤ `2⌊√L/2⌋` hops), after
+//!    §3.4 failure remapping;
+//! 3. the owner serves from cache, or relay-fetches from its same-bucket
+//!    inter-orbit neighbours (§3.3), or downlinks to the ground origin —
+//!    always caching what it fetched;
+//! 4. latency is accounted leg by leg and uplink bytes are charged only
+//!    for ground fetches.
+
+use crate::config::StarCdnConfig;
+use crate::latency::LatencyModel;
+use crate::metrics::SystemMetrics;
+use crate::relay::relay_candidates;
+use serde::{Deserialize, Serialize};
+use starcdn_cache::object::ObjectId;
+use starcdn_cache::policy::Cache;
+use starcdn_constellation::buckets::BucketTiling;
+use starcdn_constellation::failures::FailureModel;
+use starcdn_constellation::routing::shortest_path_avoiding;
+use starcdn_orbit::walker::SatelliteId;
+
+/// Where a request was ultimately served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServedFrom {
+    /// The bucket owner's own cache (or the first-contact satellite's,
+    /// without hashing).
+    LocalHit,
+    /// The west same-bucket inter-orbit neighbour.
+    RelayWest,
+    /// The east same-bucket inter-orbit neighbour.
+    RelayEast,
+    /// Fetched from the origin via a ground-satellite link.
+    Ground,
+}
+
+impl ServedFrom {
+    /// True when the request never touched the ground.
+    pub fn is_space_hit(self) -> bool {
+        !matches!(self, ServedFrom::Ground)
+    }
+}
+
+/// The result of handling one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeOutcome {
+    pub served_from: ServedFrom,
+    /// End-to-end RTT, ms.
+    pub latency_ms: f64,
+    /// Bytes charged to the ground-to-satellite uplink.
+    pub uplink_bytes: u64,
+    /// The satellite that handled (and now caches) the object.
+    pub owner: SatelliteId,
+    /// ISL hops from the first-contact satellite to the owner (one way).
+    pub route_hops: u16,
+}
+
+/// The satellite CDN fleet.
+pub struct SpaceCdn {
+    cfg: StarCdnConfig,
+    tiling: Option<BucketTiling>,
+    failures: FailureModel,
+    caches: Vec<Box<dyn Cache + Send>>,
+    latency: LatencyModel,
+    /// Aggregate run metrics.
+    pub metrics: SystemMetrics,
+}
+
+impl SpaceCdn {
+    /// Build the fleet described by `cfg` with no failures.
+    pub fn new(cfg: StarCdnConfig) -> Self {
+        Self::with_failures(cfg, FailureModel::none())
+    }
+
+    /// Build the fleet with an outage set; bucket responsibilities of
+    /// dead satellites are remapped per §3.4.
+    pub fn with_failures(cfg: StarCdnConfig, failures: FailureModel) -> Self {
+        let tiling = cfg.num_buckets.map(|l| {
+            BucketTiling::new(l).unwrap_or_else(|e| panic!("invalid bucket count {l}: {e}"))
+        });
+        let caches = (0..cfg.grid.total_slots())
+            .map(|_| cfg.policy.build(cfg.cache_capacity_bytes))
+            .collect();
+        let latency = LatencyModel { link: cfg.link_model.clone(), ..LatencyModel::default() };
+        SpaceCdn { cfg, tiling, failures, caches, latency, metrics: SystemMetrics::default() }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &StarCdnConfig {
+        &self.cfg
+    }
+
+    /// The failure model in force.
+    pub fn failures(&self) -> &FailureModel {
+        &self.failures
+    }
+
+    /// The latency model (calibration constants + link model).
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// The bucket tiling, when hashing is enabled.
+    pub fn tiling(&self) -> Option<&BucketTiling> {
+        self.tiling.as_ref()
+    }
+
+    fn cache_idx(&self, id: SatelliteId) -> usize {
+        id.index(self.cfg.grid.sats_per_plane)
+    }
+
+    /// Read-only view of one satellite's cache.
+    pub fn cache_of(&self, id: SatelliteId) -> &dyn Cache {
+        self.caches[self.cache_idx(id)].as_ref()
+    }
+
+    /// The satellite that owns requests for `object` arriving at
+    /// `first_contact`, plus the one-way route hop mix `(intra, inter)`.
+    /// `None` when every candidate owner is dead and unreachable.
+    pub fn resolve_route(
+        &self,
+        first_contact: SatelliteId,
+        object: ObjectId,
+    ) -> Option<(SatelliteId, u16, u16)> {
+        let grid = &self.cfg.grid;
+        let preferred = match &self.tiling {
+            Some(t) => t.nearest_owner(grid, first_contact, t.bucket_of_object(object.hash64())),
+            None => first_contact,
+        };
+        let owner = if self.cfg.remap_on_failure {
+            self.failures.resolve_owner(grid, preferred)?
+        } else if self.failures.is_alive(preferred) {
+            preferred
+        } else {
+            // Transient failure response (§3.4): report a miss and
+            // forward the request to the ground.
+            return None;
+        };
+        if owner == first_contact {
+            return Some((owner, 0, 0));
+        }
+        if self.failures.dead_count() == 0 {
+            // Healthy torus: the canonical path's hop mix is the wrap
+            // distance on each axis.
+            let inter = grid.plane_distance(first_contact.orbit, owner.orbit);
+            let intra = grid.slot_distance(first_contact.slot, owner.slot);
+            Some((owner, intra, inter))
+        } else {
+            let path = shortest_path_avoiding(grid, first_contact, owner, |id| {
+                self.failures.is_alive(id)
+            })?;
+            let (intra, inter) = path.hop_mix();
+            Some((owner, intra as u16, inter as u16))
+        }
+    }
+
+    /// Handle one request arriving at `first_contact` with the given
+    /// one-way user↔satellite GSL delay.
+    pub fn handle_request(
+        &mut self,
+        first_contact: SatelliteId,
+        object: ObjectId,
+        size: u64,
+        gsl_oneway_ms: f64,
+    ) -> ServeOutcome {
+        let Some((owner, intra, inter)) = self.resolve_route(first_contact, object) else {
+            // No reachable owner: downlink straight from the first-contact
+            // satellite (transient-failure path of §3.4).
+            let latency_ms = self.latency.ground_miss_rtt_ms(gsl_oneway_ms, 0, 0, 0);
+            self.metrics.record(first_contact, ServedFrom::Ground, size, latency_ms);
+            return ServeOutcome {
+                served_from: ServedFrom::Ground,
+                latency_ms,
+                uplink_bytes: size,
+                owner: first_contact,
+                route_hops: 0,
+            };
+        };
+
+        let owner_idx = self.cache_idx(owner);
+        let span = self.cfg.relay_span_planes();
+
+        // Owner cache access: a miss auto-admits (the owner will cache the
+        // object wherever it ends up coming from).
+        let local = self.caches[owner_idx].access(object, size);
+
+        let (served_from, latency_ms, uplink) = if local.is_hit() {
+            (ServedFrom::LocalHit, self.latency.space_hit_rtt_ms(gsl_oneway_ms, intra, inter), 0)
+        } else {
+            // Table-3 monitor: neighbour availability at miss time.
+            if self.cfg.probe_neighbors_on_miss {
+                let west = self.neighbor_has(owner, span, true, object);
+                let east = self.neighbor_has(owner, span, false, object);
+                self.metrics.neighbor_availability.record(west, east, size);
+            }
+
+            let mut result = None;
+            for (tag, neighbor) in
+                relay_candidates(&self.cfg.grid, owner, span, self.cfg.relay, &self.failures)
+            {
+                let n_idx = self.cache_idx(neighbor);
+                if self.caches[n_idx].contains(object) {
+                    // Serving refreshes the neighbour's recency state.
+                    self.caches[n_idx].access(object, size);
+                    result = Some((
+                        tag,
+                        self.latency.relay_hit_rtt_ms(gsl_oneway_ms, intra, inter, span),
+                        0u64,
+                    ));
+                    break;
+                }
+            }
+            result.unwrap_or_else(|| {
+                let relay_penalty = if self.cfg.relay.enabled() { span } else { 0 };
+                (
+                    ServedFrom::Ground,
+                    self.latency.ground_miss_rtt_ms(gsl_oneway_ms, intra, inter, relay_penalty),
+                    size,
+                )
+            })
+        };
+
+        let latency_ms = if self.cfg.model_transmission_delay {
+            latency_ms + self.transmission_ms(served_from, size, intra + inter, span)
+        } else {
+            latency_ms
+        };
+
+        self.metrics.record(owner, served_from, size, latency_ms);
+        ServeOutcome {
+            served_from,
+            latency_ms,
+            uplink_bytes: uplink,
+            owner,
+            route_hops: intra + inter,
+        }
+    }
+
+    /// First-order serialization delay of the response body: once per
+    /// store-and-forward ISL hop (100 Gbps) plus the user service link
+    /// (20 Gbps), plus the feeder uplink for ground fetches.
+    fn transmission_ms(
+        &self,
+        from: ServedFrom,
+        size: u64,
+        route_hops: u16,
+        span: u16,
+    ) -> f64 {
+        use crate::latency::transmission_delay_ms;
+        let isl_bw = self.latency.link.inter_orbit.bandwidth_gbps;
+        let gsl_bw = self.latency.link.gsl.bandwidth_gbps;
+        let isl_hops = route_hops
+            + match from {
+                ServedFrom::RelayWest | ServedFrom::RelayEast => span,
+                _ => 0,
+            };
+        let mut ms = isl_hops as f64 * transmission_delay_ms(size, isl_bw)
+            + transmission_delay_ms(size, gsl_bw);
+        if from == ServedFrom::Ground {
+            // The object also crossed the feeder uplink.
+            ms += transmission_delay_ms(size, gsl_bw);
+        }
+        ms
+    }
+
+    fn neighbor_has(&self, owner: SatelliteId, span: u16, west: bool, object: ObjectId) -> bool {
+        let slot = if west {
+            self.cfg.grid.west_by(owner, span)
+        } else {
+            self.cfg.grid.east_by(owner, span)
+        };
+        self.failures
+            .resolve_owner(&self.cfg.grid, slot)
+            .filter(|&s| s != owner)
+            .map(|s| self.caches[self.cache_idx(s)].contains(object))
+            .unwrap_or(false)
+    }
+
+    /// One proactive-prefetch round (the §3.3 rejected alternative):
+    /// every alive satellite copies the `top_k` hottest objects of its
+    /// west same-bucket neighbour into its own cache. Call once per
+    /// scheduler epoch. Copies are charged to `metrics.prefetch_bytes`
+    /// whether or not anyone ever requests them — that waste is exactly
+    /// why the paper chose reactive relayed fetch instead.
+    pub fn prefetch_round(&mut self) {
+        let Some(top_k) = self.cfg.prefetch_top_k else { return };
+        let span = self.cfg.relay_span_planes();
+        // Plan all transfers against the pre-round state (the real system
+        // runs them in parallel over ISLs), then apply — otherwise content
+        // would cascade across the whole ring within a single round.
+        let mut planned: Vec<(usize, ObjectId, u64)> = Vec::new();
+        for id in self.cfg.grid.iter_ids() {
+            if !self.failures.is_alive(id) {
+                continue;
+            }
+            let west_slot = self.cfg.grid.west_by(id, span);
+            let Some(west) = self
+                .failures
+                .resolve_owner(&self.cfg.grid, west_slot)
+                .filter(|&w| w != id)
+            else {
+                continue;
+            };
+            let own_idx = self.cache_idx(id);
+            for (obj, size) in self.caches[self.cache_idx(west)].hottest(top_k) {
+                if !self.caches[own_idx].contains(obj) {
+                    planned.push((own_idx, obj, size));
+                }
+            }
+        }
+        for (idx, obj, size) in planned {
+            if !self.caches[idx].contains(obj) {
+                self.caches[idx].insert(obj, size);
+                self.metrics.prefetch_bytes += size;
+                self.metrics.prefetch_copies += 1;
+            }
+        }
+    }
+
+    /// Record a request that could not reach any satellite (no satellite
+    /// in view): served bent-pipe from the ground, like today's Starlink.
+    pub fn handle_unreachable(&mut self, size: u64) -> f64 {
+        let latency_ms = self.latency.starlink_no_cache_rtt_ms(self.latency.link.gsl.avg_delay_ms);
+        self.metrics.record(
+            SatelliteId::new(u16::MAX, u16::MAX),
+            ServedFrom::Ground,
+            size,
+            latency_ms,
+        );
+        latency_ms
+    }
+
+    /// Drop all cached content and metrics (fresh run, same config).
+    pub fn reset(&mut self) {
+        for c in &mut self.caches {
+            c.clear();
+        }
+        self.metrics = SystemMetrics::default();
+    }
+
+    /// Zero the metrics but keep all cached content — used to discount a
+    /// warm-up phase from measurements (the paper's 5-day replays make
+    /// cold-start negligible; shorter runs subtract it explicitly).
+    pub fn reset_metrics(&mut self) {
+        self.metrics = SystemMetrics::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StarCdnConfig;
+
+    const CAP: u64 = 10_000;
+
+    fn system(l: u32) -> SpaceCdn {
+        SpaceCdn::new(StarCdnConfig::starcdn(l, CAP))
+    }
+
+    #[test]
+    fn first_request_is_ground_second_is_hit() {
+        let mut cdn = system(4);
+        let sat = SatelliteId::new(10, 5);
+        let o1 = cdn.handle_request(sat, ObjectId(1), 100, 2.9);
+        assert_eq!(o1.served_from, ServedFrom::Ground);
+        assert_eq!(o1.uplink_bytes, 100);
+        let o2 = cdn.handle_request(sat, ObjectId(1), 100, 2.9);
+        assert_eq!(o2.served_from, ServedFrom::LocalHit);
+        assert_eq!(o2.uplink_bytes, 0);
+        assert!(o2.latency_ms < o1.latency_ms);
+        assert_eq!(o1.owner, o2.owner, "same object routes to the same owner");
+    }
+
+    #[test]
+    fn requests_from_different_sats_share_one_owner_cache() {
+        // §5.2.1's core claim: adjacent users scheduled to different
+        // satellites still hit the same cache under hashing.
+        let mut cdn = system(4);
+        let a = SatelliteId::new(10, 5);
+        let b = SatelliteId::new(11, 5); // different first contact, same tile
+        cdn.handle_request(a, ObjectId(7), 100, 2.9);
+        let o = cdn.handle_request(b, ObjectId(7), 100, 2.9);
+        assert_eq!(o.served_from, ServedFrom::LocalHit);
+    }
+
+    #[test]
+    fn without_hashing_no_sharing() {
+        let mut cdn = SpaceCdn::new(StarCdnConfig::naive_lru(CAP));
+        let a = SatelliteId::new(10, 5);
+        let b = SatelliteId::new(11, 5);
+        cdn.handle_request(a, ObjectId(7), 100, 2.9);
+        let o = cdn.handle_request(b, ObjectId(7), 100, 2.9);
+        assert_eq!(o.served_from, ServedFrom::Ground, "naive LRU caches independently");
+        assert_eq!(o.owner, b);
+        assert_eq!(o.route_hops, 0);
+    }
+
+    #[test]
+    fn route_hops_within_worst_case() {
+        let mut cdn = system(9);
+        let bound = cdn.tiling().unwrap().worst_case_hops();
+        for s in 0..18u16 {
+            for o in (0..72u16).step_by(7) {
+                let out = cdn.handle_request(SatelliteId::new(o, s), ObjectId((o * 31 + s) as u64), 10, 2.9);
+                assert!(out.route_hops <= bound, "hops {} > bound {bound}", out.route_hops);
+            }
+        }
+    }
+
+    #[test]
+    fn relay_west_serves_after_west_owner_cached() {
+        let mut cdn = system(4);
+        // Find the owner of an object from one first-contact satellite.
+        let fc = SatelliteId::new(10, 5);
+        let (owner, _, _) = cdn.resolve_route(fc, ObjectId(3)).unwrap();
+        // Seed the object at the owner's west same-bucket neighbour by
+        // sending a request whose first contact *is* that neighbour.
+        let west = cdn.config().grid.west_by(owner, 2);
+        let o1 = cdn.handle_request(west, ObjectId(3), 100, 2.9);
+        assert_eq!(o1.owner, west, "west neighbour owns the same bucket");
+        assert_eq!(o1.served_from, ServedFrom::Ground);
+        // Now request via the original first contact: owner misses, west
+        // relay hits.
+        let o2 = cdn.handle_request(fc, ObjectId(3), 100, 2.9);
+        assert_eq!(o2.served_from, ServedFrom::RelayWest);
+        assert_eq!(o2.uplink_bytes, 0, "relay saves the uplink");
+        // And the owner cached the relayed copy: next time is a local hit.
+        let o3 = cdn.handle_request(fc, ObjectId(3), 100, 2.9);
+        assert_eq!(o3.served_from, ServedFrom::LocalHit);
+    }
+
+    #[test]
+    fn no_relay_variant_goes_to_ground() {
+        let mut cdn = SpaceCdn::new(StarCdnConfig::starcdn_no_relay(4, CAP));
+        let fc = SatelliteId::new(10, 5);
+        let (owner, _, _) = cdn.resolve_route(fc, ObjectId(3)).unwrap();
+        let west = cdn.config().grid.west_by(owner, 2);
+        cdn.handle_request(west, ObjectId(3), 100, 2.9);
+        let o = cdn.handle_request(fc, ObjectId(3), 100, 2.9);
+        assert_eq!(o.served_from, ServedFrom::Ground, "no relay configured");
+    }
+
+    #[test]
+    fn relay_latency_between_hit_and_miss() {
+        let mut cdn = system(4);
+        let fc = SatelliteId::new(10, 5);
+        let (owner, _, _) = cdn.resolve_route(fc, ObjectId(3)).unwrap();
+        let west = cdn.config().grid.west_by(owner, 2);
+        cdn.handle_request(west, ObjectId(3), 100, 2.9);
+        let relay = cdn.handle_request(fc, ObjectId(3), 100, 2.9);
+        let hit = cdn.handle_request(fc, ObjectId(3), 100, 2.9);
+        let miss = cdn.handle_request(fc, ObjectId(999), 100, 2.9);
+        assert!(hit.latency_ms < relay.latency_ms, "hit {} relay {}", hit.latency_ms, relay.latency_ms);
+        assert!(relay.latency_ms < miss.latency_ms, "relay {} miss {}", relay.latency_ms, miss.latency_ms);
+    }
+
+    #[test]
+    fn failure_remap_still_serves() {
+        let cfg = StarCdnConfig::starcdn(9, CAP);
+        let fc = SatelliteId::new(10, 5);
+        // Kill the preferred owner for this object.
+        let probe = SpaceCdn::new(cfg.clone());
+        let (preferred, _, _) = probe.resolve_route(fc, ObjectId(5)).unwrap();
+        let failures = FailureModel::from_dead([preferred]);
+        let mut cdn = SpaceCdn::with_failures(cfg, failures);
+        let o1 = cdn.handle_request(fc, ObjectId(5), 100, 2.9);
+        assert_ne!(o1.owner, preferred);
+        assert!(cdn.failures().is_alive(o1.owner));
+        let o2 = cdn.handle_request(fc, ObjectId(5), 100, 2.9);
+        assert_eq!(o2.served_from, ServedFrom::LocalHit, "remapped owner caches");
+    }
+
+    #[test]
+    fn neighbor_probe_populates_table3_monitor() {
+        let mut cfg = StarCdnConfig::starcdn(4, CAP);
+        cfg.probe_neighbors_on_miss = true;
+        let mut cdn = SpaceCdn::new(cfg);
+        let fc = SatelliteId::new(10, 5);
+        let (owner, _, _) = cdn.resolve_route(fc, ObjectId(3)).unwrap();
+        let west = cdn.config().grid.west_by(owner, 2);
+        cdn.handle_request(west, ObjectId(3), 100, 2.9); // seed west
+        cdn.handle_request(fc, ObjectId(3), 100, 2.9); // owner miss: west has it
+        cdn.handle_request(fc, ObjectId(42), 50, 2.9); // owner miss: nobody has it
+        let n = cdn.metrics.neighbor_availability;
+        assert_eq!(n.west_only_requests, 1);
+        assert_eq!(n.west_only_bytes, 100);
+        assert_eq!(n.neither_requests, 2, "seed miss + unseeded miss");
+    }
+
+    #[test]
+    fn prefetch_round_copies_west_content() {
+        let mut cdn = SpaceCdn::new(StarCdnConfig::starcdn_prefetch(4, CAP, 8));
+        // Seed an object at some owner by sending a request there.
+        let fc = SatelliteId::new(10, 5);
+        let o = cdn.handle_request(fc, ObjectId(3), 100, 2.9);
+        let owner = o.owner;
+        // The owner's *east* same-bucket neighbour prefetches from its
+        // west neighbour — which is `owner`.
+        let east = cdn.config().grid.east_by(owner, 2);
+        assert!(!cdn.cache_of(east).contains(ObjectId(3)));
+        cdn.prefetch_round();
+        assert!(cdn.cache_of(east).contains(ObjectId(3)), "prefetch should copy west→east");
+        assert_eq!(cdn.metrics.prefetch_bytes, 100, "exactly one 100 B copy in round one");
+        assert_eq!(cdn.metrics.prefetch_copies, 1);
+        // Each further round moves the object one more hop east (it does
+        // not cascade within a round).
+        cdn.prefetch_round();
+        assert_eq!(cdn.metrics.prefetch_copies, 2);
+        let east2 = cdn.config().grid.east_by(owner, 4);
+        assert!(cdn.cache_of(east2).contains(ObjectId(3)));
+    }
+
+    #[test]
+    fn prefetch_disabled_is_noop() {
+        let mut cdn = SpaceCdn::new(StarCdnConfig::starcdn(4, CAP));
+        cdn.handle_request(SatelliteId::new(10, 5), ObjectId(3), 100, 2.9);
+        cdn.prefetch_round();
+        assert_eq!(cdn.metrics.prefetch_bytes, 0);
+        assert_eq!(cdn.metrics.prefetch_copies, 0);
+    }
+
+    #[test]
+    fn transmission_delay_raises_latency_by_size() {
+        // Caches big enough to admit the multi-MiB object.
+        let cap = 64 << 20;
+        let mut idle = SpaceCdn::new(StarCdnConfig::starcdn(4, cap));
+        let mut cfg = StarCdnConfig::starcdn(4, cap);
+        cfg.model_transmission_delay = true;
+        let mut loaded = SpaceCdn::new(cfg);
+        let fc = SatelliteId::new(10, 5);
+        let size = 5 << 20; // 5 MiB
+        let a = idle.handle_request(fc, ObjectId(1), size, 2.9);
+        let b = loaded.handle_request(fc, ObjectId(1), size, 2.9);
+        assert!(b.latency_ms > a.latency_ms, "{} !> {}", b.latency_ms, a.latency_ms);
+        // A ground miss serializes the object over the GSL twice
+        // (up + down): ≥ 2 × 2.1 ms for 5 MiB at 20 Gbps.
+        assert!(b.latency_ms - a.latency_ms >= 4.0, "delta {}", b.latency_ms - a.latency_ms);
+        // Hits pay less extra (no feeder uplink).
+        let a2 = idle.handle_request(fc, ObjectId(1), size, 2.9);
+        let b2 = loaded.handle_request(fc, ObjectId(1), size, 2.9);
+        assert!(b2.latency_ms - a2.latency_ms < b.latency_ms - a.latency_ms);
+        // Tiny objects barely notice.
+        let a3 = idle.handle_request(fc, ObjectId(2), 100, 2.9);
+        let b3 = loaded.handle_request(fc, ObjectId(2), 100, 2.9);
+        assert!((b3.latency_ms - a3.latency_ms) < 0.01);
+    }
+
+    #[test]
+    fn metrics_accumulate_and_reset() {
+        let mut cdn = system(4);
+        let sat = SatelliteId::new(0, 0);
+        cdn.handle_request(sat, ObjectId(1), 100, 2.9);
+        cdn.handle_request(sat, ObjectId(1), 100, 2.9);
+        assert_eq!(cdn.metrics.stats.requests, 2);
+        assert_eq!(cdn.metrics.served_ground, 1);
+        assert_eq!(cdn.metrics.served_local, 1);
+        assert!((cdn.metrics.uplink_fraction() - 0.5).abs() < 1e-12);
+        cdn.reset();
+        assert_eq!(cdn.metrics.stats.requests, 0);
+        let o = cdn.handle_request(sat, ObjectId(1), 100, 2.9);
+        assert_eq!(o.served_from, ServedFrom::Ground, "caches cleared");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+            #[test]
+            fn prop_serve_invariants(
+                reqs in proptest::collection::vec(
+                    (0u16..72, 0u16..18, 0u64..200, 1u64..5000), 1..300),
+                l_idx in 0usize..2,
+            ) {
+                let l = [4u32, 9][l_idx];
+                let mut cdn = SpaceCdn::new(StarCdnConfig::starcdn(l, 200_000));
+                let bound = cdn.tiling().unwrap().worst_case_hops();
+                let mut expected_uplink = 0u64;
+                let mut expected_bytes = 0u64;
+                for (o, s, obj, size) in reqs {
+                    let out = cdn.handle_request(
+                        SatelliteId::new(o, s), ObjectId(obj), size, 2.9,
+                    );
+                    prop_assert!(out.latency_ms > 0.0);
+                    prop_assert!(out.route_hops <= bound);
+                    prop_assert_eq!(out.uplink_bytes > 0, out.served_from == ServedFrom::Ground);
+                    expected_uplink += out.uplink_bytes;
+                    expected_bytes += size;
+                    // Owner serves the object's bucket.
+                    let t = cdn.tiling().unwrap();
+                    prop_assert_eq!(
+                        t.bucket_of_sat(out.owner),
+                        t.bucket_of_object(ObjectId(obj).hash64())
+                    );
+                }
+                prop_assert_eq!(cdn.metrics.uplink_bytes, expected_uplink);
+                prop_assert_eq!(cdn.metrics.stats.bytes_requested, expected_bytes);
+                let served = cdn.metrics.served_local
+                    + cdn.metrics.served_relay_west
+                    + cdn.metrics.served_relay_east
+                    + cdn.metrics.served_ground;
+                prop_assert_eq!(served, cdn.metrics.stats.requests);
+            }
+
+            #[test]
+            fn prop_latency_ordering_hit_vs_miss(
+                o in 0u16..72, s in 0u16..18, size in 1u64..10_000,
+            ) {
+                let mut cdn = SpaceCdn::new(StarCdnConfig::starcdn(4, 1_000_000));
+                let fc = SatelliteId::new(o, s);
+                let miss = cdn.handle_request(fc, ObjectId(1), size, 2.9);
+                let hit = cdn.handle_request(fc, ObjectId(1), size, 2.9);
+                prop_assert_eq!(miss.served_from, ServedFrom::Ground);
+                prop_assert_eq!(hit.served_from, ServedFrom::LocalHit);
+                prop_assert!(hit.latency_ms < miss.latency_ms);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_eviction_under_pressure() {
+        // Tiny caches: streaming distinct objects through one owner must
+        // keep used_bytes bounded.
+        let mut cdn = SpaceCdn::new(StarCdnConfig::starcdn(4, 500));
+        let sat = SatelliteId::new(3, 3);
+        for i in 0..100u64 {
+            cdn.handle_request(sat, ObjectId(i * 4), 100, 2.9); // same bucket-ish spread
+        }
+        for idx in 0..cdn.config().grid.total_slots() {
+            let id = SatelliteId::from_index(idx, 18);
+            assert!(cdn.cache_of(id).used_bytes() <= 500);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! The named system variants of the paper's evaluation (Fig. 7/8/10/12).
+
+use crate::config::StarCdnConfig;
+use serde::{Deserialize, Serialize};
+
+/// Every curve the paper plots against cache size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// Ideal upper bound: no orbital motion, per-location static caches.
+    StaticCache,
+    /// The full system: hashing with `l` buckets + relayed fetch.
+    StarCdn { l: u32 },
+    /// "StarCDN-Fetch": hashing only, no relayed fetch.
+    StarCdnNoRelay { l: u32 },
+    /// "StarCDN-Hashing": relayed fetch only, no hashing.
+    StarCdnNoHashing,
+    /// Proactive prefetch instead of relayed fetch (the §3.3 rejected
+    /// alternative; `k` objects copied from the west neighbour per epoch).
+    StarCdnPrefetch { l: u32, k: usize },
+    /// Naive per-satellite LRU (prior work's proposal).
+    NaiveLru,
+    /// Today's Starlink: no cache in space.
+    NoCache,
+    /// Terrestrial users on a terrestrial CDN (latency reference only).
+    TerrestrialCdn,
+}
+
+impl Variant {
+    /// The paper's label for this curve.
+    pub fn label(self) -> String {
+        match self {
+            Variant::StaticCache => "Static Cache".into(),
+            Variant::StarCdn { l } => format!("StarCDN (L={l})"),
+            Variant::StarCdnNoRelay { l } => format!("StarCDN-Fetch (L={l})"),
+            Variant::StarCdnNoHashing => "StarCDN-Hashing".into(),
+            Variant::StarCdnPrefetch { l, k } => format!("StarCDN-Prefetch (L={l}, k={k})"),
+            Variant::NaiveLru => "LRU".into(),
+            Variant::NoCache => "Starlink (no cache)".into(),
+            Variant::TerrestrialCdn => "Terrestrial CDN".into(),
+        }
+    }
+
+    /// The [`StarCdnConfig`] for the space-fleet variants; `None` for
+    /// the baselines that are not satellite fleets.
+    pub fn space_config(self, cache_capacity_bytes: u64) -> Option<StarCdnConfig> {
+        match self {
+            Variant::StarCdn { l } => Some(StarCdnConfig::starcdn(l, cache_capacity_bytes)),
+            Variant::StarCdnNoRelay { l } => {
+                Some(StarCdnConfig::starcdn_no_relay(l, cache_capacity_bytes))
+            }
+            Variant::StarCdnNoHashing => {
+                Some(StarCdnConfig::starcdn_no_hashing(cache_capacity_bytes))
+            }
+            Variant::StarCdnPrefetch { l, k } => {
+                Some(StarCdnConfig::starcdn_prefetch(l, cache_capacity_bytes, k))
+            }
+            Variant::NaiveLru => Some(StarCdnConfig::naive_lru(cache_capacity_bytes)),
+            Variant::StaticCache | Variant::NoCache | Variant::TerrestrialCdn => None,
+        }
+    }
+
+    /// The five hit-rate curves of Fig. 7 for a given `L`.
+    pub fn fig7_set(l: u32) -> [Variant; 5] {
+        [
+            Variant::StaticCache,
+            Variant::StarCdn { l },
+            Variant::StarCdnNoRelay { l },
+            Variant::StarCdnNoHashing,
+            Variant::NaiveLru,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RelayPolicy;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Variant::StarCdn { l: 4 }.label(), "StarCDN (L=4)");
+        assert_eq!(Variant::StarCdnNoRelay { l: 9 }.label(), "StarCDN-Fetch (L=9)");
+        assert_eq!(Variant::NaiveLru.label(), "LRU");
+    }
+
+    #[test]
+    fn space_configs_wire_the_right_features() {
+        let c = Variant::StarCdn { l: 9 }.space_config(10).unwrap();
+        assert_eq!(c.num_buckets, Some(9));
+        assert_eq!(c.relay, RelayPolicy::Both);
+
+        let c = Variant::StarCdnNoRelay { l: 9 }.space_config(10).unwrap();
+        assert_eq!(c.relay, RelayPolicy::None);
+
+        let c = Variant::StarCdnNoHashing.space_config(10).unwrap();
+        assert_eq!(c.num_buckets, None);
+        assert!(c.relay.enabled());
+
+        let c = Variant::StarCdnPrefetch { l: 4, k: 16 }.space_config(10).unwrap();
+        assert_eq!(c.prefetch_top_k, Some(16));
+        assert!(!c.relay.enabled());
+
+        let c = Variant::NaiveLru.space_config(10).unwrap();
+        assert_eq!(c.num_buckets, None);
+        assert!(!c.relay.enabled());
+
+        assert!(Variant::StaticCache.space_config(10).is_none());
+        assert!(Variant::NoCache.space_config(10).is_none());
+        assert!(Variant::TerrestrialCdn.space_config(10).is_none());
+    }
+
+    #[test]
+    fn fig7_has_five_curves() {
+        let set = Variant::fig7_set(4);
+        assert_eq!(set.len(), 5);
+        assert!(set.contains(&Variant::StaticCache));
+        assert!(set.contains(&Variant::NaiveLru));
+    }
+}

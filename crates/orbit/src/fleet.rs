@@ -1,0 +1,229 @@
+//! Building a gridded fleet from a TLE catalog.
+//!
+//! The paper feeds CelesTrak TLEs for the Starlink 53° shell into its
+//! simulator and infers the ISL grid from shell information. This module
+//! does the equivalent: given a TLE catalog, cluster satellites into
+//! orbital planes by RAAN, order each plane by phase, and assign
+//! [`SatelliteId`] grid coordinates — after which the constellation
+//! crate's topology, bucket tiling, and failure handling apply
+//! unchanged. Slots beyond the satellites present in a plane are simply
+//! absent (out of slot), matching the paper's 1170-of-1296 situation.
+
+use crate::kepler::CircularOrbit;
+use crate::propagator::Satellite;
+use crate::tle::Tle;
+use crate::walker::SatelliteId;
+
+/// A fleet assembled from a TLE catalog.
+#[derive(Debug, Clone)]
+pub struct TleFleet {
+    pub satellites: Vec<Satellite>,
+    pub num_planes: u16,
+    pub sats_per_plane: u16,
+    /// Grid slots with no satellite (out-of-slot, §5.4).
+    pub empty_slots: Vec<SatelliteId>,
+}
+
+/// Errors assembling a fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// The catalog is empty.
+    EmptyCatalog,
+    /// A plane holds more satellites than `sats_per_plane` slots.
+    PlaneOverfull { plane: u16, count: usize, slots: u16 },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::EmptyCatalog => write!(f, "TLE catalog is empty"),
+            FleetError::PlaneOverfull { plane, count, slots } => {
+                write!(f, "plane {plane} holds {count} satellites but only {slots} slots")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// Cluster a TLE catalog into a `num_planes × sats_per_plane` grid.
+///
+/// Planes are defined by uniform RAAN bins (`360°/num_planes` wide,
+/// centred on the bin); within a plane, satellites are ordered by their
+/// argument of latitude and assigned to the nearest phase slot.
+pub fn fleet_from_tles(
+    tles: &[Tle],
+    num_planes: u16,
+    sats_per_plane: u16,
+) -> Result<TleFleet, FleetError> {
+    if tles.is_empty() {
+        return Err(FleetError::EmptyCatalog);
+    }
+    let mut planes: Vec<Vec<CircularOrbit>> = vec![Vec::new(); num_planes as usize];
+    let plane_width = 360.0 / num_planes as f64;
+    for tle in tles {
+        let orbit = tle.to_elements().to_circular();
+        let raan_deg = orbit.raan_rad.to_degrees().rem_euclid(360.0);
+        let plane = ((raan_deg / plane_width).round() as usize) % num_planes as usize;
+        planes[plane].push(orbit);
+    }
+
+    let slot_width = 360.0 / sats_per_plane as f64;
+    let mut satellites = Vec::new();
+    let mut occupied = vec![false; num_planes as usize * sats_per_plane as usize];
+    for (p, plane) in planes.iter().enumerate() {
+        if plane.len() > sats_per_plane as usize {
+            return Err(FleetError::PlaneOverfull {
+                plane: p as u16,
+                count: plane.len(),
+                slots: sats_per_plane,
+            });
+        }
+        for orbit in plane {
+            let phase_deg = orbit.phase_rad.to_degrees().rem_euclid(360.0);
+            let mut slot = ((phase_deg / slot_width).round() as usize) % sats_per_plane as usize;
+            // Collisions (two satellites rounding to one slot) walk to the
+            // next free slot in the plane.
+            let base = p * sats_per_plane as usize;
+            let mut walked = 0;
+            while occupied[base + slot] {
+                slot = (slot + 1) % sats_per_plane as usize;
+                walked += 1;
+                debug_assert!(walked <= sats_per_plane, "plane overfull despite check");
+            }
+            occupied[base + slot] = true;
+            satellites.push(Satellite {
+                id: SatelliteId::new(p as u16, slot as u16),
+                orbit: *orbit,
+            });
+        }
+    }
+    satellites.sort_by_key(|s| s.id);
+
+    let empty_slots = (0..num_planes)
+        .flat_map(|p| (0..sats_per_plane).map(move |s| SatelliteId::new(p, s)))
+        .filter(|id| !occupied[id.index(sats_per_plane)])
+        .collect();
+
+    Ok(TleFleet { satellites, num_planes, sats_per_plane, empty_slots })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tle::synthesize_tle;
+    use crate::walker::WalkerConstellation;
+
+    /// Synthesize a TLE catalog for (a subset of) the Starlink shell.
+    fn catalog(skip_every: usize) -> Vec<Tle> {
+        let shell = WalkerConstellation::starlink_shell1();
+        let mut out = Vec::new();
+        for (i, sat) in shell.satellites().iter().enumerate() {
+            if skip_every > 0 && i % skip_every == 0 {
+                continue;
+            }
+            let o = &sat.orbit;
+            let mean_motion = 86400.0 / o.period_s();
+            let (name, l1, l2) = synthesize_tle(
+                &format!("SYN-{i}"),
+                (40000 + i) as u32,
+                o.inclination_rad.to_degrees(),
+                o.raan_rad.to_degrees(),
+                o.phase_rad.to_degrees().rem_euclid(360.0),
+                mean_motion,
+            );
+            out.push(Tle::parse(&name, &l1, &l2).expect("synth TLE parses"));
+        }
+        out
+    }
+
+    #[test]
+    fn full_catalog_fills_grid_exactly() {
+        let fleet = fleet_from_tles(&catalog(0), 72, 18).unwrap();
+        assert_eq!(fleet.satellites.len(), 1296);
+        assert!(fleet.empty_slots.is_empty());
+        // Every grid id appears exactly once.
+        let mut ids: Vec<_> = fleet.satellites.iter().map(|s| s.id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 1296);
+    }
+
+    #[test]
+    fn grid_assignment_matches_walker_geometry() {
+        // Planes must collect same-RAAN satellites; within a plane, slot
+        // order must follow phase order (slot labels may be rotated by a
+        // constant — they are arbitrary up to rotation, and the Walker
+        // phasing offset puts some planes exactly between slot centres).
+        let shell = WalkerConstellation::starlink_shell1();
+        let fleet = fleet_from_tles(&catalog(0), 72, 18).unwrap();
+        for sat in &fleet.satellites {
+            let reference = shell.orbit_for(sat.id);
+            let raan_err = (sat.orbit.raan_rad - reference.raan_rad).to_degrees().abs();
+            assert!(raan_err < 0.51, "{}: RAAN error {raan_err}°", sat.id);
+        }
+        // Per-plane phase monotonicity (one wrap allowed).
+        for p in 0..72u16 {
+            let mut phases: Vec<(u16, f64)> = fleet
+                .satellites
+                .iter()
+                .filter(|s| s.id.orbit == p)
+                .map(|s| (s.id.slot, s.orbit.phase_rad.to_degrees().rem_euclid(360.0)))
+                .collect();
+            phases.sort_by_key(|&(slot, _)| slot);
+            let wraps = phases
+                .windows(2)
+                .filter(|w| w[1].1 < w[0].1)
+                .count();
+            assert!(wraps <= 1, "plane {p}: phases not slot-ordered: {phases:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_catalog_reports_empty_slots() {
+        // Drop every 10th satellite: ~130 out-of-slot, like the paper's
+        // 126-of-1296 observation.
+        let fleet = fleet_from_tles(&catalog(10), 72, 18).unwrap();
+        assert_eq!(fleet.satellites.len(), 1296 - 130);
+        assert_eq!(fleet.empty_slots.len(), 130);
+        // Empty slots are real grid coordinates.
+        for id in &fleet.empty_slots {
+            assert!(id.orbit < 72 && id.slot < 18);
+        }
+    }
+
+    #[test]
+    fn empty_catalog_rejected() {
+        match fleet_from_tles(&[], 72, 18) {
+            Err(FleetError::EmptyCatalog) => {}
+            other => panic!("expected EmptyCatalog, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overfull_plane_rejected() {
+        // 30 satellites all in one plane of 18 slots.
+        let mut tles = Vec::new();
+        for i in 0..30 {
+            let (n, l1, l2) = synthesize_tle(
+                &format!("X-{i}"),
+                i,
+                53.0,
+                0.0,
+                i as f64 * 12.0,
+                15.05,
+            );
+            tles.push(Tle::parse(&n, &l1, &l2).unwrap());
+        }
+        match fleet_from_tles(&tles, 72, 18) {
+            Err(FleetError::PlaneOverfull { plane: 0, count: 30, slots: 18 }) => {}
+            other => panic!("expected PlaneOverfull, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(FleetError::EmptyCatalog.to_string().contains("empty"));
+        let e = FleetError::PlaneOverfull { plane: 3, count: 20, slots: 18 };
+        assert!(e.to_string().contains("plane 3"));
+    }
+}

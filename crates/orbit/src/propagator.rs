@@ -1,0 +1,179 @@
+//! Satellite state propagation.
+//!
+//! A [`Satellite`] pairs an identifier with its orbit; a [`Propagator`]
+//! turns orbits into time-stamped positions. The default propagator
+//! evaluates the analytic circular model directly; a caching layer
+//! ([`SnapshotPropagator`]) amortizes per-epoch evaluation when many
+//! queries share the same simulation step (the common case: the scheduler
+//! queries all 1296 satellites every 15 s epoch).
+
+use crate::coords::{Ecef, Eci, Geodetic};
+use crate::kepler::CircularOrbit;
+use crate::time::SimTime;
+use crate::walker::SatelliteId;
+use serde::{Deserialize, Serialize};
+
+/// A satellite: identity plus orbit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Satellite {
+    pub id: SatelliteId,
+    pub orbit: CircularOrbit,
+}
+
+/// Fully resolved satellite state at an instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SatelliteState {
+    pub id: SatelliteId,
+    pub time: SimTime,
+    pub eci: Eci,
+    pub ecef: Ecef,
+    pub geodetic: Geodetic,
+}
+
+/// Anything that can position satellites in time.
+pub trait Propagator {
+    /// Earth-fixed position of one satellite at time `t`.
+    fn position_ecef(&self, sat: &Satellite, t: SimTime) -> Ecef;
+
+    /// Full state for one satellite at time `t`.
+    fn state(&self, sat: &Satellite, t: SimTime) -> SatelliteState {
+        let eci = sat.orbit.position_eci(t);
+        let ecef = eci.to_ecef(t);
+        SatelliteState { id: sat.id, time: t, eci, ecef, geodetic: ecef.to_geodetic() }
+    }
+}
+
+/// Direct analytic evaluation: stateless and exact for the circular model.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AnalyticPropagator;
+
+impl Propagator for AnalyticPropagator {
+    fn position_ecef(&self, sat: &Satellite, t: SimTime) -> Ecef {
+        sat.orbit.position_eci(t).to_ecef(t)
+    }
+}
+
+/// An epoch-snapshot propagator: positions for a whole constellation are
+/// computed once per epoch and then served from the snapshot.
+///
+/// The simulation engine advances in 15 s steps and, within a step, asks
+/// for the same positions many times (per user, per request batch); this
+/// cache makes those queries O(1) array lookups.
+#[derive(Debug)]
+pub struct SnapshotPropagator {
+    satellites: Vec<Satellite>,
+    epoch: SimTime,
+    positions: Vec<Ecef>,
+    sats_per_plane: u16,
+}
+
+impl SnapshotPropagator {
+    /// Build a snapshot propagator over a fixed satellite set.
+    ///
+    /// `sats_per_plane` is used to index positions by [`SatelliteId`].
+    pub fn new(satellites: Vec<Satellite>, sats_per_plane: u16) -> Self {
+        let mut p = SnapshotPropagator {
+            positions: Vec::with_capacity(satellites.len()),
+            satellites,
+            epoch: SimTime::ZERO,
+            sats_per_plane,
+        };
+        p.advance_to(SimTime::ZERO);
+        p
+    }
+
+    /// Recompute the snapshot for a new epoch.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.epoch = t;
+        self.positions.clear();
+        self.positions
+            .extend(self.satellites.iter().map(|s| s.orbit.position_eci(t).to_ecef(t)));
+    }
+
+    /// The snapshot's epoch.
+    pub fn epoch(&self) -> SimTime {
+        self.epoch
+    }
+
+    /// The satellite set this snapshot covers.
+    pub fn satellites(&self) -> &[Satellite] {
+        &self.satellites
+    }
+
+    /// Position of a satellite (by id) in the current snapshot.
+    pub fn position_of(&self, id: SatelliteId) -> Ecef {
+        self.positions[id.index(self.sats_per_plane)]
+    }
+
+    /// All positions in the current snapshot, indexed like `satellites()`.
+    pub fn positions(&self) -> &[Ecef] {
+        &self.positions
+    }
+}
+
+impl Propagator for SnapshotPropagator {
+    fn position_ecef(&self, sat: &Satellite, t: SimTime) -> Ecef {
+        if t == self.epoch {
+            self.position_of(sat.id)
+        } else {
+            AnalyticPropagator.position_ecef(sat, t)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walker::WalkerConstellation;
+
+    #[test]
+    fn analytic_state_is_consistent() {
+        let shell = WalkerConstellation::test_shell();
+        let sat = shell.satellites()[0];
+        let t = SimTime::from_secs(1234);
+        let st = AnalyticPropagator.state(&sat, t);
+        assert_eq!(st.id, sat.id);
+        assert_eq!(st.time, t);
+        assert!((st.eci.norm() - sat.orbit.radius_km()).abs() < 1e-6);
+        assert!((st.geodetic.alt_km - sat.orbit.altitude_km).abs() < 1e-6);
+    }
+
+    #[test]
+    fn snapshot_matches_analytic_at_epoch() {
+        let shell = WalkerConstellation::test_shell();
+        let sats = shell.satellites();
+        let mut snap = SnapshotPropagator::new(sats.clone(), shell.sats_per_plane);
+        let t = SimTime::from_secs(300);
+        snap.advance_to(t);
+        for sat in &sats {
+            let a = AnalyticPropagator.position_ecef(sat, t);
+            let b = snap.position_ecef(sat, t);
+            assert!(a.distance_km(&b) < 1e-9);
+            let c = snap.position_of(sat.id);
+            assert!(a.distance_km(&c) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn snapshot_falls_back_off_epoch() {
+        let shell = WalkerConstellation::test_shell();
+        let sats = shell.satellites();
+        let snap = SnapshotPropagator::new(sats.clone(), shell.sats_per_plane);
+        let t = SimTime::from_secs(999);
+        let a = AnalyticPropagator.position_ecef(&sats[3], t);
+        let b = snap.position_ecef(&sats[3], t);
+        assert!(a.distance_km(&b) < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_positions_move_between_epochs() {
+        let shell = WalkerConstellation::test_shell();
+        let mut snap = SnapshotPropagator::new(shell.satellites(), shell.sats_per_plane);
+        let p0 = snap.position_of(SatelliteId::new(0, 0));
+        snap.advance_to(SimTime::from_secs(15));
+        let p1 = snap.position_of(SatelliteId::new(0, 0));
+        // ~7.6 km/s for 15 s ≈ 114 km of motion.
+        let d = p0.distance_km(&p1);
+        assert!((80.0..160.0).contains(&d), "moved {d} km in 15 s");
+    }
+}

@@ -1,0 +1,363 @@
+//! Ground-to-satellite visibility, elevation angles, and propagation delay.
+//!
+//! A user terminal can connect to a satellite when the satellite is above
+//! a minimum elevation angle (Starlink operates at 25°). At 550 km and a
+//! 25° mask, a user typically sees on the order of 10+ satellites of the
+//! full shell at mid-latitudes, matching the paper's observation.
+
+use crate::constants::{EARTH_RADIUS_KM, SPEED_OF_LIGHT_KM_S};
+use crate::coords::{Ecef, Geodetic};
+use crate::propagator::Satellite;
+use crate::time::{SimDuration, SimTime};
+use crate::walker::SatelliteId;
+
+/// Starlink's minimum elevation mask, degrees.
+pub const STARLINK_MIN_ELEVATION_DEG: f64 = 25.0;
+
+/// A visible satellite as seen from a ground location.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VisibleSatellite {
+    pub id: SatelliteId,
+    /// Elevation above the local horizon, degrees.
+    pub elevation_deg: f64,
+    /// Straight-line range, km.
+    pub slant_range_km: f64,
+}
+
+impl VisibleSatellite {
+    /// One-way propagation delay over the ground-satellite link.
+    pub fn propagation_delay(&self) -> SimDuration {
+        propagation_delay_km(self.slant_range_km)
+    }
+}
+
+/// One-way propagation delay for a straight-line distance.
+pub fn propagation_delay_km(distance_km: f64) -> SimDuration {
+    SimDuration::from_secs_f64(distance_km / SPEED_OF_LIGHT_KM_S)
+}
+
+/// One-way propagation delay in fractional milliseconds (no rounding),
+/// used where sub-millisecond resolution matters (latency CDFs).
+pub fn propagation_delay_ms_f64(distance_km: f64) -> f64 {
+    distance_km / SPEED_OF_LIGHT_KM_S * 1000.0
+}
+
+/// Elevation angle (degrees) of a satellite at `sat_ecef` as seen from a
+/// ground point `ground_ecef`, and the slant range (km).
+///
+/// Elevation is the angle between the local horizontal plane and the line
+/// of sight: `sin(el) = (r̂_ground · d) / |d|` where `d` is the vector
+/// from ground to satellite.
+pub fn elevation_and_range(ground_ecef: &Ecef, sat_ecef: &Ecef) -> (f64, f64) {
+    let dx = sat_ecef.x - ground_ecef.x;
+    let dy = sat_ecef.y - ground_ecef.y;
+    let dz = sat_ecef.z - ground_ecef.z;
+    let range = (dx * dx + dy * dy + dz * dz).sqrt();
+    let gnorm = ground_ecef.norm();
+    let dot = (ground_ecef.x * dx + ground_ecef.y * dy + ground_ecef.z * dz) / (gnorm * range);
+    (dot.asin().to_degrees(), range)
+}
+
+/// All satellites visible from `ground` at time `t` above `min_elevation_deg`,
+/// sorted by descending elevation (best first).
+pub fn visible_satellites(
+    satellites: &[Satellite],
+    ground: Geodetic,
+    t: SimTime,
+    min_elevation_deg: f64,
+) -> Vec<VisibleSatellite> {
+    let g = ground.to_ecef();
+    let max_range = max_slant_range_km(
+        satellites.first().map(|s| s.orbit.altitude_km).unwrap_or(550.0),
+        min_elevation_deg,
+    );
+    let mut out: Vec<VisibleSatellite> = satellites
+        .iter()
+        .filter_map(|sat| {
+            let p = sat.orbit.position_eci(t).to_ecef(t);
+            // Cheap rejection: beyond the max slant range nothing can be
+            // above the elevation mask.
+            let dx = p.x - g.x;
+            if dx.abs() > max_range {
+                return None;
+            }
+            let (el, range) = elevation_and_range(&g, &p);
+            (el >= min_elevation_deg && range <= max_range + 1.0).then_some(VisibleSatellite {
+                id: sat.id,
+                elevation_deg: el,
+                slant_range_km: range,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| b.elevation_deg.total_cmp(&a.elevation_deg));
+    out
+}
+
+/// Same as [`visible_satellites`] but using precomputed ECEF positions
+/// aligned with `satellites` (snapshot fast path).
+pub fn visible_from_positions(
+    satellites: &[Satellite],
+    positions: &[Ecef],
+    ground: Geodetic,
+    min_elevation_deg: f64,
+) -> Vec<VisibleSatellite> {
+    debug_assert_eq!(satellites.len(), positions.len());
+    let g = ground.to_ecef();
+    let mut out: Vec<VisibleSatellite> = satellites
+        .iter()
+        .zip(positions)
+        .filter_map(|(sat, p)| {
+            let (el, range) = elevation_and_range(&g, p);
+            (el >= min_elevation_deg).then_some(VisibleSatellite {
+                id: sat.id,
+                elevation_deg: el,
+                slant_range_km: range,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| b.elevation_deg.total_cmp(&a.elevation_deg));
+    out
+}
+
+/// Maximum slant range to a satellite at `altitude_km` that is still above
+/// `min_elevation_deg` (law of cosines on the Earth-centred triangle).
+pub fn max_slant_range_km(altitude_km: f64, min_elevation_deg: f64) -> f64 {
+    let re = EARTH_RADIUS_KM;
+    let rs = re + altitude_km;
+    let el = min_elevation_deg.to_radians();
+    // range = -Re sin(el) + sqrt(Rs^2 - Re^2 cos^2(el))
+    -re * el.sin() + (rs * rs - re * re * el.cos() * el.cos()).sqrt()
+}
+
+/// One visibility pass of a satellite over a ground location.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pass {
+    /// Acquisition of signal (first epoch above the mask).
+    pub aos: SimTime,
+    /// Loss of signal (last epoch above the mask).
+    pub los: SimTime,
+    /// Peak elevation during the pass, degrees.
+    pub max_elevation_deg: f64,
+}
+
+impl Pass {
+    /// Pass duration.
+    pub fn duration(&self) -> SimDuration {
+        self.los.saturating_sub(self.aos)
+    }
+}
+
+/// Predict the visibility passes of one satellite over `ground` within
+/// `[start, start + window]`, sampled every `step`.
+///
+/// This is the substrate API behind §3.1.1's "a satellite serves a given
+/// location for less than ten minutes": passes of the 550 km shell above
+/// a 25° mask last single-digit minutes.
+pub fn predict_passes(
+    satellite: &Satellite,
+    ground: Geodetic,
+    start: SimTime,
+    window: SimDuration,
+    step: SimDuration,
+    min_elevation_deg: f64,
+) -> Vec<Pass> {
+    assert!(step.as_millis() > 0, "step must be positive");
+    let g = ground.to_ecef();
+    let mut passes = Vec::new();
+    let mut current: Option<Pass> = None;
+    let mut t = start;
+    let end = start + window;
+    while t <= end {
+        let p = satellite.orbit.position_eci(t).to_ecef(t);
+        let (el, _) = elevation_and_range(&g, &p);
+        if el >= min_elevation_deg {
+            match current.as_mut() {
+                Some(pass) => {
+                    pass.los = t;
+                    pass.max_elevation_deg = pass.max_elevation_deg.max(el);
+                }
+                None => {
+                    current = Some(Pass { aos: t, los: t, max_elevation_deg: el });
+                }
+            }
+        } else if let Some(pass) = current.take() {
+            passes.push(pass);
+        }
+        t += step;
+    }
+    if let Some(pass) = current {
+        passes.push(pass);
+    }
+    passes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walker::WalkerConstellation;
+
+    #[test]
+    fn zenith_satellite_has_90_deg_elevation() {
+        let ground = Geodetic::from_degrees(0.0, 0.0, 0.0).to_ecef();
+        let sat = Geodetic::from_degrees(0.0, 0.0, 550.0).to_ecef();
+        let (el, range) = elevation_and_range(&ground, &sat);
+        assert!((el - 90.0).abs() < 1e-9);
+        assert!((range - 550.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn antipodal_satellite_below_horizon() {
+        let ground = Geodetic::from_degrees(0.0, 0.0, 0.0).to_ecef();
+        let sat = Geodetic::from_degrees(0.0, 180.0, 550.0).to_ecef();
+        let (el, _) = elevation_and_range(&ground, &sat);
+        assert!(el < -80.0);
+    }
+
+    #[test]
+    fn max_slant_range_sane() {
+        // At 25° mask and 550 km altitude the max range is ~1120 km.
+        let r = max_slant_range_km(550.0, 25.0);
+        assert!((1000.0..1300.0).contains(&r), "max range {r}");
+        // At zenith-only (90°) the range equals the altitude.
+        assert!((max_slant_range_km(550.0, 90.0) - 550.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mid_latitude_user_sees_ten_plus_satellites() {
+        // The paper: "a Starlink user can connect to 10+ satellites".
+        let shell = WalkerConstellation::starlink_shell1();
+        let sats = shell.satellites();
+        let nyc = Geodetic::from_degrees(40.7128, -74.0060, 0.0);
+        let mut counts = Vec::new();
+        for mins in (0..95).step_by(5) {
+            let vis = visible_satellites(&sats, nyc, SimTime::from_mins(mins), 25.0);
+            counts.push(vis.len());
+        }
+        let avg = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        assert!(avg >= 8.0, "avg visible = {avg} ({counts:?})");
+    }
+
+    #[test]
+    fn visibility_sorted_by_elevation() {
+        let shell = WalkerConstellation::starlink_shell1();
+        let sats = shell.satellites();
+        let vis = visible_satellites(
+            &sats,
+            Geodetic::from_degrees(35.0, 10.0, 0.0),
+            SimTime::from_secs(777),
+            25.0,
+        );
+        for w in vis.windows(2) {
+            assert!(w[0].elevation_deg >= w[1].elevation_deg);
+        }
+        for v in &vis {
+            assert!(v.elevation_deg >= 25.0);
+            assert!(v.slant_range_km <= max_slant_range_km(550.0, 25.0) + 1.0);
+        }
+    }
+
+    #[test]
+    fn snapshot_path_agrees_with_direct_path() {
+        use crate::propagator::SnapshotPropagator;
+        let shell = WalkerConstellation::starlink_shell1();
+        let sats = shell.satellites();
+        let t = SimTime::from_secs(450);
+        let mut snap = SnapshotPropagator::new(sats.clone(), shell.sats_per_plane);
+        snap.advance_to(t);
+        let g = Geodetic::from_degrees(48.0, 16.0, 0.0);
+        let a = visible_satellites(&sats, g, t, 25.0);
+        let b = visible_from_positions(snap.satellites(), snap.positions(), g, 25.0);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert!((x.elevation_deg - y.elevation_deg).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gsl_delay_matches_table1_band() {
+        // Table 1: GSL delay min 1.82 ms, avg 2.94 ms. Our geometric band:
+        // zenith 550 km → 1.83 ms; max range ~1120 km → ~3.7 ms.
+        assert!((propagation_delay_ms_f64(550.0) - 1.83).abs() < 0.05);
+        let max_ms = propagation_delay_ms_f64(max_slant_range_km(550.0, 25.0));
+        assert!((3.0..4.2).contains(&max_ms), "max GSL delay {max_ms} ms");
+    }
+
+    #[test]
+    fn propagation_delay_rounding() {
+        let d = propagation_delay_km(2998.0);
+        assert_eq!(d.as_millis(), 10);
+    }
+
+    #[test]
+    fn passes_last_single_digit_minutes() {
+        // §3.1.1: a satellite serves a location for under ten minutes.
+        let shell = WalkerConstellation::starlink_shell1();
+        let sats = shell.satellites();
+        let nyc = Geodetic::from_degrees(40.7128, -74.0060, 0.0);
+        let mut all_passes = Vec::new();
+        for sat in sats.iter().step_by(37) {
+            all_passes.extend(predict_passes(
+                sat,
+                nyc,
+                SimTime::ZERO,
+                SimDuration::from_secs(6 * 3600),
+                SimDuration::from_secs(15),
+                25.0,
+            ));
+        }
+        assert!(!all_passes.is_empty(), "six hours must contain passes");
+        for p in &all_passes {
+            assert!(p.los >= p.aos);
+            assert!(
+                p.duration() <= SimDuration::from_secs(600),
+                "pass of {} exceeds ten minutes",
+                p.duration()
+            );
+            assert!(p.max_elevation_deg >= 25.0 && p.max_elevation_deg <= 90.0);
+        }
+        let longest = all_passes.iter().map(|p| p.duration().as_millis()).max().unwrap();
+        assert!(longest >= 60_000, "longest pass only {longest} ms — sampling broken?");
+    }
+
+    #[test]
+    fn passes_are_disjoint_and_ordered() {
+        let shell = WalkerConstellation::starlink_shell1();
+        let sat = shell.satellites()[40];
+        let passes = predict_passes(
+            &sat,
+            Geodetic::from_degrees(48.0, 16.0, 0.0),
+            SimTime::ZERO,
+            SimDuration::from_secs(12 * 3600),
+            SimDuration::from_secs(15),
+            25.0,
+        );
+        for w in passes.windows(2) {
+            assert!(w[0].los < w[1].aos, "overlapping passes");
+        }
+    }
+
+    #[test]
+    fn no_passes_for_polar_ground_site() {
+        let shell = WalkerConstellation::starlink_shell1();
+        let sat = shell.satellites()[0];
+        let passes = predict_passes(
+            &sat,
+            Geodetic::from_degrees(89.0, 0.0, 0.0),
+            SimTime::ZERO,
+            SimDuration::from_secs(3600),
+            SimDuration::from_secs(15),
+            25.0,
+        );
+        assert!(passes.is_empty());
+    }
+
+    #[test]
+    fn polar_user_sees_nothing_in_53_deg_shell() {
+        let shell = WalkerConstellation::starlink_shell1();
+        let sats = shell.satellites();
+        let pole = Geodetic::from_degrees(89.0, 0.0, 0.0);
+        let vis = visible_satellites(&sats, pole, SimTime::from_mins(7), 25.0);
+        assert!(vis.is_empty(), "polar user saw {} satellites", vis.len());
+    }
+}

@@ -1,0 +1,261 @@
+//! The deterministic simulation engine.
+//!
+//! Drives an [`AccessLog`] through a system: the StarCDN fleet (any
+//! variant), the Static Cache ideal, the no-cache bent pipe, or the
+//! terrestrial-CDN latency reference. Single-threaded and bit-for-bit
+//! reproducible; the throughput-oriented parallel path lives in
+//! [`crate::replayer`].
+
+use crate::access_log::AccessLog;
+use starcdn::baselines::{NoCacheBaseline, StaticCacheBaseline, TerrestrialCdnBaseline};
+use starcdn::metrics::SystemMetrics;
+use starcdn::system::SpaceCdn;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Scheduler epoch, seconds (Starlink reconfigures every 15 s).
+    pub epoch_secs: u64,
+    /// Virtual users per location.
+    pub users_per_location: usize,
+    /// Minimum elevation mask, degrees.
+    pub min_elevation_deg: f64,
+    /// Seed for scheduling decisions.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { epoch_secs: 15, users_per_location: 8, min_elevation_deg: 25.0, seed: 0 }
+    }
+}
+
+impl SimConfig {
+    /// The scheduler view of this configuration.
+    pub fn scheduler(&self) -> crate::scheduler::SchedulerConfig {
+        crate::scheduler::SchedulerConfig {
+            users_per_location: self.users_per_location,
+            min_elevation_deg: self.min_elevation_deg,
+            top_k: 4,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Replay the log through a satellite fleet; returns the run's metrics
+/// (also left in `cdn.metrics`). When the fleet is configured with
+/// proactive prefetch, a prefetch round runs at every scheduler-epoch
+/// boundary.
+pub fn run_space(cdn: &mut SpaceCdn, log: &AccessLog) -> SystemMetrics {
+    let prefetching = cdn.config().prefetch_top_k.is_some();
+    let epoch_secs = log.epoch_secs.max(1);
+    let mut current_epoch = u64::MAX;
+    for e in &log.entries {
+        if prefetching {
+            let epoch = e.time.as_secs() / epoch_secs;
+            if epoch != current_epoch {
+                current_epoch = epoch;
+                cdn.prefetch_round();
+            }
+        }
+        match e.first_contact {
+            Some(sat) => {
+                cdn.handle_request(sat, e.object, e.size, e.gsl_oneway_ms);
+            }
+            None => {
+                cdn.handle_unreachable(e.size);
+            }
+        }
+    }
+    cdn.metrics.clone()
+}
+
+/// Replay the log with the first `warmup_fraction` of entries excluded
+/// from the metrics: caches warm up, then counters reset and only the
+/// steady-state remainder is measured.
+pub fn run_space_with_warmup(
+    cdn: &mut SpaceCdn,
+    log: &AccessLog,
+    warmup_fraction: f64,
+) -> SystemMetrics {
+    assert!((0.0..1.0).contains(&warmup_fraction), "warmup fraction in [0,1)");
+    let cut = (log.entries.len() as f64 * warmup_fraction) as usize;
+    let (warm, measured) = log.entries.split_at(cut);
+    for e in warm {
+        match e.first_contact {
+            Some(sat) => {
+                cdn.handle_request(sat, e.object, e.size, e.gsl_oneway_ms);
+            }
+            None => {
+                cdn.handle_unreachable(e.size);
+            }
+        }
+    }
+    cdn.reset_metrics();
+    let tail = AccessLog { entries: measured.to_vec(), epoch_secs: log.epoch_secs };
+    run_space(cdn, &tail)
+}
+
+/// Replay the log through the Static Cache ideal: each location's
+/// requests hit its own permanent cache; the GSL delay is whatever the
+/// scheduler measured for the user (the cache hangs at the same range).
+pub fn run_static(baseline: &mut StaticCacheBaseline, log: &AccessLog) -> SystemMetrics {
+    for e in &log.entries {
+        let gsl = if e.gsl_oneway_ms > 0.0 { e.gsl_oneway_ms } else { 2.94 };
+        baseline.handle_request(e.location.0 as usize, e.object, e.size, gsl);
+    }
+    baseline.metrics.clone()
+}
+
+/// Replay the log through today's no-cache Starlink.
+pub fn run_no_cache(baseline: &mut NoCacheBaseline, log: &AccessLog) -> SystemMetrics {
+    for e in &log.entries {
+        let gsl = if e.gsl_oneway_ms > 0.0 { e.gsl_oneway_ms } else { 2.94 };
+        baseline.handle_request(e.size, gsl);
+    }
+    baseline.metrics.clone()
+}
+
+/// Record the terrestrial-CDN latency reference over the same request
+/// volume.
+pub fn run_terrestrial(baseline: &mut TerrestrialCdnBaseline, log: &AccessLog) -> SystemMetrics {
+    for e in &log.entries {
+        baseline.handle_request(e.size);
+    }
+    baseline.metrics.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access_log::build_access_log;
+    use crate::world::World;
+    use spacegen::trace::{LocationId, Request, Trace};
+    use starcdn::config::StarCdnConfig;
+    use starcdn_cache::object::ObjectId;
+    use starcdn_cache::policy::PolicyKind;
+    use starcdn_orbit::time::SimTime;
+
+    fn log() -> AccessLog {
+        let w = World::starlink_nine_cities();
+        let reqs: Vec<Request> = (0..2000u64)
+            .map(|k| Request {
+                time: SimTime::from_secs(k / 4),
+                object: ObjectId(k % 50), // popular 50-object working set
+                size: 1000,
+                location: LocationId((k % 9) as u16),
+            })
+            .collect();
+        build_access_log(&w, &Trace::new(reqs), 15, &SimConfig::default().scheduler())
+    }
+
+    #[test]
+    fn space_run_records_every_request() {
+        let log = log();
+        let mut cdn = SpaceCdn::new(StarCdnConfig::starcdn(4, 10_000_000));
+        let m = run_space(&mut cdn, &log);
+        assert_eq!(m.stats.requests, log.len() as u64);
+        assert_eq!(m.latencies_ms.len(), log.len());
+        assert!(m.stats.request_hit_rate() > 0.5, "small hot set must hit: {}", m.stats);
+    }
+
+    #[test]
+    fn starcdn_beats_naive_lru_on_shared_content() {
+        // The same 50 objects from all 9 cities: hashing consolidates
+        // them onto bucket owners while naive LRU re-fetches per satellite.
+        let log = log();
+        let mut star = SpaceCdn::new(StarCdnConfig::starcdn(4, 1_000_000));
+        let ms = run_space(&mut star, &log);
+        let mut naive = SpaceCdn::new(StarCdnConfig::naive_lru(1_000_000));
+        let mn = run_space(&mut naive, &log);
+        assert!(
+            ms.stats.request_hit_rate() > mn.stats.request_hit_rate(),
+            "StarCDN {} !> naive {}",
+            ms.stats,
+            mn.stats
+        );
+        assert!(ms.uplink_fraction() < mn.uplink_fraction());
+    }
+
+    #[test]
+    fn static_cache_is_upper_bound_here() {
+        let log = log();
+        let mut st = StaticCacheBaseline::new(9, 1_000_000, PolicyKind::Lru);
+        let m = run_static(&mut st, &log);
+        assert_eq!(m.stats.requests, log.len() as u64);
+        // 50 objects × 1000 B fit per location: only cold misses remain
+        // (each location sees ~50 distinct objects over ~222 requests).
+        assert!(m.stats.request_hit_rate() > 0.7, "{}", m.stats);
+    }
+
+    #[test]
+    fn no_cache_uses_full_uplink() {
+        let log = log();
+        let mut nc = NoCacheBaseline::new();
+        let m = run_no_cache(&mut nc, &log);
+        assert!((m.uplink_fraction() - 1.0).abs() < 1e-12);
+        assert!(m.latency_cdf().median().unwrap() > 45.0);
+    }
+
+    #[test]
+    fn terrestrial_reference_latency_only() {
+        let log = log();
+        let mut t = TerrestrialCdnBaseline::new();
+        let m = run_terrestrial(&mut t, &log);
+        assert_eq!(m.latencies_ms.len(), log.len());
+        let med = m.latency_cdf().median().unwrap();
+        assert!((med - 20.0).abs() < 4.0, "median {med}");
+    }
+
+    #[test]
+    fn warmup_discounts_cold_start() {
+        let log = log();
+        let mut cold = SpaceCdn::new(StarCdnConfig::starcdn(4, 10_000_000));
+        let m_cold = run_space(&mut cold, &log);
+        let mut warm = SpaceCdn::new(StarCdnConfig::starcdn(4, 10_000_000));
+        let m_warm = run_space_with_warmup(&mut warm, &log, 0.5);
+        assert_eq!(m_warm.stats.requests, (log.len() - log.len() / 2) as u64);
+        assert!(
+            m_warm.stats.request_hit_rate() >= m_cold.stats.request_hit_rate(),
+            "warm {} !>= cold {}",
+            m_warm.stats.request_hit_rate(),
+            m_cold.stats.request_hit_rate()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup fraction")]
+    fn warmup_fraction_must_be_sub_one() {
+        let mut cdn = SpaceCdn::new(StarCdnConfig::starcdn(4, 1000));
+        run_space_with_warmup(&mut cdn, &AccessLog::default(), 1.0);
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let log = log();
+        let mut a = SpaceCdn::new(StarCdnConfig::starcdn(9, 100_000));
+        let ma = run_space(&mut a, &log);
+        let mut b = SpaceCdn::new(StarCdnConfig::starcdn(9, 100_000));
+        let mb = run_space(&mut b, &log);
+        assert_eq!(ma.stats, mb.stats);
+        assert_eq!(ma.latencies_ms, mb.latencies_ms);
+        assert_eq!(ma.uplink_bytes, mb.uplink_bytes);
+    }
+
+    #[test]
+    fn median_latency_ordering_matches_fig10() {
+        // Fig. 10: StarCDN median ≈ 22 ms sits between terrestrial CDN
+        // (~20 ms) and regular Starlink (~55 ms).
+        let log = log();
+        let mut star = SpaceCdn::new(StarCdnConfig::starcdn(4, 10_000_000));
+        let m_star = run_space(&mut star, &log);
+        let mut nc = NoCacheBaseline::new();
+        let m_nc = run_no_cache(&mut nc, &log);
+        let med_star = m_star.latency_cdf().median().unwrap();
+        let med_nc = m_nc.latency_cdf().median().unwrap();
+        assert!(
+            med_star * 2.0 < med_nc,
+            "StarCDN median {med_star} not ≥2x better than no-cache {med_nc}"
+        );
+    }
+}

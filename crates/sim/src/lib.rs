@@ -1,0 +1,34 @@
+//! Discrete-time LEO CDN simulation engine (§5.1).
+//!
+//! This crate replaces the paper's two-stage pipeline — Microsoft's
+//! CosmicBeats simulator feeding a multi-process TCP cache replayer —
+//! with:
+//!
+//! * [`world`] — the simulated world: constellation, grid, user
+//!   locations, failures;
+//! * [`scheduler`] — the client link scheduler: every 15 s epoch
+//!   (Starlink's global scheduler reconfiguration interval) each
+//!   location's virtual users are (re)assigned to one of the best
+//!   visible satellites;
+//! * [`access_log`] — per-request first-contact assignments, the analog
+//!   of CosmicBeats' per-satellite access logs;
+//! * [`engine`] — the deterministic single-threaded replay of an access
+//!   log through a [`starcdn::system::SpaceCdn`] or a baseline;
+//! * [`replayer`] — a crossbeam-parallel replayer sharded by bucket
+//!   owner, mirroring the paper's process-per-satellite architecture
+//!   (channel transport instead of TCP — DESIGN.md substitution #3);
+//! * [`experiment`] — one-call runners used by the per-figure
+//!   experiment binaries.
+
+pub mod access_log;
+pub mod coverage;
+pub mod engine;
+pub mod experiment;
+pub mod replayer;
+pub mod scheduler;
+pub mod transfers;
+pub mod world;
+
+pub use access_log::{AccessLog, AccessLogEntry};
+pub use engine::SimConfig;
+pub use world::World;

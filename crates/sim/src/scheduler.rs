@@ -1,0 +1,194 @@
+//! The client link scheduler.
+//!
+//! Starlink's global scheduler reassigns user-to-satellite links every
+//! 15 seconds (§5.1, citing Starlink filings); adjacent users are often mapped to
+//! *different* satellites (Fig. 4), which is precisely what creates the
+//! redundancy StarCDN's hashing removes. We model each location as
+//! `users_per_location` virtual users; every epoch each user is
+//! deterministically (seeded) assigned one of the `top_k` highest-
+//! elevation visible satellites, spreading users like the real
+//! scheduler does.
+
+use crate::world::World;
+use starcdn_orbit::coords::Geodetic;
+use starcdn_orbit::propagator::SnapshotPropagator;
+use starcdn_orbit::time::SimTime;
+use starcdn_orbit::visibility::{visible_from_positions, propagation_delay_ms_f64};
+use starcdn_orbit::walker::SatelliteId;
+
+/// One user's link assignment for the current epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Assignment {
+    pub satellite: SatelliteId,
+    /// One-way user↔satellite propagation delay, ms.
+    pub gsl_oneway_ms: f64,
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerConfig {
+    /// Virtual users per location.
+    pub users_per_location: usize,
+    /// Minimum elevation mask, degrees (Starlink: 25°).
+    pub min_elevation_deg: f64,
+    /// Users are spread over the best `top_k` visible satellites.
+    pub top_k: usize,
+    /// Seed for the deterministic assignment shuffle.
+    pub seed: u64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig { users_per_location: 8, min_elevation_deg: 25.0, top_k: 4, seed: 0 }
+    }
+}
+
+/// The per-epoch link schedule: `assignments[location][user]`.
+#[derive(Debug, Clone, Default)]
+pub struct EpochSchedule {
+    pub epoch_index: u64,
+    pub assignments: Vec<Vec<Option<Assignment>>>,
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Compute the schedule for one epoch. `snapshot` must already be
+/// advanced to the epoch's time; dead satellites are never assigned.
+pub fn schedule_epoch(
+    world: &World,
+    snapshot: &SnapshotPropagator,
+    epoch_index: u64,
+    cfg: &SchedulerConfig,
+) -> EpochSchedule {
+    let mut assignments = Vec::with_capacity(world.locations.len());
+    for (loc_idx, loc) in world.locations.iter().enumerate() {
+        let ground = Geodetic::from_degrees(loc.lat_deg, loc.lon_deg, 0.0);
+        let visible: Vec<_> = visible_from_positions(
+            &world.satellites,
+            snapshot.positions(),
+            ground,
+            cfg.min_elevation_deg,
+        )
+        .into_iter()
+        .filter(|v| world.failures.is_alive(v.id))
+        .collect();
+
+        let per_user: Vec<Option<Assignment>> = (0..cfg.users_per_location)
+            .map(|user| {
+                if visible.is_empty() {
+                    return None;
+                }
+                let k = cfg.top_k.min(visible.len());
+                let pick = (mix(cfg.seed ^ epoch_index.rotate_left(17) ^ ((loc_idx as u64) << 24) ^ user as u64)
+                    % k as u64) as usize;
+                let v = &visible[pick];
+                Some(Assignment {
+                    satellite: v.id,
+                    gsl_oneway_ms: propagation_delay_ms_f64(v.slant_range_km),
+                })
+            })
+            .collect();
+        assignments.push(per_user);
+    }
+    EpochSchedule { epoch_index, assignments }
+}
+
+/// The epoch index containing time `t` for a given epoch length.
+pub fn epoch_of(t: SimTime, epoch_secs: u64) -> u64 {
+    t.as_secs() / epoch_secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starcdn_constellation::failures::FailureModel;
+
+    fn world() -> World {
+        World::starlink_nine_cities()
+    }
+
+    #[test]
+    fn epoch_of_indexing() {
+        assert_eq!(epoch_of(SimTime::ZERO, 15), 0);
+        assert_eq!(epoch_of(SimTime::from_secs(14), 15), 0);
+        assert_eq!(epoch_of(SimTime::from_secs(15), 15), 1);
+        assert_eq!(epoch_of(SimTime::from_secs(3601), 15), 240);
+    }
+
+    #[test]
+    fn all_nine_cities_get_coverage() {
+        let w = world();
+        let mut snap = w.snapshot();
+        snap.advance_to(SimTime::from_secs(300));
+        let sched = schedule_epoch(&w, &snap, 20, &SchedulerConfig::default());
+        assert_eq!(sched.assignments.len(), 9);
+        for (i, per_user) in sched.assignments.iter().enumerate() {
+            assert_eq!(per_user.len(), 8);
+            for a in per_user {
+                assert!(a.is_some(), "location {i} has an unassigned user");
+                let a = a.unwrap();
+                assert!(a.gsl_oneway_ms > 1.5 && a.gsl_oneway_ms < 4.5, "GSL {}", a.gsl_oneway_ms);
+            }
+        }
+    }
+
+    #[test]
+    fn users_spread_across_satellites() {
+        // Fig. 4's premise: co-located users land on different satellites.
+        let w = world();
+        let snap = w.snapshot();
+        let sched = schedule_epoch(&w, &snap, 0, &SchedulerConfig::default());
+        let sats: std::collections::HashSet<SatelliteId> =
+            sched.assignments[4].iter().flatten().map(|a| a.satellite).collect();
+        assert!(sats.len() >= 2, "all users on one satellite defeats the experiment");
+    }
+
+    #[test]
+    fn assignments_change_across_epochs() {
+        let w = world();
+        let mut snap = w.snapshot();
+        let cfg = SchedulerConfig::default();
+        let s0 = schedule_epoch(&w, &snap, 0, &cfg);
+        snap.advance_to(SimTime::from_secs(300));
+        let s20 = schedule_epoch(&w, &snap, 20, &cfg);
+        let a0: Vec<_> = s0.assignments[4].iter().flatten().map(|a| a.satellite).collect();
+        let a20: Vec<_> = s20.assignments[4].iter().flatten().map(|a| a.satellite).collect();
+        assert_ne!(a0, a20, "5 minutes of motion must change assignments");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let w = world();
+        let snap = w.snapshot();
+        let cfg = SchedulerConfig::default();
+        let a = schedule_epoch(&w, &snap, 3, &cfg);
+        let b = schedule_epoch(&w, &snap, 3, &cfg);
+        assert_eq!(a.assignments, b.assignments);
+        let c = schedule_epoch(&w, &snap, 3, &SchedulerConfig { seed: 99, ..cfg });
+        assert_ne!(a.assignments, c.assignments);
+    }
+
+    #[test]
+    fn dead_satellites_never_assigned() {
+        let w = world();
+        let snap = w.snapshot();
+        // Kill everything New York can currently see, then check that the
+        // remaining assignments avoid the dead set.
+        let cfg = SchedulerConfig::default();
+        let before = schedule_epoch(&w, &snap, 0, &cfg);
+        let seen: Vec<SatelliteId> =
+            before.assignments[4].iter().flatten().map(|a| a.satellite).collect();
+        let w2 = World::starlink_nine_cities()
+            .with_failures(FailureModel::from_dead(seen.clone()));
+        let snap2 = w2.snapshot();
+        let after = schedule_epoch(&w2, &snap2, 0, &cfg);
+        for a in after.assignments[4].iter().flatten() {
+            assert!(!seen.contains(&a.satellite), "assigned dead satellite {}", a.satellite);
+        }
+    }
+}

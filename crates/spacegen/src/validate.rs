@@ -1,0 +1,272 @@
+//! Trace-fidelity statistics (§4.3, Fig. 6; Table 2; Fig. 2).
+//!
+//! * **object spread** — over how many locations each object is
+//!   requested (Fig. 6a);
+//! * **traffic spread** — object spread weighted by requests × size
+//!   (Fig. 6b);
+//! * **overlap matrices** — the fraction of one location's objects (and
+//!   traffic) also accessed at another (Table 2);
+//! * **overlap vs distance** — the Fig. 2 series relative to a reference
+//!   location.
+
+use crate::trace::{Location, Trace};
+use starcdn_cache::object::ObjectId;
+use std::collections::{HashMap, HashSet};
+
+/// Per-object access summary used by the spread/overlap statistics.
+fn object_locations(trace: &Trace, n: usize) -> HashMap<ObjectId, (Vec<u32>, u64)> {
+    let mut map: HashMap<ObjectId, (Vec<u32>, u64)> = HashMap::new();
+    for r in &trace.requests {
+        let e = map.entry(r.object).or_insert_with(|| (vec![0; n], r.size));
+        e.0[r.location.0 as usize] += 1;
+    }
+    map
+}
+
+/// CDF of object spread: `out[k-1]` = fraction of objects accessed from
+/// at most `k` locations (Fig. 6a's axes).
+pub fn object_spread_cdf(trace: &Trace, n: usize) -> Vec<f64> {
+    let map = object_locations(trace, n);
+    let mut counts = vec![0u64; n + 1];
+    for (locs, _) in map.values() {
+        let spread = locs.iter().filter(|&&p| p > 0).count();
+        counts[spread] += 1;
+    }
+    cdf_from_counts(&counts[1..], map.len() as u64)
+}
+
+/// CDF of traffic spread: like object spread but weighted by
+/// `requests × size` (Fig. 6b).
+pub fn traffic_spread_cdf(trace: &Trace, n: usize) -> Vec<f64> {
+    let map = object_locations(trace, n);
+    let mut weights = vec![0f64; n + 1];
+    let mut total = 0f64;
+    for (locs, size) in map.values() {
+        let spread = locs.iter().filter(|&&p| p > 0).count();
+        let reqs: u32 = locs.iter().sum();
+        let w = reqs as f64 * *size as f64;
+        weights[spread] += w;
+        total += w;
+    }
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for w in &weights[1..] {
+        acc += w;
+        cdf.push(if total > 0.0 { acc / total } else { 0.0 });
+    }
+    cdf
+}
+
+fn cdf_from_counts(counts: &[u64], total: u64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(counts.len());
+    let mut acc = 0u64;
+    for &c in counts {
+        acc += c;
+        cdf.push(if total > 0 { acc as f64 / total as f64 } else { 0.0 });
+    }
+    cdf
+}
+
+/// Pairwise overlap: `objects[a][b]` = fraction of objects accessed at
+/// `a` that are also accessed at `b`; `traffic[a][b]` = fraction of `a`'s
+/// traffic volume (requests × size) going to objects also accessed at
+/// `b`. Diagonals are 1. This is Table 2's statistic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlapMatrices {
+    pub objects: Vec<Vec<f64>>,
+    pub traffic: Vec<Vec<f64>>,
+}
+
+/// Compute both overlap matrices.
+pub fn overlap_matrices(trace: &Trace, n: usize) -> OverlapMatrices {
+    let map = object_locations(trace, n);
+    // Per location: set of objects and traffic per object.
+    let mut sets: Vec<HashSet<ObjectId>> = vec![HashSet::new(); n];
+    let mut volume: Vec<HashMap<ObjectId, f64>> = vec![HashMap::new(); n];
+    for (&obj, (locs, size)) in &map {
+        for (i, &p) in locs.iter().enumerate() {
+            if p > 0 {
+                sets[i].insert(obj);
+                volume[i].insert(obj, p as f64 * *size as f64);
+            }
+        }
+    }
+    let mut objects = vec![vec![0.0; n]; n];
+    let mut traffic = vec![vec![0.0; n]; n];
+    for a in 0..n {
+        let total_objs = sets[a].len() as f64;
+        let total_vol: f64 = volume[a].values().sum();
+        for b in 0..n {
+            if a == b {
+                objects[a][b] = 1.0;
+                traffic[a][b] = 1.0;
+                continue;
+            }
+            let mut shared_objs = 0usize;
+            let mut shared_vol = 0f64;
+            for obj in &sets[a] {
+                if sets[b].contains(obj) {
+                    shared_objs += 1;
+                    shared_vol += volume[a][obj];
+                }
+            }
+            objects[a][b] = if total_objs > 0.0 { shared_objs as f64 / total_objs } else { 0.0 };
+            traffic[a][b] = if total_vol > 0.0 { shared_vol / total_vol } else { 0.0 };
+        }
+    }
+    OverlapMatrices { objects, traffic }
+}
+
+/// One point of the Fig. 2 series: overlap of a location with the
+/// reference location, against their distance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceOverlap {
+    pub location: String,
+    pub distance_km: f64,
+    pub object_overlap: f64,
+    pub traffic_overlap: f64,
+}
+
+/// Fig. 2: overlap of every other location with `reference`, ordered by
+/// distance. Overlap direction is "fraction of the *other* location's
+/// objects/traffic also present at the reference" (the paper plots the
+/// share of New York content visible elsewhere and vice versa; we use
+/// the other→reference direction, matching the figure's caption).
+pub fn overlap_vs_distance(
+    trace: &Trace,
+    locations: &[Location],
+    reference: &str,
+) -> Vec<DistanceOverlap> {
+    let n = locations.len();
+    let m = overlap_matrices(trace, n);
+    let r = locations
+        .iter()
+        .position(|l| l.name == reference)
+        .expect("reference location in table");
+    let mut out: Vec<DistanceOverlap> = locations
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != r)
+        .map(|(i, loc)| DistanceOverlap {
+            location: loc.name.clone(),
+            distance_km: loc.distance_km(&locations[r]),
+            object_overlap: m.objects[i][r],
+            traffic_overlap: m.traffic[i][r],
+        })
+        .collect();
+    out.sort_by(|a, b| a.distance_km.total_cmp(&b.distance_km));
+    out
+}
+
+/// Maximum absolute difference between two CDFs (Kolmogorov–Smirnov
+/// statistic), used by tests and the Fig. 6 experiment to quantify
+/// synthetic-vs-production similarity.
+pub fn cdf_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{LocationId, Request};
+    use starcdn_orbit::time::SimTime;
+
+    fn req(obj: u64, size: u64, loc: u16) -> Request {
+        Request { time: SimTime::ZERO, object: ObjectId(obj), size, location: LocationId(loc) }
+    }
+
+    #[test]
+    fn object_spread_basic() {
+        // obj1 at 2 locations, obj2 and obj3 at one each.
+        let t = Trace::new(vec![req(1, 10, 0), req(1, 10, 1), req(2, 10, 0), req(3, 10, 2)]);
+        let cdf = object_spread_cdf(&t, 3);
+        assert_eq!(cdf.len(), 3);
+        assert!((cdf[0] - 2.0 / 3.0).abs() < 1e-12, "{cdf:?}");
+        assert!((cdf[1] - 1.0).abs() < 1e-12);
+        assert!((cdf[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_spread_weights_by_volume() {
+        // obj1: spread 2, traffic 3 reqs × 100 B = 300.
+        // obj2: spread 1, traffic 1 req × 100 B = 100.
+        let t = Trace::new(vec![
+            req(1, 100, 0),
+            req(1, 100, 0),
+            req(1, 100, 1),
+            req(2, 100, 0),
+        ]);
+        let cdf = traffic_spread_cdf(&t, 2);
+        assert!((cdf[0] - 0.25).abs() < 1e-12, "{cdf:?}");
+        assert!((cdf[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_matrix_directional() {
+        // Location 0 accesses {1, 2}; location 1 accesses {1}.
+        let t = Trace::new(vec![req(1, 10, 0), req(2, 10, 0), req(1, 10, 1)]);
+        let m = overlap_matrices(&t, 2);
+        assert!((m.objects[0][1] - 0.5).abs() < 1e-12, "half of 0's objects at 1");
+        assert!((m.objects[1][0] - 1.0).abs() < 1e-12, "all of 1's objects at 0");
+        assert_eq!(m.objects[0][0], 1.0);
+        assert_eq!(m.traffic[1][1], 1.0);
+    }
+
+    #[test]
+    fn traffic_overlap_exceeds_object_overlap_for_hot_shared() {
+        // Shared object is hot (4 reqs), private object cold (1 req).
+        let t = Trace::new(vec![
+            req(1, 100, 0),
+            req(1, 100, 0),
+            req(1, 100, 0),
+            req(1, 100, 0),
+            req(2, 100, 0),
+            req(1, 100, 1),
+        ]);
+        let m = overlap_matrices(&t, 2);
+        assert!((m.objects[0][1] - 0.5).abs() < 1e-12);
+        assert!((m.traffic[0][1] - 0.8).abs() < 1e-12);
+        assert!(m.traffic[0][1] > m.objects[0][1]);
+    }
+
+    #[test]
+    fn overlap_vs_distance_sorted() {
+        let locs = Location::akamai_nine();
+        let t = Trace::new(vec![
+            req(1, 10, 4), // New York
+            req(1, 10, 3), // DC
+            req(1, 10, 8), // Istanbul
+            req(2, 10, 3),
+        ]);
+        let series = overlap_vs_distance(&t, &locs, "New York");
+        assert_eq!(series.len(), 8);
+        for w in series.windows(2) {
+            assert!(w[0].distance_km <= w[1].distance_km);
+        }
+        let dc = series.iter().find(|d| d.location == "Washington DC").unwrap();
+        assert!((dc.object_overlap - 0.5).abs() < 1e-12);
+        let ist = series.iter().find(|d| d.location == "Istanbul").unwrap();
+        assert!((ist.object_overlap - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "reference location")]
+    fn unknown_reference_panics() {
+        let locs = Location::akamai_nine();
+        overlap_vs_distance(&Trace::default(), &locs, "Atlantis");
+    }
+
+    #[test]
+    fn cdf_distance_is_sup_norm() {
+        assert!((cdf_distance(&[0.1, 0.5, 1.0], &[0.1, 0.7, 1.0]) - 0.2).abs() < 1e-12);
+        assert_eq!(cdf_distance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn empty_trace_spreads_are_zero() {
+        let cdf = object_spread_cdf(&Trace::default(), 3);
+        assert_eq!(cdf, vec![0.0, 0.0, 0.0]);
+        let m = overlap_matrices(&Trace::default(), 2);
+        assert_eq!(m.objects[0][1], 0.0);
+    }
+}

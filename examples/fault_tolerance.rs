@@ -1,0 +1,70 @@
+//! Robustness to unavailability (§3.4 / §5.4): kill ~10 % of the
+//! constellation, watch bucket responsibilities remap to the next
+//! available satellites, and measure the hit-rate cost.
+//!
+//! ```sh
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use spacegen::classes::TrafficClass;
+use spacegen::production::ProductionModel;
+use spacegen::trace::Location;
+use starcdn::variants::Variant;
+use starcdn_constellation::buckets::BucketTiling;
+use starcdn_constellation::failures::FailureModel;
+use starcdn_orbit::time::SimDuration;
+use starcdn_sim::engine::SimConfig;
+use starcdn_sim::experiment::Runner;
+use starcdn_sim::world::World;
+
+fn main() {
+    let locations = Location::akamai_nine();
+    let model = ProductionModel::build(TrafficClass::Video.params().scaled(0.05), &locations, 3);
+    let trace = model.generate_trace(SimDuration::from_hours(3), 3);
+    let cache = trace.unique_objects().1 / 100;
+
+    let healthy_world = World::starlink_nine_cities();
+    let grid = healthy_world.grid.clone();
+
+    // The paper's observed outage: 126 of 1296 slots out of service.
+    let failures = FailureModel::sample(&grid, 126, 9);
+    println!(
+        "outage: {} dead satellites, {} broken ISLs",
+        failures.dead_count(),
+        failures.broken_isl_count(&grid)
+    );
+
+    // Show the remap for a few dead satellites.
+    let tiling = BucketTiling::new(9).unwrap();
+    for dead in failures.dead().take(4) {
+        let heir = failures.resolve_owner(&grid, dead).unwrap();
+        println!(
+            "  {dead} (bucket {:?}) → {heir} now serves buckets {:?}",
+            tiling.bucket_of_sat(dead).0,
+            failures
+                .buckets_served(&grid, &tiling)
+                .iter()
+                .find(|(id, _)| *id == heir)
+                .map(|(_, b)| b.iter().map(|x| x.0).collect::<Vec<_>>())
+                .unwrap_or_default()
+        );
+    }
+
+    // Hit-rate cost of the outage.
+    let sim = SimConfig::default();
+    let healthy = Runner::new(healthy_world, &trace, sim).run(Variant::StarCdn { l: 9 }, cache);
+    let degraded_world = World::starlink_nine_cities().with_failures(failures);
+    let degraded = Runner::new(degraded_world, &trace, sim).run(Variant::StarCdn { l: 9 }, cache);
+
+    println!(
+        "\nhealthy:  RHR {:.1}%  uplink {:.1}%",
+        healthy.stats.request_hit_rate() * 100.0,
+        healthy.uplink_fraction() * 100.0
+    );
+    println!(
+        "degraded: RHR {:.1}%  uplink {:.1}%  (still saving {:.1}% of uplink)",
+        degraded.stats.request_hit_rate() * 100.0,
+        degraded.uplink_fraction() * 100.0,
+        (1.0 - degraded.uplink_fraction()) * 100.0
+    );
+}

@@ -1,0 +1,50 @@
+//! User-perceived latency across systems (§5.3): StarCDN vs regular
+//! Starlink vs terrestrial CDNs.
+//!
+//! ```sh
+//! cargo run --release --example latency_cdf
+//! ```
+
+use spacegen::classes::TrafficClass;
+use spacegen::production::ProductionModel;
+use spacegen::trace::Location;
+use starcdn::variants::Variant;
+use starcdn_orbit::time::SimDuration;
+use starcdn_sim::engine::SimConfig;
+use starcdn_sim::experiment::Runner;
+use starcdn_sim::world::World;
+
+fn main() {
+    let locations = Location::akamai_nine();
+    let model = ProductionModel::build(TrafficClass::Video.params().scaled(0.05), &locations, 5);
+    let trace = model.generate_trace(SimDuration::from_hours(3), 5);
+    let cache = trace.unique_objects().1 / 50;
+    let runner = Runner::new(World::starlink_nine_cities(), &trace, SimConfig::default());
+
+    println!("{:<22} {:>8} {:>8} {:>8} {:>9}", "system", "p25", "median", "p90", "p99");
+    let mut medians = Vec::new();
+    for variant in [
+        Variant::TerrestrialCdn,
+        Variant::StaticCache,
+        Variant::StarCdn { l: 4 },
+        Variant::NoCache,
+    ] {
+        let m = runner.run(variant, cache);
+        let cdf = m.latency_cdf();
+        println!(
+            "{:<22} {:>6.1}ms {:>6.1}ms {:>6.1}ms {:>7.1}ms",
+            variant.label(),
+            cdf.quantile(0.25).unwrap(),
+            cdf.median().unwrap(),
+            cdf.quantile(0.90).unwrap(),
+            cdf.quantile(0.99).unwrap(),
+        );
+        medians.push((variant, cdf.median().unwrap()));
+    }
+    let star = medians.iter().find(|(v, _)| matches!(v, Variant::StarCdn { .. })).unwrap().1;
+    let nocache = medians.iter().find(|(v, _)| matches!(v, Variant::NoCache)).unwrap().1;
+    println!(
+        "\nStarCDN improves median latency {:.1}x over regular Starlink (paper: ~2.5x)",
+        nocache / star
+    );
+}

@@ -1,0 +1,44 @@
+//! Quickstart: cache content in space in ~40 lines.
+//!
+//! Builds the Starlink shell over the nine trace cities, generates a
+//! small video workload, and compares full StarCDN against the naive
+//! per-satellite LRU baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use spacegen::classes::TrafficClass;
+use spacegen::production::ProductionModel;
+use spacegen::trace::Location;
+use starcdn::variants::Variant;
+use starcdn_orbit::time::SimDuration;
+use starcdn_sim::engine::SimConfig;
+use starcdn_sim::experiment::Runner;
+use starcdn_sim::world::World;
+
+fn main() {
+    // 1. A production-like video workload over the paper's nine cities.
+    let locations = Location::akamai_nine();
+    let params = TrafficClass::Video.params().scaled(0.05);
+    let model = ProductionModel::build(params, &locations, 42);
+    let trace = model.generate_trace(SimDuration::from_hours(3), 42);
+    println!("workload: {} requests over {} objects", trace.len(), trace.unique_objects().0);
+
+    // 2. The world: 72×18 Starlink shell, 15 s scheduler epochs.
+    let world = World::starlink_nine_cities();
+    let runner = Runner::new(world, &trace, SimConfig::default());
+
+    // 3. Compare StarCDN (L = 4, hashing + relayed fetch) with naive LRU.
+    let cache_bytes = 200 * 1024 * 1024; // per-satellite cache
+    for variant in [Variant::StarCdn { l: 4 }, Variant::NaiveLru] {
+        let m = runner.run(variant, cache_bytes);
+        println!(
+            "{:<16} hit rate {:>5.1}%  uplink {:>5.1}% of no-cache  median latency {:>5.1} ms",
+            variant.label(),
+            m.stats.request_hit_rate() * 100.0,
+            m.uplink_fraction() * 100.0,
+            m.latency_cdf().median().unwrap_or(0.0),
+        );
+    }
+}

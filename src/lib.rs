@@ -1,0 +1,18 @@
+//! Workspace-root facade: re-exports the StarCDN reproduction crates so
+//! the examples and integration tests have one import surface.
+//!
+//! The real APIs live in the member crates:
+//!
+//! * [`starcdn`] — the system (consistent hashing, relayed fetch,
+//!   baselines, latency model);
+//! * [`spacegen`] — the trace generator;
+//! * [`starcdn_orbit`], [`starcdn_constellation`], [`starcdn_cache`] —
+//!   substrates;
+//! * [`starcdn_sim`] — the simulation engine.
+
+pub use spacegen;
+pub use starcdn;
+pub use starcdn_cache;
+pub use starcdn_constellation;
+pub use starcdn_orbit;
+pub use starcdn_sim;

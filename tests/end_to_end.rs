@@ -1,0 +1,147 @@
+//! Cross-crate integration: the full pipeline from workload model to
+//! system metrics, exercising every crate together.
+
+use spacegen::classes::TrafficClass;
+use spacegen::production::ProductionModel;
+use spacegen::trace::{Location, Trace};
+use starcdn::variants::Variant;
+use starcdn_orbit::time::SimDuration;
+use starcdn_sim::engine::SimConfig;
+use starcdn_sim::experiment::{sweep, Runner};
+use starcdn_sim::world::World;
+
+fn video_trace(hours: u64, seed: u64) -> Trace {
+    let locations = Location::akamai_nine();
+    let model = ProductionModel::build(TrafficClass::Video.params().scaled(0.02), &locations, seed);
+    model.generate_trace(SimDuration::from_hours(hours), seed)
+}
+
+fn runner(trace: &Trace) -> Runner {
+    Runner::new(World::starlink_nine_cities(), trace, SimConfig::default())
+}
+
+#[test]
+fn paper_ordering_of_variants_holds() {
+    // Fig. 7's qualitative result: Static ≥ StarCDN ≥ StarCDN-Fetch ≥ LRU
+    // and StarCDN-Hashing ≥ LRU, at a mid-size cache.
+    let trace = video_trace(2, 11);
+    let r = runner(&trace);
+    let cache = trace.unique_objects().1 / 100;
+    let rhr = |v| r.run(v, cache).stats.request_hit_rate();
+
+    let stat = rhr(Variant::StaticCache);
+    let star = rhr(Variant::StarCdn { l: 4 });
+    let fetch = rhr(Variant::StarCdnNoRelay { l: 4 });
+    let hashing = rhr(Variant::StarCdnNoHashing);
+    let lru = rhr(Variant::NaiveLru);
+
+    assert!(stat > star, "static {stat} !> starcdn {star}");
+    assert!(star > fetch, "relay must add hit rate: {star} !> {fetch}");
+    assert!(fetch > lru, "hashing must add hit rate: {fetch} !> {lru}");
+    assert!(hashing > lru, "relay-only must beat naive LRU: {hashing} !> {lru}");
+}
+
+#[test]
+fn l9_beats_l4() {
+    let trace = video_trace(2, 13);
+    let r = runner(&trace);
+    let cache = trace.unique_objects().1 / 100;
+    let l4 = r.run(Variant::StarCdn { l: 4 }, cache).stats.request_hit_rate();
+    let l9 = r.run(Variant::StarCdn { l: 9 }, cache).stats.request_hit_rate();
+    assert!(l9 > l4, "L=9 {l9} !> L=4 {l4}");
+}
+
+#[test]
+fn uplink_fraction_equals_byte_miss_rate_for_space_systems() {
+    let trace = video_trace(1, 17);
+    let r = runner(&trace);
+    let cache = trace.unique_objects().1 / 50;
+    for v in [Variant::StarCdn { l: 4 }, Variant::NaiveLru, Variant::StarCdnNoHashing] {
+        let m = r.run(v, cache);
+        let expect = 1.0 - m.stats.byte_hit_rate();
+        assert!(
+            (m.uplink_fraction() - expect).abs() < 1e-9,
+            "{}: uplink {} vs 1-BHR {}",
+            v.label(),
+            m.uplink_fraction(),
+            expect
+        );
+    }
+}
+
+#[test]
+fn request_conservation_across_variants() {
+    let trace = video_trace(1, 19);
+    let r = runner(&trace);
+    let n = r.log.len() as u64;
+    let pts = sweep(
+        &r,
+        &[Variant::StarCdn { l: 4 }, Variant::NaiveLru, Variant::StaticCache, Variant::NoCache],
+        &[1_000_000, 100_000_000],
+    );
+    for p in &pts {
+        assert_eq!(p.metrics.stats.requests, n, "{}", p.variant.label());
+        assert_eq!(p.metrics.latencies_ms.len() as u64, n);
+        let served = p.metrics.served_local
+            + p.metrics.served_relay_west
+            + p.metrics.served_relay_east
+            + p.metrics.served_ground;
+        assert_eq!(served, n);
+    }
+}
+
+#[test]
+fn latency_medians_ordered_like_fig10() {
+    // A hot workload (small catalog, high rate) so the median request is
+    // a space hit, as in the paper's regime — at miss-dominated hit rates
+    // the median latency is a ground fetch and the ordering is
+    // meaningless.
+    let locations = Location::akamai_nine();
+    let mut params = TrafficClass::Video.params().scaled(0.005);
+    params.base_rate_per_loc_hz = 2.0;
+    let model = ProductionModel::build(params, &locations, 23);
+    let trace = model.generate_trace(SimDuration::from_hours(2), 23);
+    let r = runner(&trace);
+    let cache = trace.unique_objects().1 / 3;
+    let med = |v| r.run(v, cache).latency_cdf().median().unwrap();
+    let star = med(Variant::StarCdn { l: 4 });
+    let stat = med(Variant::StaticCache);
+    let nocache = med(Variant::NoCache);
+    assert!(stat < star, "static {stat} !< starcdn {star}");
+    assert!(star < nocache, "starcdn {star} !< no-cache {nocache}");
+    assert!(nocache / star > 1.3, "speedup only {}", nocache / star);
+}
+
+#[test]
+fn hashing_consolidates_objects_onto_one_bucket() {
+    // Route the same object from every first-contact satellite: with L=9
+    // hashing, every resolved owner must serve the object's bucket.
+    use starcdn::config::StarCdnConfig;
+    use starcdn::system::SpaceCdn;
+    use starcdn_cache::object::ObjectId;
+    use starcdn_constellation::buckets::BucketTiling;
+    use starcdn_orbit::walker::SatelliteId;
+
+    let cdn = SpaceCdn::new(StarCdnConfig::starcdn(9, 1000));
+    let tiling = BucketTiling::new(9).unwrap();
+    let obj = ObjectId(12345);
+    let bucket = tiling.bucket_of_object(obj.hash64());
+    for orbit in (0..72).step_by(5) {
+        for slot in (0..18).step_by(4) {
+            let fc = SatelliteId::new(orbit, slot);
+            let (owner, _, _) = cdn.resolve_route(fc, obj).unwrap();
+            assert_eq!(tiling.bucket_of_sat(owner), bucket, "fc={fc} owner={owner}");
+        }
+    }
+}
+
+#[test]
+fn deterministic_across_full_pipeline() {
+    let t1 = video_trace(1, 29);
+    let t2 = video_trace(1, 29);
+    assert_eq!(t1, t2);
+    let m1 = runner(&t1).run(Variant::StarCdn { l: 4 }, 10_000_000);
+    let m2 = runner(&t2).run(Variant::StarCdn { l: 4 }, 10_000_000);
+    assert_eq!(m1.stats, m2.stats);
+    assert_eq!(m1.latencies_ms, m2.latencies_ms);
+}

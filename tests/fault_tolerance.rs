@@ -1,0 +1,86 @@
+//! Integration: §3.4 robustness — outages remap buckets and degrade hit
+//! rates gracefully, across the constellation/core/sim crate boundary.
+
+use spacegen::classes::TrafficClass;
+use spacegen::production::ProductionModel;
+use spacegen::trace::{Location, Trace};
+use starcdn::variants::Variant;
+use starcdn_constellation::buckets::BucketTiling;
+use starcdn_constellation::failures::FailureModel;
+use starcdn_orbit::time::SimDuration;
+use starcdn_sim::engine::SimConfig;
+use starcdn_sim::experiment::Runner;
+use starcdn_sim::world::World;
+
+fn trace() -> Trace {
+    let locations = Location::akamai_nine();
+    let model = ProductionModel::build(TrafficClass::Video.params().scaled(0.02), &locations, 41);
+    model.generate_trace(SimDuration::from_hours(2), 41)
+}
+
+#[test]
+fn outage_degrades_but_does_not_break() {
+    let t = trace();
+    let cache = t.unique_objects().1 / 50;
+    let healthy =
+        Runner::new(World::starlink_nine_cities(), &t, SimConfig::default())
+            .run(Variant::StarCdn { l: 9 }, cache);
+
+    let world = World::starlink_nine_cities();
+    let failures = FailureModel::sample(&world.grid, 126, 43);
+    let degraded = Runner::new(world.with_failures(failures), &t, SimConfig::default())
+        .run(Variant::StarCdn { l: 9 }, cache);
+
+    assert_eq!(degraded.stats.requests, healthy.stats.requests);
+    let h = healthy.stats.request_hit_rate();
+    let d = degraded.stats.request_hit_rate();
+    assert!(d <= h + 0.01, "outage should not raise hit rate: {d} vs {h}");
+    assert!(d > h - 0.15, "outage cost too extreme: {d} vs {h}");
+    // Still saving substantial uplink (paper: 74% even degraded).
+    assert!(1.0 - degraded.uplink_fraction() > 0.3, "uplink saving collapsed");
+}
+
+#[test]
+fn every_bucket_remains_covered_under_paper_scale_outage() {
+    let world = World::starlink_nine_cities();
+    let failures = FailureModel::sample(&world.grid, 126, 47);
+    let tiling = BucketTiling::new(9).unwrap();
+    let served = failures.buckets_served(&world.grid, &tiling);
+    // Union of served buckets covers all 9, and every alive satellite
+    // serves at least its own bucket.
+    let mut covered = std::collections::BTreeSet::new();
+    for (id, buckets) in &served {
+        assert!(!buckets.is_empty(), "{id} serves nothing");
+        covered.extend(buckets.iter().copied());
+    }
+    assert_eq!(covered.len(), 9);
+}
+
+#[test]
+fn extreme_outage_still_serves_all_requests() {
+    // Kill a third of the constellation: requests must still complete
+    // (through remapped owners or straight ground fetches).
+    let t = trace();
+    let world = World::starlink_nine_cities();
+    let failures = FailureModel::sample(&world.grid, 432, 53);
+    let m = Runner::new(world.with_failures(failures), &t, SimConfig::default())
+        .run(Variant::StarCdn { l: 4 }, t.unique_objects().1 / 50);
+    assert_eq!(m.stats.requests as usize, t.len());
+    assert!(m.stats.request_hit_rate() > 0.0);
+}
+
+#[test]
+fn scheduler_and_fleet_agree_on_liveness() {
+    // No request may be first-contacted by a dead satellite.
+    use starcdn_sim::access_log::build_access_log;
+    let t = trace();
+    let world = World::starlink_nine_cities();
+    let failures = FailureModel::sample(&world.grid, 200, 59);
+    let world = world.with_failures(failures.clone());
+    let log = build_access_log(&world, &t, 15, &SimConfig::default().scheduler());
+    for e in &log.entries {
+        if let Some(fc) = e.first_contact {
+            assert!(failures.is_alive(fc), "dead first contact {fc}");
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Integration: the crossbeam parallel replayer agrees with the
+//! deterministic engine (exactly without relay, approximately with).
+
+use spacegen::classes::TrafficClass;
+use spacegen::production::ProductionModel;
+use spacegen::trace::Location;
+use starcdn::config::StarCdnConfig;
+use starcdn::system::SpaceCdn;
+use starcdn_constellation::failures::FailureModel;
+use starcdn_orbit::time::SimDuration;
+use starcdn_sim::access_log::{build_access_log, AccessLog};
+use starcdn_sim::engine::{run_space, SimConfig};
+use starcdn_sim::replayer::replay_parallel;
+use starcdn_sim::world::World;
+
+fn log() -> AccessLog {
+    let locations = Location::akamai_nine();
+    let model = ProductionModel::build(TrafficClass::Video.params().scaled(0.02), &locations, 61);
+    let trace = model.generate_trace(SimDuration::from_hours(1), 61);
+    let world = World::starlink_nine_cities();
+    build_access_log(&world, &trace, 15, &SimConfig::default().scheduler())
+}
+
+#[test]
+fn parallel_exact_parity_without_relay_across_worker_counts() {
+    let log = log();
+    let cfg = StarCdnConfig::starcdn_no_relay(9, 5_000_000);
+    let mut seq = SpaceCdn::new(cfg.clone());
+    let reference = run_space(&mut seq, &log);
+    for workers in [1, 2, 7, 16] {
+        let par = replay_parallel(cfg.clone(), FailureModel::none(), &log, workers);
+        assert_eq!(par.stats, reference.stats, "{workers} workers");
+        assert_eq!(par.uplink_bytes, reference.uplink_bytes);
+        assert_eq!(par.per_satellite, reference.per_satellite);
+    }
+}
+
+#[test]
+fn parallel_close_parity_with_relay() {
+    let log = log();
+    let cfg = StarCdnConfig::starcdn(4, 5_000_000);
+    let mut seq = SpaceCdn::new(cfg.clone());
+    let reference = run_space(&mut seq, &log);
+    let par = replay_parallel(cfg, FailureModel::none(), &log, 8);
+    assert_eq!(par.stats.requests, reference.stats.requests);
+    let d = (par.stats.request_hit_rate() - reference.stats.request_hit_rate()).abs();
+    assert!(d < 0.03, "relay parity drift {d}");
+}
+
+#[test]
+fn parallel_handles_outages() {
+    let log = log();
+    let world = World::starlink_nine_cities();
+    let failures = FailureModel::sample(&world.grid, 126, 67);
+    let cfg = StarCdnConfig::starcdn_no_relay(4, 5_000_000);
+    let mut seq = SpaceCdn::with_failures(cfg.clone(), failures.clone());
+    let reference = run_space(&mut seq, &log);
+    let par = replay_parallel(cfg, failures, &log, 6);
+    assert_eq!(par.stats, reference.stats);
+}

@@ -1,0 +1,99 @@
+//! Integration: SpaceGEN's synthetic traces stand in for production
+//! traces (the §4.3 validation, at test scale).
+
+use spacegen::classes::TrafficClass;
+use spacegen::generator::generate_from_production;
+use spacegen::gpd::GlobalPopularity;
+use spacegen::production::ProductionModel;
+use spacegen::trace::{Location, Trace};
+use spacegen::validate::{cdf_distance, object_spread_cdf, overlap_matrices, traffic_spread_cdf};
+use starcdn_cache::policy::PolicyKind;
+use starcdn_cache::simulate::hit_rate_curve;
+use starcdn_orbit::time::SimDuration;
+
+fn production() -> (Trace, usize) {
+    let locations = Location::akamai_nine();
+    let model = ProductionModel::build(TrafficClass::Video.params().scaled(0.05), &locations, 31);
+    (model.generate_trace(SimDuration::from_hours(8), 31), locations.len())
+}
+
+fn synthetic_for(prod: &Trace, n: usize) -> Trace {
+    let fastest = prod.split_by_location(n).iter().map(|t| t.len()).max().unwrap();
+    generate_from_production(prod, n, fastest, 37)
+}
+
+#[test]
+fn spreads_are_close() {
+    let (prod, n) = production();
+    let synth = synthetic_for(&prod, n);
+    let ks_obj = cdf_distance(&object_spread_cdf(&prod, n), &object_spread_cdf(&synth, n));
+    let ks_tra = cdf_distance(&traffic_spread_cdf(&prod, n), &traffic_spread_cdf(&synth, n));
+    assert!(ks_obj < 0.25, "object spread KS {ks_obj}");
+    assert!(ks_tra < 0.15, "traffic spread KS {ks_tra}");
+}
+
+#[test]
+fn lru_hit_rate_curves_are_close() {
+    // The Fig. 6c analog: LRU hit rates on the merged trace agree within
+    // a few points across cache sizes.
+    let (prod, n) = production();
+    let synth = synthetic_for(&prod, n);
+    let (_, ws) = prod.unique_objects();
+    let sizes = [ws / 100, ws / 20, ws / 5, ws / 2];
+    let hp = hit_rate_curve(PolicyKind::Lru, &sizes, &prod.accesses());
+    let hs = hit_rate_curve(PolicyKind::Lru, &sizes, &synth.accesses());
+    for (p, s) in hp.iter().zip(&hs) {
+        let d = (p.stats.request_hit_rate() - s.stats.request_hit_rate()).abs();
+        assert!(d < 0.08, "RHR diff {d:.3} at {} bytes", p.cache_bytes);
+        let db = (p.stats.byte_hit_rate() - s.stats.byte_hit_rate()).abs();
+        assert!(db < 0.08, "BHR diff {db:.3} at {} bytes", p.cache_bytes);
+    }
+}
+
+#[test]
+fn cross_location_overlap_structure_survives_generation() {
+    let (prod, n) = production();
+    let synth = synthetic_for(&prod, n);
+    let mp = overlap_matrices(&prod, n);
+    let ms = overlap_matrices(&synth, n);
+    // Nearby same-language pair (NY=4, DC=3) keeps high traffic overlap;
+    // distant pair (NY=4, Istanbul=8) keeps low object overlap — and the
+    // contrast between them survives.
+    assert!(ms.traffic[4][3] > ms.traffic[4][8] + 0.15, "near/far contrast lost: {:.2} vs {:.2}", ms.traffic[4][3], ms.traffic[4][8]);
+    let d_near = (mp.traffic[4][3] - ms.traffic[4][3]).abs();
+    assert!(d_near < 0.25, "near-pair traffic overlap drifted by {d_near}");
+}
+
+#[test]
+fn gpd_popularity_mass_is_preserved() {
+    let (prod, n) = production();
+    let synth = synthetic_for(&prod, n);
+    let gp = GlobalPopularity::from_trace(&prod, n);
+    let gs = GlobalPopularity::from_trace(&synth, n);
+    // Total request mass matches by construction; shared fraction is the
+    // structural invariant to hold on to.
+    assert!(
+        (gp.shared_fraction() - gs.shared_fraction()).abs() < 0.3,
+        "shared fraction {} vs {}",
+        gp.shared_fraction(),
+        gs.shared_fraction()
+    );
+}
+
+#[test]
+fn synthetic_respects_volume_and_rates() {
+    let (prod, n) = production();
+    let synth = synthetic_for(&prod, n);
+    let ratio = synth.len() as f64 / prod.len() as f64;
+    assert!((0.8..1.2).contains(&ratio), "volume ratio {ratio}");
+    // Per-location rates proportional.
+    let pl = prod.split_by_location(n);
+    let sl = synth.split_by_location(n);
+    let pmax = pl.iter().map(|t| t.len()).max().unwrap() as f64;
+    let smax = sl.iter().map(|t| t.len()).max().unwrap() as f64;
+    for i in 0..n {
+        let dp = pl[i].len() as f64 / pmax;
+        let ds = sl[i].len() as f64 / smax;
+        assert!((dp - ds).abs() < 0.1, "location {i} rate share {dp:.2} vs {ds:.2}");
+    }
+}
