@@ -14,8 +14,9 @@ use starcdn_orbit::walker::SatelliteId;
 use std::collections::BTreeSet;
 
 /// Deterministic xorshift generator so this crate does not need a `rand`
-/// dependency for the one sampling task it performs.
-mod rand_like {
+/// dependency for the sampling tasks it performs (outage sampling here,
+/// churn-schedule generation in [`crate::schedule`]).
+pub(crate) mod rand_like {
     pub struct SmallRng(u64);
     impl SmallRng {
         pub fn new(seed: u64) -> Self {
@@ -33,13 +34,34 @@ mod rand_like {
         pub fn gen_range(&mut self, n: u64) -> u64 {
             self.next_u64() % n
         }
+        /// Uniform in [0, 1).
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+        /// Exponentially distributed with the given mean.
+        pub fn next_exp(&mut self, mean: f64) -> f64 {
+            -mean * (1.0 - self.next_f64()).ln()
+        }
     }
 }
 
-/// The set of unavailable (out-of-slot) satellites.
+/// An undirected ISL identified by its (ordered) endpoint pair.
+pub type LinkId = (SatelliteId, SatelliteId);
+
+/// Normalize an endpoint pair into a canonical [`LinkId`].
+pub fn link_id(a: SatelliteId, b: SatelliteId) -> LinkId {
+    if a <= b { (a, b) } else { (b, a) }
+}
+
+/// The current failure view: unavailable (out-of-slot) satellites plus
+/// individually cut ISLs (link flaps that leave both endpoints alive).
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct FailureModel {
     dead: BTreeSet<SatelliteId>,
+    /// Cut links between two *alive* satellites; links incident to a dead
+    /// satellite are implicitly down and not tracked here.
+    #[serde(default)]
+    cut: BTreeSet<LinkId>,
 }
 
 impl FailureModel {
@@ -50,7 +72,18 @@ impl FailureModel {
 
     /// Build from an explicit set.
     pub fn from_dead(dead: impl IntoIterator<Item = SatelliteId>) -> Self {
-        FailureModel { dead: dead.into_iter().collect() }
+        FailureModel { dead: dead.into_iter().collect(), cut: BTreeSet::new() }
+    }
+
+    /// Build from an explicit dead set plus individually cut links.
+    pub fn from_outages(
+        dead: impl IntoIterator<Item = SatelliteId>,
+        cut: impl IntoIterator<Item = (SatelliteId, SatelliteId)>,
+    ) -> Self {
+        FailureModel {
+            dead: dead.into_iter().collect(),
+            cut: cut.into_iter().map(|(a, b)| link_id(a, b)).collect(),
+        }
     }
 
     /// Sample `count` distinct dead satellites uniformly (deterministic in
@@ -65,7 +98,7 @@ impl FailureModel {
             let s = rng.gen_range(grid.sats_per_plane as u64) as u16;
             dead.insert(SatelliteId::new(o, s));
         }
-        FailureModel { dead }
+        FailureModel { dead, cut: BTreeSet::new() }
     }
 
     /// Is this satellite alive?
@@ -73,14 +106,62 @@ impl FailureModel {
         !self.dead.contains(&id)
     }
 
+    /// Is the ISL between `a` and `b` usable? Requires both endpoints
+    /// alive and the link not individually cut.
+    pub fn is_link_alive(&self, a: SatelliteId, b: SatelliteId) -> bool {
+        self.is_alive(a) && self.is_alive(b) && !self.cut.contains(&link_id(a, b))
+    }
+
+    /// Is the link between `a` and `b` individually cut (regardless of
+    /// endpoint liveness)?
+    pub fn is_link_cut(&self, a: SatelliteId, b: SatelliteId) -> bool {
+        self.cut.contains(&link_id(a, b))
+    }
+
     /// Number of dead satellites.
     pub fn dead_count(&self) -> usize {
         self.dead.len()
     }
 
+    /// Number of individually cut links (dead-incident links not
+    /// included; see [`FailureModel::broken_isl_count`] for those).
+    pub fn cut_link_count(&self) -> usize {
+        self.cut.len()
+    }
+
+    /// True when any satellite is dead or any link is cut.
+    pub fn has_faults(&self) -> bool {
+        !self.dead.is_empty() || !self.cut.is_empty()
+    }
+
     /// Iterate over dead satellites.
     pub fn dead(&self) -> impl Iterator<Item = SatelliteId> + '_ {
         self.dead.iter().copied()
+    }
+
+    /// Iterate over individually cut links.
+    pub fn cut_links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.cut.iter().copied()
+    }
+
+    /// Mark a satellite out of service.
+    pub fn kill(&mut self, id: SatelliteId) {
+        self.dead.insert(id);
+    }
+
+    /// Return a satellite to service.
+    pub fn revive(&mut self, id: SatelliteId) {
+        self.dead.remove(&id);
+    }
+
+    /// Cut the link between `a` and `b`.
+    pub fn cut_link(&mut self, a: SatelliteId, b: SatelliteId) {
+        self.cut.insert(link_id(a, b));
+    }
+
+    /// Restore the link between `a` and `b`.
+    pub fn restore_link(&mut self, a: SatelliteId, b: SatelliteId) {
+        self.cut.remove(&link_id(a, b));
     }
 
     /// Number of ISLs lost to the failures: every link incident to a dead
@@ -106,8 +187,9 @@ impl FailureModel {
     /// The satellite that actually serves `preferred`'s responsibilities:
     /// `preferred` itself when alive, else the next available satellite
     /// along the orbital direction (north), spilling east one plane at a
-    /// time if an entire plane is dead. Returns `None` only if every
-    /// satellite is dead.
+    /// time if an entire plane is dead. Returns `None` if every satellite
+    /// is dead or the walk runs off a degenerate grid (never panics —
+    /// callers degrade to a ground fetch).
     pub fn resolve_owner(&self, grid: &GridTopology, preferred: SatelliteId) -> Option<SatelliteId> {
         if self.is_alive(preferred) {
             return Some(preferred);
@@ -115,9 +197,7 @@ impl FailureModel {
         let mut cur = preferred;
         for _ in 0..grid.total_slots() {
             // Walk north; after a full plane revolution, step east.
-            let next = grid
-                .neighbor(cur, Direction::North)
-                .expect("intra-orbit links always wrap");
+            let next = grid.neighbor(cur, Direction::North)?;
             cur = if next == first_visited_in_plane(preferred, cur, grid) {
                 grid.neighbor(cur, Direction::East).unwrap_or(next)
             } else {
@@ -280,6 +360,57 @@ mod tests {
         for (id, buckets) in &served {
             assert!(buckets.contains(&t.bucket_of_sat(*id)));
         }
+    }
+
+    #[test]
+    fn cut_links_tracked_independently_of_dead() {
+        let a = SatelliteId::new(3, 3);
+        let b = SatelliteId::new(3, 4);
+        let mut f = FailureModel::none();
+        assert!(f.is_link_alive(a, b));
+        f.cut_link(b, a); // endpoint order is normalized
+        assert!(!f.is_link_alive(a, b));
+        assert!(!f.is_link_alive(b, a));
+        assert_eq!(f.cut_link_count(), 1);
+        assert!(f.has_faults());
+        assert!(f.is_alive(a) && f.is_alive(b), "cut links leave endpoints alive");
+        f.restore_link(a, b);
+        assert!(f.is_link_alive(a, b));
+        assert!(!f.has_faults());
+    }
+
+    #[test]
+    fn dead_endpoint_implies_dead_link() {
+        let a = SatelliteId::new(5, 5);
+        let b = SatelliteId::new(5, 6);
+        let mut f = FailureModel::none();
+        f.kill(a);
+        assert!(!f.is_link_alive(a, b));
+        assert_eq!(f.cut_link_count(), 0, "implicit outage, not a tracked cut");
+        f.revive(a);
+        assert!(f.is_link_alive(a, b));
+    }
+
+    #[test]
+    fn kill_and_revive_roundtrip() {
+        let g = grid();
+        let id = SatelliteId::new(7, 7);
+        let mut f = FailureModel::none();
+        f.kill(id);
+        assert_eq!(f.dead_count(), 1);
+        assert_ne!(f.resolve_owner(&g, id), Some(id));
+        f.revive(id);
+        assert_eq!(f, FailureModel::none());
+        assert_eq!(f.resolve_owner(&g, id), Some(id));
+    }
+
+    #[test]
+    fn from_outages_normalizes_links() {
+        let a = SatelliteId::new(1, 1);
+        let b = SatelliteId::new(1, 2);
+        let f = FailureModel::from_outages([SatelliteId::new(0, 0)], [(b, a), (a, b)]);
+        assert_eq!(f.dead_count(), 1);
+        assert_eq!(f.cut_link_count(), 1, "duplicate orientations collapse");
     }
 
     proptest! {

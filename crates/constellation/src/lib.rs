@@ -26,9 +26,11 @@ pub mod grid;
 pub mod hashring;
 pub mod isl;
 pub mod routing;
+pub mod schedule;
 
 pub use buckets::{BucketId, BucketTiling};
-pub use failures::FailureModel;
+pub use failures::{link_id, FailureModel, LinkId};
 pub use grid::GridTopology;
 pub use isl::{IslKind, LinkModel};
 pub use routing::{shortest_path, GridPath};
+pub use schedule::{ChurnParams, FaultDelta, FaultEvent, FaultSchedule, ScheduleCursor, TimedFault};

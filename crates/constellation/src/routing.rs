@@ -81,6 +81,20 @@ pub fn shortest_path_avoiding(
     to: SatelliteId,
     alive: impl Fn(SatelliteId) -> bool,
 ) -> Option<GridPath> {
+    shortest_path_avoiding_links(grid, from, to, alive, |_, _| true)
+}
+
+/// BFS shortest path avoiding both dead satellites (`alive` false) and
+/// individually cut ISLs (`link_ok` false for the unordered endpoint
+/// pair). Endpoints must be alive. Returns `None` if `to` is
+/// unreachable over the surviving grid.
+pub fn shortest_path_avoiding_links(
+    grid: &GridTopology,
+    from: SatelliteId,
+    to: SatelliteId,
+    alive: impl Fn(SatelliteId) -> bool,
+    link_ok: impl Fn(SatelliteId, SatelliteId) -> bool,
+) -> Option<GridPath> {
     if !alive(from) || !alive(to) {
         return None;
     }
@@ -94,7 +108,7 @@ pub fn shortest_path_avoiding(
     let mut q = VecDeque::from([from]);
     while let Some(cur) = q.pop_front() {
         for (d, n) in grid.neighbors(cur) {
-            if visited[n.index(spp)] || !alive(n) {
+            if visited[n.index(spp)] || !alive(n) || !link_ok(cur, n) {
                 continue;
             }
             visited[n.index(spp)] = true;
@@ -205,6 +219,54 @@ mod tests {
     }
 
     #[test]
+    fn bfs_routes_around_cut_link() {
+        let g = grid();
+        let from = SatelliteId::new(0, 0);
+        let to = SatelliteId::new(2, 0);
+        let mut f = crate::failures::FailureModel::none();
+        f.cut_link(SatelliteId::new(0, 0), SatelliteId::new(1, 0));
+        let p = shortest_path_avoiding_links(
+            &g,
+            from,
+            to,
+            |id| f.is_alive(id),
+            |a, b| f.is_link_alive(a, b),
+        )
+        .unwrap();
+        assert_eq!(p.len(), 4, "one cut link forces a two-hop detour");
+        for w in p.nodes.windows(2) {
+            assert!(f.is_link_alive(w[0], w[1]), "path uses cut link {:?}->{:?}", w[0], w[1]);
+        }
+        // Both endpoints of the cut link are still reachable themselves.
+        assert!(shortest_path_avoiding_links(
+            &g,
+            from,
+            SatelliteId::new(1, 0),
+            |id| f.is_alive(id),
+            |a, b| f.is_link_alive(a, b),
+        )
+        .is_some());
+    }
+
+    #[test]
+    fn bfs_none_when_all_links_of_endpoint_cut() {
+        let g = grid();
+        let target = SatelliteId::new(10, 10);
+        let mut f = crate::failures::FailureModel::none();
+        for (_, n) in g.neighbors(target) {
+            f.cut_link(target, n);
+        }
+        let p = shortest_path_avoiding_links(
+            &g,
+            SatelliteId::new(0, 0),
+            target,
+            |id| f.is_alive(id),
+            |a, b| f.is_link_alive(a, b),
+        );
+        assert!(p.is_none(), "satellite with every ISL cut is unreachable");
+    }
+
+    #[test]
     fn bfs_none_when_isolated() {
         let g = grid();
         let target = SatelliteId::new(10, 10);
@@ -245,6 +307,44 @@ mod tests {
             // One dead satellite can add at most 2 hops on a torus.
             prop_assert!(p.len() as u16 <= g.hop_distance(a, b) + 2);
             prop_assert!(p.len() as u16 >= g.hop_distance(a, b));
+        }
+
+        #[test]
+        fn prop_paths_avoid_cut_links_and_dead_nodes(
+            o1 in 0u16..72, s1 in 0u16..18, o2 in 0u16..72, s2 in 0u16..18,
+            seed in 1u64..200, kill in 0usize..60, cuts in 0usize..60,
+        ) {
+            let g = grid();
+            let a = SatelliteId::new(o1, s1);
+            let b = SatelliteId::new(o2, s2);
+            // Random dead set plus random cut links, deterministic in seed.
+            let mut f = crate::failures::FailureModel::sample(&g, kill, seed);
+            let mut rng = crate::failures::rand_like::SmallRng::new(seed ^ 0xDEAD_15E5);
+            for _ in 0..cuts {
+                let x = SatelliteId::new(
+                    rng.gen_range(g.num_planes as u64) as u16,
+                    rng.gen_range(g.sats_per_plane as u64) as u16,
+                );
+                let (_, n) = g.neighbors(x)[rng.gen_range(4) as usize];
+                f.cut_link(x, n);
+            }
+            prop_assume!(f.is_alive(a) && f.is_alive(b));
+            if let Some(p) = shortest_path_avoiding_links(
+                &g, a, b, |id| f.is_alive(id), |x, y| f.is_link_alive(x, y),
+            ) {
+                prop_assert_eq!(*p.nodes.first().unwrap(), a);
+                prop_assert_eq!(*p.nodes.last().unwrap(), b);
+                for n in &p.nodes {
+                    prop_assert!(f.is_alive(*n), "path visits dead satellite {:?}", n);
+                }
+                for w in p.nodes.windows(2) {
+                    prop_assert_eq!(g.hop_distance(w[0], w[1]), 1);
+                    prop_assert!(
+                        f.is_link_alive(w[0], w[1]),
+                        "path crosses cut link {:?} -> {:?}", w[0], w[1]
+                    );
+                }
+            }
         }
     }
 }

@@ -1,0 +1,444 @@
+//! Time-varying fault injection: satellite churn, link flaps, recovery.
+//!
+//! The §3.4/§5.4 robustness analysis freezes one outage for a whole run.
+//! Real constellations churn continuously — satellites drift out of
+//! slot, deorbit, and are replaced while the system serves traffic. A
+//! [`FaultSchedule`] makes failures first-class *events in simulated
+//! time*: a seeded, deterministic stream of `SatDown`/`SatUp`/
+//! `LinkDown`/`LinkUp` transitions, either generated from MTBF/MTTR
+//! churn parameters or written by hand for tests. A [`ScheduleCursor`]
+//! replays the stream monotonically, materializing the live
+//! [`FailureModel`] at any simulated second and reporting exactly which
+//! satellites went down (cache state lost) or came back (cold restart)
+//! since the last step.
+//!
+//! The schedule itself is pure data: the simulation layers
+//! (`starcdn-sim`'s engine and parallel replayer) consume the same
+//! cursor semantics, which is what keeps the sequential and sharded
+//! execution paths bit-for-bit in agreement under churn.
+
+use crate::failures::rand_like::SmallRng;
+use crate::failures::{link_id, FailureModel, LinkId};
+use crate::grid::{Direction, GridTopology};
+use serde::{Deserialize, Serialize};
+use starcdn_orbit::walker::SatelliteId;
+
+/// One fault transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// Satellite leaves service; its cache contents are lost.
+    SatDown(SatelliteId),
+    /// Satellite returns to service with a cold (empty) cache.
+    SatUp(SatelliteId),
+    /// One ISL goes down while both endpoints stay in service.
+    LinkDown(SatelliteId, SatelliteId),
+    /// A previously cut ISL comes back.
+    LinkUp(SatelliteId, SatelliteId),
+}
+
+/// A fault event pinned to a simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedFault {
+    pub at_secs: u64,
+    pub event: FaultEvent,
+}
+
+/// MTBF/MTTR churn parameters for [`FaultSchedule::churn`].
+///
+/// Per-satellite (and optionally per-link) up/down alternation with
+/// exponentially distributed durations, deterministic in `seed`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnParams {
+    /// Mean up-time of one satellite, seconds.
+    pub sat_mtbf_secs: f64,
+    /// Mean outage duration of one satellite, seconds.
+    pub sat_mttr_secs: f64,
+    /// Mean up-time of one ISL, seconds (`None` disables link flaps).
+    pub link_mtbf_secs: Option<f64>,
+    /// Mean outage duration of one ISL, seconds.
+    pub link_mttr_secs: f64,
+    /// Events are generated for `[0, horizon_secs)`.
+    pub horizon_secs: u64,
+    /// Seed of the deterministic event stream.
+    pub seed: u64,
+}
+
+impl ChurnParams {
+    /// Satellite-only churn at the given rates.
+    pub fn sats_only(sat_mtbf_secs: f64, sat_mttr_secs: f64, horizon_secs: u64, seed: u64) -> Self {
+        ChurnParams {
+            sat_mtbf_secs,
+            sat_mttr_secs,
+            link_mtbf_secs: None,
+            link_mttr_secs: 1.0,
+            horizon_secs,
+            seed,
+        }
+    }
+}
+
+/// A deterministic, time-ordered stream of fault events.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    /// Sorted by `at_secs`; ties keep insertion order (stable sort).
+    events: Vec<TimedFault>,
+}
+
+impl FaultSchedule {
+    /// No events: the failure view never changes.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Build from explicit events (any order; sorted stably by time).
+    pub fn from_events(events: impl IntoIterator<Item = TimedFault>) -> Self {
+        let mut events: Vec<TimedFault> = events.into_iter().collect();
+        events.sort_by_key(|e| e.at_secs);
+        FaultSchedule { events }
+    }
+
+    /// All of `dead` go down at `at_secs` and never recover — the
+    /// dynamic encoding of the paper's static outage set.
+    pub fn mass_outage_at(at_secs: u64, dead: impl IntoIterator<Item = SatelliteId>) -> Self {
+        Self::from_events(
+            dead.into_iter().map(|s| TimedFault { at_secs, event: FaultEvent::SatDown(s) }),
+        )
+    }
+
+    /// Seeded MTBF/MTTR churn over every grid slot (and, when
+    /// `link_mtbf_secs` is set, every ISL): each element alternates
+    /// up/down with exponentially distributed durations.
+    pub fn churn(grid: &GridTopology, p: &ChurnParams) -> Self {
+        assert!(p.sat_mtbf_secs > 0.0 && p.sat_mttr_secs > 0.0, "churn rates must be positive");
+        let mut events = Vec::new();
+        let mut rng = SmallRng::new(p.seed ^ 0x00C0_FFEE);
+        for id in grid.iter_ids() {
+            for (down, up) in alternating_outages(&mut rng, p.sat_mtbf_secs, p.sat_mttr_secs, p.horizon_secs) {
+                events.push(TimedFault { at_secs: down, event: FaultEvent::SatDown(id) });
+                if let Some(up) = up {
+                    events.push(TimedFault { at_secs: up, event: FaultEvent::SatUp(id) });
+                }
+            }
+        }
+        if let Some(link_mtbf) = p.link_mtbf_secs {
+            assert!(link_mtbf > 0.0 && p.link_mttr_secs > 0.0, "link churn rates must be positive");
+            for id in grid.iter_ids() {
+                // North + East covers every torus link exactly once.
+                for dir in [Direction::North, Direction::East] {
+                    let Some(n) = grid.neighbor(id, dir) else { continue };
+                    for (down, up) in alternating_outages(&mut rng, link_mtbf, p.link_mttr_secs, p.horizon_secs) {
+                        events.push(TimedFault { at_secs: down, event: FaultEvent::LinkDown(id, n) });
+                        if let Some(up) = up {
+                            events.push(TimedFault { at_secs: up, event: FaultEvent::LinkUp(id, n) });
+                        }
+                    }
+                }
+            }
+        }
+        Self::from_events(events)
+    }
+
+    /// True when the schedule holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The time-ordered events.
+    pub fn events(&self) -> &[TimedFault] {
+        &self.events
+    }
+
+    /// Time of the last event, if any.
+    pub fn last_event_secs(&self) -> Option<u64> {
+        self.events.last().map(|e| e.at_secs)
+    }
+
+    /// Combine two schedules (events interleave by time).
+    pub fn merged(self, other: FaultSchedule) -> FaultSchedule {
+        Self::from_events(self.events.into_iter().chain(other.events))
+    }
+}
+
+/// Alternating (down, up) outage windows for one element: down times are
+/// exponentially spaced with mean `mtbf`, outage durations with mean
+/// `mttr`. An outage still open at the horizon yields `(down, None)`.
+fn alternating_outages(rng: &mut SmallRng, mtbf: f64, mttr: f64, horizon: u64) -> Vec<(u64, Option<u64>)> {
+    let mut out = Vec::new();
+    let mut t = rng.next_exp(mtbf);
+    while t.is_finite() && (t as u64) < horizon {
+        let down = t as u64;
+        t += rng.next_exp(mttr);
+        let up = if t.is_finite() && (t as u64) < horizon { Some(t as u64) } else { None };
+        out.push((down, up));
+        if up.is_none() {
+            break;
+        }
+        t += rng.next_exp(mtbf);
+    }
+    out
+}
+
+/// What changed across one [`ScheduleCursor::advance_to`] step.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultDelta {
+    /// Satellites that left service (cache state is lost now).
+    pub went_down: Vec<SatelliteId>,
+    /// Satellites that returned to service (cold restart).
+    pub came_up: Vec<SatelliteId>,
+    /// Links newly cut.
+    pub links_cut: Vec<LinkId>,
+    /// Links restored.
+    pub links_restored: Vec<LinkId>,
+}
+
+impl FaultDelta {
+    /// True when nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.went_down.is_empty()
+            && self.came_up.is_empty()
+            && self.links_cut.is_empty()
+            && self.links_restored.is_empty()
+    }
+}
+
+/// Monotonic replay of a [`FaultSchedule`] on top of a base
+/// [`FailureModel`] (e.g. a static out-of-slot set).
+#[derive(Debug, Clone)]
+pub struct ScheduleCursor<'a> {
+    schedule: &'a FaultSchedule,
+    next: usize,
+    view: FailureModel,
+}
+
+impl<'a> ScheduleCursor<'a> {
+    /// Start at time −∞ with the given base failure view; nothing is
+    /// applied until the first `advance_to`.
+    pub fn new(schedule: &'a FaultSchedule, base: FailureModel) -> Self {
+        ScheduleCursor { schedule, next: 0, view: base }
+    }
+
+    /// The live failure view after the last `advance_to`.
+    pub fn view(&self) -> &FailureModel {
+        &self.view
+    }
+
+    /// Apply every event with `at_secs <= t_secs`. Monotonic: calling
+    /// with an earlier time than a previous call is a no-op. Events are
+    /// idempotent against the current view (a `SatDown` for an already
+    /// dead satellite changes nothing), so the delta reports only real
+    /// transitions.
+    pub fn advance_to(&mut self, t_secs: u64) -> FaultDelta {
+        let mut delta = FaultDelta::default();
+        while let Some(e) = self.schedule.events.get(self.next) {
+            if e.at_secs > t_secs {
+                break;
+            }
+            self.next += 1;
+            match e.event {
+                FaultEvent::SatDown(id) => {
+                    if self.view.is_alive(id) {
+                        self.view.kill(id);
+                        delta.went_down.push(id);
+                    }
+                }
+                FaultEvent::SatUp(id) => {
+                    if !self.view.is_alive(id) {
+                        self.view.revive(id);
+                        delta.came_up.push(id);
+                    }
+                }
+                FaultEvent::LinkDown(a, b) => {
+                    if !self.view.is_link_cut(a, b) {
+                        self.view.cut_link(a, b);
+                        delta.links_cut.push(link_id(a, b));
+                    }
+                }
+                FaultEvent::LinkUp(a, b) => {
+                    if self.view.is_link_cut(a, b) {
+                        self.view.restore_link(a, b);
+                        delta.links_restored.push(link_id(a, b));
+                    }
+                }
+            }
+        }
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> GridTopology {
+        GridTopology::starlink()
+    }
+
+    fn sat(o: u16, s: u16) -> SatelliteId {
+        SatelliteId::new(o, s)
+    }
+
+    #[test]
+    fn empty_schedule_never_changes_view() {
+        let sched = FaultSchedule::empty();
+        let base = FailureModel::from_dead([sat(1, 1)]);
+        let mut cur = ScheduleCursor::new(&sched, base.clone());
+        for t in [0, 15, 3600, u64::MAX] {
+            assert!(cur.advance_to(t).is_empty());
+            assert_eq!(cur.view(), &base);
+        }
+    }
+
+    #[test]
+    fn events_sort_stably_by_time() {
+        let sched = FaultSchedule::from_events([
+            TimedFault { at_secs: 30, event: FaultEvent::SatUp(sat(0, 0)) },
+            TimedFault { at_secs: 10, event: FaultEvent::SatDown(sat(0, 0)) },
+            TimedFault { at_secs: 30, event: FaultEvent::SatDown(sat(0, 1)) },
+        ]);
+        assert_eq!(sched.len(), 3);
+        assert_eq!(sched.events()[0].at_secs, 10);
+        assert_eq!(sched.last_event_secs(), Some(30));
+    }
+
+    #[test]
+    fn cursor_applies_down_then_up() {
+        let id = sat(5, 5);
+        let sched = FaultSchedule::from_events([
+            TimedFault { at_secs: 100, event: FaultEvent::SatDown(id) },
+            TimedFault { at_secs: 200, event: FaultEvent::SatUp(id) },
+        ]);
+        let mut cur = ScheduleCursor::new(&sched, FailureModel::none());
+        assert!(cur.advance_to(99).is_empty());
+        assert!(cur.view().is_alive(id));
+
+        let d = cur.advance_to(100);
+        assert_eq!(d.went_down, vec![id]);
+        assert!(d.came_up.is_empty());
+        assert!(!cur.view().is_alive(id));
+
+        let d = cur.advance_to(500);
+        assert_eq!(d.came_up, vec![id]);
+        assert!(cur.view().is_alive(id));
+        assert!(cur.advance_to(1000).is_empty());
+    }
+
+    #[test]
+    fn skipped_interval_reports_both_transitions() {
+        // Down and up inside one advance step: the satellite restarted —
+        // the caller must wipe its cache and mark it cold.
+        let id = sat(2, 3);
+        let sched = FaultSchedule::from_events([
+            TimedFault { at_secs: 10, event: FaultEvent::SatDown(id) },
+            TimedFault { at_secs: 20, event: FaultEvent::SatUp(id) },
+        ]);
+        let mut cur = ScheduleCursor::new(&sched, FailureModel::none());
+        let d = cur.advance_to(1000);
+        assert_eq!(d.went_down, vec![id]);
+        assert_eq!(d.came_up, vec![id]);
+        assert!(cur.view().is_alive(id));
+    }
+
+    #[test]
+    fn redundant_events_are_idempotent() {
+        let id = sat(9, 9);
+        let sched = FaultSchedule::from_events([
+            TimedFault { at_secs: 10, event: FaultEvent::SatDown(id) },
+            TimedFault { at_secs: 11, event: FaultEvent::SatDown(id) },
+            TimedFault { at_secs: 12, event: FaultEvent::SatUp(id) },
+            TimedFault { at_secs: 13, event: FaultEvent::SatUp(id) },
+        ]);
+        let mut cur = ScheduleCursor::new(&sched, FailureModel::none());
+        let d = cur.advance_to(100);
+        assert_eq!(d.went_down, vec![id], "second down is a no-op");
+        assert_eq!(d.came_up, vec![id], "second up is a no-op");
+    }
+
+    #[test]
+    fn link_flaps_update_view() {
+        let a = sat(0, 0);
+        let b = sat(0, 1);
+        let sched = FaultSchedule::from_events([
+            TimedFault { at_secs: 5, event: FaultEvent::LinkDown(a, b) },
+            TimedFault { at_secs: 50, event: FaultEvent::LinkUp(b, a) },
+        ]);
+        let mut cur = ScheduleCursor::new(&sched, FailureModel::none());
+        let d = cur.advance_to(5);
+        assert_eq!(d.links_cut, vec![crate::failures::link_id(a, b)]);
+        assert!(!cur.view().is_link_alive(a, b));
+        let d = cur.advance_to(60);
+        assert_eq!(d.links_restored.len(), 1);
+        assert!(cur.view().is_link_alive(a, b));
+    }
+
+    #[test]
+    fn mass_outage_matches_static_model() {
+        let g = grid();
+        let outage = FailureModel::sample(&g, 126, 7);
+        let sched = FaultSchedule::mass_outage_at(0, outage.dead());
+        assert_eq!(sched.len(), 126);
+        let mut cur = ScheduleCursor::new(&sched, FailureModel::none());
+        let d = cur.advance_to(0);
+        assert_eq!(d.went_down.len(), 126);
+        assert_eq!(cur.view(), &outage);
+    }
+
+    #[test]
+    fn churn_is_deterministic_in_seed() {
+        let g = grid();
+        let p = ChurnParams::sats_only(3600.0, 300.0, 7200, 11);
+        let a = FaultSchedule::churn(&g, &p);
+        let b = FaultSchedule::churn(&g, &p);
+        assert_eq!(a, b);
+        let c = FaultSchedule::churn(&g, &ChurnParams { seed: 12, ..p });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn churn_density_tracks_mtbf() {
+        let g = grid();
+        // Expected downs per element ≈ horizon / (mtbf + mttr); with
+        // 1296 satellites over 2 h at 1 h MTBF that is ~2000+ events.
+        let fast = FaultSchedule::churn(&g, &ChurnParams::sats_only(3600.0, 600.0, 7200, 3));
+        let slow = FaultSchedule::churn(&g, &ChurnParams::sats_only(360_000.0, 600.0, 7200, 3));
+        assert!(fast.len() > slow.len(), "fast {} !> slow {}", fast.len(), slow.len());
+        assert!(fast.len() > 1000, "fast churn too sparse: {}", fast.len());
+        // Events stay inside the horizon and sorted.
+        for w in fast.events().windows(2) {
+            assert!(w[0].at_secs <= w[1].at_secs);
+        }
+        assert!(fast.last_event_secs().unwrap() < 7200);
+    }
+
+    #[test]
+    fn churn_with_links_generates_link_events() {
+        let g = GridTopology { num_planes: 4, sats_per_plane: 4, seamless: true };
+        let p = ChurnParams {
+            sat_mtbf_secs: 1e12, // effectively no satellite churn
+            sat_mttr_secs: 60.0,
+            link_mtbf_secs: Some(1800.0),
+            link_mttr_secs: 300.0,
+            horizon_secs: 7200,
+            seed: 5,
+        };
+        let sched = FaultSchedule::churn(&g, &p);
+        assert!(!sched.is_empty());
+        assert!(sched
+            .events()
+            .iter()
+            .all(|e| matches!(e.event, FaultEvent::LinkDown(..) | FaultEvent::LinkUp(..))));
+    }
+
+    #[test]
+    fn merged_interleaves() {
+        let a = FaultSchedule::from_events([TimedFault { at_secs: 10, event: FaultEvent::SatDown(sat(0, 0)) }]);
+        let b = FaultSchedule::from_events([TimedFault { at_secs: 5, event: FaultEvent::SatDown(sat(1, 0)) }]);
+        let m = a.merged(b);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.events()[0].at_secs, 5);
+    }
+}

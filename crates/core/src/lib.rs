@@ -41,5 +41,5 @@ pub mod system;
 pub mod variants;
 
 pub use config::{RelayPolicy, StarCdnConfig};
-pub use metrics::SystemMetrics;
-pub use system::{ServeOutcome, ServedFrom, SpaceCdn};
+pub use metrics::{AvailabilityPoint, SystemMetrics};
+pub use system::{resolve_route_in, ResolvedRoute, ServeOutcome, ServedFrom, SpaceCdn};

@@ -53,6 +53,19 @@ impl NeighborAvailability {
     }
 }
 
+/// One sample of the per-epoch availability timeline recorded under a
+/// fault schedule: how much of the constellation was in service when the
+/// scheduler epoch began.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AvailabilityPoint {
+    /// Scheduler epoch index.
+    pub epoch: u64,
+    /// Satellites in service at the start of the epoch.
+    pub alive_sats: u32,
+    /// Individually cut ISLs (dead-incident links not included).
+    pub cut_links: u32,
+}
+
 /// Aggregate metrics of one simulation run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SystemMetrics {
@@ -82,6 +95,22 @@ pub struct SystemMetrics {
     pub per_satellite: HashMap<SatelliteId, CacheStats>,
     /// Table-3 monitor (populated when `probe_neighbors_on_miss` is on).
     pub neighbor_availability: NeighborAvailability,
+    /// Requests whose preferred bucket owner was dead and that were
+    /// served by the §3.4 remap target instead.
+    #[serde(default)]
+    pub remapped_requests: u64,
+    /// Misses charged to a recovered satellite that had not yet re-warmed
+    /// (first accesses after a cold restart).
+    #[serde(default)]
+    pub cold_restart_misses: u64,
+    /// Extra ISL hops paid because BFS had to route around dead
+    /// satellites or cut links (vs. the healthy-torus hop distance).
+    #[serde(default)]
+    pub reroute_extra_hops: u64,
+    /// Per-epoch constellation availability under a fault schedule
+    /// (empty for static-failure runs).
+    #[serde(default)]
+    pub availability: Vec<AvailabilityPoint>,
 }
 
 impl SystemMetrics {
@@ -135,6 +164,12 @@ impl SystemMetrics {
         self.prefetch_bytes += other.prefetch_bytes;
         self.prefetch_copies += other.prefetch_copies;
         self.latencies_ms.extend_from_slice(&other.latencies_ms);
+        self.remapped_requests += other.remapped_requests;
+        self.cold_restart_misses += other.cold_restart_misses;
+        self.reroute_extra_hops += other.reroute_extra_hops;
+        self.availability.extend_from_slice(&other.availability);
+        self.availability.sort_by_key(|p| p.epoch);
+        self.availability.dedup_by_key(|p| p.epoch);
         for (sat, st) in &other.per_satellite {
             *self.per_satellite.entry(*sat).or_default() += *st;
         }
@@ -211,6 +246,27 @@ mod tests {
         assert_eq!(a.latencies_ms.len(), 2);
         assert_eq!(a.per_satellite[&sat].requests, 2);
         assert_eq!(a.neighbor_availability.both_requests, 1);
+    }
+
+    #[test]
+    fn merge_degraded_mode_counters() {
+        let mut a = SystemMetrics::default();
+        a.remapped_requests = 3;
+        a.cold_restart_misses = 1;
+        a.availability.push(AvailabilityPoint { epoch: 0, alive_sats: 1296, cut_links: 0 });
+        let mut b = SystemMetrics::default();
+        b.remapped_requests = 2;
+        b.reroute_extra_hops = 7;
+        // Duplicate epoch 0 (parallel shards each see the boundary) plus a
+        // new epoch 1 — merge dedups by epoch.
+        b.availability.push(AvailabilityPoint { epoch: 0, alive_sats: 1296, cut_links: 0 });
+        b.availability.push(AvailabilityPoint { epoch: 1, alive_sats: 1290, cut_links: 4 });
+        a.merge(&b);
+        assert_eq!(a.remapped_requests, 5);
+        assert_eq!(a.cold_restart_misses, 1);
+        assert_eq!(a.reroute_extra_hops, 7);
+        assert_eq!(a.availability.len(), 2);
+        assert_eq!(a.availability[1].alive_sats, 1290);
     }
 
     #[test]

@@ -23,7 +23,8 @@ use starcdn_cache::object::ObjectId;
 use starcdn_cache::policy::Cache;
 use starcdn_constellation::buckets::BucketTiling;
 use starcdn_constellation::failures::FailureModel;
-use starcdn_constellation::routing::shortest_path_avoiding;
+use starcdn_constellation::grid::GridTopology;
+use starcdn_constellation::routing::shortest_path_avoiding_links;
 use starcdn_orbit::walker::SatelliteId;
 
 /// Where a request was ultimately served from.
@@ -61,12 +62,90 @@ pub struct ServeOutcome {
     pub route_hops: u16,
 }
 
+/// The owner a request routes to, with the degraded-mode context the
+/// metrics layer needs: whether §3.4 remapping redirected it and how many
+/// extra ISL hops the fault-avoiding route cost over the healthy torus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedRoute {
+    /// The satellite that serves the request.
+    pub owner: SatelliteId,
+    /// One-way intra-orbit hops from the first contact.
+    pub intra: u16,
+    /// One-way inter-orbit hops from the first contact.
+    pub inter: u16,
+    /// True when the preferred bucket owner was dead and the request was
+    /// remapped to the next available satellite.
+    pub remapped: bool,
+    /// Hops beyond the healthy-torus distance to the serving owner, paid
+    /// to route around dead satellites or cut links.
+    pub extra_hops: u16,
+}
+
+impl ResolvedRoute {
+    /// Total one-way ISL hops.
+    pub fn hops(&self) -> u16 {
+        self.intra + self.inter
+    }
+}
+
+/// Resolve the serving owner and route for `object` arriving at
+/// `first_contact`, under an arbitrary failure view. Free function so the
+/// parallel replayer's pre-pass can resolve against a churn cursor's view
+/// without rebuilding a [`SpaceCdn`] (and its per-slot caches) per epoch.
+pub fn resolve_route_in(
+    grid: &GridTopology,
+    tiling: Option<&BucketTiling>,
+    failures: &FailureModel,
+    remap_on_failure: bool,
+    first_contact: SatelliteId,
+    object: ObjectId,
+) -> Option<ResolvedRoute> {
+    let preferred = match tiling {
+        Some(t) => t.nearest_owner(grid, first_contact, t.bucket_of_object(object.hash64())),
+        None => first_contact,
+    };
+    let owner = if remap_on_failure {
+        failures.resolve_owner(grid, preferred)?
+    } else if failures.is_alive(preferred) {
+        preferred
+    } else {
+        // Transient failure response (§3.4): report a miss and forward
+        // the request to the ground.
+        return None;
+    };
+    let remapped = owner != preferred;
+    if owner == first_contact {
+        return Some(ResolvedRoute { owner, intra: 0, inter: 0, remapped, extra_hops: 0 });
+    }
+    if !failures.has_faults() {
+        // Healthy torus: the canonical path's hop mix is the wrap
+        // distance on each axis.
+        let inter = grid.plane_distance(first_contact.orbit, owner.orbit);
+        let intra = grid.slot_distance(first_contact.slot, owner.slot);
+        Some(ResolvedRoute { owner, intra, inter, remapped, extra_hops: 0 })
+    } else {
+        let path = shortest_path_avoiding_links(
+            grid,
+            first_contact,
+            owner,
+            |id| failures.is_alive(id),
+            |a, b| failures.is_link_alive(a, b),
+        )?;
+        let (intra, inter) = path.hop_mix();
+        let extra_hops = (path.len() as u16).saturating_sub(grid.hop_distance(first_contact, owner));
+        Some(ResolvedRoute { owner, intra: intra as u16, inter: inter as u16, remapped, extra_hops })
+    }
+}
+
 /// The satellite CDN fleet.
 pub struct SpaceCdn {
     cfg: StarCdnConfig,
     tiling: Option<BucketTiling>,
     failures: FailureModel,
     caches: Vec<Box<dyn Cache + Send>>,
+    /// Per-slot cold-restart flag: set when a satellite recovers from an
+    /// outage with an empty cache, cleared by its first local hit.
+    cold: Vec<bool>,
     latency: LatencyModel,
     /// Aggregate run metrics.
     pub metrics: SystemMetrics,
@@ -88,7 +167,8 @@ impl SpaceCdn {
             .map(|_| cfg.policy.build(cfg.cache_capacity_bytes))
             .collect();
         let latency = LatencyModel { link: cfg.link_model.clone(), ..LatencyModel::default() };
-        SpaceCdn { cfg, tiling, failures, caches, latency, metrics: SystemMetrics::default() }
+        let cold = vec![false; cfg.grid.total_slots()];
+        SpaceCdn { cfg, tiling, failures, caches, cold, latency, metrics: SystemMetrics::default() }
     }
 
     /// The configuration in force.
@@ -121,43 +201,17 @@ impl SpaceCdn {
     }
 
     /// The satellite that owns requests for `object` arriving at
-    /// `first_contact`, plus the one-way route hop mix `(intra, inter)`.
-    /// `None` when every candidate owner is dead and unreachable.
-    pub fn resolve_route(
-        &self,
-        first_contact: SatelliteId,
-        object: ObjectId,
-    ) -> Option<(SatelliteId, u16, u16)> {
-        let grid = &self.cfg.grid;
-        let preferred = match &self.tiling {
-            Some(t) => t.nearest_owner(grid, first_contact, t.bucket_of_object(object.hash64())),
-            None => first_contact,
-        };
-        let owner = if self.cfg.remap_on_failure {
-            self.failures.resolve_owner(grid, preferred)?
-        } else if self.failures.is_alive(preferred) {
-            preferred
-        } else {
-            // Transient failure response (§3.4): report a miss and
-            // forward the request to the ground.
-            return None;
-        };
-        if owner == first_contact {
-            return Some((owner, 0, 0));
-        }
-        if self.failures.dead_count() == 0 {
-            // Healthy torus: the canonical path's hop mix is the wrap
-            // distance on each axis.
-            let inter = grid.plane_distance(first_contact.orbit, owner.orbit);
-            let intra = grid.slot_distance(first_contact.slot, owner.slot);
-            Some((owner, intra, inter))
-        } else {
-            let path = shortest_path_avoiding(grid, first_contact, owner, |id| {
-                self.failures.is_alive(id)
-            })?;
-            let (intra, inter) = path.hop_mix();
-            Some((owner, intra as u16, inter as u16))
-        }
+    /// `first_contact`, with the route hop mix and degraded-mode context.
+    /// `None` when every candidate owner is dead or unreachable.
+    pub fn resolve_route(&self, first_contact: SatelliteId, object: ObjectId) -> Option<ResolvedRoute> {
+        resolve_route_in(
+            &self.cfg.grid,
+            self.tiling.as_ref(),
+            &self.failures,
+            self.cfg.remap_on_failure,
+            first_contact,
+            object,
+        )
     }
 
     /// Handle one request arriving at `first_contact` with the given
@@ -169,7 +223,7 @@ impl SpaceCdn {
         size: u64,
         gsl_oneway_ms: f64,
     ) -> ServeOutcome {
-        let Some((owner, intra, inter)) = self.resolve_route(first_contact, object) else {
+        let Some(route) = self.resolve_route(first_contact, object) else {
             // No reachable owner: downlink straight from the first-contact
             // satellite (transient-failure path of §3.4).
             let latency_ms = self.latency.ground_miss_rtt_ms(gsl_oneway_ms, 0, 0, 0);
@@ -182,6 +236,11 @@ impl SpaceCdn {
                 route_hops: 0,
             };
         };
+        let ResolvedRoute { owner, intra, inter, remapped, extra_hops } = route;
+        if remapped {
+            self.metrics.remapped_requests += 1;
+        }
+        self.metrics.reroute_extra_hops += extra_hops as u64;
 
         let owner_idx = self.cache_idx(owner);
         let span = self.cfg.relay_span_planes();
@@ -189,6 +248,14 @@ impl SpaceCdn {
         // Owner cache access: a miss auto-admits (the owner will cache the
         // object wherever it ends up coming from).
         let local = self.caches[owner_idx].access(object, size);
+        if self.cold[owner_idx] {
+            if local.is_hit() {
+                // Re-warmed: cached content is flowing again.
+                self.cold[owner_idx] = false;
+            } else {
+                self.metrics.cold_restart_misses += 1;
+            }
+        }
 
         let (served_from, latency_ms, uplink) = if local.is_hit() {
             (ServedFrom::LocalHit, self.latency.space_hit_rtt_ms(gsl_oneway_ms, intra, inter), 0)
@@ -336,11 +403,50 @@ impl SpaceCdn {
         latency_ms
     }
 
+    /// Swap in a new failure view (churn: the live view changes at epoch
+    /// boundaries). Cache contents are untouched — use
+    /// [`SpaceCdn::wipe_cache`] for satellites that actually went down.
+    pub fn set_failures(&mut self, failures: FailureModel) {
+        self.failures = failures;
+    }
+
+    /// Drop one satellite's cached content (it went out of service; its
+    /// state does not survive the outage).
+    pub fn wipe_cache(&mut self, id: SatelliteId) {
+        let idx = self.cache_idx(id);
+        self.caches[idx].clear();
+        self.cold[idx] = false;
+    }
+
+    /// Mark a satellite as freshly recovered: its next misses count as
+    /// cold-restart misses until the first local hit.
+    pub fn mark_cold(&mut self, id: SatelliteId) {
+        let idx = self.cache_idx(id);
+        self.cold[idx] = true;
+    }
+
+    /// Is this satellite still in its post-recovery warm-up?
+    pub fn is_cold(&self, id: SatelliteId) -> bool {
+        self.cold[self.cache_idx(id)]
+    }
+
+    /// Append one availability sample for the epoch that just started.
+    pub fn record_availability(&mut self, epoch: u64) {
+        let total = self.cfg.grid.total_slots();
+        let alive = (total - self.failures.dead_count()) as u32;
+        self.metrics.availability.push(crate::metrics::AvailabilityPoint {
+            epoch,
+            alive_sats: alive,
+            cut_links: self.failures.cut_link_count() as u32,
+        });
+    }
+
     /// Drop all cached content and metrics (fresh run, same config).
     pub fn reset(&mut self) {
         for c in &mut self.caches {
             c.clear();
         }
+        self.cold.fill(false);
         self.metrics = SystemMetrics::default();
     }
 
@@ -418,7 +524,7 @@ mod tests {
         let mut cdn = system(4);
         // Find the owner of an object from one first-contact satellite.
         let fc = SatelliteId::new(10, 5);
-        let (owner, _, _) = cdn.resolve_route(fc, ObjectId(3)).unwrap();
+        let owner = cdn.resolve_route(fc, ObjectId(3)).unwrap().owner;
         // Seed the object at the owner's west same-bucket neighbour by
         // sending a request whose first contact *is* that neighbour.
         let west = cdn.config().grid.west_by(owner, 2);
@@ -439,7 +545,7 @@ mod tests {
     fn no_relay_variant_goes_to_ground() {
         let mut cdn = SpaceCdn::new(StarCdnConfig::starcdn_no_relay(4, CAP));
         let fc = SatelliteId::new(10, 5);
-        let (owner, _, _) = cdn.resolve_route(fc, ObjectId(3)).unwrap();
+        let owner = cdn.resolve_route(fc, ObjectId(3)).unwrap().owner;
         let west = cdn.config().grid.west_by(owner, 2);
         cdn.handle_request(west, ObjectId(3), 100, 2.9);
         let o = cdn.handle_request(fc, ObjectId(3), 100, 2.9);
@@ -450,7 +556,7 @@ mod tests {
     fn relay_latency_between_hit_and_miss() {
         let mut cdn = system(4);
         let fc = SatelliteId::new(10, 5);
-        let (owner, _, _) = cdn.resolve_route(fc, ObjectId(3)).unwrap();
+        let owner = cdn.resolve_route(fc, ObjectId(3)).unwrap().owner;
         let west = cdn.config().grid.west_by(owner, 2);
         cdn.handle_request(west, ObjectId(3), 100, 2.9);
         let relay = cdn.handle_request(fc, ObjectId(3), 100, 2.9);
@@ -466,7 +572,7 @@ mod tests {
         let fc = SatelliteId::new(10, 5);
         // Kill the preferred owner for this object.
         let probe = SpaceCdn::new(cfg.clone());
-        let (preferred, _, _) = probe.resolve_route(fc, ObjectId(5)).unwrap();
+        let preferred = probe.resolve_route(fc, ObjectId(5)).unwrap().owner;
         let failures = FailureModel::from_dead([preferred]);
         let mut cdn = SpaceCdn::with_failures(cfg, failures);
         let o1 = cdn.handle_request(fc, ObjectId(5), 100, 2.9);
@@ -474,6 +580,68 @@ mod tests {
         assert!(cdn.failures().is_alive(o1.owner));
         let o2 = cdn.handle_request(fc, ObjectId(5), 100, 2.9);
         assert_eq!(o2.served_from, ServedFrom::LocalHit, "remapped owner caches");
+        assert_eq!(cdn.metrics.remapped_requests, 2, "both requests were remapped");
+    }
+
+    #[test]
+    fn cold_restart_misses_tracked_until_first_hit() {
+        let mut cdn = system(4);
+        let fc = SatelliteId::new(10, 5);
+        let owner = cdn.resolve_route(fc, ObjectId(3)).unwrap().owner;
+        // Warm the owner, then restart it: wipe + mark cold.
+        cdn.handle_request(fc, ObjectId(3), 100, 2.9);
+        cdn.wipe_cache(owner);
+        cdn.mark_cold(owner);
+        assert!(cdn.is_cold(owner));
+        let o = cdn.handle_request(fc, ObjectId(3), 100, 2.9);
+        assert_eq!(o.served_from, ServedFrom::Ground, "restart lost the cache");
+        assert_eq!(cdn.metrics.cold_restart_misses, 1);
+        // The fetch re-admitted the object: the next access is the first
+        // local hit, which ends the warm-up.
+        cdn.handle_request(fc, ObjectId(3), 100, 2.9);
+        assert!(!cdn.is_cold(owner));
+        let before = cdn.metrics.cold_restart_misses;
+        cdn.handle_request(fc, ObjectId(99), 100, 2.9);
+        assert_eq!(cdn.metrics.cold_restart_misses, before, "warm again: plain miss");
+    }
+
+    #[test]
+    fn cut_link_on_route_costs_extra_hops() {
+        let cfg = StarCdnConfig::starcdn(4, CAP);
+        let fc = SatelliteId::new(10, 5);
+        let probe = SpaceCdn::new(cfg.clone());
+        let route = probe.resolve_route(fc, ObjectId(3)).unwrap();
+        if route.hops() == 0 {
+            return; // owner is the first contact; nothing to cut
+        }
+        // Cut the first link of the canonical path.
+        let grid = cfg.grid.clone();
+        let path = starcdn_constellation::routing::shortest_path(&grid, fc, route.owner);
+        let failures = FailureModel::from_outages([], [(path.nodes[0], path.nodes[1])]);
+        let mut cdn = SpaceCdn::with_failures(cfg, failures);
+        let rerouted = cdn.resolve_route(fc, ObjectId(3)).unwrap();
+        assert_eq!(rerouted.owner, route.owner, "link cuts never change ownership");
+        assert!(!rerouted.remapped);
+        assert!(rerouted.hops() >= route.hops(), "detour cannot shorten the route");
+        cdn.handle_request(fc, ObjectId(3), 100, 2.9);
+        assert_eq!(cdn.metrics.reroute_extra_hops, rerouted.extra_hops as u64);
+    }
+
+    #[test]
+    fn record_availability_snapshots_failure_view() {
+        let g = StarCdnConfig::starcdn(4, CAP).grid;
+        let total = g.total_slots() as u32;
+        let mut failures = FailureModel::from_dead([SatelliteId::new(1, 1)]);
+        failures.cut_link(SatelliteId::new(2, 2), SatelliteId::new(2, 3));
+        let mut cdn = SpaceCdn::with_failures(StarCdnConfig::starcdn(4, CAP), failures);
+        cdn.record_availability(0);
+        cdn.set_failures(FailureModel::none());
+        cdn.record_availability(1);
+        assert_eq!(cdn.metrics.availability.len(), 2);
+        assert_eq!(cdn.metrics.availability[0].alive_sats, total - 1);
+        assert_eq!(cdn.metrics.availability[0].cut_links, 1);
+        assert_eq!(cdn.metrics.availability[1].alive_sats, total);
+        assert_eq!(cdn.metrics.availability[1].cut_links, 0);
     }
 
     #[test]
@@ -482,7 +650,7 @@ mod tests {
         cfg.probe_neighbors_on_miss = true;
         let mut cdn = SpaceCdn::new(cfg);
         let fc = SatelliteId::new(10, 5);
-        let (owner, _, _) = cdn.resolve_route(fc, ObjectId(3)).unwrap();
+        let owner = cdn.resolve_route(fc, ObjectId(3)).unwrap().owner;
         let west = cdn.config().grid.west_by(owner, 2);
         cdn.handle_request(west, ObjectId(3), 100, 2.9); // seed west
         cdn.handle_request(fc, ObjectId(3), 100, 2.9); // owner miss: west has it

@@ -7,11 +7,12 @@
 //! deterministic engine, the parallel replayer, and every system variant
 //! with identical inputs.
 
-use crate::scheduler::{epoch_of, schedule_epoch, SchedulerConfig};
+use crate::scheduler::{epoch_of, schedule_epoch_with, SchedulerConfig};
 use crate::world::World;
 use serde::{Deserialize, Serialize};
 use spacegen::trace::{LocationId, Trace};
 use starcdn_cache::object::ObjectId;
+use starcdn_constellation::schedule::ScheduleCursor;
 use starcdn_orbit::time::SimTime;
 use starcdn_orbit::walker::SatelliteId;
 
@@ -89,6 +90,11 @@ impl AccessLog {
 /// Requests within an epoch are distributed over a location's virtual
 /// users round-robin, mimicking the paper's "splits all requests within
 /// the discrete time step to different satellites".
+///
+/// The world's [`FaultSchedule`](starcdn_constellation::schedule::FaultSchedule)
+/// is honored: at each epoch boundary the live failure view advances, so
+/// users on a satellite that just died are handed over to a surviving one
+/// (with an empty schedule this is bit-for-bit the static behavior).
 pub fn build_access_log(
     world: &World,
     trace: &Trace,
@@ -101,13 +107,15 @@ pub fn build_access_log(
     let mut current_epoch = u64::MAX;
     let mut schedule = None;
     let mut rr_counters = vec![0usize; world.num_locations()];
+    let mut cursor = ScheduleCursor::new(&world.schedule, world.failures.clone());
 
     for r in &trace.requests {
         let epoch = epoch_of(r.time, epoch_secs);
         if epoch != current_epoch {
             current_epoch = epoch;
             snapshot.advance_to(SimTime::from_secs(epoch * epoch_secs));
-            schedule = Some(schedule_epoch(world, &snapshot, epoch, cfg));
+            cursor.advance_to(epoch * epoch_secs);
+            schedule = Some(schedule_epoch_with(world, &snapshot, epoch, cfg, cursor.view()));
         }
         let sched = schedule.as_ref().expect("schedule computed");
         let loc = r.location.0 as usize;
@@ -246,6 +254,47 @@ mod tests {
             for w in entries.windows(2) {
                 assert!(w[0].time <= w[1].time);
             }
+        }
+    }
+
+    #[test]
+    fn empty_schedule_log_identical_to_static() {
+        let w = World::starlink_nine_cities();
+        let base = build_access_log(&w, &tiny_trace(), 15, &SchedulerConfig::default());
+        let w2 = World::starlink_nine_cities()
+            .with_fault_schedule(starcdn_constellation::schedule::FaultSchedule::empty());
+        let churned = build_access_log(&w2, &tiny_trace(), 15, &SchedulerConfig::default());
+        assert_eq!(base, churned);
+    }
+
+    #[test]
+    fn dying_satellite_forces_handover_at_next_epoch() {
+        use starcdn_constellation::schedule::{FaultEvent, FaultSchedule, TimedFault};
+        let w = World::starlink_nine_cities();
+        // NYC requests every second for two epochs.
+        let reqs: Vec<Request> = (0..30)
+            .map(|k| Request {
+                time: SimTime::from_secs(k),
+                object: ObjectId(k),
+                size: 10,
+                location: LocationId(4),
+            })
+            .collect();
+        let trace = Trace::new(reqs);
+        let base = build_access_log(&w, &trace, 15, &SchedulerConfig::default());
+        // Kill everything epoch 0 assigned, effective at the epoch-1
+        // boundary (t = 15 s).
+        let seen: Vec<_> = base.entries[..15].iter().filter_map(|e| e.first_contact).collect();
+        let sched = FaultSchedule::from_events(
+            seen.iter().map(|&s| TimedFault { at_secs: 15, event: FaultEvent::SatDown(s) }),
+        );
+        let w2 = World::starlink_nine_cities().with_fault_schedule(sched);
+        let churned = build_access_log(&w2, &trace, 15, &SchedulerConfig::default());
+        // Epoch 0 is untouched; epoch 1 avoids every dead satellite.
+        assert_eq!(&base.entries[..15], &churned.entries[..15]);
+        for e in &churned.entries[15..] {
+            let fc = e.first_contact.expect("nine-city coverage survives a local outage");
+            assert!(!seen.contains(&fc), "user still on dead satellite {fc}");
         }
     }
 

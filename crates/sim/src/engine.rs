@@ -10,6 +10,7 @@ use crate::access_log::AccessLog;
 use starcdn::baselines::{NoCacheBaseline, StaticCacheBaseline, TerrestrialCdnBaseline};
 use starcdn::metrics::SystemMetrics;
 use starcdn::system::SpaceCdn;
+use starcdn_constellation::schedule::{FaultSchedule, ScheduleCursor};
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -20,13 +21,22 @@ pub struct SimConfig {
     pub users_per_location: usize,
     /// Minimum elevation mask, degrees.
     pub min_elevation_deg: f64,
+    /// Users are spread over the best `top_k` visible satellites; fault
+    /// experiments widen this to keep coverage under heavy churn.
+    pub top_k: usize,
     /// Seed for scheduling decisions.
     pub seed: u64,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { epoch_secs: 15, users_per_location: 8, min_elevation_deg: 25.0, seed: 0 }
+        SimConfig {
+            epoch_secs: 15,
+            users_per_location: 8,
+            min_elevation_deg: 25.0,
+            top_k: 4,
+            seed: 0,
+        }
     }
 }
 
@@ -36,7 +46,7 @@ impl SimConfig {
         crate::scheduler::SchedulerConfig {
             users_per_location: self.users_per_location,
             min_elevation_deg: self.min_elevation_deg,
-            top_k: 4,
+            top_k: self.top_k,
             seed: self.seed,
         }
     }
@@ -57,6 +67,85 @@ pub fn run_space(cdn: &mut SpaceCdn, log: &AccessLog) -> SystemMetrics {
                 current_epoch = epoch;
                 cdn.prefetch_round();
             }
+        }
+        match e.first_contact {
+            Some(sat) => {
+                cdn.handle_request(sat, e.object, e.size, e.gsl_oneway_ms);
+            }
+            None => {
+                cdn.handle_unreachable(e.size);
+            }
+        }
+    }
+    cdn.metrics.clone()
+}
+
+/// Replay the log under a time-varying fault schedule. At every scheduler
+/// epoch boundary encountered in the log the live failure view advances:
+/// satellites that went down lose their cache contents, recovered ones
+/// come back cold (their warm-up is tracked in
+/// `metrics.cold_restart_misses`), and an availability sample is
+/// recorded. With an empty schedule this is exactly [`run_space`] —
+/// bit-for-bit, including the absence of an availability timeline.
+pub fn run_space_with_faults(
+    cdn: &mut SpaceCdn,
+    log: &AccessLog,
+    schedule: &FaultSchedule,
+) -> SystemMetrics {
+    if schedule.is_empty() {
+        return run_space(cdn, log);
+    }
+    drive_with_faults(cdn, log, schedule, None)
+}
+
+/// [`run_space_with_faults`] with metrics reset at the first entry at or
+/// after `measure_from_secs` — measures the steady state after a fault
+/// transient (e.g. hit-rate recovery after a mass restart) while the
+/// caches and cold flags carry the full history.
+pub fn run_space_with_faults_measured(
+    cdn: &mut SpaceCdn,
+    log: &AccessLog,
+    schedule: &FaultSchedule,
+    measure_from_secs: u64,
+) -> SystemMetrics {
+    drive_with_faults(cdn, log, schedule, Some(measure_from_secs))
+}
+
+fn drive_with_faults(
+    cdn: &mut SpaceCdn,
+    log: &AccessLog,
+    schedule: &FaultSchedule,
+    measure_from_secs: Option<u64>,
+) -> SystemMetrics {
+    let prefetching = cdn.config().prefetch_top_k.is_some();
+    let epoch_secs = log.epoch_secs.max(1);
+    let mut current_epoch = u64::MAX;
+    let mut cursor = ScheduleCursor::new(schedule, cdn.failures().clone());
+    let mut reset_done = measure_from_secs.is_none();
+    for e in &log.entries {
+        let epoch = e.time.as_secs() / epoch_secs;
+        if epoch != current_epoch {
+            current_epoch = epoch;
+            let delta = cursor.advance_to(epoch * epoch_secs);
+            if !delta.is_empty() {
+                // Down first: a satellite that restarted within one step
+                // is wiped, then marked cold.
+                for &id in &delta.went_down {
+                    cdn.wipe_cache(id);
+                }
+                for &id in &delta.came_up {
+                    cdn.mark_cold(id);
+                }
+                cdn.set_failures(cursor.view().clone());
+            }
+            cdn.record_availability(epoch);
+            if prefetching {
+                cdn.prefetch_round();
+            }
+        }
+        if !reset_done && e.time.as_secs() >= measure_from_secs.unwrap_or(0) {
+            cdn.reset_metrics();
+            reset_done = true;
         }
         match e.first_contact {
             Some(sat) => {
@@ -240,6 +329,69 @@ mod tests {
         assert_eq!(ma.stats, mb.stats);
         assert_eq!(ma.latencies_ms, mb.latencies_ms);
         assert_eq!(ma.uplink_bytes, mb.uplink_bytes);
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_bit_for_bit_run_space() {
+        let log = log();
+        let mut plain = SpaceCdn::new(StarCdnConfig::starcdn(4, 1_000_000));
+        let mp = run_space(&mut plain, &log);
+        let mut churn = SpaceCdn::new(StarCdnConfig::starcdn(4, 1_000_000));
+        let mc = run_space_with_faults(&mut churn, &log, &FaultSchedule::empty());
+        assert_eq!(mp.stats, mc.stats);
+        assert_eq!(mp.latencies_ms, mc.latencies_ms);
+        assert_eq!(mp.uplink_bytes, mc.uplink_bytes);
+        assert_eq!(mp.per_satellite, mc.per_satellite);
+        assert!(mc.availability.is_empty(), "no schedule, no timeline");
+        assert_eq!(mc.cold_restart_misses, 0);
+        assert_eq!(mc.remapped_requests, 0);
+    }
+
+    #[test]
+    fn churn_run_tracks_recovery() {
+        use starcdn_constellation::schedule::{FaultEvent, TimedFault};
+        let log = log();
+        // Find a satellite that actually serves traffic, kill it for
+        // 120 s mid-run, and watch the cold-restart counter move.
+        let mut probe = SpaceCdn::new(StarCdnConfig::starcdn(4, 1_000_000));
+        run_space(&mut probe, &log);
+        let victim = *probe
+            .metrics
+            .per_satellite
+            .iter()
+            .max_by_key(|(_, st)| st.requests)
+            .unwrap()
+            .0;
+        let sched = FaultSchedule::from_events([
+            TimedFault { at_secs: 120, event: FaultEvent::SatDown(victim) },
+            TimedFault { at_secs: 240, event: FaultEvent::SatUp(victim) },
+        ]);
+        let mut cdn = SpaceCdn::new(StarCdnConfig::starcdn(4, 1_000_000));
+        let m = run_space_with_faults(&mut cdn, &log, &sched);
+        assert_eq!(m.stats.requests, log.len() as u64);
+        assert!(m.cold_restart_misses > 0, "recovered satellite must re-warm");
+        assert!(m.remapped_requests > 0, "owner was dead for 8 epochs");
+        assert!(!m.availability.is_empty());
+        let min_alive = m.availability.iter().map(|p| p.alive_sats).min().unwrap();
+        let max_alive = m.availability.iter().map(|p| p.alive_sats).max().unwrap();
+        assert_eq!(max_alive, 1296);
+        assert_eq!(min_alive, 1295, "one satellite down in the dip");
+    }
+
+    #[test]
+    fn measured_run_resets_at_cutoff() {
+        use starcdn_constellation::schedule::{FaultEvent, TimedFault};
+        let log = log();
+        let sched = FaultSchedule::from_events([TimedFault {
+            at_secs: 0,
+            event: FaultEvent::SatDown(starcdn_orbit::walker::SatelliteId::new(0, 0)),
+        }]);
+        let cutoff = 250;
+        let tail_len =
+            log.entries.iter().filter(|e| e.time.as_secs() >= cutoff).count() as u64;
+        let mut cdn = SpaceCdn::new(StarCdnConfig::starcdn(4, 1_000_000));
+        let m = run_space_with_faults_measured(&mut cdn, &log, &sched, cutoff);
+        assert_eq!(m.stats.requests, tail_len, "only post-cutoff entries measured");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! examples.
 
 use crate::access_log::{build_access_log, AccessLog};
-use crate::engine::{run_no_cache, run_space, run_static, run_terrestrial, SimConfig};
+use crate::engine::{run_no_cache, run_space_with_faults, run_static, run_terrestrial, SimConfig};
 use crate::world::World;
 use spacegen::trace::Trace;
 use starcdn::baselines::{NoCacheBaseline, StaticCacheBaseline, TerrestrialCdnBaseline};
@@ -57,7 +57,7 @@ impl Runner {
                     .space_config(cache_bytes)
                     .expect("space variants provide a config");
                 let mut cdn = SpaceCdn::with_failures(cfg, self.world.failures.clone());
-                run_space(&mut cdn, &self.log)
+                run_space_with_faults(&mut cdn, &self.log, &self.world.schedule)
             }
         }
     }
@@ -67,7 +67,7 @@ impl Runner {
         let mut cfg = variant.space_config(cache_bytes).expect("space variant");
         cfg.probe_neighbors_on_miss = true;
         let mut cdn = SpaceCdn::with_failures(cfg, self.world.failures.clone());
-        run_space(&mut cdn, &self.log)
+        run_space_with_faults(&mut cdn, &self.log, &self.world.schedule)
     }
 }
 

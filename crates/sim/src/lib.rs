@@ -30,5 +30,6 @@ pub mod transfers;
 pub mod world;
 
 pub use access_log::{AccessLog, AccessLogEntry};
-pub use engine::SimConfig;
+pub use engine::{run_space, run_space_with_faults, run_space_with_faults_measured, SimConfig};
+pub use replayer::{replay_parallel, replay_parallel_with_faults};
 pub use world::World;

@@ -15,6 +15,16 @@
 //! bit-identical statistics. Locks are never held two-at-a-time, so the
 //! pool cannot deadlock.
 //!
+//! Fault schedules ([`replay_parallel_with_faults`]) keep that exactness:
+//! the sequential pre-pass resolves every request against the live
+//! failure view of its epoch and injects cache-wipe / mark-cold
+//! pseudo-ops into the owning satellite's shard stream. A dead satellite
+//! receives no routed requests while dead, so the pseudo-ops land at the
+//! same stream position the sequential engine applies them — per-satellite
+//! behaviour stays bit-for-bit identical for no-relay configurations.
+//! (Relay probes under churn resolve candidates against the *base*
+//! failure set, the same approximation as the static path.)
+//!
 //! Proactive-prefetch configurations are *not* simulated here (prefetch
 //! rounds are global barriers, which would defeat the sharding); use the
 //! sequential engine for the prefetch ablation.
@@ -23,11 +33,14 @@ use crate::access_log::AccessLog;
 use crossbeam::thread;
 use parking_lot::Mutex;
 use starcdn::config::StarCdnConfig;
-use starcdn::metrics::SystemMetrics;
+use starcdn::latency::LatencyModel;
+use starcdn::metrics::{AvailabilityPoint, SystemMetrics};
 use starcdn::relay::relay_candidates;
-use starcdn::system::{ServedFrom, SpaceCdn};
+use starcdn::system::{resolve_route_in, ServedFrom};
 use starcdn_cache::policy::Cache;
+use starcdn_constellation::buckets::BucketTiling;
 use starcdn_constellation::failures::FailureModel;
+use starcdn_constellation::schedule::{FaultSchedule, ScheduleCursor};
 
 /// A request resolved to its owner, ready for sharded replay.
 struct ResolvedEntry {
@@ -39,6 +52,15 @@ struct ResolvedEntry {
     gsl_oneway_ms: f64,
 }
 
+/// One element of a shard's ordered work stream.
+enum ShardOp {
+    Request(ResolvedEntry),
+    /// The satellite at this slot index went down: its cache is lost.
+    Wipe(usize),
+    /// The satellite at this slot index recovered: cold until first hit.
+    MarkCold(usize),
+}
+
 /// Replay `log` against the fleet described by `cfg`/`failures` using
 /// `num_workers` threads. Returns aggregate metrics.
 pub fn replay_parallel(
@@ -47,23 +69,82 @@ pub fn replay_parallel(
     log: &AccessLog,
     num_workers: usize,
 ) -> SystemMetrics {
+    replay_impl(cfg, failures, log, None, num_workers)
+}
+
+/// [`replay_parallel`] under a time-varying fault schedule applied on top
+/// of the static `failures` base, mirroring the sequential
+/// [`run_space_with_faults`](crate::engine::run_space_with_faults): at
+/// each scheduler epoch boundary the live view advances, down satellites
+/// lose their cache contents, recovered satellites come back cold, and an
+/// availability sample is recorded. With an empty schedule this is
+/// exactly [`replay_parallel`].
+pub fn replay_parallel_with_faults(
+    cfg: StarCdnConfig,
+    failures: FailureModel,
+    log: &AccessLog,
+    schedule: &FaultSchedule,
+    num_workers: usize,
+) -> SystemMetrics {
+    if schedule.is_empty() {
+        return replay_impl(cfg, failures, log, None, num_workers);
+    }
+    replay_impl(cfg, failures, log, Some(schedule), num_workers)
+}
+
+fn replay_impl(
+    cfg: StarCdnConfig,
+    base_failures: FailureModel,
+    log: &AccessLog,
+    schedule: Option<&FaultSchedule>,
+    num_workers: usize,
+) -> SystemMetrics {
     assert!(num_workers > 0);
-    // A resolver fleet used immutably for routing decisions.
-    let resolver = SpaceCdn::with_failures(cfg.clone(), failures.clone());
-    let latency = resolver.latency_model().clone();
+    let tiling = cfg
+        .num_buckets
+        .map(|l| BucketTiling::new(l).unwrap_or_else(|e| panic!("invalid bucket count {l}: {e}")));
+    let latency = LatencyModel { link: cfg.link_model.clone(), ..LatencyModel::default() };
     let spp = cfg.grid.sats_per_plane;
     let span = cfg.relay_span_planes();
+    let total_slots = cfg.grid.total_slots();
 
     // Shared caches, one per slot.
-    let caches: Vec<Mutex<Box<dyn Cache + Send>>> = (0..cfg.grid.total_slots())
+    let caches: Vec<Mutex<Box<dyn Cache + Send>>> = (0..total_slots)
         .map(|_| Mutex::new(cfg.policy.build(cfg.cache_capacity_bytes)))
         .collect();
 
-    // Partition by owner, preserving per-owner order. Unreachable
-    // requests are accounted directly.
-    let mut shards: Vec<Vec<ResolvedEntry>> = (0..num_workers).map(|_| Vec::new()).collect();
+    // Sequential pre-pass: partition by owner, preserving per-owner
+    // order. Route resolution uses the live failure view of each entry's
+    // epoch; wipe/cold pseudo-ops land in the owning satellite's stream
+    // at the epoch boundary. Unreachable or unroutable requests and the
+    // degraded-mode counters are accounted directly here.
+    let mut shards: Vec<Vec<ShardOp>> = (0..num_workers).map(|_| Vec::new()).collect();
     let mut direct = SystemMetrics::default();
+    let mut cursor = schedule.map(|s| ScheduleCursor::new(s, base_failures.clone()));
+    let epoch_secs = log.epoch_secs.max(1);
+    let mut current_epoch = u64::MAX;
     for e in &log.entries {
+        if let Some(cur) = cursor.as_mut() {
+            let epoch = e.time.as_secs() / epoch_secs;
+            if epoch != current_epoch {
+                current_epoch = epoch;
+                let delta = cur.advance_to(epoch * epoch_secs);
+                for &id in &delta.went_down {
+                    let idx = id.index(spp);
+                    shards[idx % num_workers].push(ShardOp::Wipe(idx));
+                }
+                for &id in &delta.came_up {
+                    let idx = id.index(spp);
+                    shards[idx % num_workers].push(ShardOp::MarkCold(idx));
+                }
+                direct.availability.push(AvailabilityPoint {
+                    epoch,
+                    alive_sats: (total_slots - cur.view().dead_count()) as u32,
+                    cut_links: cur.view().cut_link_count() as u32,
+                });
+            }
+        }
+        let view = cursor.as_ref().map(|c| c.view()).unwrap_or(&base_failures);
         let Some(fc) = e.first_contact else {
             let lat = latency.starlink_no_cache_rtt_ms(latency.link.gsl.avg_delay_ms);
             direct.record(
@@ -74,17 +155,22 @@ pub fn replay_parallel(
             );
             continue;
         };
-        match resolver.resolve_route(fc, e.object) {
-            Some((owner, intra, inter)) => {
-                let shard = owner.index(spp) % num_workers;
-                shards[shard].push(ResolvedEntry {
+        match resolve_route_in(&cfg.grid, tiling.as_ref(), view, cfg.remap_on_failure, fc, e.object)
+        {
+            Some(route) => {
+                if route.remapped {
+                    direct.remapped_requests += 1;
+                }
+                direct.reroute_extra_hops += route.extra_hops as u64;
+                let shard = route.owner.index(spp) % num_workers;
+                shards[shard].push(ShardOp::Request(ResolvedEntry {
                     object: e.object,
                     size: e.size,
-                    owner,
-                    intra,
-                    inter,
+                    owner: route.owner,
+                    intra: route.intra,
+                    inter: route.inter,
                     gsl_oneway_ms: e.gsl_oneway_ms,
-                });
+                }));
             }
             None => {
                 let lat = latency.ground_miss_rtt_ms(e.gsl_oneway_ms, 0, 0, 0);
@@ -96,7 +182,7 @@ pub fn replay_parallel(
     let grid = &cfg.grid;
     let relay = cfg.relay;
     let probe = cfg.probe_neighbors_on_miss;
-    let failures_ref = &failures;
+    let failures_ref = &base_failures;
     let caches_ref = &caches;
     let latency_ref = &latency;
 
@@ -106,9 +192,29 @@ pub fn replay_parallel(
             .map(|shard| {
                 s.spawn(move |_| {
                     let mut m = SystemMetrics::default();
-                    for e in shard {
+                    let mut cold = vec![false; total_slots];
+                    for op in shard {
+                        let e = match op {
+                            ShardOp::Request(e) => e,
+                            ShardOp::Wipe(idx) => {
+                                caches_ref[*idx].lock().clear();
+                                cold[*idx] = false;
+                                continue;
+                            }
+                            ShardOp::MarkCold(idx) => {
+                                cold[*idx] = true;
+                                continue;
+                            }
+                        };
                         let owner_idx = e.owner.index(spp);
                         let local = caches_ref[owner_idx].lock().access(e.object, e.size);
+                        if cold[owner_idx] {
+                            if local.is_hit() {
+                                cold[owner_idx] = false;
+                            } else {
+                                m.cold_restart_misses += 1;
+                            }
+                        }
                         let (from, lat) = if local.is_hit() {
                             (
                                 ServedFrom::LocalHit,
@@ -195,10 +301,12 @@ fn neighbor_contains(
 mod tests {
     use super::*;
     use crate::access_log::build_access_log;
-    use crate::engine::{run_space, SimConfig};
+    use crate::engine::{run_space, run_space_with_faults, SimConfig};
     use crate::world::World;
     use spacegen::trace::{LocationId, Request, Trace};
+    use starcdn::system::SpaceCdn;
     use starcdn_cache::object::ObjectId;
+    use starcdn_constellation::schedule::{FaultEvent, TimedFault};
     use starcdn_orbit::time::SimTime;
 
     fn log() -> AccessLog {
@@ -263,6 +371,61 @@ mod tests {
         let m_seq = run_space(&mut seq, &log);
         let m_par = replay_parallel(cfg, failures, &log, 4);
         assert_eq!(m_seq.stats, m_par.stats);
+        assert_eq!(m_seq.remapped_requests, m_par.remapped_requests);
+        assert_eq!(m_seq.reroute_extra_hops, m_par.reroute_extra_hops);
+    }
+
+    #[test]
+    fn empty_schedule_matches_static_path() {
+        let log = log();
+        let cfg = StarCdnConfig::starcdn_no_relay(4, 100_000);
+        let m_static = replay_parallel(cfg.clone(), FailureModel::none(), &log, 4);
+        let m_sched = replay_parallel_with_faults(
+            cfg,
+            FailureModel::none(),
+            &log,
+            &FaultSchedule::empty(),
+            4,
+        );
+        assert_eq!(m_static.stats, m_sched.stats);
+        assert_eq!(m_static.per_satellite, m_sched.per_satellite);
+        assert!(m_sched.availability.is_empty());
+    }
+
+    #[test]
+    fn churn_matches_engine_exactly_without_relay() {
+        let log = log();
+        let w = World::starlink_nine_cities();
+        // A handful of restarts among the satellites actually serving
+        // traffic, plus a background of random failures.
+        let busy: Vec<_> = {
+            let mut probe = SpaceCdn::new(StarCdnConfig::starcdn_no_relay(4, 100_000));
+            run_space(&mut probe, &log);
+            let mut sats: Vec<_> = probe.metrics.per_satellite.iter().map(|(s, st)| (*s, st.requests)).collect();
+            sats.sort_by_key(|(s, r)| (std::cmp::Reverse(*r), *s));
+            sats.into_iter().take(6).map(|(s, _)| s).collect()
+        };
+        let mut events = Vec::new();
+        for (i, &s) in busy.iter().enumerate() {
+            events.push(TimedFault { at_secs: 60 + 15 * i as u64, event: FaultEvent::SatDown(s) });
+            events.push(TimedFault { at_secs: 240 + 15 * i as u64, event: FaultEvent::SatUp(s) });
+        }
+        let sched = FaultSchedule::from_events(events);
+        let base = FailureModel::sample(&w.grid, 20, 9);
+
+        let cfg = StarCdnConfig::starcdn_no_relay(4, 100_000);
+        let mut seq = SpaceCdn::with_failures(cfg.clone(), base.clone());
+        let m_seq = run_space_with_faults(&mut seq, &log, &sched);
+        for workers in [1, 4] {
+            let m_par = replay_parallel_with_faults(cfg.clone(), base.clone(), &log, &sched, workers);
+            assert_eq!(m_seq.stats, m_par.stats, "{workers} workers");
+            assert_eq!(m_seq.per_satellite, m_par.per_satellite);
+            assert_eq!(m_seq.uplink_bytes, m_par.uplink_bytes);
+            assert_eq!(m_seq.cold_restart_misses, m_par.cold_restart_misses);
+            assert_eq!(m_seq.remapped_requests, m_par.remapped_requests);
+            assert_eq!(m_seq.reroute_extra_hops, m_par.reroute_extra_hops);
+            assert_eq!(m_seq.availability, m_par.availability);
+        }
     }
 
     #[test]

@@ -65,6 +65,20 @@ pub fn schedule_epoch(
     epoch_index: u64,
     cfg: &SchedulerConfig,
 ) -> EpochSchedule {
+    schedule_epoch_with(world, snapshot, epoch_index, cfg, &world.failures)
+}
+
+/// [`schedule_epoch`] against an explicit failure view — the churn path
+/// passes the live [`ScheduleCursor`](starcdn_constellation::schedule::ScheduleCursor)
+/// view instead of the world's static base outage, which is how users on
+/// a just-died satellite get force-handed-over at the next epoch.
+pub fn schedule_epoch_with(
+    world: &World,
+    snapshot: &SnapshotPropagator,
+    epoch_index: u64,
+    cfg: &SchedulerConfig,
+    failures: &starcdn_constellation::failures::FailureModel,
+) -> EpochSchedule {
     let mut assignments = Vec::with_capacity(world.locations.len());
     for (loc_idx, loc) in world.locations.iter().enumerate() {
         let ground = Geodetic::from_degrees(loc.lat_deg, loc.lon_deg, 0.0);
@@ -75,7 +89,7 @@ pub fn schedule_epoch(
             cfg.min_elevation_deg,
         )
         .into_iter()
-        .filter(|v| world.failures.is_alive(v.id))
+        .filter(|v| failures.is_alive(v.id))
         .collect();
 
         let per_user: Vec<Option<Assignment>> = (0..cfg.users_per_location)
@@ -83,7 +97,10 @@ pub fn schedule_epoch(
                 if visible.is_empty() {
                     return None;
                 }
-                let k = cfg.top_k.min(visible.len());
+                // `.max(1)` guards a degenerate `top_k: 0` config: rather
+                // than a modulo-by-zero panic, everyone takes the best
+                // visible satellite.
+                let k = cfg.top_k.min(visible.len()).max(1);
                 let pick = (mix(cfg.seed ^ epoch_index.rotate_left(17) ^ ((loc_idx as u64) << 24) ^ user as u64)
                     % k as u64) as usize;
                 let v = &visible[pick];
@@ -171,6 +188,36 @@ mod tests {
         assert_eq!(a.assignments, b.assignments);
         let c = schedule_epoch(&w, &snap, 3, &SchedulerConfig { seed: 99, ..cfg });
         assert_ne!(a.assignments, c.assignments);
+    }
+
+    #[test]
+    fn zero_top_k_degrades_to_best_satellite() {
+        let w = world();
+        let snap = w.snapshot();
+        let cfg = SchedulerConfig { top_k: 0, ..SchedulerConfig::default() };
+        let sched = schedule_epoch(&w, &snap, 0, &cfg);
+        for per_user in &sched.assignments {
+            for a in per_user.iter().flatten() {
+                assert!(a.gsl_oneway_ms > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_failure_view_overrides_world_base() {
+        let w = world();
+        let snap = w.snapshot();
+        let cfg = SchedulerConfig::default();
+        let before = schedule_epoch(&w, &snap, 0, &cfg);
+        let seen: Vec<SatelliteId> =
+            before.assignments[4].iter().flatten().map(|a| a.satellite).collect();
+        // Same world, live view kills what New York sees: the churn path's
+        // force-handover at an epoch boundary.
+        let live = FailureModel::from_dead(seen.clone());
+        let after = schedule_epoch_with(&w, &snap, 0, &cfg, &live);
+        for a in after.assignments[4].iter().flatten() {
+            assert!(!seen.contains(&a.satellite), "assigned dead satellite {}", a.satellite);
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use spacegen::trace::Location;
 use starcdn_constellation::failures::FailureModel;
 use starcdn_constellation::grid::GridTopology;
+use starcdn_constellation::schedule::FaultSchedule;
 use starcdn_orbit::fleet::TleFleet;
 use starcdn_orbit::propagator::{Satellite, SnapshotPropagator};
 use starcdn_orbit::walker::{SatelliteId, WalkerConstellation};
@@ -14,7 +15,11 @@ pub struct World {
     pub grid: GridTopology,
     pub satellites: Vec<Satellite>,
     pub locations: Vec<Location>,
+    /// Static base outage (slots empty for the whole run).
     pub failures: FailureModel,
+    /// Time-varying faults applied on top of `failures` at scheduler
+    /// epoch boundaries; empty = the failure view never changes.
+    pub schedule: FaultSchedule,
 }
 
 impl World {
@@ -28,7 +33,14 @@ impl World {
     pub fn new(shell: WalkerConstellation, locations: Vec<Location>) -> Self {
         let grid = GridTopology::from_shell(&shell);
         let satellites = shell.satellites();
-        World { shell, grid, satellites, locations, failures: FailureModel::none() }
+        World {
+            shell,
+            grid,
+            satellites,
+            locations,
+            failures: FailureModel::none(),
+            schedule: FaultSchedule::empty(),
+        }
     }
 
     /// A world assembled from a TLE catalog (via
@@ -58,12 +70,18 @@ impl World {
             satellites[sat.id.index(fleet.sats_per_plane)] = *sat;
         }
         let failures = FailureModel::from_dead(fleet.empty_slots.iter().copied());
-        World { shell, grid, satellites, locations, failures }
+        World { shell, grid, satellites, locations, failures, schedule: FaultSchedule::empty() }
     }
 
     /// Apply an outage set (returns self for chaining).
     pub fn with_failures(mut self, failures: FailureModel) -> Self {
         self.failures = failures;
+        self
+    }
+
+    /// Attach a time-varying fault schedule (returns self for chaining).
+    pub fn with_fault_schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.schedule = schedule;
         self
     }
 
@@ -97,6 +115,16 @@ mod tests {
         let f = FailureModel::sample(&w.grid, 126, 1);
         let w = w.with_failures(f);
         assert_eq!(w.failures.dead_count(), 126);
+    }
+
+    #[test]
+    fn fault_schedule_attaches_and_defaults_empty() {
+        use starcdn_constellation::schedule::ChurnParams;
+        let w = World::starlink_nine_cities();
+        assert!(w.schedule.is_empty(), "default world has no churn");
+        let sched = FaultSchedule::churn(&w.grid, &ChurnParams::sats_only(3600.0, 300.0, 7200, 1));
+        let w = w.with_fault_schedule(sched.clone());
+        assert_eq!(w.schedule, sched);
     }
 
     #[test]

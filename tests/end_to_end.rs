@@ -129,7 +129,7 @@ fn hashing_consolidates_objects_onto_one_bucket() {
     for orbit in (0..72).step_by(5) {
         for slot in (0..18).step_by(4) {
             let fc = SatelliteId::new(orbit, slot);
-            let (owner, _, _) = cdn.resolve_route(fc, obj).unwrap();
+            let owner = cdn.resolve_route(fc, obj).unwrap().owner;
             assert_eq!(tiling.bucket_of_sat(owner), bucket, "fc={fc} owner={owner}");
         }
     }

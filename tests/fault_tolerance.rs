@@ -1,14 +1,22 @@
 //! Integration: §3.4 robustness — outages remap buckets and degrade hit
-//! rates gracefully, across the constellation/core/sim crate boundary.
+//! rates gracefully, across the constellation/core/sim crate boundary;
+//! plus the time-varying extension: churn, link flaps, and cold-restart
+//! recovery through the fault-schedule subsystem.
 
 use spacegen::classes::TrafficClass;
 use spacegen::production::ProductionModel;
 use spacegen::trace::{Location, Trace};
+use starcdn::config::StarCdnConfig;
+use starcdn::system::SpaceCdn;
 use starcdn::variants::Variant;
 use starcdn_constellation::buckets::BucketTiling;
 use starcdn_constellation::failures::FailureModel;
+use starcdn_constellation::schedule::{ChurnParams, FaultEvent, FaultSchedule, TimedFault};
 use starcdn_orbit::time::SimDuration;
-use starcdn_sim::engine::SimConfig;
+use starcdn_sim::access_log::build_access_log;
+use starcdn_sim::engine::{
+    run_space, run_space_with_faults, run_space_with_faults_measured, SimConfig,
+};
 use starcdn_sim::experiment::Runner;
 use starcdn_sim::world::World;
 
@@ -70,9 +78,138 @@ fn extreme_outage_still_serves_all_requests() {
 }
 
 #[test]
+fn empty_schedule_is_bit_for_bit_identical_to_static_run() {
+    let t = trace();
+    let world = World::starlink_nine_cities();
+    let log = build_access_log(&world, &t, 15, &SimConfig::default().scheduler());
+    // Same world with an (empty) schedule attached: identical log.
+    let w2 = World::starlink_nine_cities().with_fault_schedule(FaultSchedule::empty());
+    let log2 = build_access_log(&w2, &t, 15, &SimConfig::default().scheduler());
+    assert_eq!(log, log2, "empty schedule must not perturb scheduling");
+
+    let cfg = StarCdnConfig::starcdn(9, 5_000_000);
+    let mut plain = SpaceCdn::new(cfg.clone());
+    let m_plain = run_space(&mut plain, &log);
+    let mut churn = SpaceCdn::new(cfg);
+    let m_churn = run_space_with_faults(&mut churn, &log2, &w2.schedule);
+    assert_eq!(m_plain.stats, m_churn.stats);
+    assert_eq!(m_plain.latencies_ms, m_churn.latencies_ms);
+    assert_eq!(m_plain.uplink_bytes, m_churn.uplink_bytes);
+    assert_eq!(m_plain.per_satellite, m_churn.per_satellite);
+    assert!(m_churn.availability.is_empty());
+    assert_eq!(m_churn.cold_restart_misses, 0);
+}
+
+#[test]
+fn mass_outage_at_t0_reproduces_static_outage_metrics() {
+    let t = trace();
+    let world = World::starlink_nine_cities();
+    let outage = FailureModel::sample(&world.grid, 126, 43);
+    let cfg = StarCdnConfig::starcdn(9, 5_000_000);
+
+    // Static path: outage frozen for the whole run.
+    let w_static = World::starlink_nine_cities().with_failures(outage.clone());
+    let log_static = build_access_log(&w_static, &t, 15, &SimConfig::default().scheduler());
+    let mut s = SpaceCdn::with_failures(cfg.clone(), outage.clone());
+    let m_static = run_space(&mut s, &log_static);
+
+    // Dynamic path: the same satellites die at t = 0 and never recover.
+    let sched = FaultSchedule::mass_outage_at(0, outage.dead());
+    let w_churn = World::starlink_nine_cities().with_fault_schedule(sched.clone());
+    let log_churn = build_access_log(&w_churn, &t, 15, &SimConfig::default().scheduler());
+    assert_eq!(log_static, log_churn, "t=0 mass outage must schedule like the static set");
+
+    let mut c = SpaceCdn::new(cfg);
+    let m_churn = run_space_with_faults(&mut c, &log_churn, &sched);
+    assert_eq!(m_static.stats, m_churn.stats);
+    assert_eq!(m_static.uplink_bytes, m_churn.uplink_bytes);
+    assert_eq!(m_static.latencies_ms, m_churn.latencies_ms);
+    assert_eq!(m_static.per_satellite, m_churn.per_satellite);
+    assert_eq!(m_static.remapped_requests, m_churn.remapped_requests);
+    assert_eq!(m_static.reroute_extra_hops, m_churn.reroute_extra_hops);
+    assert_eq!(m_churn.cold_restart_misses, 0, "nobody ever recovers");
+    // The dynamic run additionally carries the availability timeline.
+    assert!(!m_churn.availability.is_empty());
+    assert!(m_churn.availability.iter().all(|p| p.alive_sats == 1296 - 126));
+}
+
+#[test]
+fn recovered_satellites_rewarm_within_the_run() {
+    // 300 satellites are dead from t = 0 and all recover at t = 3600 in a
+    // 2 h trace: cold-restart misses must be observed, and the hit rate
+    // of the second post-recovery half-hour must beat the first (the
+    // caches measurably re-warm).
+    let t = trace();
+    let world = World::starlink_nine_cities();
+    let outage = FailureModel::sample(&world.grid, 300, 71);
+    let mut events: Vec<TimedFault> = outage
+        .dead()
+        .map(|s| TimedFault { at_secs: 0, event: FaultEvent::SatDown(s) })
+        .collect();
+    events.extend(outage.dead().map(|s| TimedFault { at_secs: 3600, event: FaultEvent::SatUp(s) }));
+    let sched = FaultSchedule::from_events(events);
+    let w = World::starlink_nine_cities().with_fault_schedule(sched.clone());
+    let log = build_access_log(&w, &t, 15, &SimConfig::default().scheduler());
+    let cfg = StarCdnConfig::starcdn(9, 5_000_000);
+
+    let mut full = SpaceCdn::new(cfg.clone());
+    let m_full = run_space_with_faults(&mut full, &log, &sched);
+    assert!(m_full.cold_restart_misses > 0, "recovery must be observed as cold misses");
+    assert!(m_full.remapped_requests > 0, "outage phase remaps");
+    // Availability timeline shows the dip and the recovery.
+    let first = m_full.availability.first().unwrap();
+    let last = m_full.availability.last().unwrap();
+    assert_eq!(first.alive_sats, 1296 - 300);
+    assert_eq!(last.alive_sats, 1296);
+
+    // Windowed hit rates after recovery (deterministic runs, so the
+    // difference of two measured tails isolates the early window).
+    let mut a = SpaceCdn::new(cfg.clone());
+    let m_a = run_space_with_faults_measured(&mut a, &log, &sched, 3600); // [3600, end)
+    let mut b = SpaceCdn::new(cfg);
+    let m_b = run_space_with_faults_measured(&mut b, &log, &sched, 5400); // [5400, end)
+    let early_requests = m_a.stats.requests - m_b.stats.requests;
+    let early_hits = m_a.stats.hits - m_b.stats.hits;
+    assert!(early_requests > 0 && m_b.stats.requests > 0, "both windows see traffic");
+    let early_rate = early_hits as f64 / early_requests as f64;
+    let late_rate = m_b.stats.request_hit_rate();
+    assert!(
+        late_rate > early_rate,
+        "hit rate must recover after the cold restarts: early {early_rate:.4} late {late_rate:.4}"
+    );
+}
+
+#[test]
+fn link_flap_churn_runs_and_reroutes() {
+    // Pure link churn: no satellite ever dies, so ownership is stable,
+    // but BFS pays extra hops to route around cut ISLs.
+    let t = trace();
+    let world = World::starlink_nine_cities();
+    let params = ChurnParams {
+        sat_mtbf_secs: 1e15, // effectively no satellite churn
+        sat_mttr_secs: 60.0,
+        link_mtbf_secs: Some(6.0 * 3600.0),
+        link_mttr_secs: 900.0,
+        horizon_secs: 7200,
+        seed: 77,
+    };
+    let sched = FaultSchedule::churn(&world.grid, &params);
+    assert!(!sched.is_empty(), "2 h over 2592 links at 6 h MTBF must flap something");
+    let w = World::starlink_nine_cities().with_fault_schedule(sched.clone());
+    let log = build_access_log(&w, &t, 15, &SimConfig::default().scheduler());
+    let mut cdn = SpaceCdn::new(StarCdnConfig::starcdn(9, 5_000_000));
+    let m = run_space_with_faults(&mut cdn, &log, &sched);
+    assert_eq!(m.stats.requests as usize, t.len());
+    assert_eq!(m.cold_restart_misses, 0, "links flapping wipes no caches");
+    assert_eq!(m.remapped_requests, 0, "ownership is node-liveness based");
+    assert!(m.availability.iter().all(|p| p.alive_sats == 1296));
+    assert!(m.availability.iter().any(|p| p.cut_links > 0), "some epoch saw a cut link");
+    assert!(m.reroute_extra_hops > 0, "detours around cut links cost hops");
+}
+
+#[test]
 fn scheduler_and_fleet_agree_on_liveness() {
     // No request may be first-contacted by a dead satellite.
-    use starcdn_sim::access_log::build_access_log;
     let t = trace();
     let world = World::starlink_nine_cities();
     let failures = FailureModel::sample(&world.grid, 200, 59);

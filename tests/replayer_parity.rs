@@ -7,10 +7,11 @@ use spacegen::trace::Location;
 use starcdn::config::StarCdnConfig;
 use starcdn::system::SpaceCdn;
 use starcdn_constellation::failures::FailureModel;
+use starcdn_constellation::schedule::{ChurnParams, FaultSchedule};
 use starcdn_orbit::time::SimDuration;
 use starcdn_sim::access_log::{build_access_log, AccessLog};
-use starcdn_sim::engine::{run_space, SimConfig};
-use starcdn_sim::replayer::replay_parallel;
+use starcdn_sim::engine::{run_space, run_space_with_faults, SimConfig};
+use starcdn_sim::replayer::{replay_parallel, replay_parallel_with_faults};
 use starcdn_sim::world::World;
 
 fn log() -> AccessLog {
@@ -45,6 +46,58 @@ fn parallel_close_parity_with_relay() {
     assert_eq!(par.stats.requests, reference.stats.requests);
     let d = (par.stats.request_hit_rate() - reference.stats.request_hit_rate()).abs();
     assert!(d < 0.03, "relay parity drift {d}");
+}
+
+#[test]
+fn parallel_exact_parity_under_churn() {
+    // A nonempty time-varying schedule (satellite churn + link flaps):
+    // the sequential engine and the parallel replayer must agree on
+    // every metric, including the degraded-mode counters and the
+    // availability timeline, at any worker count.
+    let locations = Location::akamai_nine();
+    let model = ProductionModel::build(TrafficClass::Video.params().scaled(0.02), &locations, 61);
+    let trace = model.generate_trace(SimDuration::from_hours(1), 61);
+    let world = World::starlink_nine_cities();
+    let params = ChurnParams {
+        sat_mtbf_secs: 3.0 * 3600.0,
+        sat_mttr_secs: 600.0,
+        link_mtbf_secs: Some(4.0 * 3600.0),
+        link_mttr_secs: 600.0,
+        horizon_secs: 3600,
+        seed: 91,
+    };
+    let sched = FaultSchedule::churn(&world.grid, &params);
+    assert!(!sched.is_empty(), "1 h at 3 h MTBF over 1296 satellites must churn");
+    let world = world.with_fault_schedule(sched.clone());
+    let log = build_access_log(&world, &trace, 15, &SimConfig::default().scheduler());
+
+    let cfg = StarCdnConfig::starcdn_no_relay(9, 5_000_000);
+    let mut seq = SpaceCdn::new(cfg.clone());
+    let reference = run_space_with_faults(&mut seq, &log, &sched);
+    assert!(reference.cold_restart_misses > 0, "churn must surface cold restarts");
+    assert!(reference.remapped_requests > 0, "churn must remap some requests");
+    for workers in [1, 3, 8] {
+        let par = replay_parallel_with_faults(cfg.clone(), FailureModel::none(), &log, &sched, workers);
+        assert_eq!(par.stats, reference.stats, "{workers} workers");
+        assert_eq!(par.uplink_bytes, reference.uplink_bytes, "{workers} workers");
+        assert_eq!(par.per_satellite, reference.per_satellite, "{workers} workers");
+        assert_eq!(par.cold_restart_misses, reference.cold_restart_misses, "{workers} workers");
+        assert_eq!(par.remapped_requests, reference.remapped_requests, "{workers} workers");
+        assert_eq!(par.reroute_extra_hops, reference.reroute_extra_hops, "{workers} workers");
+        assert_eq!(par.availability, reference.availability, "{workers} workers");
+    }
+}
+
+#[test]
+fn parallel_empty_schedule_matches_static_replayer() {
+    let log = log();
+    let cfg = StarCdnConfig::starcdn_no_relay(9, 5_000_000);
+    let plain = replay_parallel(cfg.clone(), FailureModel::none(), &log, 4);
+    let empty = replay_parallel_with_faults(cfg, FailureModel::none(), &log, &FaultSchedule::empty(), 4);
+    assert_eq!(plain.stats, empty.stats);
+    assert_eq!(plain.per_satellite, empty.per_satellite);
+    assert_eq!(plain.uplink_bytes, empty.uplink_bytes);
+    assert!(empty.availability.is_empty());
 }
 
 #[test]
