@@ -20,12 +20,7 @@ fn small_log() -> AccessLog {
     let locations = Location::akamai_nine();
     let model = ProductionModel::build(TrafficClass::Video.params().scaled(0.02), &locations, 3);
     let trace = model.generate_trace(SimDuration::from_mins(45), 3);
-    build_access_log(
-        &World::starlink_nine_cities(),
-        &trace,
-        15,
-        &SimConfig::default().scheduler(),
-    )
+    build_access_log(&World::starlink_nine_cities(), &trace, 15, &SimConfig::default().scheduler())
 }
 
 fn bench_request_path(c: &mut Criterion) {
@@ -75,9 +70,7 @@ fn bench_access_log(c: &mut Criterion) {
     g.sample_size(15);
     g.bench_function("build_access_log_30min", |b| {
         b.iter(|| {
-            black_box(
-                build_access_log(&world, &trace, 15, &SimConfig::default().scheduler()).len(),
-            )
+            black_box(build_access_log(&world, &trace, 15, &SimConfig::default().scheduler()).len())
         })
     });
     g.finish();

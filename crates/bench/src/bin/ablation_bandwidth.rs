@@ -7,13 +7,13 @@
 //! barely notice. This binary shows how the Fig. 10 medians shift when
 //! transmission delay is modelled.
 
+use spacegen::classes::TrafficClass;
 use starcdn::config::StarCdnConfig;
 use starcdn::system::SpaceCdn;
+use starcdn_bench::args;
 use starcdn_bench::table::{ms, print_table};
 use starcdn_bench::workload::{cache_bytes_for_gb, Workload};
-use starcdn_bench::args;
 use starcdn_sim::engine::run_space;
-use spacegen::classes::TrafficClass;
 
 fn main() {
     let a = args::from_env();

@@ -46,8 +46,7 @@ fn main() {
         let world = base.with_fault_schedule(schedule);
         let runner = Runner::new(world, &w.production, sim);
         let m = runner.run(Variant::StarCdn { l: 9 }, cache);
-        let min_alive =
-            m.availability.iter().map(|p| p.alive_sats).min().unwrap_or(1296);
+        let min_alive = m.availability.iter().map(|p| p.alive_sats).min().unwrap_or(1296);
         rows.push(vec![
             label.to_string(),
             pct(m.stats.request_hit_rate()),

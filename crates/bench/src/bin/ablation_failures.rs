@@ -2,14 +2,14 @@
 //! vs long-term (consistent-hash remap to the next available satellite)
 //! — across outage sizes.
 
+use spacegen::classes::TrafficClass;
 use starcdn::config::StarCdnConfig;
 use starcdn::system::SpaceCdn;
+use starcdn_bench::args;
 use starcdn_bench::table::{pct, print_table};
 use starcdn_bench::workload::{cache_bytes_for_gb, Workload};
-use starcdn_bench::args;
 use starcdn_constellation::failures::FailureModel;
 use starcdn_sim::engine::run_space;
-use spacegen::classes::TrafficClass;
 
 fn main() {
     let a = args::from_env();

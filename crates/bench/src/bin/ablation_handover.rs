@@ -6,13 +6,13 @@
 //! contact routes to the same bucket owner), vs a full bent-pipe
 //! restart without a space cache.
 
+use spacegen::classes::TrafficClass;
+use starcdn_bench::args;
 use starcdn_bench::table::{pct, print_table};
 use starcdn_bench::workload::Workload;
-use starcdn_bench::args;
 use starcdn_sim::engine::SimConfig;
 use starcdn_sim::transfers::{simulate_transfers, TransferConfig};
 use starcdn_sim::world::World;
-use spacegen::classes::TrafficClass;
 
 fn main() {
     let a = args::from_env();
@@ -28,7 +28,8 @@ fn main() {
 
     let mut rows = Vec::new();
     for rate in [25.0f64, 50.0, 100.0, 200.0] {
-        let star = simulate_transfers(&world, &log, sim.scheduler(), &TransferConfig::starcdn(rate));
+        let star =
+            simulate_transfers(&world, &log, sim.scheduler(), &TransferConfig::starcdn(rate));
         let pipe =
             simulate_transfers(&world, &log, sim.scheduler(), &TransferConfig::bent_pipe(rate));
         rows.push(vec![

@@ -6,18 +6,18 @@
 //! same satellite caches. This binary runs the merged workload and
 //! breaks hit rates out per class.
 
-use starcdn::config::StarCdnConfig;
-use starcdn::system::SpaceCdn;
-use starcdn_bench::table::{pct, print_table};
-use starcdn_bench::args;
-use starcdn_sim::engine::SimConfig;
-use starcdn_sim::access_log::build_access_log;
-use starcdn_sim::world::World;
 use spacegen::classes::TrafficClass;
 use spacegen::production::mixed_trace;
 use spacegen::trace::Location;
+use starcdn::config::StarCdnConfig;
+use starcdn::system::SpaceCdn;
+use starcdn_bench::args;
+use starcdn_bench::table::{pct, print_table};
 use starcdn_cache::stats::CacheStats;
 use starcdn_orbit::time::SimDuration;
+use starcdn_sim::access_log::build_access_log;
+use starcdn_sim::engine::SimConfig;
+use starcdn_sim::world::World;
 
 fn main() {
     let a = args::from_env();

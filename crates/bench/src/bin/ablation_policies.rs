@@ -6,14 +6,14 @@
 //! the same workload, also covering SLRU (the "LRU variant" family of
 //! §2.2) and FIFO.
 
+use spacegen::classes::TrafficClass;
 use starcdn::config::StarCdnConfig;
 use starcdn::system::SpaceCdn;
+use starcdn_bench::args;
 use starcdn_bench::table::{pct, print_table};
 use starcdn_bench::workload::{cache_bytes_for_gb, Workload};
-use starcdn_bench::args;
 use starcdn_cache::policy::PolicyKind;
 use starcdn_sim::engine::run_space;
-use spacegen::classes::TrafficClass;
 
 fn main() {
     let a = args::from_env();

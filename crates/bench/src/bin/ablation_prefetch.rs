@@ -8,11 +8,11 @@
 //! traffic (relayed bytes move exactly one requested object; prefetch
 //! bytes move speculative top-k sets every epoch).
 
+use spacegen::classes::TrafficClass;
 use starcdn::variants::Variant;
+use starcdn_bench::args;
 use starcdn_bench::table::{bytes_h, pct, print_table};
 use starcdn_bench::workload::{cache_bytes_for_gb, Workload};
-use starcdn_bench::args;
-use spacegen::classes::TrafficClass;
 
 fn main() {
     let a = args::from_env();

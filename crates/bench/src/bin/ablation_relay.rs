@@ -5,13 +5,13 @@
 //! flew this ground track — is the profitable direction (Table 3).
 //! This binary separates the two contributions.
 
+use spacegen::classes::TrafficClass;
 use starcdn::config::{RelayPolicy, StarCdnConfig};
 use starcdn::system::SpaceCdn;
+use starcdn_bench::args;
 use starcdn_bench::table::{pct, print_table};
 use starcdn_bench::workload::{cache_bytes_for_gb, Workload};
-use starcdn_bench::args;
 use starcdn_sim::engine::run_space;
-use spacegen::classes::TrafficClass;
 
 fn main() {
     let a = args::from_env();

@@ -7,14 +7,14 @@
 //! virtual users spread one city's traffic across more first-contact
 //! satellites (amplifying the redundancy hashing removes).
 
+use spacegen::classes::TrafficClass;
 use starcdn::variants::Variant;
+use starcdn_bench::args;
 use starcdn_bench::table::{pct, print_table};
 use starcdn_bench::workload::{cache_bytes_for_gb, Workload};
-use starcdn_bench::args;
 use starcdn_sim::engine::SimConfig;
 use starcdn_sim::experiment::Runner;
 use starcdn_sim::world::World;
-use spacegen::classes::TrafficClass;
 
 fn main() {
     let a = args::from_env();

@@ -1,0 +1,220 @@
+//! Pipeline throughput benchmark: entries/sec for every stage of the
+//! trace → access-log → replay pipeline, plus the visibility-culling
+//! microbenchmark. Writes `BENCH_pipeline.json` so subsequent changes
+//! have a perf trajectory to defend.
+//!
+//! Stages measured:
+//! * access-log build, sequential and parallel at 1/2/4/8 workers
+//!   (parallel output is asserted bit-for-bit equal to sequential);
+//! * per-satellite visibility scan, exact-only vs culled vs top-k;
+//! * deterministic engine replay (`run_space`);
+//! * parallel sharded replayer (`replay_parallel`).
+
+use serde::Serialize;
+use spacegen::classes::TrafficClass;
+use starcdn::config::StarCdnConfig;
+use starcdn::system::SpaceCdn;
+use starcdn_bench::args;
+use starcdn_bench::table::print_table;
+use starcdn_bench::workload::{cache_bytes_for_gb, Workload};
+use starcdn_orbit::coords::{Ecef, Geodetic};
+use starcdn_orbit::time::SimTime;
+use starcdn_orbit::visibility::{
+    elevation_and_range, visible_from_positions, visible_top_k_from_positions,
+};
+use starcdn_sim::engine::{run_space, SimConfig};
+use starcdn_sim::replayer::replay_parallel;
+use starcdn_sim::{build_access_log, build_access_log_parallel, World};
+use std::time::Instant;
+
+const LOG_WORKERS: [usize; 4] = [1, 2, 4, 8];
+const REPLAY_WORKERS: usize = 8;
+/// Epochs scanned by the visibility microbenchmark (one simulated hour).
+const VIS_EPOCHS: u64 = 240;
+
+#[derive(Debug, Serialize)]
+struct StageResult {
+    stage: String,
+    items: u64,
+    secs: f64,
+    items_per_sec: f64,
+    /// Speedup over this stage's named baseline (1.0 for baselines).
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    scale: String,
+    seed: u64,
+    trace_entries: u64,
+    hardware_threads: usize,
+    stages: Vec<StageResult>,
+}
+
+fn stage(name: &str, items: u64, secs: f64, baseline_secs: f64) -> StageResult {
+    StageResult {
+        stage: name.to_string(),
+        items,
+        secs,
+        items_per_sec: items as f64 / secs.max(1e-9),
+        speedup: baseline_secs / secs.max(1e-9),
+    }
+}
+
+/// The pre-culling exact visibility scan, kept here as the "before"
+/// side of the culling microbenchmark.
+fn visible_exact_only(
+    world: &World,
+    positions: &[Ecef],
+    ground: Geodetic,
+    min_elevation_deg: f64,
+) -> usize {
+    let g = ground.to_ecef();
+    world
+        .satellites
+        .iter()
+        .zip(positions)
+        .filter(|(_, p)| elevation_and_range(&g, p).0 >= min_elevation_deg)
+        .count()
+}
+
+fn main() {
+    let a = args::from_env();
+    let w = Workload::build(TrafficClass::Video, a);
+    let (_, ws) = w.production.unique_objects();
+    let cache = cache_bytes_for_gb(50, ws);
+    let sim = SimConfig { seed: a.seed, ..SimConfig::default() };
+    let scheduler = sim.scheduler();
+    let world = World::starlink_nine_cities();
+    let entries = w.production.len() as u64;
+    let mut stages = Vec::new();
+
+    // Stage 1: access-log build, sequential baseline then parallel.
+    let t0 = Instant::now();
+    let seq = build_access_log(&world, &w.production, sim.epoch_secs, &scheduler);
+    let seq_secs = t0.elapsed().as_secs_f64();
+    stages.push(stage("log_build_seq", entries, seq_secs, seq_secs));
+    for workers in LOG_WORKERS {
+        let t0 = Instant::now();
+        let par =
+            build_access_log_parallel(&world, &w.production, sim.epoch_secs, &scheduler, workers);
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(seq, par, "parallel log build diverged at {workers} workers");
+        stages.push(stage(&format!("log_build_par{workers}"), entries, secs, seq_secs));
+    }
+
+    // Stage 2: visibility scan — exact-only vs culled vs top-k, all nine
+    // cities over VIS_EPOCHS epochs.
+    let grounds: Vec<Geodetic> =
+        world.locations.iter().map(|l| Geodetic::from_degrees(l.lat_deg, l.lon_deg, 0.0)).collect();
+    let scans = VIS_EPOCHS * grounds.len() as u64 * world.satellites.len() as u64;
+    let mut snap = world.snapshot();
+    let mut sink = 0usize;
+    let t0 = Instant::now();
+    for e in 0..VIS_EPOCHS {
+        snap.advance_to(SimTime::from_secs(e * sim.epoch_secs));
+        for g in &grounds {
+            sink += visible_exact_only(&world, snap.positions(), *g, sim.min_elevation_deg);
+        }
+    }
+    let exact_secs = t0.elapsed().as_secs_f64();
+    stages.push(stage("visibility_exact", scans, exact_secs, exact_secs));
+    let mut culled_sink = 0usize;
+    let t0 = Instant::now();
+    for e in 0..VIS_EPOCHS {
+        snap.advance_to(SimTime::from_secs(e * sim.epoch_secs));
+        for g in &grounds {
+            culled_sink += visible_from_positions(
+                &world.satellites,
+                snap.positions(),
+                *g,
+                sim.min_elevation_deg,
+            )
+            .len();
+        }
+    }
+    let culled_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(sink, culled_sink, "culling changed the visible set");
+    stages.push(stage("visibility_culled", scans, culled_secs, exact_secs));
+    let t0 = Instant::now();
+    let mut topk_sink = 0usize;
+    for e in 0..VIS_EPOCHS {
+        snap.advance_to(SimTime::from_secs(e * sim.epoch_secs));
+        for g in &grounds {
+            topk_sink += visible_top_k_from_positions(
+                &world.satellites,
+                snap.positions(),
+                *g,
+                sim.min_elevation_deg,
+                sim.top_k,
+                |_| true,
+            )
+            .len();
+        }
+    }
+    let topk_secs = t0.elapsed().as_secs_f64();
+    assert!(topk_sink <= culled_sink);
+    stages.push(stage("visibility_top_k", scans, topk_secs, exact_secs));
+
+    // Stage 3: deterministic engine replay.
+    let mut cdn = SpaceCdn::new(StarCdnConfig::starcdn(9, cache));
+    let t0 = Instant::now();
+    let m = run_space(&mut cdn, &seq);
+    let replay_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(m.stats.requests, seq.len() as u64);
+    stages.push(stage("engine_replay", entries, replay_secs, replay_secs));
+
+    // Stage 4: parallel sharded replayer.
+    let t0 = Instant::now();
+    let mp = replay_parallel(
+        StarCdnConfig::starcdn(9, cache),
+        world.failures.clone(),
+        &seq,
+        REPLAY_WORKERS,
+    );
+    let par_replay_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(mp.stats.requests, seq.len() as u64);
+    stages.push(stage(
+        &format!("replayer_par{REPLAY_WORKERS}"),
+        entries,
+        par_replay_secs,
+        replay_secs,
+    ));
+
+    let report = BenchReport {
+        scale: format!("{:?}", a.scale),
+        seed: a.seed,
+        trace_entries: entries,
+        hardware_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        stages,
+    };
+    println!(
+        "scale={} seed={} trace_entries={} hardware_threads={}",
+        report.scale, report.seed, report.trace_entries, report.hardware_threads
+    );
+    let rows: Vec<Vec<String>> = report
+        .stages
+        .iter()
+        .map(|s| {
+            vec![
+                s.stage.clone(),
+                s.items.to_string(),
+                format!("{:.3}", s.secs),
+                format!("{:.0}", s.items_per_sec),
+                format!("{:.2}x", s.speedup),
+            ]
+        })
+        .collect();
+    print_table(
+        "Pipeline throughput: trace -> access log -> replay. Speedups are against \
+         each stage's baseline (sequential build / exact visibility scan / \
+         sequential replay)",
+        &["stage", "items", "secs", "items/s", "speedup"],
+        &rows,
+    );
+
+    let out = std::fs::File::create("BENCH_pipeline.json").expect("create BENCH_pipeline.json");
+    serde_json::to_writer_pretty(std::io::BufWriter::new(out), &report)
+        .expect("write BENCH_pipeline.json");
+    println!("\nwrote BENCH_pipeline.json");
+}

@@ -3,11 +3,11 @@
 //! `workload::RATIO_AT_100GB` so that the paper's 10–100 GB labels land
 //! in the paper's hit-rate bands (LRU ≈ 60 %, StarCDN ≈ 71–75 %).
 
+use spacegen::classes::TrafficClass;
 use starcdn::variants::Variant;
 use starcdn_bench::table::{pct, print_table};
 use starcdn_bench::workload::Workload;
 use starcdn_bench::{args, Scale};
-use spacegen::classes::TrafficClass;
 
 fn main() {
     let a = args::from_env();

@@ -5,8 +5,8 @@
 
 use spacegen::classes::TrafficClass;
 use spacegen::fd::FootprintDescriptor;
-use starcdn_bench::workload::Workload;
 use starcdn_bench::args;
+use starcdn_bench::workload::Workload;
 use std::collections::HashMap;
 
 fn main() {

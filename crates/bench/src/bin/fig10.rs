@@ -5,11 +5,11 @@
 //! Paper: StarCDN's median is 22 ms vs 55 ms for regular Starlink
 //! (2.5× better), with a long tail from cache misses.
 
+use spacegen::classes::TrafficClass;
 use starcdn::variants::Variant;
+use starcdn_bench::args;
 use starcdn_bench::table::{ms, print_table};
 use starcdn_bench::workload::{cache_bytes_for_gb, Workload};
-use starcdn_bench::args;
-use spacegen::classes::TrafficClass;
 
 fn main() {
     let a = args::from_env();
@@ -38,7 +38,9 @@ fn main() {
             rows.push(row);
         }
         print_table(
-            &format!("Fig. 10 (L={l}): latency quantiles (paper: StarCDN median 22ms vs Starlink 55ms)"),
+            &format!(
+                "Fig. 10 (L={l}): latency quantiles (paper: StarCDN median 22ms vs Starlink 55ms)"
+            ),
             &["system", "p10", "p25", "p50", "p75", "p90", "p99"],
             &rows,
         );

@@ -6,16 +6,16 @@
 //! bucket IDs costs up to 7 pts RHR / 5 pts BHR, yet StarCDN still
 //! saves 74 % of uplink bandwidth.
 
+use spacegen::classes::TrafficClass;
 use starcdn::variants::Variant;
+use starcdn_bench::args;
 use starcdn_bench::table::{pct, print_table};
 use starcdn_bench::workload::{cache_bytes_for_gb, Workload};
-use starcdn_bench::args;
 use starcdn_cache::stats::CacheStats;
 use starcdn_constellation::buckets::BucketTiling;
 use starcdn_constellation::failures::FailureModel;
 use starcdn_sim::experiment::Runner;
 use starcdn_sim::world::World;
-use spacegen::classes::TrafficClass;
 use std::collections::HashMap;
 
 fn main() {
@@ -69,8 +69,5 @@ fn main() {
         &["buckets served", "requests", "RHR", "BHR"],
         &rows,
     );
-    println!(
-        "overall uplink saved vs no cache: {} (paper: 74%)",
-        pct(1.0 - m.uplink_fraction())
-    );
+    println!("overall uplink saved vs no cache: {} (paper: 74%)", pct(1.0 - m.uplink_fraction()));
 }

@@ -6,11 +6,11 @@
 //! outperforms L = 4; hit-rate curves rise more gradually than video
 //! because these classes have smaller footprints.
 
+use spacegen::classes::TrafficClass;
 use starcdn::variants::Variant;
+use starcdn_bench::args;
 use starcdn_bench::table::{pct, print_table};
 use starcdn_bench::workload::{cache_bytes_for_gb, Workload};
-use starcdn_bench::args;
-use spacegen::classes::TrafficClass;
 
 fn main() {
     let a = args::from_env();
@@ -45,11 +45,18 @@ fn main() {
             rhr_rows.push(rhr);
             bhr_rows.push(bhr);
         }
-        let header: Vec<String> =
-            std::iter::once("cache".to_string()).chain(variants.iter().map(|v| v.label())).collect();
+        let header: Vec<String> = std::iter::once("cache".to_string())
+            .chain(variants.iter().map(|v| v.label()))
+            .collect();
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-        print_table(&format!("Fig. 12 ({}): request hit rate", class.name()), &header_refs, &rhr_rows);
+        print_table(
+            &format!("Fig. 12 ({}): request hit rate", class.name()),
+            &header_refs,
+            &rhr_rows,
+        );
         print_table(&format!("Fig. 12 ({}): byte hit rate", class.name()), &header_refs, &bhr_rows);
     }
-    println!("\npaper: StarCDN boosts download BHR by >30%; fewer buckets (L=4) < more buckets (L=9)");
+    println!(
+        "\npaper: StarCDN boosts download BHR by >30%; fewer buckets (L=4) < more buckets (L=9)"
+    );
 }

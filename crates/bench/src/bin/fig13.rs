@@ -8,9 +8,9 @@
 
 use spacegen::classes::TrafficClass;
 use starcdn::variants::Variant;
+use starcdn_bench::args;
 use starcdn_bench::table::{pct, print_table};
 use starcdn_bench::workload::{cache_bytes_for_gb, Workload};
-use starcdn_bench::args;
 use starcdn_cache::policy::PolicyKind;
 use starcdn_cache::simulate::hit_rate_curve;
 

@@ -6,9 +6,9 @@
 
 use spacegen::classes::TrafficClass;
 use spacegen::validate::overlap_vs_distance;
+use starcdn_bench::args;
 use starcdn_bench::table::{pct, print_table};
 use starcdn_bench::workload::Workload;
-use starcdn_bench::args;
 
 fn main() {
     let a = args::from_env();
@@ -35,8 +35,13 @@ fn main() {
     // Summary bands matching the paper's prose.
     let near: Vec<_> = series.iter().filter(|d| d.distance_km < 3000.0).collect();
     let far: Vec<_> = series.iter().filter(|d| d.distance_km >= 3000.0).collect();
-    let avg = |v: &[&spacegen::validate::DistanceOverlap], f: fn(&spacegen::validate::DistanceOverlap) -> f64| {
-        if v.is_empty() { 0.0 } else { v.iter().map(|d| f(d)).sum::<f64>() / v.len() as f64 }
+    let avg = |v: &[&spacegen::validate::DistanceOverlap],
+               f: fn(&spacegen::validate::DistanceOverlap) -> f64| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().map(|d| f(d)).sum::<f64>() / v.len() as f64
+        }
     };
     println!(
         "\n<3000 km: objects {} traffic {}   |   ≥3000 km: objects {} traffic {}",

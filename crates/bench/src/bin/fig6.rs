@@ -9,9 +9,9 @@
 use spacegen::classes::TrafficClass;
 use spacegen::validate::{cdf_distance, object_spread_cdf, traffic_spread_cdf};
 use starcdn::variants::Variant;
+use starcdn_bench::args;
 use starcdn_bench::table::{pct, print_table};
 use starcdn_bench::workload::{cache_bytes_for_gb, Workload};
-use starcdn_bench::args;
 use starcdn_cache::policy::PolicyKind;
 use starcdn_cache::simulate::hit_rate_curve;
 
@@ -27,15 +27,7 @@ fn main() {
     let tsp = traffic_spread_cdf(&w.production, n);
     let tss = traffic_spread_cdf(&synth, n);
     let rows: Vec<Vec<String>> = (0..n)
-        .map(|k| {
-            vec![
-                format!("{}", k + 1),
-                pct(osp[k]),
-                pct(oss[k]),
-                pct(tsp[k]),
-                pct(tss[k]),
-            ]
-        })
+        .map(|k| vec![format!("{}", k + 1), pct(osp[k]), pct(oss[k]), pct(tsp[k]), pct(tss[k])])
         .collect();
     print_table(
         "Fig. 6a/6b: spread CDFs (fraction of objects/traffic at ≤ k locations)",

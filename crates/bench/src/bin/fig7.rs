@@ -6,22 +6,18 @@
 //! (60 GB, L = 9); consistent hashing alone adds ~6 pts RHR (L = 4) /
 //! ~9.7 pts (L = 9); relayed fetch adds a further ~4.8 / ~4.1 pts.
 
+use spacegen::classes::TrafficClass;
 use starcdn::variants::Variant;
+use starcdn_bench::args;
 use starcdn_bench::table::{pct, print_table};
 use starcdn_bench::workload::{cache_bytes_for_gb, Workload, FIG7_SIZES_GB};
-use starcdn_bench::args;
-use spacegen::classes::TrafficClass;
 
 fn main() {
     let a = args::from_env();
     let w = Workload::build(TrafficClass::Video, a);
     let (_, ws) = w.production.unique_objects();
     let runner = w.runner(a.seed);
-    eprintln!(
-        "fig7: {} requests, working set {} bytes",
-        runner.log.len(),
-        ws
-    );
+    eprintln!("fig7: {} requests, working set {} bytes", runner.log.len(), ws);
 
     for l in [4u32, 9] {
         let variants = Variant::fig7_set(l);
@@ -39,19 +35,12 @@ fn main() {
             rhr_rows.push(rhr);
             bhr_rows.push(bhr);
         }
-        let header: Vec<String> =
-            std::iter::once("cache".to_string()).chain(variants.iter().map(|v| v.label())).collect();
+        let header: Vec<String> = std::iter::once("cache".to_string())
+            .chain(variants.iter().map(|v| v.label()))
+            .collect();
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-        print_table(
-            &format!("Fig. 7 (L={l}): request hit rate"),
-            &header_refs,
-            &rhr_rows,
-        );
-        print_table(
-            &format!("Fig. 7 (L={l}): byte hit rate"),
-            &header_refs,
-            &bhr_rows,
-        );
+        print_table(&format!("Fig. 7 (L={l}): request hit rate"), &header_refs, &rhr_rows);
+        print_table(&format!("Fig. 7 (L={l}): byte hit rate"), &header_refs, &bhr_rows);
     }
     println!("\npaper: LRU 60% vs StarCDN 71% RHR at 50 GB (L=4); max gap 15 pts (60 GB, L=9)");
 }

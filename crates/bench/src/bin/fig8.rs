@@ -4,11 +4,11 @@
 //! Paper: LRU uses 30–35 % of the no-cache uplink; full StarCDN
 //! (L = 9) uses just 20–25 %.
 
+use spacegen::classes::TrafficClass;
 use starcdn::variants::Variant;
+use starcdn_bench::args;
 use starcdn_bench::table::{pct, print_table};
 use starcdn_bench::workload::{cache_bytes_for_gb, Workload, FIG8_SIZES_GB};
-use starcdn_bench::args;
-use spacegen::classes::TrafficClass;
 
 fn main() {
     let a = args::from_env();

@@ -5,15 +5,15 @@
 //! bound equals L = 4's (2⌊√L/2⌋ hops), and beyond L = 9 the worst-case
 //! overhead becomes unaffordable (~40 ms) for ~5 % extra hit rate.
 
+use spacegen::classes::TrafficClass;
 use starcdn::latency::LatencyModel;
 use starcdn::variants::Variant;
+use starcdn_bench::args;
 use starcdn_bench::table::{ms, pct, print_table};
 use starcdn_bench::workload::{cache_bytes_for_gb, Workload};
-use starcdn_bench::args;
 use starcdn_constellation::analysis::bucket_routing_distribution;
 use starcdn_constellation::buckets::BucketTiling;
 use starcdn_constellation::grid::GridTopology;
-use spacegen::classes::TrafficClass;
 
 fn main() {
     let a = args::from_env();

@@ -5,13 +5,13 @@
 //! across the visibility cone of the nine trace cities over one orbital
 //! period. Paper values are printed alongside.
 
+use spacegen::trace::Location;
 use starcdn_bench::args;
 use starcdn_bench::table::print_table;
+use starcdn_constellation::isl::geometric_delay_stats;
 use starcdn_orbit::time::SimTime;
 use starcdn_orbit::visibility::{propagation_delay_ms_f64, visible_satellites};
 use starcdn_orbit::walker::WalkerConstellation;
-use spacegen::trace::Location;
-use starcdn_constellation::isl::geometric_delay_stats;
 
 fn main() {
     let _a = args::from_env();
@@ -37,13 +37,19 @@ fn main() {
         vec![
             "Intra-orbit ISL".into(),
             "8.03 / 0.376 / 4.76".into(),
-            format!("{:.2} / {:.3} / {:.2}", stats.intra_avg_ms, stats.intra_std_ms, stats.intra_min_ms),
+            format!(
+                "{:.2} / {:.3} / {:.2}",
+                stats.intra_avg_ms, stats.intra_std_ms, stats.intra_min_ms
+            ),
             "100".into(),
         ],
         vec![
             "Inter-orbit ISL".into(),
             "2.15 / 0.492 / 1.32".into(),
-            format!("{:.2} / {:.3} / {:.2}", stats.inter_avg_ms, stats.inter_std_ms, stats.inter_min_ms),
+            format!(
+                "{:.2} / {:.3} / {:.2}",
+                stats.inter_avg_ms, stats.inter_std_ms, stats.inter_min_ms
+            ),
             "100".into(),
         ],
         vec![

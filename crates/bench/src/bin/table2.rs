@@ -8,9 +8,9 @@
 
 use spacegen::classes::TrafficClass;
 use spacegen::validate::overlap_matrices;
+use starcdn_bench::args;
 use starcdn_bench::table::print_table;
 use starcdn_bench::workload::Workload;
-use starcdn_bench::args;
 
 fn main() {
     let a = args::from_env();

@@ -5,11 +5,11 @@
 //! paper reports that as the cache grows, more misses are rescued by the
 //! *west* neighbour alone — the satellite that just flew the same track.
 
+use spacegen::classes::TrafficClass;
 use starcdn::variants::Variant;
+use starcdn_bench::args;
 use starcdn_bench::table::{bytes_h, print_table};
 use starcdn_bench::workload::{cache_bytes_for_gb, Workload};
-use starcdn_bench::args;
-use spacegen::classes::TrafficClass;
 
 fn main() {
     let a = args::from_env();

@@ -38,13 +38,8 @@ impl Workload {
     /// (same fastest-location request count).
     pub fn synthetic(&self, seed: u64) -> Trace {
         let n = self.locations.len();
-        let fastest = self
-            .production
-            .split_by_location(n)
-            .iter()
-            .map(|t| t.len())
-            .max()
-            .unwrap_or(0);
+        let fastest =
+            self.production.split_by_location(n).iter().map(|t| t.len()).max().unwrap_or(0);
         generate_from_production(&self.production, n, fastest, seed)
     }
 

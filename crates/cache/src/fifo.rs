@@ -19,7 +19,12 @@ pub struct FifoCache {
 impl FifoCache {
     /// Create a FIFO cache holding at most `capacity_bytes`.
     pub fn new(capacity_bytes: u64) -> Self {
-        FifoCache { capacity: capacity_bytes, used: 0, queue: VecDeque::new(), index: HashMap::new() }
+        FifoCache {
+            capacity: capacity_bytes,
+            used: 0,
+            queue: VecDeque::new(),
+            index: HashMap::new(),
+        }
     }
 
     fn admit(&mut self, id: ObjectId, size: u64) {
@@ -85,12 +90,7 @@ impl Cache for FifoCache {
 
     fn hottest(&self, k: usize) -> Vec<(ObjectId, u64)> {
         // Newest admissions first.
-        self.queue
-            .iter()
-            .rev()
-            .take(k)
-            .map(|id| (*id, self.index[id]))
-            .collect()
+        self.queue.iter().rev().take(k).map(|id| (*id, self.index[id])).collect()
     }
 }
 

@@ -130,12 +130,7 @@ impl Cache for LfuCache {
 
     fn hottest(&self, k: usize) -> Vec<(ObjectId, u64)> {
         // Highest frequency (most recent tie-break) first.
-        self.order
-            .iter()
-            .rev()
-            .take(k)
-            .map(|&(_, _, id)| (id, self.index[&id].size))
-            .collect()
+        self.order.iter().rev().take(k).map(|&(_, _, id)| (id, self.index[&id].size)).collect()
     }
 }
 

@@ -140,7 +140,12 @@ pub struct LruCache {
 impl LruCache {
     /// Create an LRU cache holding at most `capacity_bytes`.
     pub fn new(capacity_bytes: u64) -> Self {
-        LruCache { capacity: capacity_bytes, used: 0, list: LinkedSlab::new(), index: HashMap::new() }
+        LruCache {
+            capacity: capacity_bytes,
+            used: 0,
+            list: LinkedSlab::new(),
+            index: HashMap::new(),
+        }
     }
 
     fn evict_until_fits(&mut self, need: u64) {

@@ -224,7 +224,7 @@ mod tests {
         let mut c = TinyLfuCache::new(200);
         c.access(ObjectId(1), 100);
         c.access(ObjectId(2), 100); // full, both freq 1
-        // Object 9 knocks until its frequency beats the LRU victim's.
+                                    // Object 9 knocks until its frequency beats the LRU victim's.
         for _ in 0..3 {
             c.access(ObjectId(9), 100);
         }

@@ -39,11 +39,7 @@ impl HopDistribution {
         if total == 0 {
             return 0.0;
         }
-        self.counts
-            .iter()
-            .enumerate()
-            .map(|(h, &c)| h as f64 * c as f64)
-            .sum::<f64>()
+        self.counts.iter().enumerate().map(|(h, &c)| h as f64 * c as f64).sum::<f64>()
             / total as f64
     }
 
@@ -66,9 +62,8 @@ impl HopDistribution {
 /// owner of every bucket — the per-request routing cost of consistent
 /// hashing, assuming requests land uniformly on first contacts.
 pub fn bucket_routing_distribution(grid: &GridTopology, tiling: &BucketTiling) -> HopDistribution {
-    let samples = grid.iter_ids().flat_map(|from| {
-        (0..tiling.num_buckets).map(move |b| (from, BucketId(b)))
-    });
+    let samples =
+        grid.iter_ids().flat_map(|from| (0..tiling.num_buckets).map(move |b| (from, BucketId(b))));
     HopDistribution::from_samples(samples.map(|(from, b)| {
         let owner = tiling.nearest_owner(grid, from, b);
         grid.hop_distance(from, owner)

@@ -85,15 +85,22 @@ impl BucketTiling {
     /// `bucket`, starting from `from`. Ties prefer the smaller offset on
     /// the plane axis, then the slot axis, eastward/northward first —
     /// deterministic so every satellite routes identically.
-    pub fn nearest_owner(&self, grid: &GridTopology, from: SatelliteId, bucket: BucketId) -> SatelliteId {
+    pub fn nearest_owner(
+        &self,
+        grid: &GridTopology,
+        from: SatelliteId,
+        bucket: BucketId,
+    ) -> SatelliteId {
         debug_assert!(bucket.0 < self.num_buckets);
         // Scan offsets outward on each axis independently: the bucket
         // pattern is axis-separable, so the nearest owner combines the
         // nearest plane residue with the nearest slot residue.
         let want_plane_mod = (bucket.0 / self.root) as u16;
         let want_slot_mod = (bucket.0 % self.root) as u16;
-        let plane = nearest_with_residue(from.orbit, want_plane_mod, self.root as u16, grid.num_planes);
-        let slot = nearest_with_residue(from.slot, want_slot_mod, self.root as u16, grid.sats_per_plane);
+        let plane =
+            nearest_with_residue(from.orbit, want_plane_mod, self.root as u16, grid.num_planes);
+        let slot =
+            nearest_with_residue(from.slot, want_slot_mod, self.root as u16, grid.sats_per_plane);
         SatelliteId::new(plane, slot)
     }
 }
@@ -194,7 +201,8 @@ mod tests {
         let g = grid();
         for l in [1u32, 4, 9] {
             let t = BucketTiling::new(l).unwrap();
-            for from in [SatelliteId::new(0, 0), SatelliteId::new(71, 17), SatelliteId::new(36, 8)] {
+            for from in [SatelliteId::new(0, 0), SatelliteId::new(71, 17), SatelliteId::new(36, 8)]
+            {
                 for b in 0..l {
                     let owner = t.nearest_owner(&g, from, BucketId(b));
                     assert_eq!(t.bucket_of_sat(owner), BucketId(b), "L={l} from={from} b={b}");

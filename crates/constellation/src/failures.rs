@@ -50,7 +50,11 @@ pub type LinkId = (SatelliteId, SatelliteId);
 
 /// Normalize an endpoint pair into a canonical [`LinkId`].
 pub fn link_id(a: SatelliteId, b: SatelliteId) -> LinkId {
-    if a <= b { (a, b) } else { (b, a) }
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
 }
 
 /// The current failure view: unavailable (out-of-slot) satellites plus
@@ -190,7 +194,11 @@ impl FailureModel {
     /// time if an entire plane is dead. Returns `None` if every satellite
     /// is dead or the walk runs off a degenerate grid (never panics —
     /// callers degrade to a ground fetch).
-    pub fn resolve_owner(&self, grid: &GridTopology, preferred: SatelliteId) -> Option<SatelliteId> {
+    pub fn resolve_owner(
+        &self,
+        grid: &GridTopology,
+        preferred: SatelliteId,
+    ) -> Option<SatelliteId> {
         if self.is_alive(preferred) {
             return Some(preferred);
         }
@@ -236,7 +244,11 @@ impl FailureModel {
 
 /// Helper: detect a full wrap of the north-walk within `preferred`'s
 /// current plane (the walk started at `preferred`'s slot).
-fn first_visited_in_plane(preferred: SatelliteId, cur: SatelliteId, _grid: &GridTopology) -> SatelliteId {
+fn first_visited_in_plane(
+    preferred: SatelliteId,
+    cur: SatelliteId,
+    _grid: &GridTopology,
+) -> SatelliteId {
     SatelliteId::new(cur.orbit, preferred.slot)
 }
 

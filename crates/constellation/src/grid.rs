@@ -33,7 +33,8 @@ pub enum Direction {
 
 impl Direction {
     /// All four directions in a fixed order.
-    pub const ALL: [Direction; 4] = [Direction::North, Direction::South, Direction::East, Direction::West];
+    pub const ALL: [Direction; 4] =
+        [Direction::North, Direction::South, Direction::East, Direction::West];
 
     /// Whether this is an inter-orbit (east/west) direction.
     pub fn is_inter_orbit(self) -> bool {
@@ -114,10 +115,7 @@ impl GridTopology {
 
     /// All existing neighbours of `id`, with their directions.
     pub fn neighbors(&self, id: SatelliteId) -> Vec<(Direction, SatelliteId)> {
-        Direction::ALL
-            .iter()
-            .filter_map(|&d| self.neighbor(id, d).map(|n| (d, n)))
-            .collect()
+        Direction::ALL.iter().filter_map(|&d| self.neighbor(id, d).map(|n| (d, n))).collect()
     }
 
     /// The inter-orbit neighbour `planes` hops west of `id` (wrapping).
@@ -155,8 +153,7 @@ impl GridTopology {
     /// Iterate over every slot id.
     pub fn iter_ids(&self) -> impl Iterator<Item = SatelliteId> + '_ {
         let spp = self.sats_per_plane;
-        (0..self.num_planes)
-            .flat_map(move |o| (0..spp).map(move |s| SatelliteId::new(o, s)))
+        (0..self.num_planes).flat_map(move |o| (0..spp).map(move |s| SatelliteId::new(o, s)))
     }
 }
 
@@ -187,15 +184,27 @@ mod tests {
     #[test]
     fn intra_orbit_wraps() {
         let g = grid();
-        assert_eq!(g.neighbor(SatelliteId::new(0, 17), Direction::North), Some(SatelliteId::new(0, 0)));
-        assert_eq!(g.neighbor(SatelliteId::new(0, 0), Direction::South), Some(SatelliteId::new(0, 17)));
+        assert_eq!(
+            g.neighbor(SatelliteId::new(0, 17), Direction::North),
+            Some(SatelliteId::new(0, 0))
+        );
+        assert_eq!(
+            g.neighbor(SatelliteId::new(0, 0), Direction::South),
+            Some(SatelliteId::new(0, 17))
+        );
     }
 
     #[test]
     fn inter_orbit_wraps_when_seamless() {
         let g = grid();
-        assert_eq!(g.neighbor(SatelliteId::new(71, 3), Direction::East), Some(SatelliteId::new(0, 3)));
-        assert_eq!(g.neighbor(SatelliteId::new(0, 3), Direction::West), Some(SatelliteId::new(71, 3)));
+        assert_eq!(
+            g.neighbor(SatelliteId::new(71, 3), Direction::East),
+            Some(SatelliteId::new(0, 3))
+        );
+        assert_eq!(
+            g.neighbor(SatelliteId::new(0, 3), Direction::West),
+            Some(SatelliteId::new(71, 3))
+        );
     }
 
     #[test]

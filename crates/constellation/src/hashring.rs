@@ -128,10 +128,7 @@ mod tests {
         }
         for n in 0..10u64 {
             let c = counts.get(&n).copied().unwrap_or(0);
-            assert!(
-                (800..4000).contains(&c),
-                "node {n} owns {c} of 20000 keys (expected ~2000)"
-            );
+            assert!((800..4000).contains(&c), "node {n} owns {c} of 20000 keys (expected ~2000)");
         }
     }
 

@@ -88,8 +88,18 @@ impl LinkModel {
         let stats = geometric_delay_stats(shell, SimTime::ZERO);
         let t1 = Self::table1();
         LinkModel {
-            intra_orbit: LinkParams { avg_delay_ms: stats.intra_avg_ms, min_delay_ms: stats.intra_min_ms, std_delay_ms: stats.intra_std_ms, ..t1.intra_orbit },
-            inter_orbit: LinkParams { avg_delay_ms: stats.inter_avg_ms, min_delay_ms: stats.inter_min_ms, std_delay_ms: stats.inter_std_ms, ..t1.inter_orbit },
+            intra_orbit: LinkParams {
+                avg_delay_ms: stats.intra_avg_ms,
+                min_delay_ms: stats.intra_min_ms,
+                std_delay_ms: stats.intra_std_ms,
+                ..t1.intra_orbit
+            },
+            inter_orbit: LinkParams {
+                avg_delay_ms: stats.inter_avg_ms,
+                min_delay_ms: stats.inter_min_ms,
+                std_delay_ms: stats.inter_std_ms,
+                ..t1.inter_orbit
+            },
             gsl: t1.gsl,
         }
     }

@@ -33,4 +33,6 @@ pub use failures::{link_id, FailureModel, LinkId};
 pub use grid::GridTopology;
 pub use isl::{IslKind, LinkModel};
 pub use routing::{shortest_path, GridPath};
-pub use schedule::{ChurnParams, FaultDelta, FaultEvent, FaultSchedule, ScheduleCursor, TimedFault};
+pub use schedule::{
+    ChurnParams, FaultDelta, FaultEvent, FaultSchedule, ScheduleCursor, TimedFault,
+};

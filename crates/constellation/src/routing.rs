@@ -7,8 +7,8 @@
 
 use crate::grid::{Direction, GridTopology};
 use crate::isl::{IslKind, LinkModel};
-use std::collections::VecDeque;
 use starcdn_orbit::walker::SatelliteId;
+use std::collections::VecDeque;
 
 /// A path across the grid: the sequence of hops (directions taken) plus
 /// the satellites visited (including both endpoints).
@@ -52,7 +52,8 @@ pub fn shortest_path(grid: &GridTopology, from: SatelliteId, to: SatelliteId) ->
     // Plane axis: choose the wrap direction with fewer hops (east = +1).
     let p = grid.num_planes;
     let fwd = (to.orbit + p - cur.orbit) % p; // hops going east
-    let (pd, psteps) = if fwd <= p - fwd { (Direction::East, fwd) } else { (Direction::West, p - fwd) };
+    let (pd, psteps) =
+        if fwd <= p - fwd { (Direction::East, fwd) } else { (Direction::West, p - fwd) };
     for _ in 0..psteps {
         cur = grid.neighbor(cur, pd).expect("torus east/west neighbour");
         hops.push(pd);
@@ -62,7 +63,8 @@ pub fn shortest_path(grid: &GridTopology, from: SatelliteId, to: SatelliteId) ->
     // Slot axis (north = +1).
     let s = grid.sats_per_plane;
     let fwd = (to.slot + s - cur.slot) % s;
-    let (sd, ssteps) = if fwd <= s - fwd { (Direction::North, fwd) } else { (Direction::South, s - fwd) };
+    let (sd, ssteps) =
+        if fwd <= s - fwd { (Direction::North, fwd) } else { (Direction::South, s - fwd) };
     for _ in 0..ssteps {
         cur = grid.neighbor(cur, sd).expect("torus north/south neighbour");
         hops.push(sd);
@@ -271,7 +273,8 @@ mod tests {
         let g = grid();
         let target = SatelliteId::new(10, 10);
         let ring: Vec<SatelliteId> = g.neighbors(target).into_iter().map(|(_, n)| n).collect();
-        let p = shortest_path_avoiding(&g, SatelliteId::new(0, 0), target, |id| !ring.contains(&id));
+        let p =
+            shortest_path_avoiding(&g, SatelliteId::new(0, 0), target, |id| !ring.contains(&id));
         assert!(p.is_none());
     }
 

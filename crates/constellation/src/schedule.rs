@@ -113,7 +113,9 @@ impl FaultSchedule {
         let mut events = Vec::new();
         let mut rng = SmallRng::new(p.seed ^ 0x00C0_FFEE);
         for id in grid.iter_ids() {
-            for (down, up) in alternating_outages(&mut rng, p.sat_mtbf_secs, p.sat_mttr_secs, p.horizon_secs) {
+            for (down, up) in
+                alternating_outages(&mut rng, p.sat_mtbf_secs, p.sat_mttr_secs, p.horizon_secs)
+            {
                 events.push(TimedFault { at_secs: down, event: FaultEvent::SatDown(id) });
                 if let Some(up) = up {
                     events.push(TimedFault { at_secs: up, event: FaultEvent::SatUp(id) });
@@ -126,10 +128,14 @@ impl FaultSchedule {
                 // North + East covers every torus link exactly once.
                 for dir in [Direction::North, Direction::East] {
                     let Some(n) = grid.neighbor(id, dir) else { continue };
-                    for (down, up) in alternating_outages(&mut rng, link_mtbf, p.link_mttr_secs, p.horizon_secs) {
-                        events.push(TimedFault { at_secs: down, event: FaultEvent::LinkDown(id, n) });
+                    for (down, up) in
+                        alternating_outages(&mut rng, link_mtbf, p.link_mttr_secs, p.horizon_secs)
+                    {
+                        events
+                            .push(TimedFault { at_secs: down, event: FaultEvent::LinkDown(id, n) });
                         if let Some(up) = up {
-                            events.push(TimedFault { at_secs: up, event: FaultEvent::LinkUp(id, n) });
+                            events
+                                .push(TimedFault { at_secs: up, event: FaultEvent::LinkUp(id, n) });
                         }
                     }
                 }
@@ -167,7 +173,12 @@ impl FaultSchedule {
 /// Alternating (down, up) outage windows for one element: down times are
 /// exponentially spaced with mean `mtbf`, outage durations with mean
 /// `mttr`. An outage still open at the horizon yields `(down, None)`.
-fn alternating_outages(rng: &mut SmallRng, mtbf: f64, mttr: f64, horizon: u64) -> Vec<(u64, Option<u64>)> {
+fn alternating_outages(
+    rng: &mut SmallRng,
+    mtbf: f64,
+    mttr: f64,
+    horizon: u64,
+) -> Vec<(u64, Option<u64>)> {
     let mut out = Vec::new();
     let mut t = rng.next_exp(mtbf);
     while t.is_finite() && (t as u64) < horizon {
@@ -435,8 +446,14 @@ mod tests {
 
     #[test]
     fn merged_interleaves() {
-        let a = FaultSchedule::from_events([TimedFault { at_secs: 10, event: FaultEvent::SatDown(sat(0, 0)) }]);
-        let b = FaultSchedule::from_events([TimedFault { at_secs: 5, event: FaultEvent::SatDown(sat(1, 0)) }]);
+        let a = FaultSchedule::from_events([TimedFault {
+            at_secs: 10,
+            event: FaultEvent::SatDown(sat(0, 0)),
+        }]);
+        let b = FaultSchedule::from_events([TimedFault {
+            at_secs: 5,
+            event: FaultEvent::SatDown(sat(1, 0)),
+        }]);
         let m = a.merged(b);
         assert_eq!(m.len(), 2);
         assert_eq!(m.events()[0].at_secs, 5);

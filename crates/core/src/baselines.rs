@@ -72,7 +72,12 @@ impl NoCacheBaseline {
     /// Handle a request: always a bent-pipe fetch.
     pub fn handle_request(&mut self, size: u64, gsl_oneway_ms: f64) -> f64 {
         let latency = self.latency.starlink_no_cache_rtt_ms(gsl_oneway_ms);
-        self.metrics.record(SatelliteId::new(u16::MAX, u16::MAX), ServedFrom::Ground, size, latency);
+        self.metrics.record(
+            SatelliteId::new(u16::MAX, u16::MAX),
+            ServedFrom::Ground,
+            size,
+            latency,
+        );
         latency
     }
 }

@@ -99,7 +99,10 @@ impl StarCdnConfig {
 
     /// "StarCDN-Fetch" (§5.2): consistent hashing only, no relayed fetch.
     pub fn starcdn_no_relay(num_buckets: u32, cache_capacity_bytes: u64) -> Self {
-        StarCdnConfig { relay: RelayPolicy::None, ..Self::starcdn(num_buckets, cache_capacity_bytes) }
+        StarCdnConfig {
+            relay: RelayPolicy::None,
+            ..Self::starcdn(num_buckets, cache_capacity_bytes)
+        }
     }
 
     /// "StarCDN-Hashing" (§5.2): relayed fetch only, no hashing — every

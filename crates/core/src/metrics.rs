@@ -49,7 +49,10 @@ impl NeighborAvailability {
 
     /// Total probed misses.
     pub fn total_misses(&self) -> u64 {
-        self.west_only_requests + self.east_only_requests + self.both_requests + self.neither_requests
+        self.west_only_requests
+            + self.east_only_requests
+            + self.both_requests
+            + self.neither_requests
     }
 }
 

@@ -59,7 +59,13 @@ mod tests {
 
     #[test]
     fn none_policy_no_candidates() {
-        let c = relay_candidates(&grid(), SatelliteId::new(10, 5), 2, RelayPolicy::None, &FailureModel::none());
+        let c = relay_candidates(
+            &grid(),
+            SatelliteId::new(10, 5),
+            2,
+            RelayPolicy::None,
+            &FailureModel::none(),
+        );
         assert!(c.is_empty());
     }
 
@@ -74,7 +80,13 @@ mod tests {
 
     #[test]
     fn wraps_across_seam() {
-        let c = relay_candidates(&grid(), SatelliteId::new(0, 5), 2, RelayPolicy::WestOnly, &FailureModel::none());
+        let c = relay_candidates(
+            &grid(),
+            SatelliteId::new(0, 5),
+            2,
+            RelayPolicy::WestOnly,
+            &FailureModel::none(),
+        );
         assert_eq!(c, vec![(ServedFrom::RelayWest, SatelliteId::new(70, 5))]);
     }
 

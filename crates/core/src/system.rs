@@ -132,8 +132,15 @@ pub fn resolve_route_in(
             |a, b| failures.is_link_alive(a, b),
         )?;
         let (intra, inter) = path.hop_mix();
-        let extra_hops = (path.len() as u16).saturating_sub(grid.hop_distance(first_contact, owner));
-        Some(ResolvedRoute { owner, intra: intra as u16, inter: inter as u16, remapped, extra_hops })
+        let extra_hops =
+            (path.len() as u16).saturating_sub(grid.hop_distance(first_contact, owner));
+        Some(ResolvedRoute {
+            owner,
+            intra: intra as u16,
+            inter: inter as u16,
+            remapped,
+            extra_hops,
+        })
     }
 }
 
@@ -203,7 +210,11 @@ impl SpaceCdn {
     /// The satellite that owns requests for `object` arriving at
     /// `first_contact`, with the route hop mix and degraded-mode context.
     /// `None` when every candidate owner is dead or unreachable.
-    pub fn resolve_route(&self, first_contact: SatelliteId, object: ObjectId) -> Option<ResolvedRoute> {
+    pub fn resolve_route(
+        &self,
+        first_contact: SatelliteId,
+        object: ObjectId,
+    ) -> Option<ResolvedRoute> {
         resolve_route_in(
             &self.cfg.grid,
             self.tiling.as_ref(),
@@ -312,13 +323,7 @@ impl SpaceCdn {
     /// First-order serialization delay of the response body: once per
     /// store-and-forward ISL hop (100 Gbps) plus the user service link
     /// (20 Gbps), plus the feeder uplink for ground fetches.
-    fn transmission_ms(
-        &self,
-        from: ServedFrom,
-        size: u64,
-        route_hops: u16,
-        span: u16,
-    ) -> f64 {
+    fn transmission_ms(&self, from: ServedFrom, size: u64, route_hops: u16, span: u16) -> f64 {
         use crate::latency::transmission_delay_ms;
         let isl_bw = self.latency.link.inter_orbit.bandwidth_gbps;
         let gsl_bw = self.latency.link.gsl.bandwidth_gbps;
@@ -367,10 +372,8 @@ impl SpaceCdn {
                 continue;
             }
             let west_slot = self.cfg.grid.west_by(id, span);
-            let Some(west) = self
-                .failures
-                .resolve_owner(&self.cfg.grid, west_slot)
-                .filter(|&w| w != id)
+            let Some(west) =
+                self.failures.resolve_owner(&self.cfg.grid, west_slot).filter(|&w| w != id)
             else {
                 continue;
             };
@@ -513,7 +516,12 @@ mod tests {
         let bound = cdn.tiling().unwrap().worst_case_hops();
         for s in 0..18u16 {
             for o in (0..72u16).step_by(7) {
-                let out = cdn.handle_request(SatelliteId::new(o, s), ObjectId((o * 31 + s) as u64), 10, 2.9);
+                let out = cdn.handle_request(
+                    SatelliteId::new(o, s),
+                    ObjectId((o * 31 + s) as u64),
+                    10,
+                    2.9,
+                );
                 assert!(out.route_hops <= bound, "hops {} > bound {bound}", out.route_hops);
             }
         }
@@ -562,8 +570,18 @@ mod tests {
         let relay = cdn.handle_request(fc, ObjectId(3), 100, 2.9);
         let hit = cdn.handle_request(fc, ObjectId(3), 100, 2.9);
         let miss = cdn.handle_request(fc, ObjectId(999), 100, 2.9);
-        assert!(hit.latency_ms < relay.latency_ms, "hit {} relay {}", hit.latency_ms, relay.latency_ms);
-        assert!(relay.latency_ms < miss.latency_ms, "relay {} miss {}", relay.latency_ms, miss.latency_ms);
+        assert!(
+            hit.latency_ms < relay.latency_ms,
+            "hit {} relay {}",
+            hit.latency_ms,
+            relay.latency_ms
+        );
+        assert!(
+            relay.latency_ms < miss.latency_ms,
+            "relay {} miss {}",
+            relay.latency_ms,
+            miss.latency_ms
+        );
     }
 
     #[test]

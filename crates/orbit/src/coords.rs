@@ -58,11 +58,7 @@ impl Eci {
     pub fn to_ecef(&self, t: SimTime) -> Ecef {
         let theta = EARTH_ROTATION_RAD_S * t.as_secs_f64();
         let (s, c) = theta.sin_cos();
-        Ecef {
-            x: c * self.x + s * self.y,
-            y: -s * self.x + c * self.y,
-            z: self.z,
-        }
+        Ecef { x: c * self.x + s * self.y, y: -s * self.x + c * self.y, z: self.z }
     }
 }
 
@@ -98,11 +94,7 @@ impl Ecef {
 impl Geodetic {
     /// Construct from degrees latitude/longitude and km altitude.
     pub fn from_degrees(lat_deg: f64, lon_deg: f64, alt_km: f64) -> Self {
-        Geodetic {
-            lat_rad: lat_deg.to_radians(),
-            lon_rad: lon_deg.to_radians(),
-            alt_km,
-        }
+        Geodetic { lat_rad: lat_deg.to_radians(), lon_rad: lon_deg.to_radians(), alt_km }
     }
 
     /// Latitude in degrees.
@@ -126,11 +118,7 @@ impl Geodetic {
         let r = EARTH_RADIUS_KM + self.alt_km;
         let (slat, clat) = self.lat_rad.sin_cos();
         let (slon, clon) = self.lon_rad.sin_cos();
-        Ecef {
-            x: r * clat * clon,
-            y: r * clat * slon,
-            z: r * slat,
-        }
+        Ecef { x: r * clat * clon, y: r * clat * slon, z: r * slat }
     }
 
     /// Great-circle (haversine) surface distance to another point, km.

@@ -92,10 +92,8 @@ pub fn fleet_from_tles(
                 debug_assert!(walked <= sats_per_plane, "plane overfull despite check");
             }
             occupied[base + slot] = true;
-            satellites.push(Satellite {
-                id: SatelliteId::new(p as u16, slot as u16),
-                orbit: *orbit,
-            });
+            satellites
+                .push(Satellite { id: SatelliteId::new(p as u16, slot as u16), orbit: *orbit });
         }
     }
     satellites.sort_by_key(|s| s.id);
@@ -170,10 +168,7 @@ mod tests {
                 .map(|s| (s.id.slot, s.orbit.phase_rad.to_degrees().rem_euclid(360.0)))
                 .collect();
             phases.sort_by_key(|&(slot, _)| slot);
-            let wraps = phases
-                .windows(2)
-                .filter(|w| w[1].1 < w[0].1)
-                .count();
+            let wraps = phases.windows(2).filter(|w| w[1].1 < w[0].1).count();
             assert!(wraps <= 1, "plane {p}: phases not slot-ordered: {phases:?}");
         }
     }
@@ -204,14 +199,8 @@ mod tests {
         // 30 satellites all in one plane of 18 slots.
         let mut tles = Vec::new();
         for i in 0..30 {
-            let (n, l1, l2) = synthesize_tle(
-                &format!("X-{i}"),
-                i,
-                53.0,
-                0.0,
-                i as f64 * 12.0,
-                15.05,
-            );
+            let (n, l1, l2) =
+                synthesize_tle(&format!("X-{i}"), i, 53.0, 0.0, i as f64 * 12.0, 15.05);
             tles.push(Tle::parse(&n, &l1, &l2).unwrap());
         }
         match fleet_from_tles(&tles, 72, 18) {

@@ -109,8 +109,12 @@ mod tests {
     fn track_moves_between_samples() {
         let shell = WalkerConstellation::starlink_shell1();
         let orbit = shell.orbit_for(SatelliteId::new(10, 5));
-        let track =
-            ground_track(&orbit, SimTime::ZERO, SimDuration::from_secs(120), SimDuration::from_secs(15));
+        let track = ground_track(
+            &orbit,
+            SimTime::ZERO,
+            SimDuration::from_secs(120),
+            SimDuration::from_secs(15),
+        );
         for w in track.windows(2) {
             let d = w[0].point.haversine_km(&w[1].point);
             // Ground speed ~7.3 km/s relative to surface → ~110 km per 15 s.
@@ -168,10 +172,7 @@ mod tests {
         // The Earth rotates ~4.8 plane spacings per period, so the best
         // retrace sits a handful of planes west (the paper's Fig. 3 shows
         // 3 planes for its TLE epoch).
-        assert!(
-            (3..=6).contains(&best_planes),
-            "best retrace at {best_planes} planes west"
-        );
+        assert!((3..=6).contains(&best_planes), "best retrace at {best_planes} planes west");
     }
 
     #[test]
@@ -180,7 +181,9 @@ mod tests {
         let shell = WalkerConstellation::starlink_shell1();
         let nyc = Geodetic::from_degrees(40.7128, -74.0060, 0.0);
         let mut max_dwell = SimDuration::ZERO;
-        for (orbit_idx, slot) in (0..72).step_by(6).flat_map(|o| (0..18).step_by(3).map(move |s| (o, s))) {
+        for (orbit_idx, slot) in
+            (0..72).step_by(6).flat_map(|o| (0..18).step_by(3).map(move |s| (o, s)))
+        {
             let orbit = shell.orbit_for(SatelliteId::new(orbit_idx, slot));
             let d = dwell_time(
                 &orbit,

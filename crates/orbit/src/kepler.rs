@@ -74,7 +74,12 @@ pub struct CircularOrbit {
 
 impl CircularOrbit {
     /// Construct from degrees; the common entry point for builders.
-    pub fn from_degrees(altitude_km: f64, inclination_deg: f64, raan_deg: f64, phase_deg: f64) -> Self {
+    pub fn from_degrees(
+        altitude_km: f64,
+        inclination_deg: f64,
+        raan_deg: f64,
+        phase_deg: f64,
+    ) -> Self {
         CircularOrbit {
             altitude_km,
             inclination_rad: inclination_deg.to_radians(),
@@ -121,11 +126,7 @@ impl CircularOrbit {
         let (su, cu) = u.sin_cos();
         let (si, ci) = self.inclination_rad.sin_cos();
         let (so, co) = raan.sin_cos();
-        Eci {
-            x: r * (co * cu - so * su * ci),
-            y: r * (so * cu + co * su * ci),
-            z: r * (su * si),
-        }
+        Eci { x: r * (co * cu - so * su * ci), y: r * (so * cu + co * su * ci), z: r * (su * si) }
     }
 
     /// Orbital speed relative to the Earth's centre, km/s.

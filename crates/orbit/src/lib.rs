@@ -49,7 +49,7 @@ pub mod constants {
     /// Mean Earth radius in kilometres (WGS-84 mean).
     pub const EARTH_RADIUS_KM: f64 = 6371.0;
     /// Earth's standard gravitational parameter, km^3/s^2.
-    pub const MU_EARTH: f64 = 398_600.4418;
+    pub const MU_EARTH: f64 = 398_600.441_8;
     /// Earth's rotation rate, rad/s (sidereal).
     pub const EARTH_ROTATION_RAD_S: f64 = 7.292_115_9e-5;
     /// Speed of light in km/s.

@@ -53,18 +53,49 @@ impl Propagator for AnalyticPropagator {
     }
 }
 
+/// Per-satellite constants hoisted out of the epoch-advance hot loop:
+/// everything in `position_eci` + `to_ecef` that does not depend on `t`.
+///
+/// The time-dependent angles are the argument of latitude
+/// `u = phase + n·t` and the Earth-fixed node angle
+/// `Ω − θ = raan₀ + (Ω̇_J2 − ω⊕)·t` (the J2-precessing RAAN composed with
+/// the frame rotation — both are rotations about z, so they fold into
+/// one). With sincos of `phase` and `raan₀` precomputed, each epoch step
+/// needs only the sincos of the two *rate* angles — shared by every
+/// satellite with the same orbital rates, i.e. computed once per epoch
+/// for a whole Walker shell — plus a handful of multiplies per satellite.
+#[derive(Debug, Clone, Copy)]
+struct OrbitConstants {
+    radius_km: f64,
+    sin_phase: f64,
+    cos_phase: f64,
+    sin_raan: f64,
+    cos_raan: f64,
+    sin_inc: f64,
+    cos_inc: f64,
+    /// Index into the propagator's distinct `(n, Ω̇−ω⊕)` rate table.
+    rate_group: u32,
+}
+
 /// An epoch-snapshot propagator: positions for a whole constellation are
 /// computed once per epoch and then served from the snapshot.
 ///
 /// The simulation engine advances in 15 s steps and, within a step, asks
 /// for the same positions many times (per user, per request batch); this
-/// cache makes those queries O(1) array lookups.
+/// cache makes those queries O(1) array lookups. The per-epoch
+/// recomputation itself is hoisted (see [`OrbitConstants`]): for a
+/// single-shell constellation an `advance_to` costs two `sin_cos` calls
+/// total plus ~a dozen multiplies per satellite.
 #[derive(Debug)]
 pub struct SnapshotPropagator {
     satellites: Vec<Satellite>,
     epoch: SimTime,
     positions: Vec<Ecef>,
     sats_per_plane: u16,
+    constants: Vec<OrbitConstants>,
+    /// Distinct `(mean motion, node rate)` pairs across the fleet — one
+    /// entry for a uniform Walker shell, a handful for a TLE catalog.
+    rates: Vec<(f64, f64)>,
 }
 
 impl SnapshotPropagator {
@@ -72,11 +103,43 @@ impl SnapshotPropagator {
     ///
     /// `sats_per_plane` is used to index positions by [`SatelliteId`].
     pub fn new(satellites: Vec<Satellite>, sats_per_plane: u16) -> Self {
+        let mut rates: Vec<(f64, f64)> = Vec::new();
+        let constants = satellites
+            .iter()
+            .map(|s| {
+                let o = &s.orbit;
+                let n = o.mean_motion_rad_s();
+                let node_rate = o.raan_drift_rad_s() - crate::constants::EARTH_ROTATION_RAD_S;
+                let key = (n, node_rate);
+                let rate_group = match rates.iter().position(|&r| r == key) {
+                    Some(i) => i,
+                    None => {
+                        rates.push(key);
+                        rates.len() - 1
+                    }
+                } as u32;
+                let (sin_phase, cos_phase) = o.phase_rad.sin_cos();
+                let (sin_raan, cos_raan) = o.raan_rad.sin_cos();
+                let (sin_inc, cos_inc) = o.inclination_rad.sin_cos();
+                OrbitConstants {
+                    radius_km: o.radius_km(),
+                    sin_phase,
+                    cos_phase,
+                    sin_raan,
+                    cos_raan,
+                    sin_inc,
+                    cos_inc,
+                    rate_group,
+                }
+            })
+            .collect();
         let mut p = SnapshotPropagator {
             positions: Vec::with_capacity(satellites.len()),
             satellites,
             epoch: SimTime::ZERO,
             sats_per_plane,
+            constants,
+            rates,
         };
         p.advance_to(SimTime::ZERO);
         p
@@ -85,9 +148,30 @@ impl SnapshotPropagator {
     /// Recompute the snapshot for a new epoch.
     pub fn advance_to(&mut self, t: SimTime) {
         self.epoch = t;
+        let ts = t.as_secs_f64();
+        // sincos of the two rate angles, once per distinct rate pair.
+        let trigs: Vec<(f64, f64, f64, f64)> = self
+            .rates
+            .iter()
+            .map(|&(n, node_rate)| {
+                let (snt, cnt) = (n * ts).sin_cos();
+                let (sot, cot) = (node_rate * ts).sin_cos();
+                (snt, cnt, sot, cot)
+            })
+            .collect();
         self.positions.clear();
-        self.positions
-            .extend(self.satellites.iter().map(|s| s.orbit.position_eci(t).to_ecef(t)));
+        self.positions.extend(self.constants.iter().map(|c| {
+            let (snt, cnt, sot, cot) = trigs[c.rate_group as usize];
+            // Angle addition: u = phase + n·t, node = raan₀ + (Ω̇−ω⊕)·t.
+            let su = c.sin_phase * cnt + c.cos_phase * snt;
+            let cu = c.cos_phase * cnt - c.sin_phase * snt;
+            let sn = c.sin_raan * cot + c.cos_raan * sot;
+            let cn = c.cos_raan * cot - c.sin_raan * sot;
+            // In-plane vector rotated by the combined node angle about z.
+            let xo = c.radius_km * cu;
+            let yo = c.radius_km * su * c.cos_inc;
+            Ecef { x: cn * xo - sn * yo, y: sn * xo + cn * yo, z: c.radius_km * su * c.sin_inc }
+        }));
     }
 
     /// The snapshot's epoch.
@@ -163,6 +247,40 @@ mod tests {
         let a = AnalyticPropagator.position_ecef(&sats[3], t);
         let b = snap.position_ecef(&sats[3], t);
         assert!(a.distance_km(&b) < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_hoisting_matches_analytic_for_mixed_altitude_fleet() {
+        use crate::kepler::CircularOrbit;
+        use crate::walker::SatelliteId;
+        // A TLE-catalog-like fleet: every satellite on its own slightly
+        // different orbit, so each lands in its own rate group.
+        let sats: Vec<Satellite> = (0..24)
+            .map(|i| Satellite {
+                id: SatelliteId::from_index(i, 6),
+                orbit: CircularOrbit::from_degrees(
+                    540.0 + i as f64 * 3.5,
+                    52.0 + (i % 5) as f64 * 0.4,
+                    i as f64 * 15.0,
+                    i as f64 * 31.0,
+                ),
+            })
+            .collect();
+        let mut snap = SnapshotPropagator::new(sats.clone(), 6);
+        for secs in [0u64, 15, 300, 86400, 432_000] {
+            let t = SimTime::from_secs(secs);
+            snap.advance_to(t);
+            for sat in &sats {
+                let exact = AnalyticPropagator.position_ecef(sat, t);
+                let fast = snap.position_of(sat.id);
+                assert!(
+                    exact.distance_km(&fast) < 1e-6,
+                    "sat {} at t={secs}: {} km apart",
+                    sat.id,
+                    exact.distance_km(&fast)
+                );
+            }
+        }
     }
 
     #[test]

@@ -97,9 +97,8 @@ impl Tle {
             if !l.starts_with(&format!("{n} ")) {
                 return Err(TleError::BadLineNumber { line: n });
             }
-            let expected: u8 = l[68..69]
-                .parse()
-                .map_err(|_| TleError::BadField { line: n, field: "checksum" })?;
+            let expected: u8 =
+                l[68..69].parse().map_err(|_| TleError::BadField { line: n, field: "checksum" })?;
             let actual = checksum(l);
             if actual != expected {
                 return Err(TleError::BadChecksum { line: n, expected, actual });
@@ -145,7 +144,7 @@ impl Tle {
         let mut out = Vec::new();
         let mut i = 0;
         while i < lines.len() {
-            if i + 2 >= lines.len() + 1 && !lines[i].starts_with("1 ") {
+            if i + 2 > lines.len() && !lines[i].starts_with("1 ") {
                 return Err(TleError::TooFewLines);
             }
             // Records may or may not carry a name line.
@@ -187,10 +186,16 @@ impl Tle {
 
 /// Render a TLE for a circular orbit (testing aid: lets the test suite
 /// synthesize valid catalogs without network access).
-pub fn synthesize_tle(name: &str, norad_id: u32, inclination_deg: f64, raan_deg: f64, mean_anomaly_deg: f64, mean_motion_rev_day: f64) -> (String, String, String) {
-    let l1_body = format!(
-        "1 {norad_id:05}U 24001A   24001.00000000  .00000000  00000+0  00000+0 0  999"
-    );
+pub fn synthesize_tle(
+    name: &str,
+    norad_id: u32,
+    inclination_deg: f64,
+    raan_deg: f64,
+    mean_anomaly_deg: f64,
+    mean_motion_rev_day: f64,
+) -> (String, String, String) {
+    let l1_body =
+        format!("1 {norad_id:05}U 24001A   24001.00000000  .00000000  00000+0  00000+0 0  999");
     let l1 = format!("{l1_body}{}", checksum(&l1_body));
     let l2_body = format!(
         "2 {norad_id:05} {inclination_deg:8.4} {raan_deg:8.4} 0001000 {:8.4} {mean_anomaly_deg:8.4} {mean_motion_rev_day:11.8}    1",

@@ -93,30 +93,140 @@ pub fn visible_satellites(
     out
 }
 
+/// Cosine of the maximum Earth-central angle between a ground point (at
+/// radius `ground_radius_km` from the Earth's centre) and any satellite
+/// at `orbit_radius_km` that sits above `min_elevation_deg`.
+///
+/// Spherical trigonometry on the centre–ground–satellite triangle: with
+/// elevation `el` the angle at the ground point is `90° + el`, so the
+/// central angle is `γ = 90° − el − asin((Rg/Rs)·cos el)`, monotonically
+/// decreasing in `el`. Any satellite above the mask therefore satisfies
+/// `cos γ ≥ cos γ_max` — one dot product against the ground unit vector
+/// decides "provably below the mask" without `asin`/`sqrt`. The bound is
+/// conservative (it never rejects a satellite above the mask), which is
+/// what keeps the culling fast path bit-for-bit identical to the exact
+/// scan.
+pub fn max_central_angle_cos(
+    ground_radius_km: f64,
+    orbit_radius_km: f64,
+    min_elevation_deg: f64,
+) -> f64 {
+    let el = min_elevation_deg.to_radians();
+    let ratio = (ground_radius_km / orbit_radius_km) * el.cos();
+    let gamma = std::f64::consts::FRAC_PI_2 - el - ratio.clamp(-1.0, 1.0).asin();
+    // Slack of 1e-6 rad (~6 m of surface arc) swamps every floating-point
+    // rounding source in the dot-product test while culling essentially
+    // nothing extra.
+    (gamma + 1e-6).cos()
+}
+
+/// The conservative culling threshold for a satellite set: computed from
+/// the *largest* orbital radius present (a higher satellite can be above
+/// the mask at a wider central angle), so one threshold is valid for
+/// mixed-altitude fleets such as TLE catalogs.
+fn cull_threshold(g2: f64, positions: &[Ecef], min_elevation_deg: f64) -> Option<(f64, f64)> {
+    let mut r2_max = 0.0f64;
+    for p in positions {
+        r2_max = r2_max.max(p.x * p.x + p.y * p.y + p.z * p.z);
+    }
+    if r2_max <= 0.0 || g2 <= 0.0 {
+        return None;
+    }
+    let c = max_central_angle_cos(g2.sqrt(), r2_max.sqrt(), min_elevation_deg);
+    // The one-dot-product test below assumes cos γ_max > 0 (γ_max < 90°);
+    // exotic masks at or below the horizon fall back to the exact scan.
+    (c > 0.0).then_some((c * c, g2))
+}
+
+/// Collect satellites above the mask (unsorted, in slice order), culling
+/// provably-invisible ones with one dot product before the exact math.
+/// `keep` pre-filters by identity (e.g. alive satellites only).
+fn collect_visible(
+    satellites: &[Satellite],
+    positions: &[Ecef],
+    g: &Ecef,
+    min_elevation_deg: f64,
+    mut keep: impl FnMut(SatelliteId) -> bool,
+) -> Vec<VisibleSatellite> {
+    debug_assert_eq!(satellites.len(), positions.len());
+    let g2 = g.x * g.x + g.y * g.y + g.z * g.z;
+    let cull = cull_threshold(g2, positions, min_elevation_deg);
+    let mut out = Vec::new();
+    for (sat, p) in satellites.iter().zip(positions) {
+        if !keep(sat.id) {
+            continue;
+        }
+        if let Some((c2, g2)) = cull {
+            // cos γ ≥ c  ⇔  d ≥ 0 ∧ d² ≥ c²·|g|²·|p|²  (c > 0), with no
+            // square roots or inverse trig on the reject path.
+            let d = g.x * p.x + g.y * p.y + g.z * p.z;
+            if d <= 0.0 {
+                continue;
+            }
+            let p2 = p.x * p.x + p.y * p.y + p.z * p.z;
+            if d * d < c2 * g2 * p2 {
+                continue;
+            }
+        }
+        let (el, range) = elevation_and_range(g, p);
+        if el >= min_elevation_deg {
+            out.push(VisibleSatellite { id: sat.id, elevation_deg: el, slant_range_km: range });
+        }
+    }
+    out
+}
+
 /// Same as [`visible_satellites`] but using precomputed ECEF positions
-/// aligned with `satellites` (snapshot fast path).
+/// aligned with `satellites` (snapshot fast path). Satellites provably
+/// below the mask are rejected with one dot product each (see
+/// [`max_central_angle_cos`]); the result set is exactly the brute-force
+/// scan's.
 pub fn visible_from_positions(
     satellites: &[Satellite],
     positions: &[Ecef],
     ground: Geodetic,
     min_elevation_deg: f64,
 ) -> Vec<VisibleSatellite> {
-    debug_assert_eq!(satellites.len(), positions.len());
     let g = ground.to_ecef();
-    let mut out: Vec<VisibleSatellite> = satellites
-        .iter()
-        .zip(positions)
-        .filter_map(|(sat, p)| {
-            let (el, range) = elevation_and_range(&g, p);
-            (el >= min_elevation_deg).then_some(VisibleSatellite {
-                id: sat.id,
-                elevation_deg: el,
-                slant_range_km: range,
-            })
-        })
-        .collect();
+    let mut out = collect_visible(satellites, positions, &g, min_elevation_deg, |_| true);
     out.sort_by(|a, b| b.elevation_deg.total_cmp(&a.elevation_deg));
     out
+}
+
+/// The `k` best (highest-elevation) satellites above the mask, best
+/// first, restricted to ids passing `keep` — the scheduler's fast path:
+/// it spreads users over `top_k` satellites only, so a full descending
+/// sort of every visible satellite is wasted work.
+///
+/// Uses `select_nth_unstable` top-k selection with a total order of
+/// (elevation descending, slice position ascending); the result is
+/// bit-for-bit the first `k` elements of [`visible_from_positions`]'s
+/// stable full sort filtered by `keep`.
+pub fn visible_top_k_from_positions(
+    satellites: &[Satellite],
+    positions: &[Ecef],
+    ground: Geodetic,
+    min_elevation_deg: f64,
+    k: usize,
+    keep: impl FnMut(SatelliteId) -> bool,
+) -> Vec<VisibleSatellite> {
+    let g = ground.to_ecef();
+    let found = collect_visible(satellites, positions, &g, min_elevation_deg, keep);
+    if k == 0 {
+        return Vec::new();
+    }
+    // Tag with the slice position so ties break exactly like the stable
+    // elevation-only sort (candidates are collected in slice order).
+    let mut tagged: Vec<(usize, VisibleSatellite)> = found.into_iter().enumerate().collect();
+    let cmp = |a: &(usize, VisibleSatellite), b: &(usize, VisibleSatellite)| {
+        b.1.elevation_deg.total_cmp(&a.1.elevation_deg).then(a.0.cmp(&b.0))
+    };
+    if tagged.len() > k {
+        tagged.select_nth_unstable_by(k - 1, cmp);
+        tagged.truncate(k);
+    }
+    tagged.sort_unstable_by(cmp);
+    tagged.into_iter().map(|(_, v)| v).collect()
 }
 
 /// Maximum slant range to a satellite at `altitude_km` that is still above
@@ -195,6 +305,136 @@ pub fn predict_passes(
 mod tests {
     use super::*;
     use crate::walker::WalkerConstellation;
+    use proptest::prelude::*;
+
+    /// The pre-culling exact scan, kept as the test oracle.
+    fn visible_brute_force(
+        satellites: &[Satellite],
+        positions: &[Ecef],
+        ground: Geodetic,
+        min_elevation_deg: f64,
+    ) -> Vec<VisibleSatellite> {
+        let g = ground.to_ecef();
+        let mut out: Vec<VisibleSatellite> = satellites
+            .iter()
+            .zip(positions)
+            .filter_map(|(sat, p)| {
+                let (el, range) = elevation_and_range(&g, p);
+                (el >= min_elevation_deg).then_some(VisibleSatellite {
+                    id: sat.id,
+                    elevation_deg: el,
+                    slant_range_km: range,
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| b.elevation_deg.total_cmp(&a.elevation_deg));
+        out
+    }
+
+    #[test]
+    fn culled_scan_is_bit_for_bit_the_exact_scan() {
+        use crate::propagator::SnapshotPropagator;
+        let shell = WalkerConstellation::starlink_shell1();
+        let sats = shell.satellites();
+        let mut snap = SnapshotPropagator::new(sats.clone(), shell.sats_per_plane);
+        for (lat, lon) in [(40.7, -74.0), (0.0, 0.0), (51.5, -0.1), (-33.9, 151.2), (65.0, 25.0)] {
+            let g = Geodetic::from_degrees(lat, lon, 0.0);
+            for secs in [0u64, 137, 1234, 5000] {
+                snap.advance_to(SimTime::from_secs(secs));
+                for mask in [5.0, 25.0, 40.0] {
+                    let fast = visible_from_positions(snap.satellites(), snap.positions(), g, mask);
+                    let slow = visible_brute_force(snap.satellites(), snap.positions(), g, mask);
+                    assert_eq!(fast.len(), slow.len(), "({lat},{lon}) t={secs} mask={mask}");
+                    for (a, b) in fast.iter().zip(&slow) {
+                        assert_eq!(a.id, b.id);
+                        assert_eq!(a.elevation_deg.to_bits(), b.elevation_deg.to_bits());
+                        assert_eq!(a.slant_range_km.to_bits(), b.slant_range_km.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_is_prefix_of_full_sort() {
+        use crate::propagator::SnapshotPropagator;
+        let shell = WalkerConstellation::starlink_shell1();
+        let sats = shell.satellites();
+        let mut snap = SnapshotPropagator::new(sats.clone(), shell.sats_per_plane);
+        let g = Geodetic::from_degrees(40.7128, -74.0060, 0.0);
+        for secs in [0u64, 450, 3600] {
+            snap.advance_to(SimTime::from_secs(secs));
+            let full = visible_from_positions(snap.satellites(), snap.positions(), g, 25.0);
+            for k in [0usize, 1, 3, 4, 10, 100] {
+                let top = visible_top_k_from_positions(
+                    snap.satellites(),
+                    snap.positions(),
+                    g,
+                    25.0,
+                    k,
+                    |_| true,
+                );
+                assert_eq!(top.len(), k.min(full.len()), "k={k}");
+                for (a, b) in top.iter().zip(&full) {
+                    assert_eq!(a.id, b.id, "k={k} t={secs}");
+                    assert_eq!(a.elevation_deg.to_bits(), b.elevation_deg.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_respects_keep_filter() {
+        use crate::propagator::SnapshotPropagator;
+        let shell = WalkerConstellation::starlink_shell1();
+        let sats = shell.satellites();
+        let snap = SnapshotPropagator::new(sats.clone(), shell.sats_per_plane);
+        let g = Geodetic::from_degrees(40.7128, -74.0060, 0.0);
+        let full = visible_from_positions(snap.satellites(), snap.positions(), g, 25.0);
+        assert!(full.len() >= 2);
+        let banned = full[0].id;
+        let top =
+            visible_top_k_from_positions(snap.satellites(), snap.positions(), g, 25.0, 4, |id| {
+                id != banned
+            });
+        assert!(!top.iter().any(|v| v.id == banned));
+        assert_eq!(top[0].id, full[1].id, "next-best satellite moves up");
+    }
+
+    proptest! {
+        /// §-critical safety property of the fast path: the conservative
+        /// bound may only reject satellites that are *below* the mask —
+        /// random ground points × orbital phases never produce an
+        /// above-mask satellite that fails the dot-product test.
+        #[test]
+        fn prop_cull_bound_never_rejects_visible(
+            lat in -85.0f64..85.0, lon in -180.0f64..180.0,
+            alt in 300.0f64..2000.0, inc in 20.0f64..110.0,
+            raan in 0.0f64..360.0, phase in 0.0f64..360.0,
+            secs in 0u64..86400, mask in 5.0f64..60.0,
+        ) {
+            use crate::kepler::CircularOrbit;
+            let orbit = CircularOrbit::from_degrees(alt, inc, raan, phase);
+            let t = SimTime::from_secs(secs);
+            let p = orbit.position_eci(t).to_ecef(t);
+            let g = Geodetic::from_degrees(lat, lon, 0.0).to_ecef();
+            let (el, _) = elevation_and_range(&g, &p);
+            // Vacuously true below the mask; the bound only promises
+            // never to cull an *above-mask* satellite.
+            if el >= mask {
+                let g2 = g.x * g.x + g.y * g.y + g.z * g.z;
+                let p2 = p.x * p.x + p.y * p.y + p.z * p.z;
+                let c = max_central_angle_cos(g2.sqrt(), p2.sqrt(), mask);
+                let d = g.x * p.x + g.y * p.y + g.z * p.z;
+                // An above-mask satellite must pass the conservative test.
+                prop_assert!(d > 0.0, "above-mask satellite culled by sign test (el={el})");
+                prop_assert!(
+                    d * d >= c * c * g2 * p2,
+                    "above-mask satellite culled by angle bound (el={el}, mask={mask})"
+                );
+            }
+        }
+    }
 
     #[test]
     fn zenith_satellite_has_90_deg_elevation() {

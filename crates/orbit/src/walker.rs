@@ -205,8 +205,8 @@ mod tests {
             for j in (i + 1)..sats.len() {
                 let pi = sats[i].orbit.position_eci(t);
                 let pj = sats[j].orbit.position_eci(t);
-                let d = ((pi.x - pj.x).powi(2) + (pi.y - pj.y).powi(2) + (pi.z - pj.z).powi(2))
-                    .sqrt();
+                let d =
+                    ((pi.x - pj.x).powi(2) + (pi.y - pj.y).powi(2) + (pi.z - pj.z).powi(2)).sqrt();
                 assert!(d > 10.0, "{} and {} coincide (d={d})", sats[i].id, sats[j].id);
             }
         }

@@ -135,8 +135,7 @@ mod tests {
     fn nine_cities_see_ten_plus_satellites() {
         // §3.1.2: "a Starlink client often has 10+ satellites in view".
         let world = World::starlink_nine_cities();
-        let stats =
-            visibility_stats(&world, SimDuration::from_mins(95), 60, 25.0);
+        let stats = visibility_stats(&world, SimDuration::from_mins(95), 60, 25.0);
         assert_eq!(stats.len(), 9);
         for s in &stats {
             // Shell density peaks near ±53° latitude; lower-latitude
@@ -175,8 +174,7 @@ mod tests {
     fn dead_satellites_reduce_visible_count() {
         let world = World::starlink_nine_cities();
         let healthy = visibility_stats(&world, SimDuration::from_mins(10), 60, 25.0);
-        let failures =
-            starcdn_constellation::failures::FailureModel::sample(&world.grid, 432, 3);
+        let failures = starcdn_constellation::failures::FailureModel::sample(&world.grid, 432, 3);
         let world = World::starlink_nine_cities().with_failures(failures);
         let degraded = visibility_stats(&world, SimDuration::from_mins(10), 60, 25.0);
         let h: f64 = healthy.iter().map(|s| s.mean_visible).sum();

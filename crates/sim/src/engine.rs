@@ -57,10 +57,21 @@ impl SimConfig {
 /// proactive prefetch, a prefetch round runs at every scheduler-epoch
 /// boundary.
 pub fn run_space(cdn: &mut SpaceCdn, log: &AccessLog) -> SystemMetrics {
+    run_space_entries(cdn, &log.entries, log.epoch_secs)
+}
+
+/// [`run_space`] over a borrowed slice of entries — lets callers replay
+/// part of a log (e.g. the post-warmup tail) without copying it into a
+/// fresh [`AccessLog`].
+pub fn run_space_entries(
+    cdn: &mut SpaceCdn,
+    entries: &[crate::access_log::AccessLogEntry],
+    epoch_secs: u64,
+) -> SystemMetrics {
     let prefetching = cdn.config().prefetch_top_k.is_some();
-    let epoch_secs = log.epoch_secs.max(1);
+    let epoch_secs = epoch_secs.max(1);
     let mut current_epoch = u64::MAX;
-    for e in &log.entries {
+    for e in entries {
         if prefetching {
             let epoch = e.time.as_secs() / epoch_secs;
             if epoch != current_epoch {
@@ -181,8 +192,7 @@ pub fn run_space_with_warmup(
         }
     }
     cdn.reset_metrics();
-    let tail = AccessLog { entries: measured.to_vec(), epoch_secs: log.epoch_secs };
-    run_space(cdn, &tail)
+    run_space_entries(cdn, measured, log.epoch_secs)
 }
 
 /// Replay the log through the Static Cache ideal: each location's
@@ -313,6 +323,17 @@ mod tests {
     }
 
     #[test]
+    fn slice_replay_equals_full_log_replay() {
+        let log = log();
+        let mut a = SpaceCdn::new(StarCdnConfig::starcdn(4, 1_000_000));
+        let ma = run_space(&mut a, &log);
+        let mut b = SpaceCdn::new(StarCdnConfig::starcdn(4, 1_000_000));
+        let mb = run_space_entries(&mut b, &log.entries, log.epoch_secs);
+        assert_eq!(ma.stats, mb.stats);
+        assert_eq!(ma.latencies_ms, mb.latencies_ms);
+    }
+
+    #[test]
     #[should_panic(expected = "warmup fraction")]
     fn warmup_fraction_must_be_sub_one() {
         let mut cdn = SpaceCdn::new(StarCdnConfig::starcdn(4, 1000));
@@ -355,13 +376,8 @@ mod tests {
         // 120 s mid-run, and watch the cold-restart counter move.
         let mut probe = SpaceCdn::new(StarCdnConfig::starcdn(4, 1_000_000));
         run_space(&mut probe, &log);
-        let victim = *probe
-            .metrics
-            .per_satellite
-            .iter()
-            .max_by_key(|(_, st)| st.requests)
-            .unwrap()
-            .0;
+        let victim =
+            *probe.metrics.per_satellite.iter().max_by_key(|(_, st)| st.requests).unwrap().0;
         let sched = FaultSchedule::from_events([
             TimedFault { at_secs: 120, event: FaultEvent::SatDown(victim) },
             TimedFault { at_secs: 240, event: FaultEvent::SatUp(victim) },
@@ -387,8 +403,7 @@ mod tests {
             event: FaultEvent::SatDown(starcdn_orbit::walker::SatelliteId::new(0, 0)),
         }]);
         let cutoff = 250;
-        let tail_len =
-            log.entries.iter().filter(|e| e.time.as_secs() >= cutoff).count() as u64;
+        let tail_len = log.entries.iter().filter(|e| e.time.as_secs() >= cutoff).count() as u64;
         let mut cdn = SpaceCdn::new(StarCdnConfig::starcdn(4, 1_000_000));
         let m = run_space_with_faults_measured(&mut cdn, &log, &sched, cutoff);
         assert_eq!(m.stats.requests, tail_len, "only post-cutoff entries measured");

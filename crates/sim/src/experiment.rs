@@ -53,9 +53,7 @@ impl Runner {
                 run_terrestrial(&mut b, &self.log)
             }
             space => {
-                let cfg = space
-                    .space_config(cache_bytes)
-                    .expect("space variants provide a config");
+                let cfg = space.space_config(cache_bytes).expect("space variants provide a config");
                 let mut cdn = SpaceCdn::with_failures(cfg, self.world.failures.clone());
                 run_space_with_faults(&mut cdn, &self.log, &self.world.schedule)
             }
@@ -129,12 +127,15 @@ mod tests {
     #[test]
     fn sweep_covers_grid() {
         let r = runner();
-        let pts = sweep(&r, &[Variant::NaiveLru, Variant::StarCdn { l: 4 }], &[10_000_000, 50_000_000]);
+        let pts =
+            sweep(&r, &[Variant::NaiveLru, Variant::StarCdn { l: 4 }], &[10_000_000, 50_000_000]);
         assert_eq!(pts.len(), 4);
         // Bigger cache never hurts LRU hit rate materially.
         let small = &pts[0];
         let big = &pts[1];
-        assert!(big.metrics.stats.request_hit_rate() >= small.metrics.stats.request_hit_rate() - 0.02);
+        assert!(
+            big.metrics.stats.request_hit_rate() >= small.metrics.stats.request_hit_rate() - 0.02
+        );
     }
 
     #[test]

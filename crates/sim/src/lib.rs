@@ -11,7 +11,9 @@
 //!   location's virtual users are (re)assigned to one of the best
 //!   visible satellites;
 //! * [`access_log`] — per-request first-contact assignments, the analog
-//!   of CosmicBeats' per-satellite access logs;
+//!   of CosmicBeats' per-satellite access logs; built sequentially or
+//!   epoch-sharded over threads ([`build_access_log_parallel`]) with
+//!   bit-for-bit identical output;
 //! * [`engine`] — the deterministic single-threaded replay of an access
 //!   log through a [`starcdn::system::SpaceCdn`] or a baseline;
 //! * [`replayer`] — a crossbeam-parallel replayer sharded by bucket
@@ -29,7 +31,9 @@ pub mod scheduler;
 pub mod transfers;
 pub mod world;
 
-pub use access_log::{AccessLog, AccessLogEntry};
-pub use engine::{run_space, run_space_with_faults, run_space_with_faults_measured, SimConfig};
+pub use access_log::{build_access_log, build_access_log_parallel, AccessLog, AccessLogEntry};
+pub use engine::{
+    run_space, run_space_entries, run_space_with_faults, run_space_with_faults_measured, SimConfig,
+};
 pub use replayer::{replay_parallel, replay_parallel_with_faults};
 pub use world::World;

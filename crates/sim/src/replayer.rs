@@ -109,9 +109,8 @@ fn replay_impl(
     let total_slots = cfg.grid.total_slots();
 
     // Shared caches, one per slot.
-    let caches: Vec<Mutex<Box<dyn Cache + Send>>> = (0..total_slots)
-        .map(|_| Mutex::new(cfg.policy.build(cfg.cache_capacity_bytes)))
-        .collect();
+    let caches: Vec<Mutex<Box<dyn Cache + Send>>> =
+        (0..total_slots).map(|_| Mutex::new(cfg.policy.build(cfg.cache_capacity_bytes))).collect();
 
     // Sequential pre-pass: partition by owner, preserving per-owner
     // order. Route resolution uses the live failure view of each entry's
@@ -223,15 +222,30 @@ fn replay_impl(
                         } else {
                             if probe {
                                 let w = neighbor_contains(
-                                    caches_ref, grid, failures_ref, e.owner, span, true, e.object, spp,
+                                    caches_ref,
+                                    grid,
+                                    failures_ref,
+                                    e.owner,
+                                    span,
+                                    true,
+                                    e.object,
+                                    spp,
                                 );
                                 let ea = neighbor_contains(
-                                    caches_ref, grid, failures_ref, e.owner, span, false, e.object, spp,
+                                    caches_ref,
+                                    grid,
+                                    failures_ref,
+                                    e.owner,
+                                    span,
+                                    false,
+                                    e.object,
+                                    spp,
                                 );
                                 m.neighbor_availability.record(w, ea, e.size);
                             }
                             let mut served = None;
-                            for (tag, n) in relay_candidates(grid, e.owner, span, relay, failures_ref)
+                            for (tag, n) in
+                                relay_candidates(grid, e.owner, span, relay, failures_ref)
                             {
                                 let mut guard = caches_ref[n.index(spp)].lock();
                                 if guard.contains(e.object) {
@@ -325,10 +339,8 @@ mod tests {
     #[test]
     fn matches_engine_exactly_without_relay() {
         let log = log();
-        for cfg in [
-            StarCdnConfig::starcdn_no_relay(4, 100_000),
-            StarCdnConfig::naive_lru(100_000),
-        ] {
+        for cfg in [StarCdnConfig::starcdn_no_relay(4, 100_000), StarCdnConfig::naive_lru(100_000)]
+        {
             let mut seq = SpaceCdn::new(cfg.clone());
             let m_seq = run_space(&mut seq, &log);
             let m_par = replay_parallel(cfg, FailureModel::none(), &log, 4);
@@ -401,7 +413,8 @@ mod tests {
         let busy: Vec<_> = {
             let mut probe = SpaceCdn::new(StarCdnConfig::starcdn_no_relay(4, 100_000));
             run_space(&mut probe, &log);
-            let mut sats: Vec<_> = probe.metrics.per_satellite.iter().map(|(s, st)| (*s, st.requests)).collect();
+            let mut sats: Vec<_> =
+                probe.metrics.per_satellite.iter().map(|(s, st)| (*s, st.requests)).collect();
             sats.sort_by_key(|(s, r)| (std::cmp::Reverse(*r), *s));
             sats.into_iter().take(6).map(|(s, _)| s).collect()
         };
@@ -417,7 +430,8 @@ mod tests {
         let mut seq = SpaceCdn::with_failures(cfg.clone(), base.clone());
         let m_seq = run_space_with_faults(&mut seq, &log, &sched);
         for workers in [1, 4] {
-            let m_par = replay_parallel_with_faults(cfg.clone(), base.clone(), &log, &sched, workers);
+            let m_par =
+                replay_parallel_with_faults(cfg.clone(), base.clone(), &log, &sched, workers);
             assert_eq!(m_seq.stats, m_par.stats, "{workers} workers");
             assert_eq!(m_seq.per_satellite, m_par.per_satellite);
             assert_eq!(m_seq.uplink_bytes, m_par.uplink_bytes);

@@ -13,7 +13,7 @@ use crate::world::World;
 use starcdn_orbit::coords::Geodetic;
 use starcdn_orbit::propagator::SnapshotPropagator;
 use starcdn_orbit::time::SimTime;
-use starcdn_orbit::visibility::{visible_from_positions, propagation_delay_ms_f64};
+use starcdn_orbit::visibility::{propagation_delay_ms_f64, visible_top_k_from_positions};
 use starcdn_orbit::walker::SatelliteId;
 
 /// One user's link assignment for the current epoch.
@@ -82,15 +82,20 @@ pub fn schedule_epoch_with(
     let mut assignments = Vec::with_capacity(world.locations.len());
     for (loc_idx, loc) in world.locations.iter().enumerate() {
         let ground = Geodetic::from_degrees(loc.lat_deg, loc.lon_deg, 0.0);
-        let visible: Vec<_> = visible_from_positions(
+        // Top-k selection instead of a full visibility sort: users are
+        // spread over at most `top_k` satellites, so everything past the
+        // k best alive ones is dead weight. The selection's total order
+        // matches the full sort's, so the assignments below are
+        // bit-for-bit what the sort-then-truncate path produced
+        // (`.max(1)` mirrors the degenerate `top_k: 0` guard on `k`).
+        let visible = visible_top_k_from_positions(
             &world.satellites,
             snapshot.positions(),
             ground,
             cfg.min_elevation_deg,
-        )
-        .into_iter()
-        .filter(|v| failures.is_alive(v.id))
-        .collect();
+            cfg.top_k.max(1),
+            |id| failures.is_alive(id),
+        );
 
         let per_user: Vec<Option<Assignment>> = (0..cfg.users_per_location)
             .map(|user| {
@@ -101,7 +106,10 @@ pub fn schedule_epoch_with(
                 // than a modulo-by-zero panic, everyone takes the best
                 // visible satellite.
                 let k = cfg.top_k.min(visible.len()).max(1);
-                let pick = (mix(cfg.seed ^ epoch_index.rotate_left(17) ^ ((loc_idx as u64) << 24) ^ user as u64)
+                let pick = (mix(cfg.seed
+                    ^ epoch_index.rotate_left(17)
+                    ^ ((loc_idx as u64) << 24)
+                    ^ user as u64)
                     % k as u64) as usize;
                 let v = &visible[pick];
                 Some(Assignment {
@@ -230,8 +238,7 @@ mod tests {
         let before = schedule_epoch(&w, &snap, 0, &cfg);
         let seen: Vec<SatelliteId> =
             before.assignments[4].iter().flatten().map(|a| a.satellite).collect();
-        let w2 = World::starlink_nine_cities()
-            .with_failures(FailureModel::from_dead(seen.clone()));
+        let w2 = World::starlink_nine_cities().with_failures(FailureModel::from_dead(seen.clone()));
         let snap2 = w2.snapshot();
         let after = schedule_epoch(&w2, &snap2, 0, &cfg);
         for a in after.assignments[4].iter().flatten() {

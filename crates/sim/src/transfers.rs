@@ -171,8 +171,7 @@ pub fn simulate_transfer(
     let mut now_ms = start.as_millis() as f64;
     let mut interruptions = 0u32;
     let epoch_ms = cfg.epoch_secs as f64 * 1000.0;
-    let mut current =
-        oracle.assignment((now_ms / epoch_ms) as u64, location, user);
+    let mut current = oracle.assignment((now_ms / epoch_ms) as u64, location, user);
 
     // Cap the walk: a transfer stalled across an absurd number of epochs
     // (no coverage) is abandoned as fully penalized.
@@ -196,11 +195,7 @@ pub fn simulate_transfer(
             current = next;
         }
     }
-    TransferOutcome {
-        base_ms,
-        interruptions,
-        total_ms: now_ms - start.as_millis() as f64,
-    }
+    TransferOutcome { base_ms, interruptions, total_ms: now_ms - start.as_millis() as f64 }
 }
 
 /// Run the transfer model over a whole access log (sizes and start times

@@ -84,15 +84,13 @@ fn required<'a>(opts: &'a HashMap<String, String>, key: &str) -> &'a str {
 
 fn load_trace(path: &str) -> Trace {
     let f = File::open(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
-    let result =
-        if path.ends_with(".bin") { read_binary(f) } else { read_csv(f) };
+    let result = if path.ends_with(".bin") { read_binary(f) } else { read_csv(f) };
     result.unwrap_or_else(|e| die(&format!("read {path}: {e}")))
 }
 
 fn save_trace(trace: &Trace, path: &str) {
     let f = File::create(path).unwrap_or_else(|e| die(&format!("create {path}: {e}")));
-    let result =
-        if path.ends_with(".bin") { write_binary(trace, f) } else { write_csv(trace, f) };
+    let result = if path.ends_with(".bin") { write_binary(trace, f) } else { write_csv(trace, f) };
     result.unwrap_or_else(|e| die(&format!("write {path}: {e}")));
     eprintln!("wrote {} requests to {path}", trace.len());
 }
@@ -102,8 +100,7 @@ fn synthesize(opts: &HashMap<String, String>) {
         opt(opts, "class", "video").parse().unwrap_or_else(|e: String| die(&e));
     let hours: u64 = opt(opts, "hours", "24").parse().unwrap_or_else(|_| die("--hours: bad u64"));
     let seed: u64 = opt(opts, "seed", "42").parse().unwrap_or_else(|_| die("--seed: bad u64"));
-    let scale: f64 =
-        opt(opts, "scale", "0.1").parse().unwrap_or_else(|_| die("--scale: bad f64"));
+    let scale: f64 = opt(opts, "scale", "0.1").parse().unwrap_or_else(|_| die("--scale: bad f64"));
     let out = required(opts, "out");
 
     let locations = Location::akamai_nine();

@@ -93,16 +93,12 @@ pub fn generate(
     pfds: &[FootprintDescriptor],
     cfg: &GeneratorConfig,
 ) -> Trace {
-    assert_eq!(
-        pfds.len(),
-        gpd.num_locations,
-        "one pFD per GPD location required"
-    );
+    assert_eq!(pfds.len(), gpd.num_locations, "one pFD per GPD location required");
     if gpd.is_empty() || pfds.is_empty() {
         return Trace::default();
     }
     let n = pfds.len();
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xa16_0_1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x000a_1601);
 
     let mut state = GenState {
         gpd,
@@ -118,18 +114,11 @@ pub fn generate(
     // strands far more partially-consumed objects than the production
     // trace contains (inflating the unique-object count and diluting
     // popularity — measured +69 % objects before this correction).
-    let fill_target: Vec<u64> = pfds
-        .iter()
-        .map(|fd| fd.stack_distance_quantile(0.99).max(1))
-        .collect();
+    let fill_target: Vec<u64> =
+        pfds.iter().map(|fd| fd.stack_distance_quantile(0.99).max(1)).collect();
     let max_fill_iters = 200 * gpd.len().max(1024);
     let mut iters = 0usize;
-    while state
-        .stacks
-        .iter()
-        .zip(&fill_target)
-        .any(|(s, &t)| s.total_bytes() < t)
-    {
+    while state.stacks.iter().zip(&fill_target).any(|(s, &t)| s.total_bytes() < t) {
         state.sample_new_object(&mut rng);
         iters += 1;
         if iters > max_fill_iters {
@@ -155,8 +144,7 @@ pub fn generate(
         .iter()
         .map(|r| ((r / max_rate) * cfg.warmup_at_fastest as f64).round() as usize)
         .collect();
-    let targets: Vec<usize> =
-        keep_targets.iter().zip(&warmups).map(|(k, w)| k + w).collect();
+    let targets: Vec<usize> = keep_targets.iter().zip(&warmups).map(|(k, w)| k + w).collect();
 
     let mut requests = Vec::with_capacity(keep_targets.iter().sum());
     let mut emitted = vec![0usize; n];
@@ -260,11 +248,8 @@ fn emit_one(
             state.sample_new_object(rng);
         }
     } else {
-        let total = state
-            .totals
-            .get(&(entry.object, i as u16))
-            .copied()
-            .unwrap_or(entry.popularity + 1);
+        let total =
+            state.totals.get(&(entry.object, i as u16)).copied().unwrap_or(entry.popularity + 1);
         let d = pfds[i].sample_distance(total, entry.size, rng);
         state.stacks[i].insert_at_bytes(d, entry);
     }
@@ -389,11 +374,7 @@ mod tests {
         // per-location popularity (quota is enforced per object).
         let max_prod_pop = {
             let gpd = GlobalPopularity::from_trace(&prod, n);
-            gpd.records
-                .iter()
-                .flat_map(|r| r.popularity.iter().copied())
-                .max()
-                .unwrap() as usize
+            gpd.records.iter().flat_map(|r| r.popularity.iter().copied()).max().unwrap() as usize
         };
         let mut counts: HashMap<(ObjectId, LocationId), usize> = HashMap::new();
         for r in &synth.requests {
@@ -415,9 +396,6 @@ mod tests {
         let gpd_prod = GlobalPopularity::from_trace(&prod, n);
         let fs = gpd_synth.shared_fraction();
         let fp = gpd_prod.shared_fraction();
-        assert!(
-            (fs - fp).abs() < 0.25,
-            "shared fraction: synthetic {fs:.2} vs production {fp:.2}"
-        );
+        assert!((fs - fp).abs() < 0.25, "shared fraction: synthetic {fs:.2} vs production {fp:.2}");
     }
 }

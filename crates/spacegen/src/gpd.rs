@@ -37,19 +37,15 @@ impl GlobalPopularity {
     pub fn from_trace(trace: &Trace, num_locations: usize) -> Self {
         let mut map: HashMap<ObjectId, GpdRecord> = HashMap::new();
         for r in &trace.requests {
-            let e = map.entry(r.object).or_insert_with(|| GpdRecord {
-                popularity: vec![0; num_locations],
-                size: r.size,
-            });
+            let e = map
+                .entry(r.object)
+                .or_insert_with(|| GpdRecord { popularity: vec![0; num_locations], size: r.size });
             e.popularity[r.location.0 as usize] += 1;
         }
         // Deterministic record order (HashMap iteration is not).
         let mut keyed: Vec<(ObjectId, GpdRecord)> = map.into_iter().collect();
         keyed.sort_by_key(|(id, _)| *id);
-        GlobalPopularity {
-            num_locations,
-            records: keyed.into_iter().map(|(_, r)| r).collect(),
-        }
+        GlobalPopularity { num_locations, records: keyed.into_iter().map(|(_, r)| r).collect() }
     }
 
     /// Sample one object definition (uniform over observed objects, as in
@@ -100,22 +96,11 @@ mod tests {
     use starcdn_orbit::time::SimTime;
 
     fn req(obj: u64, size: u64, loc: u16) -> Request {
-        Request {
-            time: SimTime::ZERO,
-            object: ObjectId(obj),
-            size,
-            location: LocationId(loc),
-        }
+        Request { time: SimTime::ZERO, object: ObjectId(obj), size, location: LocationId(loc) }
     }
 
     fn sample_trace() -> Trace {
-        Trace::new(vec![
-            req(1, 10, 0),
-            req(1, 10, 0),
-            req(1, 10, 1),
-            req(2, 20, 1),
-            req(3, 30, 2),
-        ])
+        Trace::new(vec![req(1, 10, 0), req(1, 10, 0), req(1, 10, 1), req(2, 20, 1), req(3, 30, 2)])
     }
 
     #[test]

@@ -190,9 +190,24 @@ mod tests {
 
     fn sample_trace() -> Trace {
         Trace::new(vec![
-            Request { time: SimTime::from_millis(10), object: ObjectId(1), size: 100, location: LocationId(0) },
-            Request { time: SimTime::from_millis(20), object: ObjectId(2), size: 2048, location: LocationId(3) },
-            Request { time: SimTime::from_millis(20), object: ObjectId(1), size: 100, location: LocationId(8) },
+            Request {
+                time: SimTime::from_millis(10),
+                object: ObjectId(1),
+                size: 100,
+                location: LocationId(0),
+            },
+            Request {
+                time: SimTime::from_millis(20),
+                object: ObjectId(2),
+                size: 2048,
+                location: LocationId(3),
+            },
+            Request {
+                time: SimTime::from_millis(20),
+                object: ObjectId(1),
+                size: 100,
+                location: LocationId(8),
+            },
         ])
     }
 

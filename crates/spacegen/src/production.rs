@@ -62,10 +62,8 @@ impl ProductionModel {
 
         // Demand factor per location: the US cities carry the most
         // Starlink users today (§3.1.1), so weight homes toward them.
-        let demand: Vec<f64> = locations
-            .iter()
-            .map(|l| if l.language == "en" { 1.5 } else { 1.0 })
-            .collect();
+        let demand: Vec<f64> =
+            locations.iter().map(|l| if l.language == "en" { 1.5 } else { 1.0 }).collect();
         let demand_total: f64 = demand.iter().sum();
 
         let size_dist = LogNormal::new((params.size_median_bytes as f64).ln(), params.size_sigma)
@@ -409,10 +407,8 @@ mod tests {
     #[test]
     fn mixed_trace_namespaces_and_merges() {
         let locs = Location::akamai_nine();
-        let classes = [
-            TrafficClass::Video.params().scaled(0.02),
-            TrafficClass::Web.params().scaled(0.02),
-        ];
+        let classes =
+            [TrafficClass::Video.params().scaled(0.02), TrafficClass::Web.params().scaled(0.02)];
         let (trace, models) = mixed_trace(&classes, &locs, SimDuration::from_hours(1), 5);
         assert_eq!(models.len(), 2);
         assert!(!trace.is_empty());
@@ -444,10 +440,7 @@ mod tests {
             let n = 3000;
             let total: u64 = (0..n).map(|_| poisson_knuth(lambda, &mut rng)).sum();
             let mean = total as f64 / n as f64;
-            assert!(
-                (mean - lambda).abs() < lambda.max(1.0) * 0.15,
-                "λ={lambda} mean={mean}"
-            );
+            assert!((mean - lambda).abs() < lambda.max(1.0) * 0.15, "λ={lambda} mean={mean}");
         }
         assert_eq!(poisson_knuth(0.0, &mut rng), 0);
     }

@@ -139,10 +139,8 @@ pub fn overlap_vs_distance(
 ) -> Vec<DistanceOverlap> {
     let n = locations.len();
     let m = overlap_matrices(trace, n);
-    let r = locations
-        .iter()
-        .position(|l| l.name == reference)
-        .expect("reference location in table");
+    let r =
+        locations.iter().position(|l| l.name == reference).expect("reference location in table");
     let mut out: Vec<DistanceOverlap> = locations
         .iter()
         .enumerate()
@@ -190,12 +188,7 @@ mod tests {
     fn traffic_spread_weights_by_volume() {
         // obj1: spread 2, traffic 3 reqs × 100 B = 300.
         // obj2: spread 1, traffic 1 req × 100 B = 100.
-        let t = Trace::new(vec![
-            req(1, 100, 0),
-            req(1, 100, 0),
-            req(1, 100, 1),
-            req(2, 100, 0),
-        ]);
+        let t = Trace::new(vec![req(1, 100, 0), req(1, 100, 0), req(1, 100, 1), req(2, 100, 0)]);
         let cdf = traffic_spread_cdf(&t, 2);
         assert!((cdf[0] - 0.25).abs() < 1e-12, "{cdf:?}");
         assert!((cdf[1] - 1.0).abs() < 1e-12);

@@ -23,12 +23,9 @@ fn main() {
 
     println!("{:<22} {:>8} {:>8} {:>8} {:>9}", "system", "p25", "median", "p90", "p99");
     let mut medians = Vec::new();
-    for variant in [
-        Variant::TerrestrialCdn,
-        Variant::StaticCache,
-        Variant::StarCdn { l: 4 },
-        Variant::NoCache,
-    ] {
+    for variant in
+        [Variant::TerrestrialCdn, Variant::StaticCache, Variant::StarCdn { l: 4 }, Variant::NoCache]
+    {
         let m = runner.run(variant, cache);
         let cdf = m.latency_cdf();
         println!(

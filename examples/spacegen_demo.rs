@@ -22,7 +22,11 @@ fn main() {
     let n = locations.len();
     let model = ProductionModel::build(TrafficClass::Video.params().scaled(0.05), &locations, 1);
     let production = model.generate_trace(SimDuration::from_hours(6), 1);
-    println!("production: {} requests / {} objects", production.len(), production.unique_objects().0);
+    println!(
+        "production: {} requests / {} objects",
+        production.len(),
+        production.unique_objects().0
+    );
 
     // 2. Traffic models: one pFD per location plus the GPD.
     let per_loc = production.split_by_location(n);
@@ -53,8 +57,10 @@ fn main() {
     println!("synthetic: {} requests / {} objects", synthetic.len(), synthetic.unique_objects().0);
 
     // 4. Validate: spreads, overlap, hit-rate curves (Fig. 6's checks).
-    let ks_obj = cdf_distance(&object_spread_cdf(&production, n), &object_spread_cdf(&synthetic, n));
-    let ks_tra = cdf_distance(&traffic_spread_cdf(&production, n), &traffic_spread_cdf(&synthetic, n));
+    let ks_obj =
+        cdf_distance(&object_spread_cdf(&production, n), &object_spread_cdf(&synthetic, n));
+    let ks_tra =
+        cdf_distance(&traffic_spread_cdf(&production, n), &traffic_spread_cdf(&synthetic, n));
     println!("spread fidelity: KS objects {ks_obj:.3}, KS traffic {ks_tra:.3}");
 
     let m = overlap_matrices(&synthetic, n);

@@ -58,11 +58,8 @@ fn main() {
     let world = World::from_tle_fleet(&fleet, Location::akamai_nine());
     println!("broken ISLs from the gaps: {}", world.failures.broken_isl_count(&world.grid));
 
-    let model = ProductionModel::build(
-        TrafficClass::Video.params().scaled(0.05),
-        &world.locations,
-        7,
-    );
+    let model =
+        ProductionModel::build(TrafficClass::Video.params().scaled(0.05), &world.locations, 7);
     let trace = model.generate_trace(SimDuration::from_hours(2), 7);
     let cache = trace.unique_objects().1 / 50;
     let runner = Runner::new(world, &trace, SimConfig::default());

@@ -30,9 +30,8 @@ fn trace() -> Trace {
 fn outage_degrades_but_does_not_break() {
     let t = trace();
     let cache = t.unique_objects().1 / 50;
-    let healthy =
-        Runner::new(World::starlink_nine_cities(), &t, SimConfig::default())
-            .run(Variant::StarCdn { l: 9 }, cache);
+    let healthy = Runner::new(World::starlink_nine_cities(), &t, SimConfig::default())
+        .run(Variant::StarCdn { l: 9 }, cache);
 
     let world = World::starlink_nine_cities();
     let failures = FailureModel::sample(&world.grid, 126, 43);
@@ -142,10 +141,8 @@ fn recovered_satellites_rewarm_within_the_run() {
     let t = trace();
     let world = World::starlink_nine_cities();
     let outage = FailureModel::sample(&world.grid, 300, 71);
-    let mut events: Vec<TimedFault> = outage
-        .dead()
-        .map(|s| TimedFault { at_secs: 0, event: FaultEvent::SatDown(s) })
-        .collect();
+    let mut events: Vec<TimedFault> =
+        outage.dead().map(|s| TimedFault { at_secs: 0, event: FaultEvent::SatDown(s) }).collect();
     events.extend(outage.dead().map(|s| TimedFault { at_secs: 3600, event: FaultEvent::SatUp(s) }));
     let sched = FaultSchedule::from_events(events);
     let w = World::starlink_nine_cities().with_fault_schedule(sched.clone());

@@ -77,7 +77,8 @@ fn parallel_exact_parity_under_churn() {
     assert!(reference.cold_restart_misses > 0, "churn must surface cold restarts");
     assert!(reference.remapped_requests > 0, "churn must remap some requests");
     for workers in [1, 3, 8] {
-        let par = replay_parallel_with_faults(cfg.clone(), FailureModel::none(), &log, &sched, workers);
+        let par =
+            replay_parallel_with_faults(cfg.clone(), FailureModel::none(), &log, &sched, workers);
         assert_eq!(par.stats, reference.stats, "{workers} workers");
         assert_eq!(par.uplink_bytes, reference.uplink_bytes, "{workers} workers");
         assert_eq!(par.per_satellite, reference.per_satellite, "{workers} workers");
@@ -93,7 +94,8 @@ fn parallel_empty_schedule_matches_static_replayer() {
     let log = log();
     let cfg = StarCdnConfig::starcdn_no_relay(9, 5_000_000);
     let plain = replay_parallel(cfg.clone(), FailureModel::none(), &log, 4);
-    let empty = replay_parallel_with_faults(cfg, FailureModel::none(), &log, &FaultSchedule::empty(), 4);
+    let empty =
+        replay_parallel_with_faults(cfg, FailureModel::none(), &log, &FaultSchedule::empty(), 4);
     assert_eq!(plain.stats, empty.stats);
     assert_eq!(plain.per_satellite, empty.per_satellite);
     assert_eq!(plain.uplink_bytes, empty.uplink_bytes);

@@ -59,7 +59,12 @@ fn cross_location_overlap_structure_survives_generation() {
     // Nearby same-language pair (NY=4, DC=3) keeps high traffic overlap;
     // distant pair (NY=4, Istanbul=8) keeps low object overlap — and the
     // contrast between them survives.
-    assert!(ms.traffic[4][3] > ms.traffic[4][8] + 0.15, "near/far contrast lost: {:.2} vs {:.2}", ms.traffic[4][3], ms.traffic[4][8]);
+    assert!(
+        ms.traffic[4][3] > ms.traffic[4][8] + 0.15,
+        "near/far contrast lost: {:.2} vs {:.2}",
+        ms.traffic[4][3],
+        ms.traffic[4][8]
+    );
     let d_near = (mp.traffic[4][3] - ms.traffic[4][3]).abs();
     assert!(d_near < 0.25, "near-pair traffic overlap drifted by {d_near}");
 }
