@@ -5,8 +5,9 @@
 //! all of Fig. 7/12's per-cache-size sweeps are built on this harness.
 
 use crate::object::ObjectId;
-use crate::policy::{Cache, PolicyKind};
+use crate::policy::{AccessOutcome, Cache, PolicyKind};
 use crate::stats::CacheStats;
+use starcdn_telemetry::{Counter, Histo, Noop, Recorder};
 
 /// A single replayable access: `(object, size_bytes)`.
 pub type Access = (ObjectId, u64);
@@ -16,10 +17,31 @@ pub fn replay<C: Cache + ?Sized>(
     cache: &mut C,
     accesses: impl IntoIterator<Item = Access>,
 ) -> CacheStats {
+    replay_recorded(cache, accesses, &Noop)
+}
+
+/// [`replay`] with telemetry: hit/miss counters and the object-size
+/// distribution go to `rec`; the per-item instrumentation is hoisted
+/// behind one `is_enabled` check so the no-op path replays at full
+/// speed.
+pub fn replay_recorded<C: Cache + ?Sized>(
+    cache: &mut C,
+    accesses: impl IntoIterator<Item = Access>,
+    rec: &dyn Recorder,
+) -> CacheStats {
+    let enabled = rec.is_enabled();
     let mut stats = CacheStats::default();
     for (id, size) in accesses {
         let outcome = cache.access(id, size);
         stats.record(outcome, size);
+        if enabled {
+            let hit = matches!(outcome, AccessOutcome::Hit);
+            rec.add(if hit { Counter::CacheHits } else { Counter::CacheMisses }, 1);
+            rec.observe(Histo::ObjectBytes, size);
+        }
+    }
+    if enabled {
+        rec.observe(Histo::QueueDepth, stats.requests);
     }
     stats
 }

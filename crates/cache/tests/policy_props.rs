@@ -1,0 +1,281 @@
+//! Property tests over every cache policy: byte-capacity safety,
+//! hit/miss conservation, and the per-policy eviction-order invariants
+//! (LRU/FIFO shadow models, SLRU segment promotion, SIEVE visited bits,
+//! TinyLFU admission monotonicity).
+
+use proptest::prelude::*;
+use starcdn_cache::lfu::LfuCache;
+use starcdn_cache::lru::LruCache;
+use starcdn_cache::object::ObjectId;
+use starcdn_cache::policy::{Cache, PolicyKind};
+use starcdn_cache::sieve::SieveCache;
+use starcdn_cache::simulate::replay;
+use starcdn_cache::slru::SlruCache;
+use starcdn_cache::tinylfu::TinyLfuCache;
+
+/// Exact reference model shared by the LRU and FIFO shadow tests: a
+/// recency/admission-ordered list, newest first.
+struct ShadowList {
+    capacity: u64,
+    /// `(id, size)`, index 0 = newest.
+    items: Vec<(u64, u64)>,
+    /// Hits reorder (LRU) or don't (FIFO).
+    reorder_on_hit: bool,
+}
+
+impl ShadowList {
+    fn used(&self) -> u64 {
+        self.items.iter().map(|&(_, s)| s).sum()
+    }
+
+    /// Returns true on hit, mirroring `Cache::access` semantics
+    /// (hits ignore `size`; oversized misses are served uncached).
+    fn access(&mut self, id: u64, size: u64) -> bool {
+        if let Some(pos) = self.items.iter().position(|&(i, _)| i == id) {
+            if self.reorder_on_hit {
+                let e = self.items.remove(pos);
+                self.items.insert(0, e);
+            }
+            return true;
+        }
+        if size <= self.capacity {
+            while self.used() + size > self.capacity {
+                self.items.pop();
+            }
+            self.items.insert(0, (id, size));
+        }
+        false
+    }
+
+    fn victim(&self) -> Option<u64> {
+        self.items.last().map(|&(i, _)| i)
+    }
+}
+
+proptest! {
+    /// Every policy: bytes used never exceed capacity, `len`/`size_of`
+    /// agree with `used_bytes`, and `contains` before an access predicts
+    /// the hit/miss outcome.
+    #[test]
+    fn prop_capacity_and_membership_all_policies(
+        ops in proptest::collection::vec((0u64..40, 1u64..60), 1..400),
+    ) {
+        for kind in PolicyKind::ALL {
+            let mut c = kind.build(180);
+            for &(id, size) in &ops {
+                let had = c.contains(ObjectId(id));
+                let out = c.access(ObjectId(id), size);
+                prop_assert_eq!(out.is_hit(), had, "{}: hit disagrees with contains", kind.name());
+                prop_assert!(
+                    c.used_bytes() <= c.capacity_bytes(),
+                    "{}: {} bytes in a {} byte cache",
+                    kind.name(), c.used_bytes(), c.capacity_bytes()
+                );
+                let sum: u64 = (0..40u64).filter_map(|i| c.size_of(ObjectId(i))).sum();
+                prop_assert_eq!(sum, c.used_bytes(), "{}: size_of sum diverged", kind.name());
+                let count = (0..40u64).filter(|&i| c.contains(ObjectId(i))).count();
+                prop_assert_eq!(count, c.len(), "{}: len diverged", kind.name());
+            }
+            c.clear();
+            prop_assert!(c.is_empty() && c.used_bytes() == 0, "{}: clear left state", kind.name());
+        }
+    }
+
+    /// Every policy through the replay harness: requests are conserved
+    /// as hits + misses, byte totals add up, and hit bytes never exceed
+    /// requested bytes.
+    #[test]
+    fn prop_hit_miss_conservation_all_policies(
+        ops in proptest::collection::vec((0u64..30, 1u64..50), 1..300),
+    ) {
+        let total_bytes: u64 = ops.iter().map(|&(_, s)| s).sum();
+        for kind in PolicyKind::ALL {
+            let mut c = kind.build(200);
+            let trace: Vec<(ObjectId, u64)> =
+                ops.iter().map(|&(id, s)| (ObjectId(id), s)).collect();
+            let stats = replay(c.as_mut(), trace);
+            prop_assert_eq!(stats.requests, ops.len() as u64, "{}", kind.name());
+            prop_assert_eq!(stats.hits + stats.misses(), stats.requests, "{}", kind.name());
+            prop_assert_eq!(stats.bytes_requested, total_bytes, "{}", kind.name());
+            prop_assert!(stats.bytes_hit <= stats.bytes_requested, "{}", kind.name());
+            prop_assert!(stats.hits <= stats.requests, "{}", kind.name());
+        }
+    }
+
+    /// LRU against an exact shadow model: membership, bytes, hit
+    /// outcomes, and the eviction victim all match at every step.
+    #[test]
+    fn prop_lru_matches_exact_shadow_model(
+        ops in proptest::collection::vec((0u64..25, 1u64..70), 1..400),
+    ) {
+        let mut c = LruCache::new(160);
+        let mut shadow = ShadowList { capacity: 160, items: Vec::new(), reorder_on_hit: true };
+        for (id, size) in ops {
+            let hit = c.access(ObjectId(id), size);
+            let shadow_hit = shadow.access(id, size);
+            prop_assert_eq!(hit.is_hit(), shadow_hit);
+            prop_assert_eq!(c.used_bytes(), shadow.used());
+            prop_assert_eq!(c.victim(), shadow.victim().map(ObjectId), "victim order diverged");
+            for i in 0..25u64 {
+                let in_shadow = shadow.items.iter().any(|&(x, _)| x == i);
+                prop_assert_eq!(c.contains(ObjectId(i)), in_shadow, "object {} membership", i);
+            }
+        }
+    }
+
+    /// FIFO against the same shadow model with reordering disabled:
+    /// reuse must not save an object from admission-order eviction.
+    #[test]
+    fn prop_fifo_matches_exact_shadow_model(
+        ops in proptest::collection::vec((0u64..25, 1u64..70), 1..400),
+    ) {
+        let mut c = starcdn_cache::fifo::FifoCache::new(160);
+        let mut shadow = ShadowList { capacity: 160, items: Vec::new(), reorder_on_hit: false };
+        for (id, size) in ops {
+            let hit = c.access(ObjectId(id), size);
+            let shadow_hit = shadow.access(id, size);
+            prop_assert_eq!(hit.is_hit(), shadow_hit);
+            prop_assert_eq!(c.used_bytes(), shadow.used());
+            for i in 0..25u64 {
+                let in_shadow = shadow.items.iter().any(|&(x, _)| x == i);
+                prop_assert_eq!(c.contains(ObjectId(i)), in_shadow, "object {} membership", i);
+            }
+        }
+    }
+
+    /// SLRU: an admitted object starts on probation; any hit promotes it
+    /// into the protected segment (sizes here are always below the
+    /// protected share, so promotion can't bounce back).
+    #[test]
+    fn prop_slru_hits_promote_to_protected(
+        ops in proptest::collection::vec((0u64..20, 1u64..40), 1..300),
+    ) {
+        let mut c = SlruCache::new(150);
+        for (id, size) in ops {
+            let out = c.access(ObjectId(id), size);
+            if out.is_hit() {
+                prop_assert_eq!(
+                    c.segment_of(ObjectId(id)), Some("protected"),
+                    "hit object {} not promoted", id
+                );
+            } else if c.contains(ObjectId(id)) {
+                prop_assert_eq!(
+                    c.segment_of(ObjectId(id)), Some("probation"),
+                    "fresh admission {} skipped probation", id
+                );
+            }
+            prop_assert!(c.used_bytes() <= c.capacity_bytes());
+        }
+    }
+
+    /// SIEVE visited-bit semantics: a hit sets the bit; a fresh
+    /// admission starts with it unset.
+    #[test]
+    fn prop_sieve_visited_bit_semantics(
+        ops in proptest::collection::vec((0u64..20, 5u64..30), 1..300),
+    ) {
+        let mut c = SieveCache::new(120);
+        for (id, size) in ops {
+            let out = c.access(ObjectId(id), size);
+            if out.is_hit() {
+                prop_assert_eq!(c.is_visited(ObjectId(id)), Some(true));
+            } else if c.contains(ObjectId(id)) {
+                prop_assert_eq!(c.is_visited(ObjectId(id)), Some(false));
+            }
+        }
+    }
+
+    /// SIEVE with no reuse degenerates to FIFO: streaming distinct
+    /// equal-sized objects leaves exactly the newest suffix cached.
+    #[test]
+    fn prop_sieve_without_reuse_evicts_oldest_first(
+        n in 5u64..60,
+        size in 10u64..40,
+    ) {
+        let mut c = SieveCache::new(200);
+        for id in 0..n {
+            c.access(ObjectId(id), size);
+        }
+        let held = 200 / size;
+        let expect_cached = n.min(held);
+        for id in 0..n {
+            let expected = id >= n - expect_cached;
+            prop_assert_eq!(
+                c.contains(ObjectId(id)), expected,
+                "object {} of {} (capacity {} objects)", id, n, held
+            );
+        }
+    }
+
+    /// TinyLFU sketch monotonicity: below the aging window, `k` extra
+    /// accesses raise an object's estimate by exactly `k` (count-min
+    /// collisions can inflate the baseline but never deflate it).
+    #[test]
+    fn prop_tinylfu_estimate_monotone_below_window(
+        noise in proptest::collection::vec((0u64..200, 1u64..100), 0..600),
+        candidate in 1000u64..2000,
+        k in 1u32..32,
+    ) {
+        // capacity 65536 → sketch window 1024; keep total ops below it.
+        let mut c = TinyLfuCache::new(65536);
+        for &(id, size) in &noise {
+            c.access(ObjectId(id), size);
+        }
+        let before = c.estimate(ObjectId(candidate));
+        for _ in 0..k {
+            c.access(ObjectId(candidate), 64);
+        }
+        let after = c.estimate(ObjectId(candidate));
+        prop_assert_eq!(after, before + k, "estimate not monotone by exactly k");
+    }
+
+    /// TinyLFU admission: against a full cache of one-hit wonders, a
+    /// repeatedly requested object must win admission once its frequency
+    /// estimate beats the eviction victim's.
+    #[test]
+    fn prop_tinylfu_admits_frequent_over_one_hit_wonders(
+        candidate in 5000u64..6000,
+    ) {
+        let mut c = TinyLfuCache::new(65536);
+        // 64 distinct 1 KiB objects fill the cache exactly.
+        for id in 0..64u64 {
+            c.access(ObjectId(id), 1024);
+        }
+        prop_assert_eq!(c.used_bytes(), c.capacity_bytes());
+        let mut admitted_after = None;
+        for round in 1..=10u32 {
+            c.access(ObjectId(candidate), 1024);
+            if c.contains(ObjectId(candidate)) {
+                admitted_after = Some(round);
+                break;
+            }
+        }
+        // Sketch collisions can hand the candidate a head start, so the
+        // exact admission round varies — but a 10×-requested object must
+        // always beat a once-requested victim eventually.
+        prop_assert!(admitted_after.is_some(), "frequent object never admitted");
+        prop_assert!(c.used_bytes() <= c.capacity_bytes());
+    }
+
+    /// LFU: the eviction victim is always a minimum-frequency resident.
+    #[test]
+    fn prop_lfu_victim_has_minimum_frequency(
+        ops in proptest::collection::vec((0u64..30, 1u64..50), 1..300),
+    ) {
+        let mut c = LfuCache::new(150);
+        for (id, size) in ops {
+            c.access(ObjectId(id), size);
+            if let Some(v) = c.victim() {
+                let vf = c.frequency_of(v).expect("victim must be cached");
+                for i in 0..30u64 {
+                    if let Some(f) = c.frequency_of(ObjectId(i)) {
+                        prop_assert!(
+                            vf <= f,
+                            "victim {:?} (freq {}) outranked by {} (freq {})", v, vf, i, f
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

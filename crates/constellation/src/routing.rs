@@ -8,6 +8,7 @@
 use crate::grid::{Direction, GridTopology};
 use crate::isl::{IslKind, LinkModel};
 use starcdn_orbit::walker::SatelliteId;
+use starcdn_telemetry::{Counter, Histo, Noop, Recorder};
 use std::collections::VecDeque;
 
 /// A path across the grid: the sequence of hops (directions taken) plus
@@ -91,6 +92,41 @@ pub fn shortest_path_avoiding(
 /// pair). Endpoints must be alive. Returns `None` if `to` is
 /// unreachable over the surviving grid.
 pub fn shortest_path_avoiding_links(
+    grid: &GridTopology,
+    from: SatelliteId,
+    to: SatelliteId,
+    alive: impl Fn(SatelliteId) -> bool,
+    link_ok: impl Fn(SatelliteId, SatelliteId) -> bool,
+) -> Option<GridPath> {
+    shortest_path_avoiding_links_recorded(grid, from, to, alive, link_ok, &Noop)
+}
+
+/// [`shortest_path_avoiding_links`] with telemetry: counts BFS
+/// invocations ([`Counter::BfsRoutes`]) and observes the hop length of
+/// found detours ([`Histo::BfsPathHops`]). The plain entry point passes
+/// [`Noop`], which compiles down to the uninstrumented search.
+pub fn shortest_path_avoiding_links_recorded(
+    grid: &GridTopology,
+    from: SatelliteId,
+    to: SatelliteId,
+    alive: impl Fn(SatelliteId) -> bool,
+    link_ok: impl Fn(SatelliteId, SatelliteId) -> bool,
+    rec: &dyn Recorder,
+) -> Option<GridPath> {
+    let enabled = rec.is_enabled();
+    if enabled {
+        rec.add(Counter::BfsRoutes, 1);
+    }
+    let path = bfs_avoiding_links(grid, from, to, alive, link_ok);
+    if enabled {
+        if let Some(p) = &path {
+            rec.observe(Histo::BfsPathHops, p.len() as u64);
+        }
+    }
+    path
+}
+
+fn bfs_avoiding_links(
     grid: &GridTopology,
     from: SatelliteId,
     to: SatelliteId,

@@ -147,8 +147,12 @@ pub struct LatencyCdf {
 }
 
 impl LatencyCdf {
-    /// Build from raw samples (sorts a copy).
-    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+    /// Build from raw samples (sorts a copy). Non-finite samples (NaN,
+    /// ±∞) are dropped: they carry no latency information and would
+    /// otherwise poison the top quantiles, since NaN total-orders above
+    /// every real sample.
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        let mut samples: Vec<f64> = samples.into_iter().filter(|v| v.is_finite()).collect();
         samples.sort_by(|a, b| a.total_cmp(b));
         LatencyCdf { sorted_ms: samples }
     }
@@ -163,9 +167,13 @@ impl LatencyCdf {
         self.sorted_ms.is_empty()
     }
 
-    /// The `q`-quantile (0 ≤ q ≤ 1), or `None` when empty.
+    /// The `q`-quantile: `None` when the CDF is empty or `q` is not a
+    /// finite number (a NaN `q` used to clamp silently to the minimum).
+    /// Out-of-range finite `q` clamps into `[0, 1]`, so `quantile(0.0)`
+    /// is the exact minimum and `quantile(1.0)` the exact maximum (p100),
+    /// for any sample count including a single sample.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        if self.sorted_ms.is_empty() {
+        if self.sorted_ms.is_empty() || !q.is_finite() {
             return None;
         }
         let idx = ((self.sorted_ms.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
@@ -175,6 +183,16 @@ impl LatencyCdf {
     /// Median latency.
     pub fn median(&self) -> Option<f64> {
         self.quantile(0.5)
+    }
+
+    /// Smallest sample (p0), `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted_ms.first().copied()
+    }
+
+    /// Largest sample (p100), `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted_ms.last().copied()
     }
 
     /// Fraction of samples ≤ `x` ms.
@@ -288,6 +306,55 @@ mod tests {
         let cdf = LatencyCdf::default();
         assert!(cdf.is_empty());
         assert_eq!(cdf.median(), None);
+        assert_eq!(cdf.quantile(0.0), None);
+        assert_eq!(cdf.quantile(1.0), None);
+        assert_eq!(cdf.min(), None);
+        assert_eq!(cdf.max(), None);
         assert_eq!(cdf.cdf_at(10.0), 0.0);
+        // from_samples of nothing is the same as default.
+        assert_eq!(LatencyCdf::from_samples(vec![]), cdf);
+    }
+
+    #[test]
+    fn single_sample_cdf() {
+        let cdf = LatencyCdf::from_samples(vec![42.0]);
+        assert_eq!(cdf.len(), 1);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(cdf.quantile(q), Some(42.0), "q={q}");
+        }
+        assert_eq!(cdf.min(), Some(42.0));
+        assert_eq!(cdf.max(), Some(42.0));
+        assert_eq!(cdf.cdf_at(41.9), 0.0);
+        assert_eq!(cdf.cdf_at(42.0), 1.0);
+    }
+
+    #[test]
+    fn p100_is_exact_max_and_out_of_range_clamps() {
+        let cdf = LatencyCdf::from_samples(vec![5.0, 1.0, 9.0, 3.0]);
+        assert_eq!(cdf.quantile(1.0), Some(9.0));
+        assert_eq!(cdf.max(), Some(9.0));
+        // q outside [0,1] clamps rather than indexing out of bounds.
+        assert_eq!(cdf.quantile(7.5), Some(9.0));
+        assert_eq!(cdf.quantile(-2.0), Some(1.0));
+        assert_eq!(cdf.min(), Some(1.0));
+    }
+
+    #[test]
+    fn non_finite_q_is_rejected_not_silently_minimum() {
+        let cdf = LatencyCdf::from_samples(vec![10.0, 20.0, 30.0]);
+        // A NaN q used to clamp to index 0 and report the minimum.
+        assert_eq!(cdf.quantile(f64::NAN), None);
+        assert_eq!(cdf.quantile(f64::INFINITY), None);
+        assert_eq!(cdf.quantile(f64::NEG_INFINITY), None);
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped() {
+        let cdf =
+            LatencyCdf::from_samples(vec![10.0, f64::NAN, 20.0, f64::INFINITY, f64::NEG_INFINITY]);
+        assert_eq!(cdf.len(), 2);
+        // Without filtering, NaN sorts above every real and p100 is NaN.
+        assert_eq!(cdf.quantile(1.0), Some(20.0));
+        assert_eq!(cdf.min(), Some(10.0));
     }
 }

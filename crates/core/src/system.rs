@@ -24,7 +24,7 @@ use starcdn_cache::policy::Cache;
 use starcdn_constellation::buckets::BucketTiling;
 use starcdn_constellation::failures::FailureModel;
 use starcdn_constellation::grid::GridTopology;
-use starcdn_constellation::routing::shortest_path_avoiding_links;
+use starcdn_constellation::routing::shortest_path_avoiding_links_recorded;
 use starcdn_orbit::walker::SatelliteId;
 
 /// Where a request was ultimately served from.
@@ -100,6 +100,31 @@ pub fn resolve_route_in(
     first_contact: SatelliteId,
     object: ObjectId,
 ) -> Option<ResolvedRoute> {
+    resolve_route_in_recorded(
+        grid,
+        tiling,
+        failures,
+        remap_on_failure,
+        first_contact,
+        object,
+        &starcdn_telemetry::Noop,
+    )
+}
+
+/// [`resolve_route_in`] with telemetry: the fault-avoiding BFS fallback
+/// reports route counts and detour hop lengths through `rec` (see
+/// [`shortest_path_avoiding_links_recorded`]). The plain entry point
+/// passes a no-op recorder.
+#[allow(clippy::too_many_arguments)]
+pub fn resolve_route_in_recorded(
+    grid: &GridTopology,
+    tiling: Option<&BucketTiling>,
+    failures: &FailureModel,
+    remap_on_failure: bool,
+    first_contact: SatelliteId,
+    object: ObjectId,
+    rec: &dyn starcdn_telemetry::Recorder,
+) -> Option<ResolvedRoute> {
     let preferred = match tiling {
         Some(t) => t.nearest_owner(grid, first_contact, t.bucket_of_object(object.hash64())),
         None => first_contact,
@@ -124,12 +149,13 @@ pub fn resolve_route_in(
         let intra = grid.slot_distance(first_contact.slot, owner.slot);
         Some(ResolvedRoute { owner, intra, inter, remapped, extra_hops: 0 })
     } else {
-        let path = shortest_path_avoiding_links(
+        let path = shortest_path_avoiding_links_recorded(
             grid,
             first_contact,
             owner,
             |id| failures.is_alive(id),
             |a, b| failures.is_link_alive(a, b),
+            rec,
         )?;
         let (intra, inter) = path.hop_mix();
         let extra_hops =

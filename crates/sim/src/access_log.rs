@@ -7,7 +7,7 @@
 //! deterministic engine, the parallel replayer, and every system variant
 //! with identical inputs.
 
-use crate::scheduler::{epoch_of, schedule_epoch_with, SchedulerConfig};
+use crate::scheduler::{epoch_of, schedule_epoch_recorded, SchedulerConfig};
 use crate::world::World;
 use serde::{Deserialize, Serialize};
 use spacegen::io::IoError;
@@ -17,6 +17,7 @@ use starcdn_constellation::failures::FailureModel;
 use starcdn_constellation::schedule::ScheduleCursor;
 use starcdn_orbit::time::SimTime;
 use starcdn_orbit::walker::SatelliteId;
+use starcdn_telemetry::{Counter, Event, Histo, Noop, Recorder, SpanTimer, Stage};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -184,10 +185,29 @@ pub fn build_access_log(
     epoch_secs: u64,
     cfg: &SchedulerConfig,
 ) -> AccessLog {
+    build_access_log_recorded(world, trace, epoch_secs, cfg, &Noop)
+}
+
+/// [`build_access_log`] with telemetry: per-epoch [`Stage::Propagate`]
+/// spans around the orbital advance, the scheduler's own
+/// `Schedule`/`Visibility` spans (via
+/// [`schedule_epoch_recorded`]), epoch-stamped churn events from the
+/// fault cursor, and the per-epoch entry count as
+/// [`Histo::QueueDepth`]. The produced log is identical with any
+/// recorder.
+pub fn build_access_log_recorded(
+    world: &World,
+    trace: &Trace,
+    epoch_secs: u64,
+    cfg: &SchedulerConfig,
+    rec: &dyn Recorder,
+) -> AccessLog {
     assert!(epoch_secs > 0);
+    let enabled = rec.is_enabled();
     let mut snapshot = world.snapshot();
     let mut entries = Vec::with_capacity(trace.len());
     let mut current_epoch = u64::MAX;
+    let mut epoch_len = 0u64;
     let mut schedule = None;
     let mut rr_counters = vec![0usize; world.num_locations()];
     let mut cursor = ScheduleCursor::new(&world.schedule, world.failures.clone());
@@ -195,18 +215,51 @@ pub fn build_access_log(
     for r in &trace.requests {
         let epoch = epoch_of(r.time, epoch_secs);
         if epoch != current_epoch {
+            if enabled && current_epoch != u64::MAX {
+                rec.observe(Histo::QueueDepth, epoch_len);
+            }
+            epoch_len = 0;
             current_epoch = epoch;
-            snapshot.advance_to(SimTime::from_secs(epoch * epoch_secs));
-            cursor.advance_to(epoch * epoch_secs);
-            schedule = Some(schedule_epoch_with(world, &snapshot, epoch, cfg, cursor.view()));
+            {
+                let _propagate = SpanTimer::start(rec, Stage::Propagate, epoch);
+                snapshot.advance_to(SimTime::from_secs(epoch * epoch_secs));
+            }
+            let delta = cursor.advance_to(epoch * epoch_secs);
+            if enabled && !delta.is_empty() {
+                record_fault_delta(rec, epoch, &delta);
+            }
+            schedule =
+                Some(schedule_epoch_recorded(world, &snapshot, epoch, cfg, cursor.view(), rec));
         }
+        epoch_len += 1;
         let sched = schedule.as_ref().expect("schedule computed");
         let loc = r.location.0 as usize;
         let user = rr_counters[loc] % cfg.users_per_location;
         rr_counters[loc] += 1;
         entries.push(resolve_entry(r, sched.assignments[loc][user]));
     }
+    if enabled && epoch_len > 0 {
+        rec.observe(Histo::QueueDepth, epoch_len);
+    }
     AccessLog { entries, epoch_secs }
+}
+
+/// Record one epoch boundary's applied churn as epoch-stamped events.
+/// Shared with the replayer's sequential pre-pass.
+pub(crate) fn record_fault_delta(
+    rec: &dyn Recorder,
+    epoch: u64,
+    delta: &starcdn_constellation::schedule::FaultDelta,
+) {
+    rec.event(Event::SatDown, epoch, delta.went_down.len() as u64);
+    rec.event(Event::SatUp, epoch, delta.came_up.len() as u64);
+    rec.event(Event::LinkDown, epoch, delta.links_cut.len() as u64);
+    rec.event(Event::LinkUp, epoch, delta.links_restored.len() as u64);
+    let applied = delta.went_down.len()
+        + delta.came_up.len()
+        + delta.links_cut.len()
+        + delta.links_restored.len();
+    rec.add(Counter::FaultEventsApplied, applied as u64);
 }
 
 /// Materialize one log entry from a request and its user's assignment —
@@ -270,13 +323,33 @@ pub fn build_access_log_parallel(
     cfg: &SchedulerConfig,
     num_workers: usize,
 ) -> AccessLog {
+    build_access_log_parallel_recorded(world, trace, epoch_secs, cfg, num_workers, &Noop)
+}
+
+/// [`build_access_log_parallel`] with telemetry: the sequential pre-scan
+/// is timed as [`Stage::PreScan`] (with per-run [`Histo::QueueDepth`]
+/// observations and churn events), workers report the scheduler's
+/// per-epoch spans through the shared recorder (epoch keys are unique
+/// per run, so concurrent recording lands in disjoint timeline cells),
+/// and the final stitch is timed as [`Stage::Merge`]. The produced log
+/// stays bit-for-bit identical to the sequential builder.
+pub fn build_access_log_parallel_recorded(
+    world: &World,
+    trace: &Trace,
+    epoch_secs: u64,
+    cfg: &SchedulerConfig,
+    num_workers: usize,
+    rec: &dyn Recorder,
+) -> AccessLog {
     assert!(epoch_secs > 0);
     if num_workers <= 1 || trace.len() < 2 {
-        return build_access_log(world, trace, epoch_secs, cfg);
+        return build_access_log_recorded(world, trace, epoch_secs, cfg, rec);
     }
+    let enabled = rec.is_enabled();
     let reqs = &trace.requests;
 
     // Sequential pre-scan: run boundaries, failure views, RR counters.
+    let prescan_span = SpanTimer::start(rec, Stage::PreScan, 0);
     let mut runs: Vec<EpochRun> = Vec::new();
     let mut cursor = ScheduleCursor::new(&world.schedule, world.failures.clone());
     let mut rr = vec![0usize; world.num_locations()];
@@ -289,6 +362,12 @@ pub fn build_access_log_parallel(
             end += 1;
         }
         let delta = cursor.advance_to(epoch * epoch_secs);
+        if enabled {
+            rec.observe(Histo::QueueDepth, (end - start) as u64);
+            if !delta.is_empty() {
+                record_fault_delta(rec, epoch, &delta);
+            }
+        }
         let view = match &shared_view {
             Some(v) if delta.is_empty() => v.clone(),
             _ => {
@@ -303,6 +382,7 @@ pub fn build_access_log_parallel(
         }
         start = end;
     }
+    prescan_span.stop();
 
     // Fan the runs out; each slot is written exactly once by whichever
     // worker claims its run.
@@ -315,8 +395,12 @@ pub fn build_access_log_parallel(
                 loop {
                     let i = next_run.fetch_add(1, Ordering::Relaxed);
                     let Some(run) = runs.get(i) else { break };
-                    snapshot.advance_to(SimTime::from_secs(run.epoch * epoch_secs));
-                    let sched = schedule_epoch_with(world, &snapshot, run.epoch, cfg, &run.view);
+                    {
+                        let _propagate = SpanTimer::start(rec, Stage::Propagate, run.epoch);
+                        snapshot.advance_to(SimTime::from_secs(run.epoch * epoch_secs));
+                    }
+                    let sched =
+                        schedule_epoch_recorded(world, &snapshot, run.epoch, cfg, &run.view, rec);
                     let mut rr = run.rr_start.clone();
                     let mut out = Vec::with_capacity(run.end - run.start);
                     for r in &reqs[run.start..run.end] {
@@ -332,10 +416,12 @@ pub fn build_access_log_parallel(
     });
 
     // Stitch per-run results back in trace order.
+    let merge_span = SpanTimer::start(rec, Stage::Merge, 0);
     let mut entries = Vec::with_capacity(reqs.len());
     for slot in slots {
         entries.extend(slot.into_inner().expect("worker completed every claimed run"));
     }
+    merge_span.stop();
     AccessLog { entries, epoch_secs }
 }
 

@@ -9,8 +9,9 @@
 use crate::access_log::AccessLog;
 use starcdn::baselines::{NoCacheBaseline, StaticCacheBaseline, TerrestrialCdnBaseline};
 use starcdn::metrics::SystemMetrics;
-use starcdn::system::SpaceCdn;
+use starcdn::system::{ServeOutcome, SpaceCdn};
 use starcdn_constellation::schedule::{FaultSchedule, ScheduleCursor};
+use starcdn_telemetry::{Counter, Event, Histo, Noop, Recorder, SpanTimer, Stage};
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,6 +61,15 @@ pub fn run_space(cdn: &mut SpaceCdn, log: &AccessLog) -> SystemMetrics {
     run_space_entries(cdn, &log.entries, log.epoch_secs)
 }
 
+/// [`run_space`] with telemetry (see [`run_space_entries_recorded`]).
+pub fn run_space_recorded(
+    cdn: &mut SpaceCdn,
+    log: &AccessLog,
+    rec: &dyn Recorder,
+) -> SystemMetrics {
+    run_space_entries_recorded(cdn, &log.entries, log.epoch_secs, rec)
+}
+
 /// [`run_space`] over a borrowed slice of entries — lets callers replay
 /// part of a log (e.g. the post-warmup tail) without copying it into a
 /// fresh [`AccessLog`].
@@ -68,26 +78,76 @@ pub fn run_space_entries(
     entries: &[crate::access_log::AccessLogEntry],
     epoch_secs: u64,
 ) -> SystemMetrics {
+    run_space_entries_recorded(cdn, entries, epoch_secs, &Noop)
+}
+
+/// Record one served request into `rec`. Shared by the engine loops and
+/// the replayer workers so hit/miss classification stays consistent.
+pub(crate) fn record_outcome(rec: &dyn Recorder, out: &ServeOutcome, size: u64) {
+    use starcdn::system::ServedFrom;
+    rec.add(Counter::RequestsRouted, 1);
+    rec.observe(Histo::LatencyUs, (out.latency_ms * 1000.0) as u64);
+    rec.observe(Histo::IslHops, out.route_hops as u64);
+    rec.observe(Histo::ObjectBytes, size);
+    if out.served_from.is_space_hit() {
+        rec.add(Counter::CacheHits, 1);
+        if matches!(out.served_from, ServedFrom::RelayWest | ServedFrom::RelayEast) {
+            rec.add(Counter::RelayHits, 1);
+        }
+    } else {
+        rec.add(Counter::CacheMisses, 1);
+    }
+}
+
+/// [`run_space_entries`] with telemetry: per-request latency/hop/size
+/// histograms and hit-miss counters, plus a [`Stage::CacheAccess`] span
+/// per scheduler epoch. All instrumentation is gated on one hoisted
+/// [`Recorder::is_enabled`] check, and none of it feeds back into the
+/// simulation — the metrics are identical with any recorder installed.
+pub fn run_space_entries_recorded(
+    cdn: &mut SpaceCdn,
+    entries: &[crate::access_log::AccessLogEntry],
+    epoch_secs: u64,
+    rec: &dyn Recorder,
+) -> SystemMetrics {
     let prefetching = cdn.config().prefetch_top_k.is_some();
+    let enabled = rec.is_enabled();
     let epoch_secs = epoch_secs.max(1);
     let mut current_epoch = u64::MAX;
+    let mut epoch_span: Option<SpanTimer> = None;
     for e in entries {
-        if prefetching {
+        if prefetching || enabled {
             let epoch = e.time.as_secs() / epoch_secs;
             if epoch != current_epoch {
                 current_epoch = epoch;
-                cdn.prefetch_round();
+                if enabled {
+                    // Replacing the guard closes the previous epoch's span.
+                    epoch_span = Some(SpanTimer::start(rec, Stage::CacheAccess, epoch));
+                }
+                if prefetching {
+                    cdn.prefetch_round();
+                    if enabled {
+                        rec.add(Counter::PrefetchRounds, 1);
+                    }
+                }
             }
         }
         match e.first_contact {
             Some(sat) => {
-                cdn.handle_request(sat, e.object, e.size, e.gsl_oneway_ms);
+                let out = cdn.handle_request(sat, e.object, e.size, e.gsl_oneway_ms);
+                if enabled {
+                    record_outcome(rec, &out, e.size);
+                }
             }
             None => {
                 cdn.handle_unreachable(e.size);
+                if enabled {
+                    rec.add(Counter::RequestsUnreachable, 1);
+                }
             }
         }
     }
+    drop(epoch_span);
     cdn.metrics.clone()
 }
 
@@ -103,10 +163,24 @@ pub fn run_space_with_faults(
     log: &AccessLog,
     schedule: &FaultSchedule,
 ) -> SystemMetrics {
+    run_space_with_faults_recorded(cdn, log, schedule, &Noop)
+}
+
+/// [`run_space_with_faults`] with telemetry. On top of the per-request
+/// instrumentation of [`run_space_entries_recorded`], the fault path
+/// emits epoch-stamped [`Event`]s: churn applied at each boundary
+/// (`SatDown`/`SatUp`/`LinkDown`/`LinkUp`) and the per-epoch growth of
+/// the degraded-mode counters (`Remap`/`Reroute`/`ColdMiss`).
+pub fn run_space_with_faults_recorded(
+    cdn: &mut SpaceCdn,
+    log: &AccessLog,
+    schedule: &FaultSchedule,
+    rec: &dyn Recorder,
+) -> SystemMetrics {
     if schedule.is_empty() {
-        return run_space(cdn, log);
+        return run_space_recorded(cdn, log, rec);
     }
-    drive_with_faults(cdn, log, schedule, None)
+    drive_with_faults(cdn, log, schedule, None, rec)
 }
 
 /// [`run_space_with_faults`] with metrics reset at the first entry at or
@@ -119,7 +193,35 @@ pub fn run_space_with_faults_measured(
     schedule: &FaultSchedule,
     measure_from_secs: u64,
 ) -> SystemMetrics {
-    drive_with_faults(cdn, log, schedule, Some(measure_from_secs))
+    drive_with_faults(cdn, log, schedule, Some(measure_from_secs), &Noop)
+}
+
+/// Degraded-mode counter levels at the last epoch boundary; the deltas
+/// become epoch-stamped `Remap`/`Reroute`/`ColdMiss` events.
+#[derive(Default, Clone, Copy)]
+struct FaultEventWatermark {
+    remapped: u64,
+    extra_hops: u64,
+    cold_misses: u64,
+}
+
+impl FaultEventWatermark {
+    fn of(m: &SystemMetrics) -> Self {
+        FaultEventWatermark {
+            remapped: m.remapped_requests,
+            extra_hops: m.reroute_extra_hops,
+            cold_misses: m.cold_restart_misses,
+        }
+    }
+
+    /// Emit this epoch's growth and advance the watermark.
+    fn flush(&mut self, rec: &dyn Recorder, epoch: u64, m: &SystemMetrics) {
+        let now = Self::of(m);
+        rec.event(Event::Remap, epoch, now.remapped.saturating_sub(self.remapped));
+        rec.event(Event::Reroute, epoch, now.extra_hops.saturating_sub(self.extra_hops));
+        rec.event(Event::ColdMiss, epoch, now.cold_misses.saturating_sub(self.cold_misses));
+        *self = now;
+    }
 }
 
 fn drive_with_faults(
@@ -127,18 +229,41 @@ fn drive_with_faults(
     log: &AccessLog,
     schedule: &FaultSchedule,
     measure_from_secs: Option<u64>,
+    rec: &dyn Recorder,
 ) -> SystemMetrics {
     let prefetching = cdn.config().prefetch_top_k.is_some();
+    let enabled = rec.is_enabled();
     let epoch_secs = log.epoch_secs.max(1);
     let mut current_epoch = u64::MAX;
     let mut cursor = ScheduleCursor::new(schedule, cdn.failures().clone());
     let mut reset_done = measure_from_secs.is_none();
+    let mut watermark = FaultEventWatermark::default();
+    let mut epoch_span: Option<SpanTimer> = None;
     for e in &log.entries {
         let epoch = e.time.as_secs() / epoch_secs;
         if epoch != current_epoch {
+            if enabled && current_epoch != u64::MAX {
+                watermark.flush(rec, current_epoch, &cdn.metrics);
+            }
             current_epoch = epoch;
+            if enabled {
+                epoch_span = Some(SpanTimer::start(rec, Stage::CacheAccess, epoch));
+            }
             let delta = cursor.advance_to(epoch * epoch_secs);
             if !delta.is_empty() {
+                if enabled {
+                    rec.event(Event::SatDown, epoch, delta.went_down.len() as u64);
+                    rec.event(Event::SatUp, epoch, delta.came_up.len() as u64);
+                    rec.event(Event::LinkDown, epoch, delta.links_cut.len() as u64);
+                    rec.event(Event::LinkUp, epoch, delta.links_restored.len() as u64);
+                    let applied = delta.went_down.len()
+                        + delta.came_up.len()
+                        + delta.links_cut.len()
+                        + delta.links_restored.len();
+                    rec.add(Counter::FaultEventsApplied, applied as u64);
+                    rec.add(Counter::CacheWipes, delta.went_down.len() as u64);
+                    rec.add(Counter::ColdMarks, delta.came_up.len() as u64);
+                }
                 // Down first: a satellite that restarted within one step
                 // is wiped, then marked cold.
                 for &id in &delta.went_down {
@@ -152,20 +277,34 @@ fn drive_with_faults(
             cdn.record_availability(epoch);
             if prefetching {
                 cdn.prefetch_round();
+                if enabled {
+                    rec.add(Counter::PrefetchRounds, 1);
+                }
             }
         }
         if !reset_done && e.time.as_secs() >= measure_from_secs.unwrap_or(0) {
             cdn.reset_metrics();
+            watermark = FaultEventWatermark::default();
             reset_done = true;
         }
         match e.first_contact {
             Some(sat) => {
-                cdn.handle_request(sat, e.object, e.size, e.gsl_oneway_ms);
+                let out = cdn.handle_request(sat, e.object, e.size, e.gsl_oneway_ms);
+                if enabled {
+                    record_outcome(rec, &out, e.size);
+                }
             }
             None => {
                 cdn.handle_unreachable(e.size);
+                if enabled {
+                    rec.add(Counter::RequestsUnreachable, 1);
+                }
             }
         }
+    }
+    drop(epoch_span);
+    if enabled && current_epoch != u64::MAX {
+        watermark.flush(rec, current_epoch, &cdn.metrics);
     }
     cdn.metrics.clone()
 }

@@ -21,6 +21,12 @@
 //!   (channel transport instead of TCP — DESIGN.md substitution #3);
 //! * [`experiment`] — one-call runners used by the per-figure
 //!   experiment binaries.
+//!
+//! Every pipeline stage has a `*_recorded` variant taking a
+//! [`starcdn_telemetry::Recorder`]; the plain entry points pass the
+//! no-op recorder, and recording never changes simulation output (the
+//! parallel replayer merges per-worker recorders in shard index order,
+//! so even its telemetry is deterministic).
 
 pub mod access_log;
 pub mod coverage;
@@ -31,9 +37,17 @@ pub mod scheduler;
 pub mod transfers;
 pub mod world;
 
-pub use access_log::{build_access_log, build_access_log_parallel, AccessLog, AccessLogEntry};
-pub use engine::{
-    run_space, run_space_entries, run_space_with_faults, run_space_with_faults_measured, SimConfig,
+pub use access_log::{
+    build_access_log, build_access_log_parallel, build_access_log_parallel_recorded,
+    build_access_log_recorded, AccessLog, AccessLogEntry,
 };
-pub use replayer::{replay_parallel, replay_parallel_with_faults};
+pub use engine::{
+    run_space, run_space_entries, run_space_entries_recorded, run_space_recorded,
+    run_space_with_faults, run_space_with_faults_measured, run_space_with_faults_recorded,
+    SimConfig,
+};
+pub use replayer::{
+    replay_parallel, replay_parallel_recorded, replay_parallel_with_faults,
+    replay_parallel_with_faults_recorded,
+};
 pub use world::World;

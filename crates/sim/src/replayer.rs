@@ -30,17 +30,21 @@
 //! sequential engine for the prefetch ablation.
 
 use crate::access_log::AccessLog;
+use crate::engine::record_outcome;
 use crossbeam::thread;
 use parking_lot::Mutex;
 use starcdn::config::StarCdnConfig;
 use starcdn::latency::LatencyModel;
 use starcdn::metrics::{AvailabilityPoint, SystemMetrics};
 use starcdn::relay::relay_candidates;
-use starcdn::system::{resolve_route_in, ServedFrom};
+use starcdn::system::{resolve_route_in_recorded, ServeOutcome, ServedFrom};
 use starcdn_cache::policy::Cache;
 use starcdn_constellation::buckets::BucketTiling;
 use starcdn_constellation::failures::FailureModel;
 use starcdn_constellation::schedule::{FaultSchedule, ScheduleCursor};
+use starcdn_telemetry::{
+    Counter, Event, Histo, MemoryRecorder, Noop, Recorder, SpanTimer, Stage, TelemetrySnapshot,
+};
 
 /// A request resolved to its owner, ready for sharded replay.
 struct ResolvedEntry {
@@ -69,7 +73,22 @@ pub fn replay_parallel(
     log: &AccessLog,
     num_workers: usize,
 ) -> SystemMetrics {
-    replay_impl(cfg, failures, log, None, num_workers)
+    replay_impl(cfg, failures, log, None, num_workers, &Noop)
+}
+
+/// [`replay_parallel`] with telemetry. Workers record into private
+/// per-shard [`MemoryRecorder`]s that are merged into `rec` in shard
+/// index order after the pool joins, so the returned metrics — and the
+/// recorded snapshot — are identical run-to-run regardless of thread
+/// interleaving.
+pub fn replay_parallel_recorded(
+    cfg: StarCdnConfig,
+    failures: FailureModel,
+    log: &AccessLog,
+    num_workers: usize,
+    rec: &dyn Recorder,
+) -> SystemMetrics {
+    replay_impl(cfg, failures, log, None, num_workers, rec)
 }
 
 /// [`replay_parallel`] under a time-varying fault schedule applied on top
@@ -86,10 +105,25 @@ pub fn replay_parallel_with_faults(
     schedule: &FaultSchedule,
     num_workers: usize,
 ) -> SystemMetrics {
+    replay_parallel_with_faults_recorded(cfg, failures, log, schedule, num_workers, &Noop)
+}
+
+/// [`replay_parallel_with_faults`] with telemetry; same determinism
+/// guarantee as [`replay_parallel_recorded`]. Fault events are stamped
+/// with their epoch in the pre-pass, which already walks the schedule
+/// sequentially.
+pub fn replay_parallel_with_faults_recorded(
+    cfg: StarCdnConfig,
+    failures: FailureModel,
+    log: &AccessLog,
+    schedule: &FaultSchedule,
+    num_workers: usize,
+    rec: &dyn Recorder,
+) -> SystemMetrics {
     if schedule.is_empty() {
-        return replay_impl(cfg, failures, log, None, num_workers);
+        return replay_impl(cfg, failures, log, None, num_workers, rec);
     }
-    replay_impl(cfg, failures, log, Some(schedule), num_workers)
+    replay_impl(cfg, failures, log, Some(schedule), num_workers, rec)
 }
 
 fn replay_impl(
@@ -98,6 +132,7 @@ fn replay_impl(
     log: &AccessLog,
     schedule: Option<&FaultSchedule>,
     num_workers: usize,
+    rec: &dyn Recorder,
 ) -> SystemMetrics {
     assert!(num_workers > 0);
     let tiling = cfg
@@ -117,17 +152,41 @@ fn replay_impl(
     // epoch; wipe/cold pseudo-ops land in the owning satellite's stream
     // at the epoch boundary. Unreachable or unroutable requests and the
     // degraded-mode counters are accounted directly here.
+    let enabled = rec.is_enabled();
     let mut shards: Vec<Vec<ShardOp>> = (0..num_workers).map(|_| Vec::new()).collect();
     let mut direct = SystemMetrics::default();
     let mut cursor = schedule.map(|s| ScheduleCursor::new(s, base_failures.clone()));
     let epoch_secs = log.epoch_secs.max(1);
     let mut current_epoch = u64::MAX;
+    // Telemetry epoch tracking is independent of the fault cursor so the
+    // static (no-schedule) path still gets a per-epoch resolve timeline.
+    let mut tele_epoch = u64::MAX;
+    let mut resolve_span: Option<SpanTimer> = None;
+    let mut epoch_remaps = 0u64;
+    let mut epoch_reroutes = 0u64;
     for e in &log.entries {
+        let epoch = e.time.as_secs() / epoch_secs;
+        if enabled && epoch != tele_epoch {
+            if tele_epoch != u64::MAX {
+                rec.event(Event::Remap, tele_epoch, epoch_remaps);
+                rec.event(Event::Reroute, tele_epoch, epoch_reroutes);
+                epoch_remaps = 0;
+                epoch_reroutes = 0;
+            }
+            tele_epoch = epoch;
+            // Replacing the span drops (and thus reports) the previous
+            // epoch's resolve time.
+            resolve_span = Some(SpanTimer::start(rec, Stage::ResolveOwner, epoch));
+        }
         if let Some(cur) = cursor.as_mut() {
-            let epoch = e.time.as_secs() / epoch_secs;
             if epoch != current_epoch {
                 current_epoch = epoch;
                 let delta = cur.advance_to(epoch * epoch_secs);
+                if enabled {
+                    crate::access_log::record_fault_delta(rec, epoch, &delta);
+                    rec.add(Counter::CacheWipes, delta.went_down.len() as u64);
+                    rec.add(Counter::ColdMarks, delta.came_up.len() as u64);
+                }
                 for &id in &delta.went_down {
                     let idx = id.index(spp);
                     shards[idx % num_workers].push(ShardOp::Wipe(idx));
@@ -152,15 +211,33 @@ fn replay_impl(
                 e.size,
                 lat,
             );
+            if enabled {
+                rec.add(Counter::RequestsUnreachable, 1);
+            }
             continue;
         };
-        match resolve_route_in(&cfg.grid, tiling.as_ref(), view, cfg.remap_on_failure, fc, e.object)
-        {
+        match resolve_route_in_recorded(
+            &cfg.grid,
+            tiling.as_ref(),
+            view,
+            cfg.remap_on_failure,
+            fc,
+            e.object,
+            rec,
+        ) {
             Some(route) => {
                 if route.remapped {
                     direct.remapped_requests += 1;
                 }
                 direct.reroute_extra_hops += route.extra_hops as u64;
+                if enabled {
+                    if route.remapped {
+                        rec.add(Counter::RemappedRequests, 1);
+                        epoch_remaps += 1;
+                    }
+                    rec.add(Counter::RerouteExtraHops, route.extra_hops as u64);
+                    epoch_reroutes += route.extra_hops as u64;
+                }
                 let shard = route.owner.index(spp) % num_workers;
                 shards[shard].push(ShardOp::Request(ResolvedEntry {
                     object: e.object,
@@ -174,7 +251,22 @@ fn replay_impl(
             None => {
                 let lat = latency.ground_miss_rtt_ms(e.gsl_oneway_ms, 0, 0, 0);
                 direct.record(fc, ServedFrom::Ground, e.size, lat);
+                if enabled {
+                    rec.add(Counter::RequestsUnroutable, 1);
+                }
             }
+        }
+    }
+    // Close out the last epoch's resolve span and event cells, then
+    // record how much work each shard was handed.
+    drop(resolve_span);
+    if enabled {
+        if tele_epoch != u64::MAX {
+            rec.event(Event::Remap, tele_epoch, epoch_remaps);
+            rec.event(Event::Reroute, tele_epoch, epoch_reroutes);
+        }
+        for shard in &shards {
+            rec.observe(Histo::QueueDepth, shard.len() as u64);
         }
     }
 
@@ -185,11 +277,26 @@ fn replay_impl(
     let caches_ref = &caches;
     let latency_ref = &latency;
 
+    // Per-worker recorders: workers never touch the shared `rec`, so the
+    // hot path has no cross-thread contention and the merged snapshot is
+    // independent of thread interleaving (merged in shard index order
+    // below).
+    let worker_recs: Vec<MemoryRecorder> = if enabled {
+        (0..num_workers).map(|_| MemoryRecorder::new()).collect()
+    } else {
+        Vec::new()
+    };
+    let worker_recs_ref = &worker_recs;
+
     let per_worker: Vec<SystemMetrics> = thread::scope(|s| {
         let handles: Vec<_> = shards
             .iter()
-            .map(|shard| {
+            .enumerate()
+            .map(|(widx, shard)| {
                 s.spawn(move |_| {
+                    let wrec = worker_recs_ref.get(widx);
+                    let _shard_span =
+                        wrec.map(|r| SpanTimer::start(r, Stage::ReplayShard, widx as u64));
                     let mut m = SystemMetrics::default();
                     let mut cold = vec![false; total_slots];
                     for op in shard {
@@ -212,6 +319,9 @@ fn replay_impl(
                                 cold[owner_idx] = false;
                             } else {
                                 m.cold_restart_misses += 1;
+                                if let Some(r) = wrec {
+                                    r.add(Counter::ColdRestartMisses, 1);
+                                }
                             }
                         }
                         let (from, lat) = if local.is_hit() {
@@ -276,6 +386,19 @@ fn replay_impl(
                             })
                         };
                         m.record(e.owner, from, e.size, lat);
+                        if let Some(r) = wrec {
+                            record_outcome(
+                                r,
+                                &ServeOutcome {
+                                    served_from: from,
+                                    latency_ms: lat,
+                                    uplink_bytes: 0,
+                                    owner: e.owner,
+                                    route_hops: e.intra + e.inter,
+                                },
+                                e.size,
+                            );
+                        }
                     }
                     m
                 })
@@ -284,6 +407,18 @@ fn replay_impl(
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
     })
     .expect("replayer scope");
+
+    // Deterministic telemetry merge: snapshot each worker recorder in
+    // shard index order, fold into one snapshot, absorb once. The shard
+    // streams themselves are deterministic, so the merged snapshot is
+    // bit-for-bit stable across runs and worker interleavings.
+    if enabled {
+        let mut merged = TelemetrySnapshot::default();
+        for wr in &worker_recs {
+            merged.merge(&wr.snapshot());
+        }
+        rec.absorb(&merged);
+    }
 
     let mut total = direct;
     for m in &per_worker {

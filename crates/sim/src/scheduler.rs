@@ -15,6 +15,7 @@ use starcdn_orbit::propagator::SnapshotPropagator;
 use starcdn_orbit::time::SimTime;
 use starcdn_orbit::visibility::{propagation_delay_ms_f64, visible_top_k_from_positions};
 use starcdn_orbit::walker::SatelliteId;
+use starcdn_telemetry::{Counter, Histo, Noop, Recorder, SpanTimer, Stage};
 
 /// One user's link assignment for the current epoch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,6 +80,25 @@ pub fn schedule_epoch_with(
     cfg: &SchedulerConfig,
     failures: &starcdn_constellation::failures::FailureModel,
 ) -> EpochSchedule {
+    schedule_epoch_recorded(world, snapshot, epoch_index, cfg, failures, &Noop)
+}
+
+/// [`schedule_epoch_with`] with telemetry: times the whole epoch under
+/// [`Stage::Schedule`] and the visibility/top-k selection alone under
+/// [`Stage::Visibility`] (both keyed by `epoch_index`), counts the
+/// epoch, and observes each assignment's GSL delay in
+/// [`Histo::GslDelayUs`]. Recording never affects the schedule itself.
+pub fn schedule_epoch_recorded(
+    world: &World,
+    snapshot: &SnapshotPropagator,
+    epoch_index: u64,
+    cfg: &SchedulerConfig,
+    failures: &starcdn_constellation::failures::FailureModel,
+    rec: &dyn Recorder,
+) -> EpochSchedule {
+    let enabled = rec.is_enabled();
+    let span = SpanTimer::start(rec, Stage::Schedule, epoch_index);
+    let mut vis_ns = 0u64;
     let mut assignments = Vec::with_capacity(world.locations.len());
     for (loc_idx, loc) in world.locations.iter().enumerate() {
         let ground = Geodetic::from_degrees(loc.lat_deg, loc.lon_deg, 0.0);
@@ -88,6 +108,7 @@ pub fn schedule_epoch_with(
         // matches the full sort's, so the assignments below are
         // bit-for-bit what the sort-then-truncate path produced
         // (`.max(1)` mirrors the degenerate `top_k: 0` guard on `k`).
+        let vis_t0 = enabled.then(std::time::Instant::now);
         let visible = visible_top_k_from_positions(
             &world.satellites,
             snapshot.positions(),
@@ -96,6 +117,9 @@ pub fn schedule_epoch_with(
             cfg.top_k.max(1),
             |id| failures.is_alive(id),
         );
+        if let Some(t0) = vis_t0 {
+            vis_ns += t0.elapsed().as_nanos() as u64;
+        }
 
         let per_user: Vec<Option<Assignment>> = (0..cfg.users_per_location)
             .map(|user| {
@@ -118,8 +142,18 @@ pub fn schedule_epoch_with(
                 })
             })
             .collect();
+        if enabled {
+            for a in per_user.iter().flatten() {
+                rec.observe(Histo::GslDelayUs, (a.gsl_oneway_ms * 1000.0) as u64);
+            }
+        }
         assignments.push(per_user);
     }
+    if enabled {
+        rec.add(Counter::ScheduleEpochs, 1);
+        rec.span_ns(Stage::Visibility, epoch_index, vis_ns);
+    }
+    span.stop();
     EpochSchedule { epoch_index, assignments }
 }
 

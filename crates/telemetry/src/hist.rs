@@ -1,0 +1,297 @@
+//! Lock-free log₂-bucketed histograms.
+//!
+//! Bucket `k` holds values whose bit length is `k`: bucket 0 is exactly
+//! `{0}`, bucket 1 is `{1}`, bucket 2 is `{2,3}`, …, bucket 64 is
+//! `[2⁶³, 2⁶⁴)`. One `fetch_add` per sample, no allocation, ~2× value
+//! resolution — the same trade HDR-style recorders make at their
+//! coarsest setting, and plenty for "where did the time go" questions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ buckets: bit lengths 0..=64.
+pub const NUM_BUCKETS: usize = 65;
+
+/// The bucket index (bit length) of a value.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The largest value bucket `k` can hold (its reported upper bound).
+fn bucket_upper(k: usize) -> u64 {
+    if k == 0 {
+        0
+    } else if k >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+/// A concurrent log₂ histogram. All methods take `&self`; recording is
+/// relaxed atomics only.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LogHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Fold a frozen snapshot back into this live histogram — exact:
+    /// bucket counts, count, sum, min and max all combine losslessly.
+    pub fn absorb(&self, s: &HistogramSnapshot) {
+        if s.count == 0 {
+            return;
+        }
+        for &(k, n) in &s.buckets {
+            self.buckets[k as usize].fetch_add(n, Ordering::Relaxed);
+        }
+        self.count.fetch_add(s.count, Ordering::Relaxed);
+        self.sum.fetch_add(s.sum, Ordering::Relaxed);
+        if let Some(m) = s.min {
+            self.min.fetch_min(m, Ordering::Relaxed);
+        }
+        if let Some(m) = s.max {
+            self.max.fetch_max(m, Ordering::Relaxed);
+        }
+    }
+
+    /// Freeze into a plain-data snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let buckets = (0..NUM_BUCKETS)
+            .filter_map(|k| {
+                let n = self.buckets[k].load(Ordering::Relaxed);
+                (n > 0).then_some((k as u8, n))
+            })
+            .collect();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: (count > 0).then(|| self.min.load(Ordering::Relaxed)),
+            max: (count > 0).then(|| self.max.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Plain-data histogram state: sparse `(bucket, count)` pairs in bucket
+/// order plus exact count/sum/min/max.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Non-empty buckets as `(bit_length, samples)`, ascending.
+    pub buckets: Vec<(u8, u64)>,
+    pub count: u64,
+    pub sum: u64,
+    pub min: Option<u64>,
+    pub max: Option<u64>,
+}
+
+impl HistogramSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of the recorded samples (exact, from the running sum).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Quantile estimate: the upper bound of the bucket containing the
+    /// `q`-th sample, clamped to the exact observed min/max. Non-finite
+    /// or out-of-range `q` clamps into `[0, 1]`; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = if q.is_finite() { q.clamp(0.0, 1.0) } else { 0.0 };
+        // Rank of the target sample, 1-based.
+        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(k, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                let hi = bucket_upper(k as usize);
+                return Some(hi.clamp(self.min.unwrap_or(0), self.max.unwrap_or(u64::MAX)));
+            }
+        }
+        self.max
+    }
+
+    /// Merge another snapshot into this one (bucket-wise sum).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        let mut merged: Vec<(u8, u64)> =
+            Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (self.buckets.iter().peekable(), other.buckets.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ka, na)), Some(&&(kb, nb))) => {
+                    use std::cmp::Ordering::*;
+                    match ka.cmp(&kb) {
+                        Less => {
+                            merged.push((ka, na));
+                            a.next();
+                        }
+                        Greater => {
+                            merged.push((kb, nb));
+                            b.next();
+                        }
+                        Equal => {
+                            merged.push((ka, na + nb));
+                            a.next();
+                            b.next();
+                        }
+                    }
+                }
+                (Some(&&x), None) => {
+                    merged.push(x);
+                    a.next();
+                }
+                (None, Some(&&x)) => {
+                    merged.push(x);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, y) => x.or(y),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(x), Some(y)) => Some(x.max(y)),
+            (x, y) => x.or(y),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let h = LogHistogram::new();
+        let s = h.snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min, None);
+        assert_eq!(s.max, None);
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        let h = LogHistogram::new();
+        h.record(37);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, Some(37));
+        assert_eq!(s.max, Some(37));
+        // Bucket upper bound is 63 but clamping to observed max fixes it.
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(s.quantile(q), Some(37), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let h = LogHistogram::new();
+        for v in 0..1000u64 {
+            h.record(v * 7);
+        }
+        let s = h.snapshot();
+        let mut prev = 0;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = s.quantile(q).unwrap();
+            assert!(v >= prev, "quantile must be monotone");
+            assert!(v >= s.min.unwrap() && v <= s.max.unwrap());
+            prev = v;
+        }
+        assert_eq!(s.quantile(1.0), Some(999 * 7), "p100 is the exact max");
+        assert_eq!(s.quantile(f64::NAN), s.quantile(0.0), "NaN clamps low, no panic");
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        let all = LogHistogram::new();
+        for v in 0..500u64 {
+            a.record(v * 3);
+            all.record(v * 3);
+        }
+        for v in 0..300u64 {
+            b.record(v * 11 + 1);
+            all.record(v * 11 + 1);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m, all.snapshot());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let a = LogHistogram::new();
+        a.record(5);
+        let mut s = a.snapshot();
+        s.merge(&HistogramSnapshot::default());
+        assert_eq!(s, a.snapshot());
+        let mut e = HistogramSnapshot::default();
+        e.merge(&a.snapshot());
+        assert_eq!(e, a.snapshot());
+    }
+}

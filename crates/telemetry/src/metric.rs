@@ -1,0 +1,260 @@
+//! The fixed metric vocabulary.
+//!
+//! Counters, histograms, stages and events are closed enums rather than
+//! string keys: recording indexes a fixed-size atomic array (no hashing,
+//! no allocation on the hot path) and snapshots order deterministically
+//! by enum discriminant.
+
+/// Monotonic event counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Requests that resolved to a live owner and were served.
+    RequestsRouted,
+    /// Requests arriving while the user had no visible satellite.
+    RequestsUnreachable,
+    /// Requests whose owner (and every remap candidate) was dead.
+    RequestsUnroutable,
+    /// Cache hits (owner or relay neighbour).
+    CacheHits,
+    /// Cache misses (served via ground uplink).
+    CacheMisses,
+    /// Hits served by a relay neighbour rather than the owner itself.
+    RelayHits,
+    /// Requests remapped off a dead bucket owner.
+    RemappedRequests,
+    /// Extra ISL hops taken by fault-avoiding detour routes.
+    RerouteExtraHops,
+    /// Misses attributed to a post-restart cold cache.
+    ColdRestartMisses,
+    /// Satellite caches wiped by a down event.
+    CacheWipes,
+    /// Satellites marked cold by an up event.
+    ColdMarks,
+    /// Scheduler epochs processed.
+    ScheduleEpochs,
+    /// Timed fault events applied at epoch boundaries.
+    FaultEventsApplied,
+    /// Prefetch rounds executed at epoch boundaries.
+    PrefetchRounds,
+    /// BFS shortest-path computations.
+    BfsRoutes,
+}
+
+impl Counter {
+    /// Every counter, in snapshot order.
+    pub const ALL: [Counter; 15] = [
+        Counter::RequestsRouted,
+        Counter::RequestsUnreachable,
+        Counter::RequestsUnroutable,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::RelayHits,
+        Counter::RemappedRequests,
+        Counter::RerouteExtraHops,
+        Counter::ColdRestartMisses,
+        Counter::CacheWipes,
+        Counter::ColdMarks,
+        Counter::ScheduleEpochs,
+        Counter::FaultEventsApplied,
+        Counter::PrefetchRounds,
+        Counter::BfsRoutes,
+    ];
+
+    /// Stable snake_case name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::RequestsRouted => "requests_routed",
+            Counter::RequestsUnreachable => "requests_unreachable",
+            Counter::RequestsUnroutable => "requests_unroutable",
+            Counter::CacheHits => "cache_hits",
+            Counter::CacheMisses => "cache_misses",
+            Counter::RelayHits => "relay_hits",
+            Counter::RemappedRequests => "remapped_requests",
+            Counter::RerouteExtraHops => "reroute_extra_hops",
+            Counter::ColdRestartMisses => "cold_restart_misses",
+            Counter::CacheWipes => "cache_wipes",
+            Counter::ColdMarks => "cold_marks",
+            Counter::ScheduleEpochs => "schedule_epochs",
+            Counter::FaultEventsApplied => "fault_events_applied",
+            Counter::PrefetchRounds => "prefetch_rounds",
+            Counter::BfsRoutes => "bfs_routes",
+        }
+    }
+}
+
+/// Log₂-bucketed value distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Histo {
+    /// End-to-end request latency, microseconds.
+    LatencyUs,
+    /// ISL hops per routed request (intra + inter plane).
+    IslHops,
+    /// Object size, bytes.
+    ObjectBytes,
+    /// Work-queue depth (entries per epoch run / per replay shard).
+    QueueDepth,
+    /// One-way user↔satellite propagation delay, microseconds.
+    GslDelayUs,
+    /// Hop count of BFS-computed detour paths.
+    BfsPathHops,
+}
+
+impl Histo {
+    /// Every histogram, in snapshot order.
+    pub const ALL: [Histo; 6] = [
+        Histo::LatencyUs,
+        Histo::IslHops,
+        Histo::ObjectBytes,
+        Histo::QueueDepth,
+        Histo::GslDelayUs,
+        Histo::BfsPathHops,
+    ];
+
+    /// Stable snake_case name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Histo::LatencyUs => "latency_us",
+            Histo::IslHops => "isl_hops",
+            Histo::ObjectBytes => "object_bytes",
+            Histo::QueueDepth => "queue_depth",
+            Histo::GslDelayUs => "gsl_delay_us",
+            Histo::BfsPathHops => "bfs_path_hops",
+        }
+    }
+}
+
+/// Pipeline stages timed by [`SpanTimer`](crate::SpanTimer)s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Stage {
+    /// Orbital propagation (snapshot advance).
+    Propagate,
+    /// Visibility / top-k elevation selection.
+    Visibility,
+    /// Per-epoch link scheduling.
+    Schedule,
+    /// Replayer sequential pre-scan (partition by owner).
+    PreScan,
+    /// Consistent-hash owner resolution + routing.
+    ResolveOwner,
+    /// Cache access (hit/miss + admission) per epoch.
+    CacheAccess,
+    /// One replayer worker shard (keyed by shard index, not epoch).
+    ReplayShard,
+    /// Deterministic merge of worker results.
+    Merge,
+}
+
+impl Stage {
+    /// Every stage, in snapshot order.
+    pub const ALL: [Stage; 8] = [
+        Stage::Propagate,
+        Stage::Visibility,
+        Stage::Schedule,
+        Stage::PreScan,
+        Stage::ResolveOwner,
+        Stage::CacheAccess,
+        Stage::ReplayShard,
+        Stage::Merge,
+    ];
+
+    /// Stable snake_case name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Propagate => "propagate",
+            Stage::Visibility => "visibility",
+            Stage::Schedule => "schedule",
+            Stage::PreScan => "pre_scan",
+            Stage::ResolveOwner => "resolve_owner",
+            Stage::CacheAccess => "cache_access",
+            Stage::ReplayShard => "replay_shard",
+            Stage::Merge => "merge",
+        }
+    }
+}
+
+/// Epoch-stamped fault-path events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Event {
+    /// Satellites that went down at this epoch boundary.
+    SatDown,
+    /// Satellites that recovered (cold) at this epoch boundary.
+    SatUp,
+    /// ISL links cut at this epoch boundary.
+    LinkDown,
+    /// ISL links restored at this epoch boundary.
+    LinkUp,
+    /// Requests remapped off a dead owner during this epoch.
+    Remap,
+    /// Requests detoured around cut links during this epoch.
+    Reroute,
+    /// Misses charged to cold restarted caches during this epoch.
+    ColdMiss,
+}
+
+impl Event {
+    /// Every event kind, in snapshot order.
+    pub const ALL: [Event; 7] = [
+        Event::SatDown,
+        Event::SatUp,
+        Event::LinkDown,
+        Event::LinkUp,
+        Event::Remap,
+        Event::Reroute,
+        Event::ColdMiss,
+    ];
+
+    /// Stable snake_case name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Event::SatDown => "sat_down",
+            Event::SatUp => "sat_up",
+            Event::LinkDown => "link_down",
+            Event::LinkUp => "link_up",
+            Event::Remap => "remap",
+            Event::Reroute => "reroute",
+            Event::ColdMiss => "cold_miss",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_arrays_are_dense_and_ordered() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i, "{}", c.name());
+        }
+        for (i, h) in Histo::ALL.iter().enumerate() {
+            assert_eq!(*h as usize, i, "{}", h.name());
+        }
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(*s as usize, i, "{}", s.name());
+        }
+        for (i, e) in Event::ALL.iter().enumerate() {
+            assert_eq!(*e as usize, i, "{}", e.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in Counter::ALL {
+            assert!(seen.insert(c.name()));
+        }
+        for h in Histo::ALL {
+            assert!(seen.insert(h.name()));
+        }
+        for s in Stage::ALL {
+            assert!(seen.insert(s.name()));
+        }
+        for e in Event::ALL {
+            assert!(seen.insert(e.name()));
+        }
+    }
+}

@@ -90,6 +90,101 @@ fn parallel_exact_parity_under_churn() {
 }
 
 #[test]
+fn telemetry_recording_never_changes_replayer_output() {
+    // The telemetry determinism contract: a live MemoryRecorder must not
+    // perturb a single metric relative to the no-op recorder, under
+    // churn and at any worker count — and the recorder itself must merge
+    // its per-worker shards deterministically.
+    use starcdn_sim::replayer::replay_parallel_with_faults_recorded;
+    use starcdn_telemetry::{Counter, MemoryRecorder, Stage};
+
+    let locations = Location::akamai_nine();
+    let model = ProductionModel::build(TrafficClass::Video.params().scaled(0.02), &locations, 61);
+    let trace = model.generate_trace(SimDuration::from_hours(1), 61);
+    let world = World::starlink_nine_cities();
+    let params = ChurnParams {
+        sat_mtbf_secs: 3.0 * 3600.0,
+        sat_mttr_secs: 600.0,
+        link_mtbf_secs: Some(4.0 * 3600.0),
+        link_mttr_secs: 600.0,
+        horizon_secs: 3600,
+        seed: 91,
+    };
+    let sched = FaultSchedule::churn(&world.grid, &params);
+    let world = world.with_fault_schedule(sched.clone());
+    let log = build_access_log(&world, &trace, 15, &SimConfig::default().scheduler());
+    let cfg = StarCdnConfig::starcdn_no_relay(9, 5_000_000);
+
+    let reference = replay_parallel_with_faults(cfg.clone(), FailureModel::none(), &log, &sched, 4);
+    let mut snapshots = Vec::new();
+    for workers in [1, 4, 8] {
+        let rec = MemoryRecorder::new();
+        let recorded = replay_parallel_with_faults_recorded(
+            cfg.clone(),
+            FailureModel::none(),
+            &log,
+            &sched,
+            workers,
+            &rec,
+        );
+        assert_eq!(recorded.stats, reference.stats, "{workers} workers");
+        assert_eq!(recorded.per_satellite, reference.per_satellite, "{workers} workers");
+        assert_eq!(recorded.uplink_bytes, reference.uplink_bytes, "{workers} workers");
+        assert_eq!(
+            recorded.cold_restart_misses, reference.cold_restart_misses,
+            "{workers} workers"
+        );
+        assert_eq!(recorded.availability, reference.availability, "{workers} workers");
+
+        // The recorder saw the run: counters line up with the metrics.
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.counter(Counter::CacheHits) + snap.counter(Counter::CacheMisses),
+            snap.counter(Counter::RequestsRouted),
+            "{workers} workers"
+        );
+        assert_eq!(
+            snap.counter(Counter::ColdRestartMisses),
+            reference.cold_restart_misses,
+            "{workers} workers"
+        );
+        assert_eq!(
+            snap.counter(Counter::RemappedRequests),
+            reference.remapped_requests,
+            "{workers} workers"
+        );
+        assert!(snap.spans.keys().any(|&(s, _)| s == Stage::ReplayShard));
+        snapshots.push(snap);
+    }
+    // Worker-count-independent telemetry: counters, histograms, and the
+    // event timeline are identical across 1/4/8 workers. QueueDepth is
+    // excluded (it records per-shard queue lengths, which depend on the
+    // shard count by design), as are span timings (wall-clock) and
+    // ReplayShard keys (one per shard).
+    let histos_sans_queue = |snap: &starcdn_telemetry::TelemetrySnapshot| {
+        snap.histograms
+            .iter()
+            .filter(|(h, _)| *h != starcdn_telemetry::Histo::QueueDepth)
+            .cloned()
+            .collect::<Vec<_>>()
+    };
+    for pair in snapshots.windows(2) {
+        assert_eq!(pair[0].counters, pair[1].counters);
+        assert_eq!(histos_sans_queue(&pair[0]), histos_sans_queue(&pair[1]));
+        assert_eq!(pair[0].events, pair[1].events);
+    }
+
+    // Two runs at the same worker count export byte-identically apart
+    // from wall-clock span durations.
+    let rec = MemoryRecorder::new();
+    replay_parallel_with_faults_recorded(cfg.clone(), FailureModel::none(), &log, &sched, 4, &rec);
+    let again = rec.snapshot();
+    assert_eq!(again.counters, snapshots[1].counters);
+    assert_eq!(again.histograms, snapshots[1].histograms);
+    assert_eq!(again.events, snapshots[1].events);
+}
+
+#[test]
 fn parallel_empty_schedule_matches_static_replayer() {
     let log = log();
     let cfg = StarCdnConfig::starcdn_no_relay(9, 5_000_000);
