@@ -21,6 +21,7 @@
 
 pub mod analysis;
 pub mod buckets;
+pub mod capacity;
 pub mod failures;
 pub mod grid;
 pub mod hashring;
@@ -29,6 +30,7 @@ pub mod routing;
 pub mod schedule;
 
 pub use buckets::{BucketId, BucketTiling};
+pub use capacity::{AdmitDecision, CapacityLedger, ShedReason, UtilizationPoint};
 pub use failures::{link_id, FailureModel, LinkId};
 pub use grid::GridTopology;
 pub use isl::{IslKind, LinkModel};

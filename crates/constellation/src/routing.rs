@@ -157,7 +157,9 @@ fn bfs_avoiding_links(
                 let mut nodes = vec![to];
                 let mut walk = to;
                 while walk != from {
-                    let (p, d) = prev[walk.index(spp)].expect("prev chain");
+                    let (p, d) = prev[walk.index(spp)].expect(
+                        "BFS invariant: every visited node except `from` has a predecessor",
+                    );
                     hops.push(d);
                     nodes.push(p);
                     walk = p;
@@ -270,7 +272,7 @@ mod tests {
             |id| f.is_alive(id),
             |a, b| f.is_link_alive(a, b),
         )
-        .unwrap();
+        .expect("a single cut link always leaves a detour on the torus");
         assert_eq!(p.len(), 4, "one cut link forces a two-hop detour");
         for w in p.nodes.windows(2) {
             assert!(f.is_link_alive(w[0], w[1]), "path uses cut link {:?}->{:?}", w[0], w[1]);

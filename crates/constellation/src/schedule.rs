@@ -444,6 +444,86 @@ mod tests {
             .all(|e| matches!(e.event, FaultEvent::LinkDown(..) | FaultEvent::LinkUp(..))));
     }
 
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_churn_events_time_sorted(seed in 1u64..40, mtbf_mins in 5u64..120) {
+            let g = grid();
+            let p = ChurnParams {
+                sat_mtbf_secs: (mtbf_mins * 60) as f64,
+                sat_mttr_secs: 300.0,
+                link_mtbf_secs: Some((mtbf_mins * 120) as f64),
+                link_mttr_secs: 300.0,
+                horizon_secs: 7200,
+                seed,
+            };
+            let sched = FaultSchedule::churn(&g, &p);
+            for w in sched.events().windows(2) {
+                prop_assert!(w[0].at_secs <= w[1].at_secs, "churn must sort by time");
+            }
+        }
+
+        #[test]
+        fn prop_merged_stays_time_sorted(sa in 1u64..30, sb in 1u64..30) {
+            let g = grid();
+            let a = FaultSchedule::churn(&g, &ChurnParams::sats_only(1800.0, 300.0, 3600, sa));
+            let b = FaultSchedule::churn(&g, &ChurnParams::sats_only(2400.0, 200.0, 3600, sb));
+            let total = a.len() + b.len();
+            let m = a.merged(b);
+            prop_assert_eq!(m.len(), total, "merge must not lose events");
+            for w in m.events().windows(2) {
+                prop_assert!(w[0].at_secs <= w[1].at_secs, "merge must sort by time");
+            }
+        }
+
+        #[test]
+        fn prop_churn_alternates_down_up_per_satellite(seed in 1u64..40) {
+            // Each satellite's event stream must strictly alternate
+            // Down, Up, Down, Up, … starting with Down: the generator
+            // never emits a redundant transition.
+            let g = grid();
+            let p = ChurnParams::sats_only(1200.0, 300.0, 7200, seed);
+            let sched = FaultSchedule::churn(&g, &p);
+            let mut down = std::collections::HashMap::new();
+            for e in sched.events() {
+                match e.event {
+                    FaultEvent::SatDown(id) => {
+                        let d = down.entry(id).or_insert(false);
+                        prop_assert!(!*d, "{id:?} went down twice without recovering");
+                        *d = true;
+                    }
+                    FaultEvent::SatUp(id) => {
+                        let d = down.entry(id).or_insert(false);
+                        prop_assert!(*d, "{id:?} came up without going down first");
+                        *d = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        #[test]
+        fn prop_advance_to_idempotent_at_same_time(seed in 1u64..40, t in 0u64..7200) {
+            let g = grid();
+            let p = ChurnParams {
+                sat_mtbf_secs: 1200.0,
+                sat_mttr_secs: 300.0,
+                link_mtbf_secs: Some(2400.0),
+                link_mttr_secs: 300.0,
+                horizon_secs: 7200,
+                seed,
+            };
+            let sched = FaultSchedule::churn(&g, &p);
+            let mut cur = ScheduleCursor::new(&sched, FailureModel::none());
+            cur.advance_to(t);
+            let view = cur.view().clone();
+            let again = cur.advance_to(t);
+            prop_assert!(again.is_empty(), "second advance_to({t}) must be a no-op");
+            prop_assert_eq!(cur.view(), &view, "view must not move on a repeated time");
+        }
+    }
+
     #[test]
     fn merged_interleaves() {
         let a = FaultSchedule::from_events([TimedFault {

@@ -114,6 +114,30 @@ pub struct SystemMetrics {
     /// (empty for static-failure runs).
     #[serde(default)]
     pub availability: Vec<AvailabilityPoint>,
+    /// Admission refusals by the capacity ledger (each retry attempt
+    /// that was shed counts once; empty unless overload mode is on).
+    #[serde(default)]
+    pub shed_requests: u64,
+    /// Retry attempts made beyond the first (replica probes + backoff
+    /// re-admissions).
+    #[serde(default)]
+    pub retry_attempts: u64,
+    /// Terminal outcome classification under overload mode. A request
+    /// ends in exactly one of these four (unreachable requests — no
+    /// visible satellite at all — stay outside the classification, as
+    /// they never enter the constellation).
+    #[serde(default)]
+    pub served_primary: u64,
+    #[serde(default)]
+    pub served_replica: u64,
+    #[serde(default)]
+    pub served_origin_fallback: u64,
+    #[serde(default)]
+    pub dropped_requests: u64,
+    /// Per-epoch link-utilization timeline from the capacity ledger
+    /// (empty unless overload mode is on).
+    #[serde(default)]
+    pub utilization: Vec<starcdn_constellation::capacity::UtilizationPoint>,
 }
 
 impl SystemMetrics {
@@ -173,6 +197,15 @@ impl SystemMetrics {
         self.availability.extend_from_slice(&other.availability);
         self.availability.sort_by_key(|p| p.epoch);
         self.availability.dedup_by_key(|p| p.epoch);
+        self.shed_requests += other.shed_requests;
+        self.retry_attempts += other.retry_attempts;
+        self.served_primary += other.served_primary;
+        self.served_replica += other.served_replica;
+        self.served_origin_fallback += other.served_origin_fallback;
+        self.dropped_requests += other.dropped_requests;
+        self.utilization.extend_from_slice(&other.utilization);
+        self.utilization.sort_by_key(|a| a.epoch);
+        self.utilization.dedup_by_key(|p| p.epoch);
         for (sat, st) in &other.per_satellite {
             *self.per_satellite.entry(*sat).or_default() += *st;
         }
@@ -270,6 +303,40 @@ mod tests {
         assert_eq!(a.reroute_extra_hops, 7);
         assert_eq!(a.availability.len(), 2);
         assert_eq!(a.availability[1].alive_sats, 1290);
+    }
+
+    #[test]
+    fn merge_overload_counters_and_utilization() {
+        use starcdn_constellation::capacity::UtilizationPoint;
+        let point = |epoch: u64, util: f64| UtilizationPoint {
+            epoch,
+            peak_gsl_util: util,
+            peak_isl_util: 0.0,
+            gsl_bytes: 0,
+            isl_bytes: 0,
+            shed_requests: 0,
+        };
+        let mut a = SystemMetrics::default();
+        a.shed_requests = 2;
+        a.served_primary = 5;
+        a.utilization.push(point(0, 0.5));
+        let mut b = SystemMetrics::default();
+        b.shed_requests = 1;
+        b.retry_attempts = 4;
+        b.served_replica = 2;
+        b.served_origin_fallback = 1;
+        b.dropped_requests = 1;
+        b.utilization.push(point(0, 0.5)); // duplicate epoch → deduped
+        b.utilization.push(point(1, 0.9));
+        a.merge(&b);
+        assert_eq!(a.shed_requests, 3);
+        assert_eq!(a.retry_attempts, 4);
+        assert_eq!(a.served_primary, 5);
+        assert_eq!(a.served_replica, 2);
+        assert_eq!(a.served_origin_fallback, 1);
+        assert_eq!(a.dropped_requests, 1);
+        assert_eq!(a.utilization.len(), 2);
+        assert_eq!(a.utilization[1].epoch, 1);
     }
 
     #[test]

@@ -125,10 +125,36 @@ pub fn resolve_route_in_recorded(
     object: ObjectId,
     rec: &dyn starcdn_telemetry::Recorder,
 ) -> Option<ResolvedRoute> {
-    let preferred = match tiling {
+    let preferred = preferred_owner(grid, tiling, first_contact, object);
+    resolve_route_toward_recorded(grid, failures, remap_on_failure, first_contact, preferred, rec)
+}
+
+/// The owner `object` hashes to under the tiling (the first contact
+/// itself without hashing), before any failure remapping.
+pub fn preferred_owner(
+    grid: &GridTopology,
+    tiling: Option<&BucketTiling>,
+    first_contact: SatelliteId,
+    object: ObjectId,
+) -> SatelliteId {
+    match tiling {
         Some(t) => t.nearest_owner(grid, first_contact, t.bucket_of_object(object.hash64())),
         None => first_contact,
-    };
+    }
+}
+
+/// Resolve the route toward an explicit `preferred` owner (rather than
+/// the one the object hashes to): §3.4 remapping, then hop mix on the
+/// healthy torus or the fault-avoiding BFS. The overload retry path uses
+/// this to probe successive same-bucket replicas.
+pub fn resolve_route_toward_recorded(
+    grid: &GridTopology,
+    failures: &FailureModel,
+    remap_on_failure: bool,
+    first_contact: SatelliteId,
+    preferred: SatelliteId,
+    rec: &dyn starcdn_telemetry::Recorder,
+) -> Option<ResolvedRoute> {
     let owner = if remap_on_failure {
         failures.resolve_owner(grid, preferred)?
     } else if failures.is_alive(preferred) {
@@ -273,6 +299,22 @@ impl SpaceCdn {
                 route_hops: 0,
             };
         };
+        self.serve_routed(route, object, size, gsl_oneway_ms, 0.0)
+    }
+
+    /// Serve a request over an already-resolved route. The split from
+    /// [`SpaceCdn::handle_request`] lets the overload lifecycle admit or
+    /// shed on the route *before* any cache state is touched;
+    /// `extra_latency_ms` carries the accumulated retry penalty (0.0 adds
+    /// nothing and leaves the latency sample bit-identical).
+    pub fn serve_routed(
+        &mut self,
+        route: ResolvedRoute,
+        object: ObjectId,
+        size: u64,
+        gsl_oneway_ms: f64,
+        extra_latency_ms: f64,
+    ) -> ServeOutcome {
         let ResolvedRoute { owner, intra, inter, remapped, extra_hops } = route;
         if remapped {
             self.metrics.remapped_requests += 1;
@@ -335,6 +377,10 @@ impl SpaceCdn {
         } else {
             latency_ms
         };
+        // Gated: `x + 0.0` is not a bitwise no-op for every float (-0.0),
+        // and the no-penalty path must stay byte-identical.
+        let latency_ms =
+            if extra_latency_ms > 0.0 { latency_ms + extra_latency_ms } else { latency_ms };
 
         self.metrics.record(owner, served_from, size, latency_ms);
         ServeOutcome {
@@ -417,6 +463,24 @@ impl SpaceCdn {
                 self.metrics.prefetch_copies += 1;
             }
         }
+    }
+
+    /// Serve a request origin-direct from its first-contact satellite —
+    /// the overload lifecycle's last resort after every replica shed it.
+    /// Bent-pipe latency (no ISL legs) plus the accumulated retry
+    /// penalty; bytes are charged to the uplink like any ground serve.
+    pub fn serve_origin_fallback(
+        &mut self,
+        first_contact: SatelliteId,
+        size: u64,
+        gsl_oneway_ms: f64,
+        extra_latency_ms: f64,
+    ) -> f64 {
+        let base = self.latency.ground_miss_rtt_ms(gsl_oneway_ms, 0, 0, 0);
+        let latency_ms = if extra_latency_ms > 0.0 { base + extra_latency_ms } else { base };
+        self.metrics.record(first_contact, ServedFrom::Ground, size, latency_ms);
+        self.metrics.served_origin_fallback += 1;
+        latency_ms
     }
 
     /// Record a request that could not reach any satellite (no satellite

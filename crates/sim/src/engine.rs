@@ -309,6 +309,181 @@ fn drive_with_faults(
     cdn.metrics.clone()
 }
 
+/// Replay the log under a fault schedule *and* capacity enforcement:
+/// the full overload-aware request lifecycle of [`crate::overload`].
+/// With `overload` disabled (infinite headroom) this is exactly
+/// [`run_space_with_faults`] — bit-for-bit, with no ledger built, no
+/// utilization timeline, and every new counter left at zero. The
+/// schedule may be empty (pure overload, no churn).
+pub fn run_space_overloaded(
+    cdn: &mut SpaceCdn,
+    log: &AccessLog,
+    schedule: &FaultSchedule,
+    overload: &crate::overload::OverloadConfig,
+) -> SystemMetrics {
+    run_space_overloaded_recorded(cdn, log, schedule, overload, &Noop)
+}
+
+/// [`run_space_overloaded`] with telemetry: shed/retry/fallback/drop
+/// counters and the per-request retry-count histogram on top of the
+/// fault-path instrumentation.
+pub fn run_space_overloaded_recorded(
+    cdn: &mut SpaceCdn,
+    log: &AccessLog,
+    schedule: &FaultSchedule,
+    overload: &crate::overload::OverloadConfig,
+    rec: &dyn Recorder,
+) -> SystemMetrics {
+    if !overload.is_enabled() {
+        return run_space_with_faults_recorded(cdn, log, schedule, rec);
+    }
+    drive_overloaded(cdn, log, schedule, overload, rec)
+}
+
+/// The overload twin of [`drive_with_faults`]: same epoch-boundary churn
+/// handling, plus a [`CapacityLedger`](starcdn_constellation::capacity::CapacityLedger)
+/// advanced at each boundary and consulted — through the retry state
+/// machine — before any cache access. Kept separate so the existing
+/// fault path stays untouched on its hot loop.
+fn drive_overloaded(
+    cdn: &mut SpaceCdn,
+    log: &AccessLog,
+    schedule: &FaultSchedule,
+    overload: &crate::overload::OverloadConfig,
+    rec: &dyn Recorder,
+) -> SystemMetrics {
+    use starcdn_constellation::capacity::CapacityLedger;
+
+    let prefetching = cdn.config().prefetch_top_k.is_some();
+    let enabled = rec.is_enabled();
+    let epoch_secs = log.epoch_secs.max(1);
+    let epoch_ms = epoch_secs as f64 * 1000.0;
+    let span = cdn.config().relay_span_planes();
+    let mut ledger = CapacityLedger::new(
+        &cdn.config().grid,
+        &cdn.config().link_model,
+        epoch_secs,
+        overload.headroom,
+    );
+    let mut current_epoch = u64::MAX;
+    let mut cursor =
+        (!schedule.is_empty()).then(|| ScheduleCursor::new(schedule, cdn.failures().clone()));
+    let mut watermark = FaultEventWatermark::default();
+    let mut epoch_span: Option<SpanTimer> = None;
+    for e in &log.entries {
+        let epoch = e.time.as_secs() / epoch_secs;
+        if epoch != current_epoch {
+            if enabled && current_epoch != u64::MAX {
+                watermark.flush(rec, current_epoch, &cdn.metrics);
+            }
+            current_epoch = epoch;
+            if enabled {
+                epoch_span = Some(SpanTimer::start(rec, Stage::CacheAccess, epoch));
+            }
+            if let Some(cur) = cursor.as_mut() {
+                let delta = cur.advance_to(epoch * epoch_secs);
+                if !delta.is_empty() {
+                    if enabled {
+                        rec.event(Event::SatDown, epoch, delta.went_down.len() as u64);
+                        rec.event(Event::SatUp, epoch, delta.came_up.len() as u64);
+                        rec.event(Event::LinkDown, epoch, delta.links_cut.len() as u64);
+                        rec.event(Event::LinkUp, epoch, delta.links_restored.len() as u64);
+                        let applied = delta.went_down.len()
+                            + delta.came_up.len()
+                            + delta.links_cut.len()
+                            + delta.links_restored.len();
+                        rec.add(Counter::FaultEventsApplied, applied as u64);
+                        rec.add(Counter::CacheWipes, delta.went_down.len() as u64);
+                        rec.add(Counter::ColdMarks, delta.came_up.len() as u64);
+                    }
+                    for &id in &delta.went_down {
+                        cdn.wipe_cache(id);
+                    }
+                    for &id in &delta.came_up {
+                        cdn.mark_cold(id);
+                    }
+                    cdn.set_failures(cur.view().clone());
+                }
+                cdn.record_availability(epoch);
+            }
+            for p in ledger.advance_to(epoch) {
+                cdn.metrics.utilization.push(p);
+            }
+            if prefetching {
+                cdn.prefetch_round();
+                if enabled {
+                    rec.add(Counter::PrefetchRounds, 1);
+                }
+            }
+        }
+        let Some(fc) = e.first_contact else {
+            // No satellite in view: outside the lifecycle, exactly as in
+            // the non-overload path (no GSL of ours carries it).
+            cdn.handle_unreachable(e.size);
+            if enabled {
+                rec.add(Counter::RequestsUnreachable, 1);
+            }
+            continue;
+        };
+        let lifecycle = crate::overload::decide(
+            &cdn.config().grid,
+            cdn.tiling(),
+            cdn.failures(),
+            cdn.config().remap_on_failure,
+            span,
+            &mut ledger,
+            epoch,
+            epoch_ms,
+            fc,
+            e.object,
+            e.size,
+            cdn.latency_model(),
+            overload,
+            rec,
+        );
+        cdn.metrics.shed_requests += lifecycle.sheds as u64;
+        cdn.metrics.retry_attempts += lifecycle.retries as u64;
+        if enabled {
+            rec.add(Counter::RequestsShed, lifecycle.sheds as u64);
+            rec.add(Counter::RetryAttempts, lifecycle.retries as u64);
+            rec.observe(Histo::RetryCount, lifecycle.retries as u64);
+        }
+        match lifecycle.decision {
+            crate::overload::Decision::Serve { route, replica, penalty_ms } => {
+                let out = cdn.serve_routed(route, e.object, e.size, e.gsl_oneway_ms, penalty_ms);
+                if replica {
+                    cdn.metrics.served_replica += 1;
+                } else {
+                    cdn.metrics.served_primary += 1;
+                }
+                if enabled {
+                    record_outcome(rec, &out, e.size);
+                }
+            }
+            crate::overload::Decision::OriginFallback { penalty_ms } => {
+                cdn.serve_origin_fallback(fc, e.size, e.gsl_oneway_ms, penalty_ms);
+                if enabled {
+                    rec.add(Counter::OriginFallbacks, 1);
+                }
+            }
+            crate::overload::Decision::Drop => {
+                cdn.metrics.dropped_requests += 1;
+                if enabled {
+                    rec.add(Counter::RequestsDropped, 1);
+                }
+            }
+        }
+    }
+    drop(epoch_span);
+    if enabled && current_epoch != u64::MAX {
+        watermark.flush(rec, current_epoch, &cdn.metrics);
+    }
+    for p in ledger.finish() {
+        cdn.metrics.utilization.push(p);
+    }
+    cdn.metrics.clone()
+}
+
 /// Replay the log with the first `warmup_fraction` of entries excluded
 /// from the metrics: caches warm up, then counters reset and only the
 /// steady-state remainder is measured.

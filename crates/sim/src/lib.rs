@@ -32,6 +32,7 @@ pub mod access_log;
 pub mod coverage;
 pub mod engine;
 pub mod experiment;
+pub mod overload;
 pub mod replayer;
 pub mod scheduler;
 pub mod transfers;
@@ -42,12 +43,13 @@ pub use access_log::{
     build_access_log_recorded, AccessLog, AccessLogEntry,
 };
 pub use engine::{
-    run_space, run_space_entries, run_space_entries_recorded, run_space_recorded,
-    run_space_with_faults, run_space_with_faults_measured, run_space_with_faults_recorded,
-    SimConfig,
+    run_space, run_space_entries, run_space_entries_recorded, run_space_overloaded,
+    run_space_overloaded_recorded, run_space_recorded, run_space_with_faults,
+    run_space_with_faults_measured, run_space_with_faults_recorded, SimConfig,
 };
+pub use overload::{OverloadConfig, RetryPolicy};
 pub use replayer::{
-    replay_parallel, replay_parallel_recorded, replay_parallel_with_faults,
-    replay_parallel_with_faults_recorded,
+    replay_parallel, replay_parallel_overloaded, replay_parallel_overloaded_recorded,
+    replay_parallel_recorded, replay_parallel_with_faults, replay_parallel_with_faults_recorded,
 };
 pub use world::World;

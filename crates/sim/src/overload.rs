@@ -1,0 +1,382 @@
+//! The overload-aware request lifecycle.
+//!
+//! With a finite headroom, every routed request must be *admitted* by a
+//! [`CapacityLedger`] before it may touch a cache: the ledger charges the
+//! object's bytes against the serving satellite's GSL and every ISL hop
+//! of the route for the current epoch. A refused (shed) or unroutable
+//! attempt retries against the next same-bucket replica eastward —
+//! bounded by [`RetryPolicy::max_attempts`], each failed attempt adding
+//! a probe round-trip plus the backoff wait to the request's latency —
+//! and finally falls back to an origin-direct bent-pipe serve, or drops
+//! once the deadline is blown or even the fallback GSL is saturated.
+//!
+//! Every terminal outcome is classified exactly once: `ServedPrimary`
+//! (admitted at the preferred owner on the first attempt),
+//! `ServedReplica` (admitted at a retry target), `ServedOriginFallback`,
+//! or `Dropped`. Requests with no visible satellite at all never enter
+//! the constellation and stay outside this classification, exactly as in
+//! the non-overload path.
+//!
+//! Determinism (DESIGN.md §10): [`decide`] depends only on the failure
+//! view, the route, the object size, and the cumulative ledger state —
+//! never on cache contents — so the parallel replayer runs the whole
+//! lifecycle on its sequential pre-pass and stays bit-for-bit identical
+//! to the engine.
+
+use starcdn::latency::LatencyModel;
+use starcdn::system::{preferred_owner, resolve_route_toward_recorded, ResolvedRoute};
+use starcdn_cache::object::ObjectId;
+use starcdn_constellation::buckets::BucketTiling;
+use starcdn_constellation::capacity::{AdmitDecision, CapacityLedger};
+use starcdn_constellation::failures::FailureModel;
+use starcdn_constellation::grid::GridTopology;
+use starcdn_orbit::walker::SatelliteId;
+
+/// Bounded-retry parameters of the overload lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Admission attempts before giving up on space (≥ 1; the first
+    /// attempt targets the preferred owner, each further attempt the
+    /// next same-bucket replica eastward).
+    pub max_attempts: u32,
+    /// Epochs to wait between attempts; a backed-off attempt admits
+    /// against that later epoch's (fresh) budget.
+    pub backoff_epochs: u64,
+    /// Drop the request once its accumulated retry penalty exceeds this
+    /// many milliseconds.
+    pub deadline_ms: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3, backoff_epochs: 0, deadline_ms: 400.0 }
+    }
+}
+
+/// Overload-mode switch for an engine or replayer run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadConfig {
+    /// Usable fraction of each per-epoch link budget. `f64::INFINITY`
+    /// disables capacity enforcement entirely: runs are byte-identical
+    /// to the non-overload entry points.
+    pub headroom: f64,
+    /// Retry behaviour for shed or unroutable requests.
+    pub retry: RetryPolicy,
+}
+
+impl OverloadConfig {
+    /// Capacity enforcement off (the strictly-opt-in default).
+    pub fn disabled() -> Self {
+        OverloadConfig { headroom: f64::INFINITY, retry: RetryPolicy::default() }
+    }
+
+    /// Enforcement at the given headroom with the default retry policy.
+    pub fn with_headroom(headroom: f64) -> Self {
+        OverloadConfig { headroom, retry: RetryPolicy::default() }
+    }
+
+    /// Whether admission control actually runs.
+    pub fn is_enabled(&self) -> bool {
+        self.headroom.is_finite()
+    }
+}
+
+/// Terminal decision for one routed request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Decision {
+    /// Admitted: serve over `route`, adding `penalty_ms` of accumulated
+    /// retry latency. `replica` is true when a retry target (not the
+    /// preferred owner) serves.
+    Serve { route: ResolvedRoute, replica: bool, penalty_ms: f64 },
+    /// Every space attempt failed; serve origin-direct from the first
+    /// contact.
+    OriginFallback { penalty_ms: f64 },
+    /// Deadline blown or even the fallback GSL saturated.
+    Drop,
+}
+
+/// [`Decision`] plus the per-request counters the caller folds into its
+/// metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct LifecycleOutcome {
+    pub decision: Decision,
+    /// Admission refusals encountered (including the fallback's, if it
+    /// was refused).
+    pub sheds: u32,
+    /// Attempts made beyond the first.
+    pub retries: u32,
+}
+
+/// Run the admission/retry state machine for one request. Deterministic
+/// in (view, ledger state, request); never touches cache state.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn decide(
+    grid: &GridTopology,
+    tiling: Option<&BucketTiling>,
+    view: &FailureModel,
+    remap_on_failure: bool,
+    replica_span: u16,
+    ledger: &mut CapacityLedger,
+    epoch: u64,
+    epoch_ms: f64,
+    first_contact: SatelliteId,
+    object: ObjectId,
+    size: u64,
+    latency: &LatencyModel,
+    cfg: &OverloadConfig,
+    rec: &dyn starcdn_telemetry::Recorder,
+) -> LifecycleOutcome {
+    let preferred = preferred_owner(grid, tiling, first_contact, object);
+    let policy = &cfg.retry;
+    let backoff_wait_ms = policy.backoff_epochs as f64 * epoch_ms;
+    let max_attempts = policy.max_attempts.max(1);
+    let mut penalty_ms = 0.0f64;
+    let mut sheds = 0u32;
+    let mut retries = 0u32;
+    let mut last_epoch = epoch;
+    let mut deadline_blown = false;
+    for attempt in 0..max_attempts {
+        if penalty_ms > policy.deadline_ms {
+            deadline_blown = true;
+            break;
+        }
+        if attempt > 0 {
+            retries += 1;
+        }
+        // Attempt k probes the k-th same-bucket replica east of the
+        // preferred owner (k = 0 is the preferred owner itself), against
+        // the budget of the backed-off epoch.
+        let target = if attempt == 0 {
+            preferred
+        } else {
+            grid.east_by(preferred, replica_span * attempt as u16)
+        };
+        let admit_epoch = epoch + attempt as u64 * policy.backoff_epochs;
+        last_epoch = admit_epoch;
+        match resolve_route_toward_recorded(
+            grid,
+            view,
+            remap_on_failure,
+            first_contact,
+            target,
+            rec,
+        ) {
+            Some(route) => {
+                match ledger.admit(admit_epoch, first_contact, route.owner, size) {
+                    AdmitDecision::Admit => {
+                        return LifecycleOutcome {
+                            decision: Decision::Serve { route, replica: attempt > 0, penalty_ms },
+                            sheds,
+                            retries,
+                        };
+                    }
+                    AdmitDecision::Shed(_) => {
+                        sheds += 1;
+                        // The refused probe still cost a round trip to the
+                        // owner, plus the backoff wait before the next try.
+                        penalty_ms += 2.0 * latency.route_oneway_ms(route.intra, route.inter)
+                            + backoff_wait_ms;
+                    }
+                }
+            }
+            None => {
+                // Target (and its whole remap chain) dead or unreachable:
+                // a wasted attempt; only the backoff wait accrues.
+                penalty_ms += backoff_wait_ms;
+            }
+        }
+    }
+    if deadline_blown || penalty_ms > policy.deadline_ms {
+        return LifecycleOutcome { decision: Decision::Drop, sheds, retries };
+    }
+    // Origin-direct last resort: only the first contact's GSL carries it.
+    match ledger.admit_direct(last_epoch, first_contact, size) {
+        AdmitDecision::Admit => {
+            LifecycleOutcome { decision: Decision::OriginFallback { penalty_ms }, sheds, retries }
+        }
+        AdmitDecision::Shed(_) => {
+            LifecycleOutcome { decision: Decision::Drop, sheds: sheds + 1, retries }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starcdn::config::StarCdnConfig;
+    use starcdn_constellation::isl::LinkModel;
+    use starcdn_telemetry::Noop;
+
+    fn ctx() -> (StarCdnConfig, LatencyModel, FailureModel) {
+        let cfg = StarCdnConfig::starcdn_no_relay(9, 1_000_000);
+        let latency = LatencyModel { link: cfg.link_model.clone(), ..LatencyModel::default() };
+        (cfg, latency, FailureModel::none())
+    }
+
+    fn run_decide(
+        cfg: &StarCdnConfig,
+        latency: &LatencyModel,
+        view: &FailureModel,
+        ledger: &mut CapacityLedger,
+        ocfg: &OverloadConfig,
+        object: u64,
+        size: u64,
+    ) -> LifecycleOutcome {
+        let tiling = cfg.num_buckets.map(|l| BucketTiling::new(l).unwrap());
+        decide(
+            &cfg.grid,
+            tiling.as_ref(),
+            view,
+            cfg.remap_on_failure,
+            cfg.relay_span_planes(),
+            ledger,
+            0,
+            15_000.0,
+            SatelliteId::new(10, 5),
+            ObjectId(object),
+            size,
+            latency,
+            ocfg,
+            &Noop,
+        )
+    }
+
+    use starcdn_cache::object::ObjectId;
+
+    /// An object whose preferred owner is *not* the first contact
+    /// (10, 5): the route has real ISL hops, so a shed probe costs
+    /// latency and the fallback GSL is distinct from the primary's.
+    fn remote_object(cfg: &StarCdnConfig) -> u64 {
+        let tiling = cfg.num_buckets.map(|l| BucketTiling::new(l).unwrap());
+        let fc = SatelliteId::new(10, 5);
+        (0..64)
+            .find(|&o| preferred_owner(&cfg.grid, tiling.as_ref(), fc, ObjectId(o)) != fc)
+            .expect("some bucket must live off the first contact")
+    }
+
+    #[test]
+    fn ample_budget_serves_primary_with_no_penalty() {
+        let (cfg, latency, view) = ctx();
+        let mut ledger = CapacityLedger::new(&cfg.grid, &LinkModel::table1(), 15, 1.0);
+        let out = run_decide(
+            &cfg,
+            &latency,
+            &view,
+            &mut ledger,
+            &OverloadConfig::with_headroom(1.0),
+            1,
+            1000,
+        );
+        match out.decision {
+            Decision::Serve { replica, penalty_ms, .. } => {
+                assert!(!replica);
+                assert_eq!(penalty_ms, 0.0);
+            }
+            other => panic!("expected primary serve, got {other:?}"),
+        }
+        assert_eq!(out.sheds, 0);
+        assert_eq!(out.retries, 0);
+    }
+
+    #[test]
+    fn saturated_primary_retries_to_replica() {
+        let (cfg, latency, view) = ctx();
+        // Budget below a single request: every owner sheds, but each
+        // retry targets a *different* replica whose GSL... is also below
+        // one request. So instead: budget that admits exactly one
+        // request per satellite — saturate the primary first, then the
+        // second request of the same object must go to the replica.
+        let size = 1_000_000u64;
+        let headroom = size as f64 * 1.5 / 37_500_000_000.0; // fits 1, not 2
+        let mut ledger = CapacityLedger::new(&cfg.grid, &LinkModel::table1(), 15, headroom);
+        let ocfg = OverloadConfig::with_headroom(headroom);
+        let obj = remote_object(&cfg);
+        let first = run_decide(&cfg, &latency, &view, &mut ledger, &ocfg, obj, size);
+        assert!(matches!(first.decision, Decision::Serve { replica: false, .. }), "{first:?}");
+        let second = run_decide(&cfg, &latency, &view, &mut ledger, &ocfg, obj, size);
+        match second.decision {
+            Decision::Serve { route, replica, penalty_ms } => {
+                assert!(replica, "primary saturated, replica must serve");
+                assert!(penalty_ms > 0.0, "shed probe costs latency");
+                // The replica is span planes east of the primary.
+                let Decision::Serve { route: r1, .. } = first.decision else { unreachable!() };
+                assert_eq!(route.owner, cfg.grid.east_by(r1.owner, cfg.relay_span_planes()),);
+            }
+            other => panic!("expected replica serve, got {other:?}"),
+        }
+        assert_eq!(second.sheds, 1);
+        assert_eq!(second.retries, 1);
+    }
+
+    #[test]
+    fn exhausted_replicas_fall_back_to_origin_then_drop() {
+        let (cfg, latency, view) = ctx();
+        // Tiny headroom: nothing ever fits an ISL-routed admit, but the
+        // first contact's GSL can still take a couple of direct serves.
+        let size = 1_000_000u64;
+        let headroom = size as f64 * 2.5 / 37_500_000_000.0;
+        let mut ledger = CapacityLedger::new(&cfg.grid, &LinkModel::table1(), 15, headroom);
+        let mut ocfg = OverloadConfig::with_headroom(headroom);
+        ocfg.retry = RetryPolicy { max_attempts: 3, backoff_epochs: 0, deadline_ms: 1e9 };
+        let obj = remote_object(&cfg);
+        // Saturate primary + both retry replicas (3 serves of the same
+        // object land on 3 distinct owners, two per owner to fill).
+        for _ in 0..6 {
+            run_decide(&cfg, &latency, &view, &mut ledger, &ocfg, obj, size);
+        }
+        let fb = run_decide(&cfg, &latency, &view, &mut ledger, &ocfg, obj, size);
+        assert!(
+            matches!(fb.decision, Decision::OriginFallback { .. }),
+            "all replicas saturated → origin: {fb:?}"
+        );
+        assert_eq!(fb.sheds, 3, "every attempt was shed");
+        assert_eq!(fb.retries, 2);
+        // Keep hammering: the first contact's own GSL saturates too and
+        // requests start dropping.
+        let mut dropped = false;
+        for _ in 0..4 {
+            let out = run_decide(&cfg, &latency, &view, &mut ledger, &ocfg, obj, size);
+            if matches!(out.decision, Decision::Drop) {
+                dropped = true;
+                break;
+            }
+        }
+        assert!(dropped, "fallback GSL must eventually saturate");
+    }
+
+    #[test]
+    fn deadline_bounds_the_retry_chain() {
+        let (cfg, latency, view) = ctx();
+        let size = 1_000_000u64;
+        let headroom = size as f64 * 0.5 / 37_500_000_000.0; // nothing fits
+        let mut ledger = CapacityLedger::new(&cfg.grid, &LinkModel::table1(), 15, headroom);
+        let mut ocfg = OverloadConfig::with_headroom(headroom);
+        // One epoch of backoff per attempt (15 s ≫ any deadline).
+        ocfg.retry = RetryPolicy { max_attempts: 5, backoff_epochs: 1, deadline_ms: 100.0 };
+        let out = run_decide(&cfg, &latency, &view, &mut ledger, &ocfg, 1, size);
+        assert!(matches!(out.decision, Decision::Drop), "{out:?}");
+        assert!(out.retries < 4, "deadline must cut the chain short, got {} retries", out.retries);
+    }
+
+    #[test]
+    fn max_attempts_one_never_retries() {
+        let (cfg, latency, view) = ctx();
+        let size = 1_000_000u64;
+        let headroom = size as f64 * 0.5 / 37_500_000_000.0;
+        let mut ledger = CapacityLedger::new(&cfg.grid, &LinkModel::table1(), 15, headroom);
+        let mut ocfg = OverloadConfig::with_headroom(headroom);
+        ocfg.retry = RetryPolicy { max_attempts: 1, backoff_epochs: 0, deadline_ms: 1e9 };
+        let out = run_decide(&cfg, &latency, &view, &mut ledger, &ocfg, 1, size);
+        assert_eq!(out.retries, 0);
+        assert!(matches!(out.decision, Decision::OriginFallback { .. } | Decision::Drop));
+    }
+
+    #[test]
+    fn disabled_config_reports_disabled() {
+        assert!(!OverloadConfig::disabled().is_enabled());
+        assert!(OverloadConfig::with_headroom(0.5).is_enabled());
+        let d = RetryPolicy::default();
+        assert_eq!(d.max_attempts, 3);
+        assert_eq!(d.backoff_epochs, 0);
+    }
+}

@@ -54,6 +54,12 @@ struct ResolvedEntry {
     intra: u16,
     inter: u16,
     gsl_oneway_ms: f64,
+    /// Accumulated retry penalty decided on the pre-pass (overload mode
+    /// only; 0.0 adds nothing to the latency sample).
+    penalty_ms: f64,
+    /// Overload classification: `Some(false)` = admitted at the primary,
+    /// `Some(true)` = at a retry replica, `None` = overload mode off.
+    replica: Option<bool>,
 }
 
 /// One element of a shard's ordered work stream.
@@ -73,7 +79,7 @@ pub fn replay_parallel(
     log: &AccessLog,
     num_workers: usize,
 ) -> SystemMetrics {
-    replay_impl(cfg, failures, log, None, num_workers, &Noop)
+    replay_impl(cfg, failures, log, None, num_workers, &Noop, None)
 }
 
 /// [`replay_parallel`] with telemetry. Workers record into private
@@ -88,7 +94,7 @@ pub fn replay_parallel_recorded(
     num_workers: usize,
     rec: &dyn Recorder,
 ) -> SystemMetrics {
-    replay_impl(cfg, failures, log, None, num_workers, rec)
+    replay_impl(cfg, failures, log, None, num_workers, rec, None)
 }
 
 /// [`replay_parallel`] under a time-varying fault schedule applied on top
@@ -121,9 +127,53 @@ pub fn replay_parallel_with_faults_recorded(
     rec: &dyn Recorder,
 ) -> SystemMetrics {
     if schedule.is_empty() {
-        return replay_impl(cfg, failures, log, None, num_workers, rec);
+        return replay_impl(cfg, failures, log, None, num_workers, rec, None);
     }
-    replay_impl(cfg, failures, log, Some(schedule), num_workers, rec)
+    replay_impl(cfg, failures, log, Some(schedule), num_workers, rec, None)
+}
+
+/// [`replay_parallel_with_faults`] with the overload-aware request
+/// lifecycle on top: the sequential pre-pass runs the full
+/// admit/retry/fallback state machine of [`crate::overload`] — it
+/// depends only on routes, sizes, and cumulative ledger state, never on
+/// cache contents, so the decision sequence is identical to the
+/// sequential engine's ([`crate::engine::run_space_overloaded`]) and the
+/// per-shard results merge deterministically in shard index order. With
+/// `overload` disabled this is exactly [`replay_parallel_with_faults`].
+pub fn replay_parallel_overloaded(
+    cfg: StarCdnConfig,
+    failures: FailureModel,
+    log: &AccessLog,
+    schedule: &FaultSchedule,
+    num_workers: usize,
+    overload: &crate::overload::OverloadConfig,
+) -> SystemMetrics {
+    replay_parallel_overloaded_recorded(cfg, failures, log, schedule, num_workers, overload, &Noop)
+}
+
+/// [`replay_parallel_overloaded`] with telemetry.
+#[allow(clippy::too_many_arguments)]
+pub fn replay_parallel_overloaded_recorded(
+    cfg: StarCdnConfig,
+    failures: FailureModel,
+    log: &AccessLog,
+    schedule: &FaultSchedule,
+    num_workers: usize,
+    overload: &crate::overload::OverloadConfig,
+    rec: &dyn Recorder,
+) -> SystemMetrics {
+    if !overload.is_enabled() {
+        return replay_parallel_with_faults_recorded(
+            cfg,
+            failures,
+            log,
+            schedule,
+            num_workers,
+            rec,
+        );
+    }
+    let schedule = (!schedule.is_empty()).then_some(schedule);
+    replay_impl(cfg, failures, log, schedule, num_workers, rec, Some(overload))
 }
 
 fn replay_impl(
@@ -133,6 +183,7 @@ fn replay_impl(
     schedule: Option<&FaultSchedule>,
     num_workers: usize,
     rec: &dyn Recorder,
+    overload: Option<&crate::overload::OverloadConfig>,
 ) -> SystemMetrics {
     assert!(num_workers > 0);
     let tiling = cfg
@@ -157,6 +208,19 @@ fn replay_impl(
     let mut direct = SystemMetrics::default();
     let mut cursor = schedule.map(|s| ScheduleCursor::new(s, base_failures.clone()));
     let epoch_secs = log.epoch_secs.max(1);
+    let epoch_ms = epoch_secs as f64 * 1000.0;
+    // Overload mode: the capacity ledger lives on this sequential
+    // pre-pass (per-shard results merge in shard index order below), so
+    // admission decisions are identical to the sequential engine's.
+    let mut ledger = overload.map(|o| {
+        starcdn_constellation::capacity::CapacityLedger::new(
+            &cfg.grid,
+            &cfg.link_model,
+            epoch_secs,
+            o.headroom,
+        )
+    });
+    let mut ledger_epoch = u64::MAX;
     let mut current_epoch = u64::MAX;
     // Telemetry epoch tracking is independent of the fault cursor so the
     // static (no-schedule) path still gets a per-epoch resolve timeline.
@@ -202,6 +266,14 @@ fn replay_impl(
                 });
             }
         }
+        if let Some(l) = ledger.as_mut() {
+            if epoch != ledger_epoch {
+                ledger_epoch = epoch;
+                for p in l.advance_to(epoch) {
+                    direct.utilization.push(p);
+                }
+            }
+        }
         let view = cursor.as_ref().map(|c| c.view()).unwrap_or(&base_failures);
         let Some(fc) = e.first_contact else {
             let lat = latency.starlink_no_cache_rtt_ms(latency.link.gsl.avg_delay_ms);
@@ -216,6 +288,76 @@ fn replay_impl(
             }
             continue;
         };
+        if let (Some(l), Some(ocfg)) = (ledger.as_mut(), overload) {
+            // Overload lifecycle: admit/retry/fallback decided here on
+            // the sequential spine; workers only touch caches.
+            let lc = crate::overload::decide(
+                &cfg.grid,
+                tiling.as_ref(),
+                view,
+                cfg.remap_on_failure,
+                span,
+                l,
+                epoch,
+                epoch_ms,
+                fc,
+                e.object,
+                e.size,
+                &latency,
+                ocfg,
+                rec,
+            );
+            direct.shed_requests += lc.sheds as u64;
+            direct.retry_attempts += lc.retries as u64;
+            if enabled {
+                rec.add(Counter::RequestsShed, lc.sheds as u64);
+                rec.add(Counter::RetryAttempts, lc.retries as u64);
+                rec.observe(Histo::RetryCount, lc.retries as u64);
+            }
+            match lc.decision {
+                crate::overload::Decision::Serve { route, replica, penalty_ms } => {
+                    if route.remapped {
+                        direct.remapped_requests += 1;
+                    }
+                    direct.reroute_extra_hops += route.extra_hops as u64;
+                    if enabled {
+                        if route.remapped {
+                            rec.add(Counter::RemappedRequests, 1);
+                            epoch_remaps += 1;
+                        }
+                        rec.add(Counter::RerouteExtraHops, route.extra_hops as u64);
+                        epoch_reroutes += route.extra_hops as u64;
+                    }
+                    let shard = route.owner.index(spp) % num_workers;
+                    shards[shard].push(ShardOp::Request(ResolvedEntry {
+                        object: e.object,
+                        size: e.size,
+                        owner: route.owner,
+                        intra: route.intra,
+                        inter: route.inter,
+                        gsl_oneway_ms: e.gsl_oneway_ms,
+                        penalty_ms,
+                        replica: Some(replica),
+                    }));
+                }
+                crate::overload::Decision::OriginFallback { penalty_ms } => {
+                    let base = latency.ground_miss_rtt_ms(e.gsl_oneway_ms, 0, 0, 0);
+                    let lat = if penalty_ms > 0.0 { base + penalty_ms } else { base };
+                    direct.record(fc, ServedFrom::Ground, e.size, lat);
+                    direct.served_origin_fallback += 1;
+                    if enabled {
+                        rec.add(Counter::OriginFallbacks, 1);
+                    }
+                }
+                crate::overload::Decision::Drop => {
+                    direct.dropped_requests += 1;
+                    if enabled {
+                        rec.add(Counter::RequestsDropped, 1);
+                    }
+                }
+            }
+            continue;
+        }
         match resolve_route_in_recorded(
             &cfg.grid,
             tiling.as_ref(),
@@ -246,6 +388,8 @@ fn replay_impl(
                     intra: route.intra,
                     inter: route.inter,
                     gsl_oneway_ms: e.gsl_oneway_ms,
+                    penalty_ms: 0.0,
+                    replica: None,
                 }));
             }
             None => {
@@ -260,6 +404,11 @@ fn replay_impl(
     // Close out the last epoch's resolve span and event cells, then
     // record how much work each shard was handed.
     drop(resolve_span);
+    if let Some(mut l) = ledger.take() {
+        for p in l.finish() {
+            direct.utilization.push(p);
+        }
+    }
     if enabled {
         if tele_epoch != u64::MAX {
             rec.event(Event::Remap, tele_epoch, epoch_remaps);
@@ -385,6 +534,15 @@ fn replay_impl(
                                 )
                             })
                         };
+                        // Gated: `x + 0.0` is not a bitwise no-op for
+                        // every float (-0.0); the no-penalty path must
+                        // stay byte-identical.
+                        let lat = if e.penalty_ms > 0.0 { lat + e.penalty_ms } else { lat };
+                        match e.replica {
+                            Some(true) => m.served_replica += 1,
+                            Some(false) => m.served_primary += 1,
+                            None => {}
+                        }
                         m.record(e.owner, from, e.size, lat);
                         if let Some(r) = wrec {
                             record_outcome(

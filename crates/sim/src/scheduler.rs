@@ -189,8 +189,9 @@ mod tests {
         for (i, per_user) in sched.assignments.iter().enumerate() {
             assert_eq!(per_user.len(), 8);
             for a in per_user {
-                assert!(a.is_some(), "location {i} has an unassigned user");
-                let a = a.unwrap();
+                let Some(a) = a else {
+                    panic!("location {i} has an unassigned user");
+                };
                 assert!(a.gsl_oneway_ms > 1.5 && a.gsl_oneway_ms < 4.5, "GSL {}", a.gsl_oneway_ms);
             }
         }

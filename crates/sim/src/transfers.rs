@@ -63,7 +63,7 @@ impl TransferConfig {
 }
 
 /// Outcome of one transfer.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
 pub struct TransferOutcome {
     /// Pure serialization time at the service-link rate, ms.
     pub base_ms: f64,
@@ -71,14 +71,19 @@ pub struct TransferOutcome {
     pub interruptions: u32,
     /// Total completion time including interruption costs, ms.
     pub total_ms: f64,
+    /// The transfer hit the epoch-walk cap with bytes still remaining
+    /// (no coverage long enough to finish) and was abandoned.
+    pub dropped: bool,
 }
 
 /// Aggregate transfer statistics.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
 pub struct TransferStats {
     pub transfers: u64,
     pub interrupted: u64,
     pub total_interruptions: u64,
+    /// Transfers abandoned at the epoch-walk cap.
+    pub drops: u64,
     /// Sum of completion-time inflation factors (total/base), for means.
     inflation_sum: f64,
 }
@@ -91,6 +96,9 @@ impl TransferStats {
             self.interrupted += 1;
         }
         self.total_interruptions += o.interruptions as u64;
+        if o.dropped {
+            self.drops += 1;
+        }
         if o.base_ms > 0.0 {
             self.inflation_sum += o.total_ms / o.base_ms;
         } else {
@@ -195,7 +203,12 @@ pub fn simulate_transfer(
             current = next;
         }
     }
-    TransferOutcome { base_ms, interruptions, total_ms: now_ms - start.as_millis() as f64 }
+    TransferOutcome {
+        base_ms,
+        interruptions,
+        total_ms: now_ms - start.as_millis() as f64,
+        dropped: remaining_ms > 0.0,
+    }
 }
 
 /// Run the transfer model over a whole access log (sizes and start times
@@ -303,5 +316,42 @@ mod tests {
         let s = TransferStats::default();
         assert_eq!(s.interrupted_fraction(), 0.0);
         assert_eq!(s.mean_inflation(), 1.0);
+        assert_eq!(s.drops, 0);
+    }
+
+    #[test]
+    fn zero_byte_transfer_is_instant_and_inflation_safe() {
+        let w = world();
+        let mut oracle = AssignmentOracle::new(&w, SchedulerConfig::default(), 15);
+        let cfg = TransferConfig::starcdn(100.0);
+        let o = simulate_transfer(&mut oracle, &cfg, SimTime::from_secs(3), 4, 0, 0);
+        assert_eq!(o.base_ms, 0.0);
+        assert_eq!(o.interruptions, 0);
+        assert_eq!(o.total_ms, 0.0);
+        assert!(!o.dropped);
+        // `base_ms == 0` must not divide: inflation clamps to 1.0.
+        let mut s = TransferStats::default();
+        s.record(&o);
+        assert_eq!(s.transfers, 1);
+        assert_eq!(s.mean_inflation(), 1.0);
+        assert_eq!(s.drops, 0);
+    }
+
+    #[test]
+    fn zero_transfers_over_an_empty_log() {
+        let w = world();
+        let sched = SchedulerConfig::default();
+        let log = build_access_log(&w, &Trace::new(Vec::new()), 15, &sched);
+        let stats = simulate_transfers(&w, &log, sched, &TransferConfig::starcdn(50.0));
+        assert_eq!(stats, TransferStats::default());
+    }
+
+    #[test]
+    fn completed_transfers_are_never_marked_dropped() {
+        let w = world();
+        let mut oracle = AssignmentOracle::new(&w, SchedulerConfig::default(), 15);
+        let cfg = TransferConfig::starcdn(50.0);
+        let o = simulate_transfer(&mut oracle, &cfg, SimTime::ZERO, 4, 0, 2 << 30);
+        assert!(!o.dropped, "a ~23-epoch transfer finishes well under the walk cap");
     }
 }

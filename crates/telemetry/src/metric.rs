@@ -39,11 +39,19 @@ pub enum Counter {
     PrefetchRounds,
     /// BFS shortest-path computations.
     BfsRoutes,
+    /// Admission attempts refused by the capacity ledger.
+    RequestsShed,
+    /// Retry attempts beyond the first (replica probes under overload).
+    RetryAttempts,
+    /// Requests served origin-direct after exhausting every replica.
+    OriginFallbacks,
+    /// Requests dropped after the retry policy ran out.
+    RequestsDropped,
 }
 
 impl Counter {
     /// Every counter, in snapshot order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 19] = [
         Counter::RequestsRouted,
         Counter::RequestsUnreachable,
         Counter::RequestsUnroutable,
@@ -59,6 +67,10 @@ impl Counter {
         Counter::FaultEventsApplied,
         Counter::PrefetchRounds,
         Counter::BfsRoutes,
+        Counter::RequestsShed,
+        Counter::RetryAttempts,
+        Counter::OriginFallbacks,
+        Counter::RequestsDropped,
     ];
 
     /// Stable snake_case name used by the exporters.
@@ -79,6 +91,10 @@ impl Counter {
             Counter::FaultEventsApplied => "fault_events_applied",
             Counter::PrefetchRounds => "prefetch_rounds",
             Counter::BfsRoutes => "bfs_routes",
+            Counter::RequestsShed => "requests_shed",
+            Counter::RetryAttempts => "retry_attempts",
+            Counter::OriginFallbacks => "origin_fallbacks",
+            Counter::RequestsDropped => "requests_dropped",
         }
     }
 }
@@ -99,17 +115,21 @@ pub enum Histo {
     GslDelayUs,
     /// Hop count of BFS-computed detour paths.
     BfsPathHops,
+    /// Retry attempts consumed per request under overload (0 = admitted
+    /// first try).
+    RetryCount,
 }
 
 impl Histo {
     /// Every histogram, in snapshot order.
-    pub const ALL: [Histo; 6] = [
+    pub const ALL: [Histo; 7] = [
         Histo::LatencyUs,
         Histo::IslHops,
         Histo::ObjectBytes,
         Histo::QueueDepth,
         Histo::GslDelayUs,
         Histo::BfsPathHops,
+        Histo::RetryCount,
     ];
 
     /// Stable snake_case name used by the exporters.
@@ -121,6 +141,7 @@ impl Histo {
             Histo::QueueDepth => "queue_depth",
             Histo::GslDelayUs => "gsl_delay_us",
             Histo::BfsPathHops => "bfs_path_hops",
+            Histo::RetryCount => "retry_count",
         }
     }
 }

@@ -90,6 +90,85 @@ fn parallel_exact_parity_under_churn() {
 }
 
 #[test]
+fn parallel_exact_parity_under_overload_and_churn() {
+    // Overload admission on top of a nonempty churn schedule: the
+    // lifecycle (admit/shed/retry/fallback/drop) runs on the replayer's
+    // sequential pre-pass against the same failure views and ledger
+    // state as the engine, so every metric — including the new
+    // counters, the utilization timeline, and each individual latency
+    // sample — must agree bit-for-bit at any worker count.
+    use starcdn_sim::engine::run_space_overloaded;
+    use starcdn_sim::overload::{OverloadConfig, RetryPolicy};
+    use starcdn_sim::replayer::replay_parallel_overloaded;
+
+    let locations = Location::akamai_nine();
+    let model = ProductionModel::build(TrafficClass::Video.params().scaled(0.02), &locations, 61);
+    let trace = model.generate_trace(SimDuration::from_hours(1), 61);
+    let world = World::starlink_nine_cities();
+    let params = ChurnParams {
+        sat_mtbf_secs: 3.0 * 3600.0,
+        sat_mttr_secs: 600.0,
+        link_mtbf_secs: Some(4.0 * 3600.0),
+        link_mttr_secs: 600.0,
+        horizon_secs: 3600,
+        seed: 91,
+    };
+    let sched = FaultSchedule::churn(&world.grid, &params);
+    let world = world.with_fault_schedule(sched.clone());
+    let log = build_access_log(&world, &trace, 15, &SimConfig::default().scheduler());
+    let cfg = StarCdnConfig::starcdn_no_relay(9, 5_000_000);
+
+    // Headroom ≈ 1.5 mean objects per satellite per epoch: tight enough
+    // that shedding, retries, fallbacks and drops all actually happen.
+    let mean = log.entries.iter().map(|e| e.size).sum::<u64>() / log.entries.len() as u64;
+    let overload = OverloadConfig {
+        headroom: mean as f64 * 1.5 / 37_500_000_000.0,
+        retry: RetryPolicy { max_attempts: 3, backoff_epochs: 0, deadline_ms: 1e9 },
+    };
+
+    let mut seq = SpaceCdn::new(cfg.clone());
+    let reference = run_space_overloaded(&mut seq, &log, &sched, &overload);
+    assert!(reference.shed_requests > 0, "overload run must shed");
+    assert!(reference.retry_attempts > 0, "sheds must trigger retries");
+    assert!(!reference.utilization.is_empty(), "ledger must emit a timeline");
+
+    let sorted_bits = |m: &starcdn::metrics::SystemMetrics| {
+        let mut v = m.latencies_ms.clone();
+        v.sort_by(f64::total_cmp);
+        v.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+    };
+    let ref_lat = sorted_bits(&reference);
+    for workers in [1, 4, 8] {
+        let par = replay_parallel_overloaded(
+            cfg.clone(),
+            FailureModel::none(),
+            &log,
+            &sched,
+            workers,
+            &overload,
+        );
+        assert_eq!(par.stats, reference.stats, "{workers} workers");
+        assert_eq!(par.uplink_bytes, reference.uplink_bytes, "{workers} workers");
+        assert_eq!(par.per_satellite, reference.per_satellite, "{workers} workers");
+        assert_eq!(par.cold_restart_misses, reference.cold_restart_misses, "{workers} workers");
+        assert_eq!(par.remapped_requests, reference.remapped_requests, "{workers} workers");
+        assert_eq!(par.reroute_extra_hops, reference.reroute_extra_hops, "{workers} workers");
+        assert_eq!(par.availability, reference.availability, "{workers} workers");
+        assert_eq!(par.shed_requests, reference.shed_requests, "{workers} workers");
+        assert_eq!(par.retry_attempts, reference.retry_attempts, "{workers} workers");
+        assert_eq!(par.served_primary, reference.served_primary, "{workers} workers");
+        assert_eq!(par.served_replica, reference.served_replica, "{workers} workers");
+        assert_eq!(
+            par.served_origin_fallback, reference.served_origin_fallback,
+            "{workers} workers"
+        );
+        assert_eq!(par.dropped_requests, reference.dropped_requests, "{workers} workers");
+        assert_eq!(par.utilization, reference.utilization, "{workers} workers");
+        assert_eq!(sorted_bits(&par), ref_lat, "{workers} workers: latency samples");
+    }
+}
+
+#[test]
 fn telemetry_recording_never_changes_replayer_output() {
     // The telemetry determinism contract: a live MemoryRecorder must not
     // perturb a single metric relative to the no-op recorder, under
