@@ -1,0 +1,382 @@
+//! Checkpoint overhead benchmark and crash-recovery harness.
+//!
+//! Default mode measures the cost of crash-consistent checkpointing
+//! (DESIGN.md §11) against the uninterrupted engine run: wall-clock
+//! overhead, bytes per checkpoint, and restore latency as a function of
+//! the checkpoint interval. Writes `BENCH_checkpoint.json`.
+//!
+//! Harness modes drive the CI crash-recovery smoke test:
+//!
+//! * `--mode golden --dir D --out F` — run the checkpointed engine
+//!   uninterrupted, dump a metrics fingerprint to `F`;
+//! * `--mode crash --dir D --kill-epoch N` — replay only the log prefix
+//!   before epoch `N` (the state a SIGKILL at that epoch leaves behind),
+//!   then simulate a torn write by truncating the newest checkpoint and
+//!   leaving a stray `.tmp` file;
+//! * `--mode resume --dir D --out F` — resume from the newest valid
+//!   checkpoint (falling back past the torn one) and dump the same
+//!   fingerprint;
+//! * `--mode diff --a F1 --b F2` — byte-compare two fingerprint dumps,
+//!   exit non-zero on any difference.
+//!
+//! The fingerprint includes every counter, the bit patterns of all
+//! latency samples, the utilization timeline, and the telemetry
+//! counters/histograms/events — if `golden` and `resume` dumps are
+//! byte-equal, the resumed run was bit-for-bit identical.
+
+use spacegen::trace::{LocationId, Request, Trace};
+use starcdn::config::StarCdnConfig;
+use starcdn::metrics::SystemMetrics;
+use starcdn::system::SpaceCdn;
+use starcdn_bench::table::print_table;
+use starcdn_cache::object::ObjectId;
+use starcdn_constellation::schedule::{FaultEvent, FaultSchedule, TimedFault};
+use starcdn_orbit::time::SimTime;
+use starcdn_orbit::walker::SatelliteId;
+use starcdn_sim::engine::SimConfig;
+use starcdn_sim::{
+    build_access_log, list_checkpoint_files, resume_space_checkpointed, run_space_checkpointed,
+    run_space_overloaded_recorded, AccessLog, CheckpointPolicy, OverloadConfig, World,
+};
+use starcdn_telemetry::{MemoryRecorder, TelemetrySnapshot};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Scheduler epochs the harness workload covers.
+const EPOCHS: u64 = 200;
+const EPOCH_SECS: u64 = 15;
+const REQS_PER_SEC: u64 = 4;
+
+fn workload() -> (AccessLog, FaultSchedule, OverloadConfig) {
+    let w = World::starlink_nine_cities();
+    let total = EPOCHS * EPOCH_SECS * REQS_PER_SEC;
+    let reqs: Vec<Request> = (0..total)
+        .map(|k| Request {
+            time: SimTime::from_secs(k / REQS_PER_SEC),
+            object: ObjectId((k * 2654435761) % 500),
+            size: 1000 + (k % 7) * 250,
+            location: LocationId((k % 9) as u16),
+        })
+        .collect();
+    let log =
+        build_access_log(&w, &Trace::new(reqs), EPOCH_SECS, &SimConfig::default().scheduler());
+    let schedule = FaultSchedule::from_events([
+        TimedFault { at_secs: 600, event: FaultEvent::SatDown(SatelliteId::new(3, 7)) },
+        TimedFault { at_secs: 900, event: FaultEvent::SatDown(SatelliteId::new(10, 2)) },
+        TimedFault { at_secs: 1500, event: FaultEvent::SatUp(SatelliteId::new(3, 7)) },
+        TimedFault { at_secs: 2100, event: FaultEvent::SatUp(SatelliteId::new(10, 2)) },
+    ]);
+    (log, schedule, OverloadConfig::with_headroom(0.4))
+}
+
+fn cdn() -> SpaceCdn {
+    SpaceCdn::new(StarCdnConfig::starcdn(4, 1_000_000))
+}
+
+/// FNV-1a over a byte stream, for compact fingerprint lines.
+fn fnv(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Hand-rolled JSON fingerprint of a run: plain counters verbatim,
+/// vectors as FNV-64 over their bit patterns. Byte-equal dumps mean
+/// bit-identical runs. (No serialization framework: this must stay
+/// dependency-free and deterministic.)
+fn fingerprint_json(m: &SystemMetrics, tele: &TelemetrySnapshot) -> String {
+    let lat_hash = fnv(m.latencies_ms.iter().flat_map(|l| l.to_bits().to_le_bytes()));
+    let util_hash = fnv(m.utilization.iter().flat_map(|p| {
+        let mut b = Vec::with_capacity(48);
+        b.extend_from_slice(&p.epoch.to_le_bytes());
+        b.extend_from_slice(&p.peak_gsl_util.to_bits().to_le_bytes());
+        b.extend_from_slice(&p.peak_isl_util.to_bits().to_le_bytes());
+        b.extend_from_slice(&p.gsl_bytes.to_le_bytes());
+        b.extend_from_slice(&p.isl_bytes.to_le_bytes());
+        b.extend_from_slice(&p.shed_requests.to_le_bytes());
+        b
+    }));
+    let avail_hash = fnv(m.availability.iter().flat_map(|p| {
+        let mut b = Vec::with_capacity(16);
+        b.extend_from_slice(&p.epoch.to_le_bytes());
+        b.extend_from_slice(&p.alive_sats.to_le_bytes());
+        b.extend_from_slice(&p.cut_links.to_le_bytes());
+        b
+    }));
+    let mut per_sat: Vec<_> = m.per_satellite.iter().collect();
+    per_sat.sort_by_key(|(s, _)| **s);
+    let per_sat_hash = fnv(per_sat.iter().flat_map(|(s, st)| {
+        let mut b = Vec::with_capacity(36);
+        b.extend_from_slice(&s.orbit.to_le_bytes());
+        b.extend_from_slice(&s.slot.to_le_bytes());
+        b.extend_from_slice(&st.requests.to_le_bytes());
+        b.extend_from_slice(&st.hits.to_le_bytes());
+        b.extend_from_slice(&st.bytes_requested.to_le_bytes());
+        b.extend_from_slice(&st.bytes_hit.to_le_bytes());
+        b
+    }));
+    let counters: Vec<String> =
+        tele.counters.iter().map(|(c, v)| format!("    \"{}\": {v}", c.name())).collect();
+    // `CheckpointRestoreFallback` is emitted on the resuming caller's
+    // recorder (it reports recovery-path behaviour, not simulation
+    // state), so it is excluded from the bit-equality fingerprint.
+    let events_hash = fnv(tele
+        .events
+        .iter()
+        .filter(|((e, _), _)| *e != starcdn_telemetry::Event::CheckpointRestoreFallback)
+        .flat_map(|((e, epoch), count)| {
+            let mut b = format!("{}:{epoch}:", e.name()).into_bytes();
+            b.extend_from_slice(&count.to_le_bytes());
+            b
+        }));
+    let histo_hash = fnv(tele.histograms.iter().flat_map(|(h, snap)| {
+        let mut b = format!("{}:{}:{}", h.name(), snap.count, snap.sum).into_bytes();
+        for &(k, n) in &snap.buckets {
+            b.push(k);
+            b.extend_from_slice(&n.to_le_bytes());
+        }
+        b
+    }));
+    format!(
+        "{{\n  \"requests\": {},\n  \"hits\": {},\n  \"bytes_requested\": {},\n  \
+         \"bytes_hit\": {},\n  \"served_local\": {},\n  \"served_relay_west\": {},\n  \
+         \"served_relay_east\": {},\n  \"served_ground\": {},\n  \"uplink_bytes\": {},\n  \
+         \"relay_bytes\": {},\n  \"remapped_requests\": {},\n  \"cold_restart_misses\": {},\n  \
+         \"reroute_extra_hops\": {},\n  \"shed_requests\": {},\n  \"retry_attempts\": {},\n  \
+         \"served_primary\": {},\n  \"served_replica\": {},\n  \"served_origin_fallback\": {},\n  \
+         \"dropped_requests\": {},\n  \"latency_samples\": {},\n  \
+         \"latency_bits_fnv\": \"{lat_hash:016x}\",\n  \
+         \"utilization_fnv\": \"{util_hash:016x}\",\n  \
+         \"availability_fnv\": \"{avail_hash:016x}\",\n  \
+         \"per_satellite_fnv\": \"{per_sat_hash:016x}\",\n  \
+         \"telemetry_events_fnv\": \"{events_hash:016x}\",\n  \
+         \"telemetry_histos_fnv\": \"{histo_hash:016x}\",\n  \"telemetry_counters\": {{\n{}\n  }}\n}}\n",
+        m.stats.requests,
+        m.stats.hits,
+        m.stats.bytes_requested,
+        m.stats.bytes_hit,
+        m.served_local,
+        m.served_relay_west,
+        m.served_relay_east,
+        m.served_ground,
+        m.uplink_bytes,
+        m.relay_bytes,
+        m.remapped_requests,
+        m.cold_restart_misses,
+        m.reroute_extra_hops,
+        m.shed_requests,
+        m.retry_attempts,
+        m.served_primary,
+        m.served_replica,
+        m.served_origin_fallback,
+        m.dropped_requests,
+        m.latencies_ms.len(),
+        counters.join(",\n"),
+    )
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn run_golden(dir: &Path, out: &Path) {
+    let (log, sched, overload) = workload();
+    let policy = CheckpointPolicy { every_n_epochs: 20, dir: dir.to_path_buf(), keep_last: 0 };
+    let rec = MemoryRecorder::new();
+    let m = run_space_checkpointed(&mut cdn(), &log, &sched, &overload, &policy, &rec)
+        .expect("golden checkpointed run");
+    std::fs::write(out, fingerprint_json(&m, &rec.snapshot())).expect("write golden fingerprint");
+    println!(
+        "golden: {} requests, {} checkpoints",
+        m.stats.requests,
+        list_checkpoint_files(dir).len()
+    );
+}
+
+fn run_crash(dir: &Path, kill_epoch: u64) {
+    let (log, sched, overload) = workload();
+    let cut = log
+        .entries
+        .iter()
+        .position(|e| e.time.as_secs() / EPOCH_SECS >= kill_epoch)
+        .unwrap_or(log.entries.len());
+    let partial = AccessLog { entries: log.entries[..cut].to_vec(), epoch_secs: log.epoch_secs };
+    let policy = CheckpointPolicy { every_n_epochs: 20, dir: dir.to_path_buf(), keep_last: 0 };
+    run_space_checkpointed(
+        &mut cdn(),
+        &partial,
+        &sched,
+        &overload,
+        &policy,
+        &MemoryRecorder::new(),
+    )
+    .expect("crashed prefix run");
+    // Simulate the kill arriving mid-write: tear the newest checkpoint in
+    // half and leave a stray temp file. Resume must detect both and fall
+    // back to the previous intact checkpoint.
+    let files = list_checkpoint_files(dir);
+    let (newest_epoch, newest) =
+        files.last().expect("kill epoch must lie past the first checkpoint interval");
+    let bytes = std::fs::read(newest).expect("read newest checkpoint");
+    std::fs::write(newest, &bytes[..bytes.len() / 2]).expect("tear newest checkpoint");
+    std::fs::write(dir.join("ckpt-9999999999.ckpt.tmp"), b"interrupted").expect("stray tmp");
+    println!(
+        "crashed at epoch {kill_epoch}: {} checkpoints on disk, newest (epoch {newest_epoch}) torn",
+        files.len()
+    );
+}
+
+fn run_resume(dir: &Path, out: &Path) {
+    let (log, sched, overload) = workload();
+    let policy = CheckpointPolicy { every_n_epochs: 20, dir: dir.to_path_buf(), keep_last: 0 };
+    let rec = MemoryRecorder::new();
+    let m = resume_space_checkpointed(&mut cdn(), &log, &sched, &overload, &policy, &rec)
+        .expect("resume from crash-left checkpoints");
+    let fallbacks: u64 = rec
+        .snapshot()
+        .events
+        .iter()
+        .filter(|((e, _), _)| *e == starcdn_telemetry::Event::CheckpointRestoreFallback)
+        .map(|(_, &c)| c)
+        .sum();
+    std::fs::write(out, fingerprint_json(&m, &rec.snapshot())).expect("write resumed fingerprint");
+    println!("resumed: {} requests, {fallbacks} checkpoint(s) skipped as torn", m.stats.requests);
+    assert!(fallbacks >= 1, "the torn newest checkpoint must have been skipped");
+}
+
+fn run_diff(a: &Path, b: &Path) {
+    let da = std::fs::read(a).expect("read first fingerprint");
+    let db = std::fs::read(b).expect("read second fingerprint");
+    if da != db {
+        eprintln!("FAIL: {} and {} differ — resume was not bit-for-bit", a.display(), b.display());
+        std::process::exit(1);
+    }
+    println!("OK: {} == {} (bit-for-bit)", a.display(), b.display());
+}
+
+fn run_overhead() {
+    let (log, sched, overload) = workload();
+
+    // Baseline: the non-checkpointed engine.
+    let t0 = Instant::now();
+    let rec = MemoryRecorder::new();
+    let base = run_space_overloaded_recorded(&mut cdn(), &log, &sched, &overload, &rec);
+    let base_secs = t0.elapsed().as_secs_f64();
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for every_n in [1u64, 5, 20] {
+        let dir = std::env::temp_dir()
+            .join(format!("starcdn-ckpt-bench-{}-{every_n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let policy = CheckpointPolicy { every_n_epochs: every_n, dir: dir.clone(), keep_last: 0 };
+
+        let t0 = Instant::now();
+        let m = run_space_checkpointed(
+            &mut cdn(),
+            &log,
+            &sched,
+            &overload,
+            &policy,
+            &MemoryRecorder::new(),
+        )
+        .expect("checkpointed run");
+        let ckpt_secs = t0.elapsed().as_secs_f64();
+        assert_eq!(m.stats.requests, base.stats.requests, "checkpointed run diverged");
+
+        let files = list_checkpoint_files(&dir);
+        let total_bytes: u64 =
+            files.iter().map(|(_, p)| std::fs::metadata(p).map_or(0, |md| md.len())).sum();
+        let avg_bytes = if files.is_empty() { 0 } else { total_bytes / files.len() as u64 };
+
+        // Restore latency: resume from the newest checkpoint (replays
+        // only the tail of the log).
+        let t0 = Instant::now();
+        resume_space_checkpointed(
+            &mut cdn(),
+            &log,
+            &sched,
+            &overload,
+            &policy,
+            &MemoryRecorder::new(),
+        )
+        .expect("resume");
+        let resume_secs = t0.elapsed().as_secs_f64();
+
+        let overhead_pct = (ckpt_secs / base_secs.max(1e-9) - 1.0) * 100.0;
+        rows.push(vec![
+            every_n.to_string(),
+            files.len().to_string(),
+            format!("{:.3}", ckpt_secs),
+            format!("{:+.1}%", overhead_pct),
+            avg_bytes.to_string(),
+            format!("{:.3}", resume_secs),
+        ]);
+        json_rows.push(format!(
+            "    {{\"every_n_epochs\": {every_n}, \"checkpoints\": {}, \"run_secs\": {ckpt_secs:.6}, \
+             \"overhead_pct\": {overhead_pct:.3}, \"avg_checkpoint_bytes\": {avg_bytes}, \
+             \"total_checkpoint_bytes\": {total_bytes}, \"resume_secs\": {resume_secs:.6}}}",
+            files.len()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    print_table(
+        &format!(
+            "Checkpoint overhead vs interval ({EPOCHS} epochs, {} requests, churn+overload; \
+             baseline uninterrupted run {base_secs:.3}s)",
+            log.entries.len()
+        ),
+        &["every_n", "ckpts", "run_s", "overhead", "avg_bytes", "resume_s"],
+        &rows,
+    );
+
+    let json = format!(
+        "{{\n  \"epochs\": {EPOCHS},\n  \"requests\": {},\n  \"baseline_secs\": {base_secs:.6},\n  \
+         \"intervals\": [\n{}\n  ]\n}}\n",
+        log.entries.len(),
+        json_rows.join(",\n")
+    );
+    let mut f =
+        std::fs::File::create("BENCH_checkpoint.json").expect("create BENCH_checkpoint.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_checkpoint.json");
+    println!("\nwrote BENCH_checkpoint.json");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match arg_value(&args, "--mode").as_deref() {
+        None => run_overhead(),
+        Some("golden") => {
+            let dir = PathBuf::from(arg_value(&args, "--dir").expect("--dir required"));
+            let out = PathBuf::from(arg_value(&args, "--out").expect("--out required"));
+            run_golden(&dir, &out);
+        }
+        Some("crash") => {
+            let dir = PathBuf::from(arg_value(&args, "--dir").expect("--dir required"));
+            let kill: u64 = arg_value(&args, "--kill-epoch")
+                .expect("--kill-epoch required")
+                .parse()
+                .expect("numeric --kill-epoch");
+            run_crash(&dir, kill);
+        }
+        Some("resume") => {
+            let dir = PathBuf::from(arg_value(&args, "--dir").expect("--dir required"));
+            let out = PathBuf::from(arg_value(&args, "--out").expect("--out required"));
+            run_resume(&dir, &out);
+        }
+        Some("diff") => {
+            let a = PathBuf::from(arg_value(&args, "--a").expect("--a required"));
+            let b = PathBuf::from(arg_value(&args, "--b").expect("--b required"));
+            run_diff(&a, &b);
+        }
+        Some(other) => {
+            eprintln!("unknown --mode {other}; use golden|crash|resume|diff or no mode");
+            std::process::exit(2);
+        }
+    }
+}

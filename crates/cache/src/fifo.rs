@@ -5,7 +5,8 @@
 
 use crate::object::ObjectId;
 use crate::policy::{AccessOutcome, Cache};
-use std::collections::{HashMap, VecDeque};
+use crate::state::{checked_total, CacheState, StateError};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// A FIFO cache with byte capacity.
 #[derive(Debug)]
@@ -39,6 +40,26 @@ impl FifoCache {
         self.queue.push_back(id);
         self.index.insert(id, size);
         self.used += size;
+    }
+
+    /// Rebuild from an exported [`CacheState::Fifo`] (queue oldest
+    /// first, i.e. next victim first).
+    pub fn from_state(state: &CacheState) -> Result<Self, StateError> {
+        let CacheState::Fifo { capacity, queue } = state else {
+            return Err(StateError::wrong("fifo", state));
+        };
+        let mut seen = HashSet::new();
+        let used = checked_total(queue.iter().map(|(id, size)| (id, size)), &mut seen)?;
+        if used > *capacity {
+            return Err(StateError::Inconsistent("cached bytes exceed capacity"));
+        }
+        let mut c = FifoCache::new(*capacity);
+        for &(id, size) in queue {
+            c.queue.push_back(id);
+            c.index.insert(id, size);
+        }
+        c.used = used;
+        Ok(c)
     }
 }
 
@@ -91,6 +112,11 @@ impl Cache for FifoCache {
     fn hottest(&self, k: usize) -> Vec<(ObjectId, u64)> {
         // Newest admissions first.
         self.queue.iter().rev().take(k).map(|id| (*id, self.index[id])).collect()
+    }
+
+    fn to_state(&self) -> CacheState {
+        let queue = self.queue.iter().map(|id| (*id, self.index[id])).collect();
+        CacheState::Fifo { capacity: self.capacity, queue }
     }
 }
 

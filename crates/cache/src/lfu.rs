@@ -6,6 +6,7 @@
 
 use crate::object::ObjectId;
 use crate::policy::{AccessOutcome, Cache};
+use crate::state::{CacheState, LfuEntryState, StateError};
 use std::collections::{BTreeSet, HashMap};
 
 #[derive(Debug, Clone, Copy)]
@@ -79,6 +80,40 @@ impl LfuCache {
     pub fn frequency_of(&self, id: ObjectId) -> Option<u64> {
         self.index.get(&id).map(|e| e.freq)
     }
+
+    /// Rebuild from an exported [`CacheState::Lfu`] (entries in victim
+    /// order). The logical clock resumes where the export left it, so
+    /// future tie-breaks replay identically.
+    pub fn from_state(state: &CacheState) -> Result<Self, StateError> {
+        let CacheState::Lfu { capacity, clock, entries } = state else {
+            return Err(StateError::wrong("lfu", state));
+        };
+        let mut c = LfuCache::new(*capacity);
+        c.clock = *clock;
+        let mut used: u64 = 0;
+        for e in entries {
+            if e.last_touch > *clock {
+                return Err(StateError::Inconsistent("last_touch is ahead of the clock"));
+            }
+            if c.index
+                .insert(e.id, Entry { size: e.size, freq: e.freq, last_touch: e.last_touch })
+                .is_some()
+            {
+                return Err(StateError::Inconsistent("duplicate object id"));
+            }
+            if !c.order.insert((e.freq, e.last_touch, e.id)) {
+                return Err(StateError::Inconsistent("duplicate victim-order key"));
+            }
+            used = used
+                .checked_add(e.size)
+                .ok_or(StateError::Inconsistent("object sizes overflow u64"))?;
+        }
+        if used > *capacity {
+            return Err(StateError::Inconsistent("cached bytes exceed capacity"));
+        }
+        c.used = used;
+        Ok(c)
+    }
 }
 
 impl Cache for LfuCache {
@@ -131,6 +166,20 @@ impl Cache for LfuCache {
     fn hottest(&self, k: usize) -> Vec<(ObjectId, u64)> {
         // Highest frequency (most recent tie-break) first.
         self.order.iter().rev().take(k).map(|&(_, _, id)| (id, self.index[&id].size)).collect()
+    }
+
+    fn to_state(&self) -> CacheState {
+        let entries = self
+            .order
+            .iter()
+            .map(|&(freq, last_touch, id)| LfuEntryState {
+                id,
+                size: self.index[&id].size,
+                freq,
+                last_touch,
+            })
+            .collect();
+        CacheState::Lfu { capacity: self.capacity, clock: self.clock, entries }
     }
 }
 

@@ -26,9 +26,11 @@ pub mod policy;
 pub mod sieve;
 pub mod simulate;
 pub mod slru;
+pub mod state;
 pub mod stats;
 pub mod tinylfu;
 
 pub use object::ObjectId;
 pub use policy::{AccessOutcome, Cache, PolicyKind};
+pub use state::{CacheState, StateError};
 pub use stats::CacheStats;

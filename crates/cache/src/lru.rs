@@ -6,7 +6,8 @@
 
 use crate::object::ObjectId;
 use crate::policy::{AccessOutcome, Cache};
-use std::collections::HashMap;
+use crate::state::{checked_total, CacheState, StateError};
+use std::collections::{HashMap, HashSet};
 
 /// A doubly-linked list of `(ObjectId, size)` nodes stored in a slab,
 /// with O(1) push-front / unlink / pop-back. `usize::MAX` is the nil link.
@@ -172,6 +173,27 @@ impl LruCache {
     pub fn victim(&self) -> Option<ObjectId> {
         (self.list.tail() != NIL).then(|| self.list.node(self.list.tail()).id)
     }
+
+    /// Rebuild from an exported [`CacheState::Lru`] (entries most-recent
+    /// first). The restored cache replays any access stream identically.
+    pub fn from_state(state: &CacheState) -> Result<Self, StateError> {
+        let CacheState::Lru { capacity, entries } = state else {
+            return Err(StateError::wrong("lru", state));
+        };
+        let mut seen = HashSet::new();
+        let used = checked_total(entries.iter().map(|(id, size)| (id, size)), &mut seen)?;
+        if used > *capacity {
+            return Err(StateError::Inconsistent("cached bytes exceed capacity"));
+        }
+        let mut c = LruCache::new(*capacity);
+        // push_front builds the head last, so feed the tail end first.
+        for &(id, size) in entries.iter().rev() {
+            let idx = c.list.push_front(id, size);
+            c.index.insert(id, idx);
+        }
+        c.used = used;
+        Ok(c)
+    }
 }
 
 impl Cache for LruCache {
@@ -230,6 +252,17 @@ impl Cache for LruCache {
             cur = self.list.next_of(cur);
         }
         out
+    }
+
+    fn to_state(&self) -> CacheState {
+        let mut entries = Vec::with_capacity(self.index.len());
+        let mut cur = self.list.head();
+        while cur != NIL {
+            let n = self.list.node(cur);
+            entries.push((n.id, n.size));
+            cur = self.list.next_of(cur);
+        }
+        CacheState::Lru { capacity: self.capacity, entries }
     }
 }
 

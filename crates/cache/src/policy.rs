@@ -1,6 +1,7 @@
 //! The cache trait and policy registry.
 
 use crate::object::ObjectId;
+use crate::state::CacheState;
 use serde::{Deserialize, Serialize};
 
 /// The result of a cache access.
@@ -70,6 +71,11 @@ pub trait Cache {
     /// Used by the proactive-prefetch ablation (§3.3's rejected
     /// alternative), which copies a neighbour's hottest content.
     fn hottest(&self, k: usize) -> Vec<(ObjectId, u64)>;
+
+    /// Export the full policy-internal state as portable data.
+    /// [`CacheState::build`] reconstructs a cache that behaves
+    /// identically on every future access (checkpoint/resume hook).
+    fn to_state(&self) -> CacheState;
 }
 
 /// Cache policy selector, for configuration surfaces.

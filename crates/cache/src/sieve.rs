@@ -10,6 +10,7 @@
 use crate::lru::{LinkedSlab, NIL};
 use crate::object::ObjectId;
 use crate::policy::{AccessOutcome, Cache};
+use crate::state::{CacheState, SieveEntryState, StateError};
 use std::collections::HashMap;
 
 /// A SIEVE cache with byte capacity.
@@ -74,6 +75,45 @@ impl SieveCache {
     pub fn is_visited(&self, id: ObjectId) -> Option<bool> {
         self.index.get(&id).map(|&i| self.list.node(i).flag)
     }
+
+    /// Rebuild from an exported [`CacheState::Sieve`] (entries newest
+    /// first, hand as a position from the head).
+    pub fn from_state(state: &CacheState) -> Result<Self, StateError> {
+        let CacheState::Sieve { capacity, entries, hand } = state else {
+            return Err(StateError::wrong("sieve", state));
+        };
+        let mut c = SieveCache::new(*capacity);
+        let mut used: u64 = 0;
+        for e in entries.iter().rev() {
+            if c.index.contains_key(&e.id) {
+                return Err(StateError::Inconsistent("duplicate object id"));
+            }
+            let idx = c.list.push_front(e.id, e.size);
+            c.list.node_mut(idx).flag = e.visited;
+            c.index.insert(e.id, idx);
+            used = used
+                .checked_add(e.size)
+                .ok_or(StateError::Inconsistent("object sizes overflow u64"))?;
+        }
+        if used > *capacity {
+            return Err(StateError::Inconsistent("cached bytes exceed capacity"));
+        }
+        c.used = used;
+        c.hand = match *hand {
+            None => NIL,
+            Some(pos) => {
+                if pos as usize >= entries.len() {
+                    return Err(StateError::Inconsistent("sieve hand position out of range"));
+                }
+                let mut cur = c.list.head();
+                for _ in 0..pos {
+                    cur = c.list.next_of(cur);
+                }
+                cur
+            }
+        };
+        Ok(c)
+    }
 }
 
 impl Cache for SieveCache {
@@ -136,6 +176,23 @@ impl Cache for SieveCache {
             cur = self.list.next_of(cur);
         }
         out
+    }
+
+    fn to_state(&self) -> CacheState {
+        let mut entries = Vec::with_capacity(self.index.len());
+        let mut hand = None;
+        let mut cur = self.list.head();
+        let mut pos = 0u64;
+        while cur != NIL {
+            if cur == self.hand {
+                hand = Some(pos);
+            }
+            let n = self.list.node(cur);
+            entries.push(SieveEntryState { id: n.id, size: n.size, visited: n.flag });
+            cur = self.list.next_of(cur);
+            pos += 1;
+        }
+        CacheState::Sieve { capacity: self.capacity, entries, hand }
     }
 }
 

@@ -11,7 +11,8 @@
 use crate::lru::{LinkedSlab, NIL};
 use crate::object::ObjectId;
 use crate::policy::{AccessOutcome, Cache};
-use std::collections::HashMap;
+use crate::state::{checked_total, CacheState, StateError};
+use std::collections::{HashMap, HashSet};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Segment {
@@ -118,6 +119,50 @@ impl SlruCache {
             Segment::Protected => "protected",
         })
     }
+
+    /// Rebuild from an exported [`CacheState::Slru`] (both segments
+    /// most-recent first). The protected byte budget travels in the
+    /// state, so `with_protected_share` customizations survive.
+    pub fn from_state(state: &CacheState) -> Result<Self, StateError> {
+        let CacheState::Slru { capacity, protected_capacity, protected, probation } = state else {
+            return Err(StateError::wrong("slru", state));
+        };
+        if protected_capacity > capacity {
+            return Err(StateError::Inconsistent("protected budget exceeds capacity"));
+        }
+        let mut seen = HashSet::new();
+        let used_protected =
+            checked_total(protected.iter().map(|(id, size)| (id, size)), &mut seen)?;
+        let used_probation =
+            checked_total(probation.iter().map(|(id, size)| (id, size)), &mut seen)?;
+        if used_protected + used_probation > *capacity {
+            return Err(StateError::Inconsistent("cached bytes exceed capacity"));
+        }
+        let mut c = SlruCache::with_protected_share(*capacity, 0.0);
+        c.protected_capacity = *protected_capacity;
+        for &(id, size) in protected.iter().rev() {
+            let idx = c.protected.push_front(id, size);
+            c.index.insert(id, (Segment::Protected, idx));
+        }
+        for &(id, size) in probation.iter().rev() {
+            let idx = c.probation.push_front(id, size);
+            c.index.insert(id, (Segment::Probation, idx));
+        }
+        c.used_protected = used_protected;
+        c.used_probation = used_probation;
+        Ok(c)
+    }
+
+    fn segment_entries(list: &LinkedSlab) -> Vec<(ObjectId, u64)> {
+        let mut out = Vec::new();
+        let mut cur = list.head();
+        while cur != NIL {
+            let n = list.node(cur);
+            out.push((n.id, n.size));
+            cur = list.next_of(cur);
+        }
+        out
+    }
 }
 
 impl Cache for SlruCache {
@@ -191,6 +236,15 @@ impl Cache for SlruCache {
             }
         }
         out
+    }
+
+    fn to_state(&self) -> CacheState {
+        CacheState::Slru {
+            capacity: self.capacity,
+            protected_capacity: self.protected_capacity,
+            protected: Self::segment_entries(&self.protected),
+            probation: Self::segment_entries(&self.probation),
+        }
     }
 }
 

@@ -14,6 +14,7 @@
 use crate::lru::LruCache;
 use crate::object::ObjectId;
 use crate::policy::{AccessOutcome, Cache};
+use crate::state::{CacheState, StateError};
 
 /// A count-min sketch with conservative estimates and periodic halving.
 #[derive(Debug)]
@@ -96,6 +97,35 @@ impl TinyLfuCache {
         self.sketch.estimate(id)
     }
 
+    /// Rebuild from an exported [`CacheState::TinyLfu`]: the main LRU
+    /// entries plus the sketch's counters and aging-window progress.
+    pub fn from_state(state: &CacheState) -> Result<Self, StateError> {
+        let CacheState::TinyLfu { capacity, entries, rows, mask, ops, window } = state else {
+            return Err(StateError::wrong("tinylfu", state));
+        };
+        let width = (*mask as usize)
+            .checked_add(1)
+            .ok_or(StateError::Inconsistent("sketch mask overflows"))?;
+        if !width.is_power_of_two() {
+            return Err(StateError::Inconsistent("sketch width is not a power of two"));
+        }
+        if rows.len() != 4 || rows.iter().any(|r| r.len() != width) {
+            return Err(StateError::Inconsistent("sketch rows do not match the mask"));
+        }
+        if *window < 16 {
+            return Err(StateError::Inconsistent("sketch window below the minimum"));
+        }
+        let main = LruCache::from_state(&CacheState::Lru {
+            capacity: *capacity,
+            entries: entries.clone(),
+        })?;
+        let rows: [Vec<u32>; 4] = std::array::from_fn(|i| rows[i].clone());
+        Ok(TinyLfuCache {
+            main,
+            sketch: CountMinSketch { rows, mask: *mask as usize, ops: *ops, window: *window },
+        })
+    }
+
     /// TinyLFU admission: admit when there is spare room, or when the
     /// candidate's frequency beats the current eviction victim's.
     fn should_admit(&self, id: ObjectId, size: u64) -> bool {
@@ -162,6 +192,20 @@ impl Cache for TinyLfuCache {
 
     fn hottest(&self, k: usize) -> Vec<(ObjectId, u64)> {
         self.main.hottest(k)
+    }
+
+    fn to_state(&self) -> CacheState {
+        let CacheState::Lru { capacity, entries } = self.main.to_state() else {
+            unreachable!("LruCache::to_state returns the Lru variant")
+        };
+        CacheState::TinyLfu {
+            capacity,
+            entries,
+            rows: self.sketch.rows.to_vec(),
+            mask: self.sketch.mask as u64,
+            ops: self.sketch.ops,
+            window: self.sketch.window,
+        }
     }
 }
 

@@ -90,6 +90,19 @@ struct EpochUsage {
     shed: u64,
 }
 
+/// Serializable balances of one in-flight epoch (checkpoint hook).
+/// Entries are sorted by key so the export is deterministic regardless
+/// of `HashMap` iteration order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochUsageState {
+    pub epoch: u64,
+    /// `(slot index, bytes)` sorted by slot.
+    pub gsl_used: Vec<(u32, u64)>,
+    /// `((low, high), bytes)` sorted by link key.
+    pub isl_used: Vec<((u32, u32), u64)>,
+    pub shed: u64,
+}
+
 /// Per-epoch byte budgets and cumulative charges for every link in the
 /// grid. See the module docs for the accounting rules.
 #[derive(Debug, Clone)]
@@ -272,6 +285,43 @@ impl CapacityLedger {
     pub fn link_used(&self, epoch: u64, a: SatelliteId, b: SatelliteId) -> u64 {
         let key = link_key(a, b, self.grid.sats_per_plane);
         self.epochs.get(&epoch).and_then(|u| u.isl_used.get(&key)).copied().unwrap_or(0)
+    }
+
+    /// Export every in-flight epoch's balances (current plus backoff
+    /// targets), in epoch order with sorted entries — the checkpoint
+    /// hook. Budgets, headroom, and grid travel via configuration, not
+    /// the export.
+    pub fn export_state(&self) -> Vec<EpochUsageState> {
+        self.epochs
+            .iter()
+            .map(|(&epoch, u)| {
+                let mut gsl_used: Vec<(u32, u64)> =
+                    u.gsl_used.iter().map(|(&k, &v)| (k, v)).collect();
+                gsl_used.sort_unstable();
+                let mut isl_used: Vec<((u32, u32), u64)> =
+                    u.isl_used.iter().map(|(&k, &v)| (k, v)).collect();
+                isl_used.sort_unstable();
+                EpochUsageState { epoch, gsl_used, isl_used, shed: u.shed }
+            })
+            .collect()
+    }
+
+    /// Replace the in-flight balances with a previously exported set,
+    /// leaving budgets and headroom as constructed. After an import the
+    /// ledger admits, finalizes, and sheds exactly as the exporting
+    /// ledger would have.
+    pub fn import_state(&mut self, state: &[EpochUsageState]) {
+        self.epochs = state
+            .iter()
+            .map(|s| {
+                let u = EpochUsage {
+                    gsl_used: s.gsl_used.iter().copied().collect(),
+                    isl_used: s.isl_used.iter().copied().collect(),
+                    shed: s.shed,
+                };
+                (s.epoch, u)
+            })
+            .collect();
     }
 
     /// The raw (headroom-less) per-epoch GSL budget, bytes.

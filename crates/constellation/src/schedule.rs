@@ -233,6 +233,20 @@ impl<'a> ScheduleCursor<'a> {
         ScheduleCursor { schedule, next: 0, view: base }
     }
 
+    /// Rebuild a cursor mid-stream from a checkpoint: `applied` events
+    /// already consumed and the live `view` they produced. A resumed
+    /// cursor replays the remaining events exactly as the original
+    /// would have (`advance_to` is monotonic, so nothing re-applies).
+    pub fn resume(schedule: &'a FaultSchedule, applied: usize, view: FailureModel) -> Self {
+        ScheduleCursor { schedule, next: applied.min(schedule.events.len()), view }
+    }
+
+    /// How many schedule events have been applied so far (the resume
+    /// position for [`ScheduleCursor::resume`]).
+    pub fn position(&self) -> usize {
+        self.next
+    }
+
     /// The live failure view after the last `advance_to`.
     pub fn view(&self) -> &FailureModel {
         &self.view

@@ -549,7 +549,88 @@ impl SpaceCdn {
     pub fn reset_metrics(&mut self) {
         self.metrics = SystemMetrics::default();
     }
+
+    /// Export every piece of run-dependent fleet state (checkpoint
+    /// hook): per-slot cache states in slot order, cold flags, the live
+    /// failure view, and the accumulated metrics. Everything else
+    /// (tiling, latency model) is derivable from the config.
+    pub fn export_state(&self) -> CdnState {
+        CdnState {
+            failures: self.failures.clone(),
+            caches: self.caches.iter().map(|c| c.to_state()).collect(),
+            cold: self.cold.clone(),
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// Restore fleet state exported by [`SpaceCdn::export_state`] into a
+    /// freshly built fleet of the same config. Validates shape and cache
+    /// invariants; on error the fleet is left unchanged.
+    pub fn import_state(&mut self, state: CdnState) -> Result<(), CdnStateError> {
+        let slots = self.cfg.grid.total_slots();
+        if state.caches.len() != slots || state.cold.len() != slots {
+            return Err(CdnStateError::SlotCountMismatch {
+                expected: slots,
+                got: state.caches.len().max(state.cold.len()),
+            });
+        }
+        let expected = self.cfg.policy.name();
+        let mut rebuilt = Vec::with_capacity(slots);
+        for (slot, cs) in state.caches.iter().enumerate() {
+            if cs.policy_name() != expected {
+                return Err(CdnStateError::PolicyMismatch {
+                    slot,
+                    expected,
+                    got: cs.policy_name(),
+                });
+            }
+            rebuilt.push(cs.build().map_err(CdnStateError::Cache)?);
+        }
+        self.caches = rebuilt;
+        self.cold = state.cold;
+        self.failures = state.failures;
+        self.metrics = state.metrics;
+        Ok(())
+    }
 }
+
+/// The run-dependent state of a [`SpaceCdn`], as exported by
+/// [`SpaceCdn::export_state`]. Plain data: the checkpoint layer decides
+/// how each part is encoded on disk.
+#[derive(Debug, Clone)]
+pub struct CdnState {
+    pub failures: FailureModel,
+    pub caches: Vec<starcdn_cache::CacheState>,
+    pub cold: Vec<bool>,
+    pub metrics: SystemMetrics,
+}
+
+/// Why a [`CdnState`] could not be imported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CdnStateError {
+    /// The state was exported from a different constellation size.
+    SlotCountMismatch { expected: usize, got: usize },
+    /// A slot's cache state belongs to a different eviction policy.
+    PolicyMismatch { slot: usize, expected: &'static str, got: &'static str },
+    /// A cache state failed its structural validation.
+    Cache(starcdn_cache::StateError),
+}
+
+impl std::fmt::Display for CdnStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CdnStateError::SlotCountMismatch { expected, got } => {
+                write!(f, "fleet state has {got} slots, this constellation has {expected}")
+            }
+            CdnStateError::PolicyMismatch { slot, expected, got } => {
+                write!(f, "slot {slot} cache state is `{got}`, config wants `{expected}`")
+            }
+            CdnStateError::Cache(e) => write!(f, "cache state: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CdnStateError {}
 
 #[cfg(test)]
 mod tests {

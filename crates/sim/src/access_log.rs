@@ -109,7 +109,8 @@ impl AccessLog {
         if &header[..8] != BIN_MAGIC {
             return Err(IoError::BadHeader);
         }
-        let epoch_secs = u64::from_le_bytes(header[8..16].try_into().unwrap());
+        let (_, epoch_b) = header.split_at(8);
+        let epoch_secs = u64::from_le_bytes(*<&[u8; 8]>::try_from(epoch_b).expect("8-byte field"));
         let mut entries = Vec::new();
         let mut rec = [0u8; 39];
         loop {
@@ -130,20 +131,40 @@ impl AccessLog {
             if filled < rec.len() {
                 return Err(IoError::TruncatedRecord);
             }
-            let first_contact = (rec[26] != 0).then(|| SatelliteId {
-                orbit: u16::from_le_bytes(rec[27..29].try_into().unwrap()),
-                slot: u16::from_le_bytes(rec[29..31].try_into().unwrap()),
-            });
+            // Split the record into fixed-size fields without fallible
+            // conversions on the hot read path: the widths are proved by
+            // the splits over the fixed 39-byte record.
+            let field8 = |b: &[u8]| u64::from_le_bytes(*<&[u8; 8]>::try_from(b).expect("8 bytes"));
+            let field2 = |b: &[u8]| u16::from_le_bytes(*<&[u8; 2]>::try_from(b).expect("2 bytes"));
+            let (time_b, rest) = rec.split_at(8);
+            let (object_b, rest) = rest.split_at(8);
+            let (size_b, rest) = rest.split_at(8);
+            let (loc_b, rest) = rest.split_at(2);
+            let (fc_tag, rest) = rest.split_at(1);
+            let (orbit_b, rest) = rest.split_at(2);
+            let (slot_b, gsl_b) = rest.split_at(2);
+            let first_contact = (fc_tag[0] != 0)
+                .then(|| SatelliteId { orbit: field2(orbit_b), slot: field2(slot_b) });
             entries.push(AccessLogEntry {
-                time: SimTime::from_millis(u64::from_le_bytes(rec[0..8].try_into().unwrap())),
-                object: ObjectId(u64::from_le_bytes(rec[8..16].try_into().unwrap())),
-                size: u64::from_le_bytes(rec[16..24].try_into().unwrap()),
-                location: LocationId(u16::from_le_bytes(rec[24..26].try_into().unwrap())),
+                time: SimTime::from_millis(field8(time_b)),
+                object: ObjectId(field8(object_b)),
+                size: field8(size_b),
+                location: LocationId(field2(loc_b)),
                 first_contact,
-                gsl_oneway_ms: f64::from_bits(u64::from_le_bytes(rec[31..39].try_into().unwrap())),
+                gsl_oneway_ms: f64::from_bits(field8(gsl_b)),
             });
         }
         Ok(AccessLog { entries, epoch_secs })
+    }
+
+    /// Write the binary format to `path` (created or truncated).
+    pub fn write_binary_path(&self, path: impl AsRef<std::path::Path>) -> Result<(), IoError> {
+        self.write_binary(std::fs::File::create(path).map_err(IoError::Io)?)
+    }
+
+    /// Load a binary log from `path`.
+    pub fn read_binary_path(path: impl AsRef<std::path::Path>) -> Result<Self, IoError> {
+        Self::read_binary(std::fs::File::open(path).map_err(IoError::Io)?)
     }
 
     /// Requests grouped per first-contact satellite (the shape of

@@ -197,16 +197,18 @@ pub fn run_space_with_faults_measured(
 }
 
 /// Degraded-mode counter levels at the last epoch boundary; the deltas
-/// become epoch-stamped `Remap`/`Reroute`/`ColdMiss` events.
+/// become epoch-stamped `Remap`/`Reroute`/`ColdMiss` events. Shared with
+/// [`crate::checkpoint`], which persists the levels so a resumed run
+/// emits the same per-epoch deltas as the uninterrupted one.
 #[derive(Default, Clone, Copy)]
-struct FaultEventWatermark {
-    remapped: u64,
-    extra_hops: u64,
-    cold_misses: u64,
+pub(crate) struct FaultEventWatermark {
+    pub(crate) remapped: u64,
+    pub(crate) extra_hops: u64,
+    pub(crate) cold_misses: u64,
 }
 
 impl FaultEventWatermark {
-    fn of(m: &SystemMetrics) -> Self {
+    pub(crate) fn of(m: &SystemMetrics) -> Self {
         FaultEventWatermark {
             remapped: m.remapped_requests,
             extra_hops: m.reroute_extra_hops,
@@ -215,7 +217,7 @@ impl FaultEventWatermark {
     }
 
     /// Emit this epoch's growth and advance the watermark.
-    fn flush(&mut self, rec: &dyn Recorder, epoch: u64, m: &SystemMetrics) {
+    pub(crate) fn flush(&mut self, rec: &dyn Recorder, epoch: u64, m: &SystemMetrics) {
         let now = Self::of(m);
         rec.event(Event::Remap, epoch, now.remapped.saturating_sub(self.remapped));
         rec.event(Event::Reroute, epoch, now.extra_hops.saturating_sub(self.extra_hops));

@@ -29,11 +29,13 @@
 //! so even its telemetry is deterministic).
 
 pub mod access_log;
+pub mod checkpoint;
 pub mod coverage;
 pub mod engine;
 pub mod experiment;
 pub mod overload;
 pub mod replayer;
+pub mod replayer_checkpoint;
 pub mod scheduler;
 pub mod transfers;
 pub mod world;
@@ -41,6 +43,10 @@ pub mod world;
 pub use access_log::{
     build_access_log, build_access_log_parallel, build_access_log_parallel_recorded,
     build_access_log_recorded, AccessLog, AccessLogEntry,
+};
+pub use checkpoint::{
+    list_checkpoint_files, resume_space_checkpointed, run_space_checkpointed,
+    validate_checkpoint_bytes, CheckpointError, CheckpointPolicy,
 };
 pub use engine::{
     run_space, run_space_entries, run_space_entries_recorded, run_space_overloaded,
@@ -52,4 +58,5 @@ pub use replayer::{
     replay_parallel, replay_parallel_overloaded, replay_parallel_overloaded_recorded,
     replay_parallel_recorded, replay_parallel_with_faults, replay_parallel_with_faults_recorded,
 };
+pub use replayer_checkpoint::{replay_parallel_checkpointed, resume_replay_checkpointed};
 pub use world::World;

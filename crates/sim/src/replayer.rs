@@ -47,7 +47,7 @@ use starcdn_telemetry::{
 };
 
 /// A request resolved to its owner, ready for sharded replay.
-struct ResolvedEntry {
+pub(crate) struct ResolvedEntry {
     object: starcdn_cache::object::ObjectId,
     size: u64,
     owner: starcdn_orbit::walker::SatelliteId,
@@ -63,7 +63,7 @@ struct ResolvedEntry {
 }
 
 /// One element of a shard's ordered work stream.
-enum ShardOp {
+pub(crate) enum ShardOp {
     Request(ResolvedEntry),
     /// The satellite at this slot index went down: its cache is lost.
     Wipe(usize),
@@ -176,16 +176,43 @@ pub fn replay_parallel_overloaded_recorded(
     replay_impl(cfg, failures, log, schedule, num_workers, rec, Some(overload))
 }
 
-fn replay_impl(
-    cfg: StarCdnConfig,
-    base_failures: FailureModel,
+/// A checkpointable barrier recorded by the pre-pass: the length of every
+/// shard stream at the moment the log crossed an `every_n`-epoch
+/// boundary (before that boundary's churn pseudo-ops were pushed).
+/// Workers joining at these cut points see a globally consistent state.
+pub(crate) struct ShardCut {
+    pub barrier_epoch: u64,
+    pub lens: Vec<usize>,
+}
+
+/// Everything the sequential pre-pass produces: per-shard op streams,
+/// the directly-accounted metrics (unreachable/unroutable requests,
+/// availability and utilization timelines, overload outcomes), and —
+/// when `barrier_every` is set — the segment cut table for the
+/// checkpointed path.
+pub(crate) struct PrePass {
+    pub shards: Vec<Vec<ShardOp>>,
+    pub direct: SystemMetrics,
+    pub cuts: Vec<ShardCut>,
+}
+
+/// The sequential pre-pass, shared verbatim between [`replay_impl`] and
+/// the checkpointed path in [`crate::replayer_checkpoint`] so both
+/// resolve, admit, and shard every request identically. `barrier_every`
+/// additionally records a [`ShardCut`] each time the log crosses that
+/// many scheduler epochs; `None` records no cuts and changes nothing
+/// else.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn prepare_shards(
+    cfg: &StarCdnConfig,
+    base_failures: &FailureModel,
     log: &AccessLog,
     schedule: Option<&FaultSchedule>,
     num_workers: usize,
     rec: &dyn Recorder,
     overload: Option<&crate::overload::OverloadConfig>,
-) -> SystemMetrics {
-    assert!(num_workers > 0);
+    barrier_every: Option<u64>,
+) -> PrePass {
     let tiling = cfg
         .num_buckets
         .map(|l| BucketTiling::new(l).unwrap_or_else(|e| panic!("invalid bucket count {l}: {e}")));
@@ -194,17 +221,9 @@ fn replay_impl(
     let span = cfg.relay_span_planes();
     let total_slots = cfg.grid.total_slots();
 
-    // Shared caches, one per slot.
-    let caches: Vec<Mutex<Box<dyn Cache + Send>>> =
-        (0..total_slots).map(|_| Mutex::new(cfg.policy.build(cfg.cache_capacity_bytes))).collect();
-
-    // Sequential pre-pass: partition by owner, preserving per-owner
-    // order. Route resolution uses the live failure view of each entry's
-    // epoch; wipe/cold pseudo-ops land in the owning satellite's stream
-    // at the epoch boundary. Unreachable or unroutable requests and the
-    // degraded-mode counters are accounted directly here.
     let enabled = rec.is_enabled();
     let mut shards: Vec<Vec<ShardOp>> = (0..num_workers).map(|_| Vec::new()).collect();
+    let mut cuts: Vec<ShardCut> = Vec::new();
     let mut direct = SystemMetrics::default();
     let mut cursor = schedule.map(|s| ScheduleCursor::new(s, base_failures.clone()));
     let epoch_secs = log.epoch_secs.max(1);
@@ -222,6 +241,7 @@ fn replay_impl(
     });
     let mut ledger_epoch = u64::MAX;
     let mut current_epoch = u64::MAX;
+    let mut seg_epoch = u64::MAX;
     // Telemetry epoch tracking is independent of the fault cursor so the
     // static (no-schedule) path still gets a per-epoch resolve timeline.
     let mut tele_epoch = u64::MAX;
@@ -230,6 +250,19 @@ fn replay_impl(
     let mut epoch_reroutes = 0u64;
     for e in &log.entries {
         let epoch = e.time.as_secs() / epoch_secs;
+        if let Some(every) = barrier_every {
+            let every = every.max(1);
+            // Cut before this epoch's churn pseudo-ops are pushed: a
+            // checkpoint at this barrier captures the state *before*
+            // the boundary, mirroring the engine checkpoint semantics.
+            if seg_epoch != u64::MAX && epoch / every != seg_epoch / every {
+                cuts.push(ShardCut {
+                    barrier_epoch: epoch,
+                    lens: shards.iter().map(Vec::len).collect(),
+                });
+            }
+            seg_epoch = epoch;
+        }
         if enabled && epoch != tele_epoch {
             if tele_epoch != u64::MAX {
                 rec.event(Event::Remap, tele_epoch, epoch_remaps);
@@ -274,7 +307,7 @@ fn replay_impl(
                 }
             }
         }
-        let view = cursor.as_ref().map(|c| c.view()).unwrap_or(&base_failures);
+        let view = cursor.as_ref().map(|c| c.view()).unwrap_or(base_failures);
         let Some(fc) = e.first_contact else {
             let lat = latency.starlink_no_cache_rtt_ms(latency.link.gsl.avg_delay_ms);
             direct.record(
@@ -418,13 +451,167 @@ fn replay_impl(
             rec.observe(Histo::QueueDepth, shard.len() as u64);
         }
     }
+    PrePass { shards, direct, cuts }
+}
 
-    let grid = &cfg.grid;
-    let relay = cfg.relay;
-    let probe = cfg.probe_neighbors_on_miss;
-    let failures_ref = &base_failures;
-    let caches_ref = &caches;
-    let latency_ref = &latency;
+/// Everything a worker needs besides its own mutable state. Shared
+/// between [`replay_impl`] and the checkpointed path so the per-op
+/// behaviour is identical by construction.
+pub(crate) struct WorkerCtx<'a> {
+    pub caches: &'a [Mutex<Box<dyn Cache + Send>>],
+    pub grid: &'a starcdn_constellation::grid::GridTopology,
+    pub failures: &'a FailureModel,
+    pub latency: &'a LatencyModel,
+    pub relay: starcdn::config::RelayPolicy,
+    pub probe: bool,
+    pub span: u16,
+    pub spp: u16,
+}
+
+/// Replay one contiguous slice of a shard's op stream against the shared
+/// caches, accumulating into the worker's persistent `m`/`cold` state.
+pub(crate) fn run_shard_ops(
+    ops: &[ShardOp],
+    ctx: &WorkerCtx<'_>,
+    m: &mut SystemMetrics,
+    cold: &mut [bool],
+    wrec: Option<&MemoryRecorder>,
+) {
+    for op in ops {
+        let e = match op {
+            ShardOp::Request(e) => e,
+            ShardOp::Wipe(idx) => {
+                ctx.caches[*idx].lock().clear();
+                cold[*idx] = false;
+                continue;
+            }
+            ShardOp::MarkCold(idx) => {
+                cold[*idx] = true;
+                continue;
+            }
+        };
+        let owner_idx = e.owner.index(ctx.spp);
+        let local = ctx.caches[owner_idx].lock().access(e.object, e.size);
+        if cold[owner_idx] {
+            if local.is_hit() {
+                cold[owner_idx] = false;
+            } else {
+                m.cold_restart_misses += 1;
+                if let Some(r) = wrec {
+                    r.add(Counter::ColdRestartMisses, 1);
+                }
+            }
+        }
+        let (from, lat) = if local.is_hit() {
+            (ServedFrom::LocalHit, ctx.latency.space_hit_rtt_ms(e.gsl_oneway_ms, e.intra, e.inter))
+        } else {
+            if ctx.probe {
+                let w = neighbor_contains(
+                    ctx.caches,
+                    ctx.grid,
+                    ctx.failures,
+                    e.owner,
+                    ctx.span,
+                    true,
+                    e.object,
+                    ctx.spp,
+                );
+                let ea = neighbor_contains(
+                    ctx.caches,
+                    ctx.grid,
+                    ctx.failures,
+                    e.owner,
+                    ctx.span,
+                    false,
+                    e.object,
+                    ctx.spp,
+                );
+                m.neighbor_availability.record(w, ea, e.size);
+            }
+            let mut served = None;
+            for (tag, n) in relay_candidates(ctx.grid, e.owner, ctx.span, ctx.relay, ctx.failures) {
+                let mut guard = ctx.caches[n.index(ctx.spp)].lock();
+                if guard.contains(e.object) {
+                    guard.access(e.object, e.size);
+                    served = Some((
+                        tag,
+                        ctx.latency.relay_hit_rtt_ms(e.gsl_oneway_ms, e.intra, e.inter, ctx.span),
+                    ));
+                    break;
+                }
+            }
+            served.unwrap_or_else(|| {
+                let penalty = if ctx.relay.enabled() { ctx.span } else { 0 };
+                (
+                    ServedFrom::Ground,
+                    ctx.latency.ground_miss_rtt_ms(e.gsl_oneway_ms, e.intra, e.inter, penalty),
+                )
+            })
+        };
+        // Gated: `x + 0.0` is not a bitwise no-op for every float
+        // (-0.0); the no-penalty path must stay byte-identical.
+        let lat = if e.penalty_ms > 0.0 { lat + e.penalty_ms } else { lat };
+        match e.replica {
+            Some(true) => m.served_replica += 1,
+            Some(false) => m.served_primary += 1,
+            None => {}
+        }
+        m.record(e.owner, from, e.size, lat);
+        if let Some(r) = wrec {
+            record_outcome(
+                r,
+                &ServeOutcome {
+                    served_from: from,
+                    latency_ms: lat,
+                    uplink_bytes: 0,
+                    owner: e.owner,
+                    route_hops: e.intra + e.inter,
+                },
+                e.size,
+            );
+        }
+    }
+}
+
+fn replay_impl(
+    cfg: StarCdnConfig,
+    base_failures: FailureModel,
+    log: &AccessLog,
+    schedule: Option<&FaultSchedule>,
+    num_workers: usize,
+    rec: &dyn Recorder,
+    overload: Option<&crate::overload::OverloadConfig>,
+) -> SystemMetrics {
+    assert!(num_workers > 0);
+    let latency = LatencyModel { link: cfg.link_model.clone(), ..LatencyModel::default() };
+    let spp = cfg.grid.sats_per_plane;
+    let span = cfg.relay_span_planes();
+    let total_slots = cfg.grid.total_slots();
+    let enabled = rec.is_enabled();
+
+    // Shared caches, one per slot.
+    let caches: Vec<Mutex<Box<dyn Cache + Send>>> =
+        (0..total_slots).map(|_| Mutex::new(cfg.policy.build(cfg.cache_capacity_bytes))).collect();
+
+    // Sequential pre-pass: partition by owner, preserving per-owner
+    // order. Route resolution uses the live failure view of each entry's
+    // epoch; wipe/cold pseudo-ops land in the owning satellite's stream
+    // at the epoch boundary. Unreachable or unroutable requests and the
+    // degraded-mode counters are accounted directly there.
+    let pre = prepare_shards(&cfg, &base_failures, log, schedule, num_workers, rec, overload, None);
+    let PrePass { shards, direct, .. } = pre;
+
+    let ctx = WorkerCtx {
+        caches: &caches,
+        grid: &cfg.grid,
+        failures: &base_failures,
+        latency: &latency,
+        relay: cfg.relay,
+        probe: cfg.probe_neighbors_on_miss,
+        span,
+        spp,
+    };
+    let ctx_ref = &ctx;
 
     // Per-worker recorders: workers never touch the shared `rec`, so the
     // hot path has no cross-thread contention and the merged snapshot is
@@ -448,116 +635,7 @@ fn replay_impl(
                         wrec.map(|r| SpanTimer::start(r, Stage::ReplayShard, widx as u64));
                     let mut m = SystemMetrics::default();
                     let mut cold = vec![false; total_slots];
-                    for op in shard {
-                        let e = match op {
-                            ShardOp::Request(e) => e,
-                            ShardOp::Wipe(idx) => {
-                                caches_ref[*idx].lock().clear();
-                                cold[*idx] = false;
-                                continue;
-                            }
-                            ShardOp::MarkCold(idx) => {
-                                cold[*idx] = true;
-                                continue;
-                            }
-                        };
-                        let owner_idx = e.owner.index(spp);
-                        let local = caches_ref[owner_idx].lock().access(e.object, e.size);
-                        if cold[owner_idx] {
-                            if local.is_hit() {
-                                cold[owner_idx] = false;
-                            } else {
-                                m.cold_restart_misses += 1;
-                                if let Some(r) = wrec {
-                                    r.add(Counter::ColdRestartMisses, 1);
-                                }
-                            }
-                        }
-                        let (from, lat) = if local.is_hit() {
-                            (
-                                ServedFrom::LocalHit,
-                                latency_ref.space_hit_rtt_ms(e.gsl_oneway_ms, e.intra, e.inter),
-                            )
-                        } else {
-                            if probe {
-                                let w = neighbor_contains(
-                                    caches_ref,
-                                    grid,
-                                    failures_ref,
-                                    e.owner,
-                                    span,
-                                    true,
-                                    e.object,
-                                    spp,
-                                );
-                                let ea = neighbor_contains(
-                                    caches_ref,
-                                    grid,
-                                    failures_ref,
-                                    e.owner,
-                                    span,
-                                    false,
-                                    e.object,
-                                    spp,
-                                );
-                                m.neighbor_availability.record(w, ea, e.size);
-                            }
-                            let mut served = None;
-                            for (tag, n) in
-                                relay_candidates(grid, e.owner, span, relay, failures_ref)
-                            {
-                                let mut guard = caches_ref[n.index(spp)].lock();
-                                if guard.contains(e.object) {
-                                    guard.access(e.object, e.size);
-                                    served = Some((
-                                        tag,
-                                        latency_ref.relay_hit_rtt_ms(
-                                            e.gsl_oneway_ms,
-                                            e.intra,
-                                            e.inter,
-                                            span,
-                                        ),
-                                    ));
-                                    break;
-                                }
-                            }
-                            served.unwrap_or_else(|| {
-                                let penalty = if relay.enabled() { span } else { 0 };
-                                (
-                                    ServedFrom::Ground,
-                                    latency_ref.ground_miss_rtt_ms(
-                                        e.gsl_oneway_ms,
-                                        e.intra,
-                                        e.inter,
-                                        penalty,
-                                    ),
-                                )
-                            })
-                        };
-                        // Gated: `x + 0.0` is not a bitwise no-op for
-                        // every float (-0.0); the no-penalty path must
-                        // stay byte-identical.
-                        let lat = if e.penalty_ms > 0.0 { lat + e.penalty_ms } else { lat };
-                        match e.replica {
-                            Some(true) => m.served_replica += 1,
-                            Some(false) => m.served_primary += 1,
-                            None => {}
-                        }
-                        m.record(e.owner, from, e.size, lat);
-                        if let Some(r) = wrec {
-                            record_outcome(
-                                r,
-                                &ServeOutcome {
-                                    served_from: from,
-                                    latency_ms: lat,
-                                    uplink_bytes: 0,
-                                    owner: e.owner,
-                                    route_hops: e.intra + e.inter,
-                                },
-                                e.size,
-                            );
-                        }
-                    }
+                    run_shard_ops(shard, ctx_ref, &mut m, &mut cold, wrec);
                     m
                 })
             })

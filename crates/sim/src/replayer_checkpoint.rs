@@ -1,0 +1,716 @@
+//! Checkpoint/resume for the parallel cache replayer.
+//!
+//! The replayer's sequential pre-pass ([`crate::replayer::prepare_shards`])
+//! is deterministic and cheap relative to the cache work, so a resumed
+//! run simply re-runs it in full to rebuild the shard streams, the
+//! directly-accounted metrics, and the segment cut table. Only the
+//! worker-side state is persisted: every slot's cache contents, each
+//! worker's cold-satellite flags, accumulated metrics, and telemetry
+//! recorder.
+//!
+//! Execution is segmented at the pre-pass's [`ShardCut`] barriers (one
+//! per `every_n_epochs` scheduler epochs): all workers join at the
+//! barrier — so the snapshot is globally consistent even with relay
+//! probes reading neighbour caches across shards — a checkpoint is
+//! written with the same atomic-rename/CRC container as the engine's
+//! ([`crate::checkpoint`], KIND_REPLAY), and the next segment starts.
+//! Workers keep their metric/cold state across segments, and per-shard
+//! streams are replayed in order, so the checkpointed run's output is
+//! bit-for-bit identical to [`crate::replayer::replay_parallel_overloaded_recorded`]
+//! for configurations whose parallel replay is itself deterministic
+//! (no-relay; relay configs keep the usual bounded skew).
+//!
+//! Resume restores per-worker state in shard index order (the PR 3
+//! determinism rule), so a resumed run matches the uninterrupted one at
+//! any worker count.
+
+use crate::access_log::AccessLog;
+use crate::checkpoint::{
+    decode_container, encode_container, fp, fp_bytes, get_cache_state, get_metrics, get_telemetry,
+    list_checkpoint_files, put_cache_state, put_metrics, put_telemetry, write_atomic, ByteReader,
+    ByteWriter, CheckpointError, CheckpointPolicy, RawCheckpoint, KIND_REPLAY,
+};
+use crate::overload::OverloadConfig;
+use crate::replayer::{prepare_shards, run_shard_ops, PrePass, WorkerCtx};
+use crossbeam::thread;
+use parking_lot::Mutex;
+use starcdn::config::StarCdnConfig;
+use starcdn::latency::LatencyModel;
+use starcdn::metrics::SystemMetrics;
+use starcdn_cache::policy::Cache;
+use starcdn_cache::CacheState;
+use starcdn_constellation::failures::FailureModel;
+use starcdn_constellation::schedule::FaultSchedule;
+use starcdn_telemetry::{Event, MemoryRecorder, Recorder, SpanTimer, Stage, TelemetrySnapshot};
+use std::path::Path;
+
+/// Fingerprint of everything a replayer checkpoint must agree with the
+/// resuming run about. Unlike the engine fingerprint this includes the
+/// worker count (shard assignment is `owner % num_workers`) and the
+/// static base failure set (it shapes routing and the relay view).
+fn replay_fingerprint(
+    cfg: &StarCdnConfig,
+    base_failures: &FailureModel,
+    epoch_secs: u64,
+    schedule: Option<&FaultSchedule>,
+    overload: Option<&OverloadConfig>,
+    num_workers: usize,
+) -> u64 {
+    let mut h = 0x6272_6F77_6E66_6F78u64; // distinct seed from the engine's
+    h = fp_bytes(h, cfg.policy.name().as_bytes());
+    h = fp(h, cfg.cache_capacity_bytes);
+    h = fp(h, cfg.grid.total_slots() as u64);
+    h = fp(h, cfg.num_buckets.map_or(0, |b| 1 + b as u64));
+    h = fp(h, cfg.relay_span_planes() as u64);
+    h = fp(h, cfg.relay.enabled() as u64);
+    h = fp(h, cfg.remap_on_failure as u64);
+    h = fp(h, cfg.probe_neighbors_on_miss as u64);
+    h = fp(h, epoch_secs);
+    h = fp(h, schedule.map_or(0, |s| s.len() as u64));
+    h = fp(h, overload.map_or(0, |o| 1 + o.headroom.to_bits()));
+    h = fp(h, num_workers as u64);
+    for s in base_failures.dead() {
+        h = fp(h, ((s.orbit as u64) << 16) | s.slot as u64);
+    }
+    for (a, b) in base_failures.cut_links() {
+        h = fp(
+            h,
+            ((a.orbit as u64) << 48)
+                | ((a.slot as u64) << 32)
+                | ((b.orbit as u64) << 16)
+                | b.slot as u64,
+        );
+    }
+    h
+}
+
+struct ReplayMeta {
+    fingerprint: u64,
+    barrier_epoch: u64,
+    num_workers: u64,
+    total_slots: u64,
+}
+
+fn encode_replay_meta(m: &ReplayMeta) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u64(m.fingerprint);
+    w.u64(m.barrier_epoch);
+    w.u64(m.num_workers);
+    w.u64(m.total_slots);
+    w.into_bytes()
+}
+
+fn decode_replay_meta(bytes: &[u8]) -> Result<ReplayMeta, CheckpointError> {
+    let mut r = ByteReader::new(bytes);
+    let m = ReplayMeta {
+        fingerprint: r.u64()?,
+        barrier_epoch: r.u64()?,
+        num_workers: r.u64()?,
+        total_slots: r.u64()?,
+    };
+    r.finish()?;
+    Ok(m)
+}
+
+struct ReplayBody {
+    caches: Vec<CacheState>,
+    /// Per worker: cold flags and accumulated metrics, shard index order.
+    cold: Vec<Vec<bool>>,
+    metrics: Vec<SystemMetrics>,
+}
+
+fn encode_replay_body(b: &ReplayBody) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.len(b.caches.len());
+    for c in &b.caches {
+        put_cache_state(&mut w, c);
+    }
+    w.len(b.cold.len());
+    for worker in &b.cold {
+        w.len(worker.len());
+        for &c in worker {
+            w.boolean(c);
+        }
+    }
+    w.len(b.metrics.len());
+    for m in &b.metrics {
+        put_metrics(&mut w, m);
+    }
+    w.into_bytes()
+}
+
+fn decode_replay_body(bytes: &[u8]) -> Result<ReplayBody, CheckpointError> {
+    let mut r = ByteReader::new(bytes);
+    let nc = r.len()?;
+    let mut caches = Vec::with_capacity(nc);
+    for _ in 0..nc {
+        caches.push(get_cache_state(&mut r)?);
+    }
+    let nw = r.len()?;
+    let mut cold = Vec::with_capacity(nw);
+    for _ in 0..nw {
+        let n = r.len()?;
+        let mut worker = Vec::with_capacity(n);
+        for _ in 0..n {
+            worker.push(r.boolean()?);
+        }
+        cold.push(worker);
+    }
+    let nm = r.len()?;
+    let mut metrics = Vec::with_capacity(nm);
+    for _ in 0..nm {
+        metrics.push(get_metrics(&mut r)?);
+    }
+    r.finish()?;
+    Ok(ReplayBody { caches, cold, metrics })
+}
+
+fn encode_worker_telemetry(snaps: &[TelemetrySnapshot]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.len(snaps.len());
+    for s in snaps {
+        put_telemetry(&mut w, s);
+    }
+    w.into_bytes()
+}
+
+fn decode_worker_telemetry(bytes: &[u8]) -> Result<Vec<TelemetrySnapshot>, CheckpointError> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.len()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_telemetry(&mut r)?);
+    }
+    r.finish()?;
+    Ok(out)
+}
+
+/// Structural validation of a KIND_REPLAY container's sections, used by
+/// [`crate::checkpoint::validate_checkpoint_bytes`].
+pub(crate) fn validate_sections(raw: &RawCheckpoint) -> Result<(), CheckpointError> {
+    decode_replay_meta(&raw.meta)?;
+    decode_replay_body(&raw.body)?;
+    decode_worker_telemetry(&raw.telemetry)?;
+    Ok(())
+}
+
+struct ReplayResume {
+    barrier_epoch: u64,
+    body: ReplayBody,
+    telemetry: Vec<TelemetrySnapshot>,
+}
+
+/// [`crate::replayer::replay_parallel_overloaded_recorded`] with
+/// crash-consistent checkpoints every `policy.every_n_epochs` scheduler
+/// epochs. Dispatches exactly like the non-checkpointed entry point: an
+/// empty schedule disables churn, a disabled `overload` disables the
+/// admission lifecycle.
+#[allow(clippy::too_many_arguments)]
+pub fn replay_parallel_checkpointed(
+    cfg: StarCdnConfig,
+    failures: FailureModel,
+    log: &AccessLog,
+    schedule: &FaultSchedule,
+    num_workers: usize,
+    overload: &OverloadConfig,
+    policy: &CheckpointPolicy,
+    rec: &dyn Recorder,
+) -> Result<SystemMetrics, CheckpointError> {
+    let sched = (!schedule.is_empty()).then_some(schedule);
+    let ov = overload.is_enabled().then_some(overload);
+    checkpointed_impl(cfg, failures, log, sched, num_workers, ov, policy, rec, None)
+}
+
+/// Resume an interrupted [`replay_parallel_checkpointed`] run from the
+/// newest valid checkpoint in `policy.dir`. The pre-pass is re-run in
+/// full (it is deterministic); per-worker state is restored in shard
+/// index order, so the final metrics and telemetry are bit-for-bit
+/// identical to the uninterrupted run at any worker count. Corrupt or
+/// mismatched checkpoints fall back to older files with one
+/// [`Event::CheckpointRestoreFallback`] each.
+#[allow(clippy::too_many_arguments)]
+pub fn resume_replay_checkpointed(
+    cfg: StarCdnConfig,
+    failures: FailureModel,
+    log: &AccessLog,
+    schedule: &FaultSchedule,
+    num_workers: usize,
+    overload: &OverloadConfig,
+    policy: &CheckpointPolicy,
+    rec: &dyn Recorder,
+) -> Result<SystemMetrics, CheckpointError> {
+    let sched = (!schedule.is_empty()).then_some(schedule);
+    let ov = overload.is_enabled().then_some(overload);
+    let fingerprint =
+        replay_fingerprint(&cfg, &failures, log.epoch_secs.max(1), sched, ov, num_workers);
+    let files = list_checkpoint_files(&policy.dir);
+    for (epoch, path) in files.iter().rev() {
+        let resume = match try_load_replay(path, fingerprint, &cfg, num_workers) {
+            Ok(r) => r,
+            Err(_) => {
+                rec.event(Event::CheckpointRestoreFallback, *epoch, 1);
+                continue;
+            }
+        };
+        match checkpointed_impl(
+            cfg.clone(),
+            failures.clone(),
+            log,
+            sched,
+            num_workers,
+            ov,
+            policy,
+            rec,
+            Some(resume),
+        ) {
+            Ok(m) => return Ok(m),
+            // A structurally valid checkpoint can still fail semantic
+            // validation against this log (e.g. its barrier is past the
+            // log's end): fall back to an older one. Real I/O failures
+            // propagate.
+            Err(CheckpointError::ConfigMismatch) | Err(CheckpointError::State(_)) => {
+                rec.event(Event::CheckpointRestoreFallback, *epoch, 1);
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(CheckpointError::NoValidCheckpoint)
+}
+
+fn try_load_replay(
+    path: &Path,
+    fingerprint: u64,
+    cfg: &StarCdnConfig,
+    num_workers: usize,
+) -> Result<ReplayResume, CheckpointError> {
+    let bytes = std::fs::read(path)?;
+    let raw = decode_container(&bytes)?;
+    if raw.kind != KIND_REPLAY {
+        return Err(CheckpointError::ConfigMismatch);
+    }
+    let meta = decode_replay_meta(&raw.meta)?;
+    let total_slots = cfg.grid.total_slots();
+    if meta.fingerprint != fingerprint
+        || meta.num_workers != num_workers as u64
+        || meta.total_slots != total_slots as u64
+    {
+        return Err(CheckpointError::ConfigMismatch);
+    }
+    let body = decode_replay_body(&raw.body)?;
+    if body.caches.len() != total_slots
+        || body.cold.len() != num_workers
+        || body.metrics.len() != num_workers
+        || body.cold.iter().any(|c| c.len() != total_slots)
+    {
+        return Err(CheckpointError::Malformed("replay body shape mismatch"));
+    }
+    if body.caches.iter().any(|c| c.policy_name() != cfg.policy.name()) {
+        return Err(CheckpointError::ConfigMismatch);
+    }
+    let telemetry = decode_worker_telemetry(&raw.telemetry)?;
+    if !telemetry.is_empty() && telemetry.len() != num_workers {
+        return Err(CheckpointError::Malformed("worker telemetry count mismatch"));
+    }
+    Ok(ReplayResume { barrier_epoch: meta.barrier_epoch, body, telemetry })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn checkpointed_impl(
+    cfg: StarCdnConfig,
+    base_failures: FailureModel,
+    log: &AccessLog,
+    schedule: Option<&FaultSchedule>,
+    num_workers: usize,
+    overload: Option<&OverloadConfig>,
+    policy: &CheckpointPolicy,
+    rec: &dyn Recorder,
+    resume: Option<ReplayResume>,
+) -> Result<SystemMetrics, CheckpointError> {
+    assert!(num_workers > 0);
+    let enabled = rec.is_enabled();
+    let every = policy.every_n_epochs.max(1);
+    let epoch_secs = log.epoch_secs.max(1);
+    let total_slots = cfg.grid.total_slots();
+    let latency = LatencyModel { link: cfg.link_model.clone(), ..LatencyModel::default() };
+    let fingerprint =
+        replay_fingerprint(&cfg, &base_failures, epoch_secs, schedule, overload, num_workers);
+
+    // The pre-pass is re-run in full on resume: it is deterministic, so
+    // the shard streams, direct metrics, and cut table come out
+    // identical to the original run's.
+    let pre = prepare_shards(
+        &cfg,
+        &base_failures,
+        log,
+        schedule,
+        num_workers,
+        rec,
+        overload,
+        Some(every),
+    );
+    let PrePass { shards, direct, cuts } = pre;
+
+    let mut caches: Vec<Mutex<Box<dyn Cache + Send>>> =
+        (0..total_slots).map(|_| Mutex::new(cfg.policy.build(cfg.cache_capacity_bytes))).collect();
+    let mut worker_metrics: Vec<SystemMetrics> =
+        (0..num_workers).map(|_| SystemMetrics::default()).collect();
+    let mut worker_cold: Vec<Vec<bool>> =
+        (0..num_workers).map(|_| vec![false; total_slots]).collect();
+    let worker_recs: Vec<MemoryRecorder> = if enabled {
+        (0..num_workers).map(|_| MemoryRecorder::new()).collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut starts: Vec<usize> = vec![0; num_workers];
+    let mut next_segment = 0usize; // segments are [0, cuts.len()]
+
+    if let Some(rs) = resume {
+        let Some(pos) = cuts.iter().position(|c| c.barrier_epoch == rs.barrier_epoch) else {
+            return Err(CheckpointError::ConfigMismatch);
+        };
+        // Restore in shard index order (PR 3 determinism rule).
+        for (slot, state) in rs.body.caches.into_iter().enumerate() {
+            let built = state
+                .build()
+                .map_err(|e| CheckpointError::State(format!("cache slot {slot}: {e:?}")))?;
+            caches[slot] = Mutex::new(built);
+        }
+        worker_cold = rs.body.cold;
+        worker_metrics = rs.body.metrics;
+        if enabled {
+            for (w, snap) in rs.telemetry.iter().enumerate() {
+                if let Some(r) = worker_recs.get(w) {
+                    r.absorb(snap);
+                }
+            }
+        }
+        starts = cuts[pos].lens.clone();
+        if starts.iter().zip(&shards).any(|(&s, shard)| s > shard.len()) {
+            return Err(CheckpointError::State("cut beyond shard stream".into()));
+        }
+        next_segment = pos + 1;
+    }
+
+    let ctx = WorkerCtx {
+        caches: &caches,
+        grid: &cfg.grid,
+        failures: &base_failures,
+        latency: &latency,
+        relay: cfg.relay,
+        probe: cfg.probe_neighbors_on_miss,
+        span: cfg.relay_span_planes(),
+        spp: cfg.grid.sats_per_plane,
+    };
+
+    for seg in next_segment..=cuts.len() {
+        let ends: Vec<usize> = match cuts.get(seg) {
+            Some(cut) => cut.lens.clone(),
+            None => shards.iter().map(Vec::len).collect(),
+        };
+        {
+            let ctx_ref = &ctx;
+            let starts_ref = &starts;
+            let ends_ref = &ends;
+            let shards_ref = &shards;
+            let worker_recs_ref = &worker_recs;
+            thread::scope(|s| {
+                let handles: Vec<_> = worker_metrics
+                    .iter_mut()
+                    .zip(worker_cold.iter_mut())
+                    .enumerate()
+                    .map(|(w, (m, cold))| {
+                        s.spawn(move |_| {
+                            let ops = &shards_ref[w][starts_ref[w]..ends_ref[w]];
+                            let wrec = worker_recs_ref.get(w);
+                            let _shard_span =
+                                wrec.map(|r| SpanTimer::start(r, Stage::ReplayShard, w as u64));
+                            run_shard_ops(ops, ctx_ref, m, cold, wrec);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("worker panicked");
+                }
+            })
+            .expect("replayer scope");
+        }
+        starts = ends;
+        if let Some(cut) = cuts.get(seg) {
+            // All workers joined: snapshot is globally consistent.
+            let body = ReplayBody {
+                caches: caches.iter().map(|c| c.lock().to_state()).collect(),
+                cold: worker_cold.clone(),
+                metrics: worker_metrics.clone(),
+            };
+            let meta = ReplayMeta {
+                fingerprint,
+                barrier_epoch: cut.barrier_epoch,
+                num_workers: num_workers as u64,
+                total_slots: total_slots as u64,
+            };
+            let snaps: Vec<TelemetrySnapshot> = worker_recs.iter().map(|r| r.snapshot()).collect();
+            let bytes = encode_container(
+                KIND_REPLAY,
+                &encode_replay_meta(&meta),
+                &encode_replay_body(&body),
+                &encode_worker_telemetry(&snaps),
+            );
+            write_atomic(&policy.dir, cut.barrier_epoch, &bytes, policy.keep_last)?;
+        }
+    }
+
+    if enabled {
+        let mut merged = TelemetrySnapshot::default();
+        for wr in &worker_recs {
+            merged.merge(&wr.snapshot());
+        }
+        rec.absorb(&merged);
+    }
+
+    let mut total = direct;
+    for m in &worker_metrics {
+        total.merge(m);
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access_log::build_access_log;
+    use crate::engine::SimConfig;
+    use crate::replayer::replay_parallel_overloaded_recorded;
+    use crate::world::World;
+    use spacegen::trace::{LocationId, Request, Trace};
+    use starcdn_cache::object::ObjectId;
+    use starcdn_constellation::schedule::{FaultEvent, TimedFault};
+    use starcdn_orbit::time::SimTime;
+    use starcdn_orbit::walker::SatelliteId;
+    use std::path::PathBuf;
+
+    fn log() -> AccessLog {
+        let w = World::starlink_nine_cities();
+        let reqs: Vec<Request> = (0..3000u64)
+            .map(|k| Request {
+                time: SimTime::from_secs(k / 6),
+                object: ObjectId((k * 7919) % 200),
+                size: 500 + (k % 5) * 100,
+                location: LocationId((k % 9) as u16),
+            })
+            .collect();
+        build_access_log(&w, &Trace::new(reqs), 15, &SimConfig::default().scheduler())
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("starcdn-rckpt-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn policy(dir: &Path, every: u64) -> CheckpointPolicy {
+        CheckpointPolicy { every_n_epochs: every, dir: dir.to_path_buf(), keep_last: 0 }
+    }
+
+    fn churn() -> FaultSchedule {
+        FaultSchedule::from_events([
+            TimedFault { at_secs: 120, event: FaultEvent::SatDown(SatelliteId::new(3, 7)) },
+            TimedFault { at_secs: 240, event: FaultEvent::SatUp(SatelliteId::new(3, 7)) },
+        ])
+    }
+
+    fn assert_equal(a: &SystemMetrics, b: &SystemMetrics) {
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.per_satellite, b.per_satellite);
+        assert_eq!(
+            a.latencies_ms.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            b.latencies_ms.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        );
+        assert_eq!(a.cold_restart_misses, b.cold_restart_misses);
+        assert_eq!(a.remapped_requests, b.remapped_requests);
+        assert_eq!(a.availability, b.availability);
+        assert_eq!(a.shed_requests, b.shed_requests);
+        assert_eq!(a.dropped_requests, b.dropped_requests);
+        assert_eq!(a.served_origin_fallback, b.served_origin_fallback);
+    }
+
+    fn assert_tele_equal(a: &TelemetrySnapshot, b: &TelemetrySnapshot) {
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.histograms, b.histograms);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn matches_plain_replayer_without_relay() {
+        let log = log();
+        let dir = tmpdir("parity");
+        let cfg = StarCdnConfig::starcdn_no_relay(4, 100_000);
+        let rec_a = MemoryRecorder::new();
+        let ma = replay_parallel_overloaded_recorded(
+            cfg.clone(),
+            FailureModel::none(),
+            &log,
+            &churn(),
+            4,
+            &OverloadConfig::disabled(),
+            &rec_a,
+        );
+        let rec_b = MemoryRecorder::new();
+        let mb = replay_parallel_checkpointed(
+            cfg,
+            FailureModel::none(),
+            &log,
+            &churn(),
+            4,
+            &OverloadConfig::disabled(),
+            &policy(&dir, 4),
+            &rec_b,
+        )
+        .unwrap();
+        assert_equal(&ma, &mb);
+        assert_tele_equal(&rec_a.snapshot(), &rec_b.snapshot());
+        assert!(!list_checkpoint_files(&dir).is_empty());
+    }
+
+    /// Crash trick: replay a truncated prefix (its completed-segment
+    /// checkpoints are what a killed process leaves behind), then resume
+    /// on the full log and compare against the uninterrupted run.
+    fn crash_resume(name: &str, sched: &FaultSchedule, overload: &OverloadConfig, workers: usize) {
+        let log = log();
+        let cfg = StarCdnConfig::starcdn_no_relay(4, 100_000);
+
+        let dir_golden = tmpdir(&format!("{name}-golden-{workers}"));
+        let rec_golden = MemoryRecorder::new();
+        let m_golden = replay_parallel_checkpointed(
+            cfg.clone(),
+            FailureModel::none(),
+            &log,
+            sched,
+            workers,
+            overload,
+            &policy(&dir_golden, 4),
+            &rec_golden,
+        )
+        .unwrap();
+
+        let dir = tmpdir(&format!("{name}-crash-{workers}"));
+        let cut = log.entries.len() * 3 / 4;
+        let partial =
+            AccessLog { entries: log.entries[..cut].to_vec(), epoch_secs: log.epoch_secs };
+        replay_parallel_checkpointed(
+            cfg.clone(),
+            FailureModel::none(),
+            &partial,
+            sched,
+            workers,
+            overload,
+            &policy(&dir, 4),
+            &MemoryRecorder::new(),
+        )
+        .unwrap();
+        assert!(!list_checkpoint_files(&dir).is_empty(), "crash past first barrier");
+
+        let rec_resumed = MemoryRecorder::new();
+        let m_resumed = resume_replay_checkpointed(
+            cfg,
+            FailureModel::none(),
+            &log,
+            sched,
+            workers,
+            overload,
+            &policy(&dir, 4),
+            &rec_resumed,
+        )
+        .unwrap();
+        assert_equal(&m_golden, &m_resumed);
+        assert_tele_equal(&rec_golden.snapshot(), &rec_resumed.snapshot());
+    }
+
+    #[test]
+    fn resume_is_bit_identical_at_1_4_8_workers() {
+        for workers in [1usize, 4, 8] {
+            crash_resume("plain", &churn(), &OverloadConfig::disabled(), workers);
+        }
+    }
+
+    #[test]
+    fn resume_overload_is_bit_identical() {
+        crash_resume("overload", &churn(), &OverloadConfig::with_headroom(0.4), 4);
+    }
+
+    #[test]
+    fn corrupt_replay_checkpoint_falls_back() {
+        let log = log();
+        let cfg = StarCdnConfig::starcdn_no_relay(4, 100_000);
+        let dir = tmpdir("fallback");
+        let rec_golden = MemoryRecorder::new();
+        let m_golden = replay_parallel_checkpointed(
+            cfg.clone(),
+            FailureModel::none(),
+            &log,
+            &churn(),
+            4,
+            &OverloadConfig::disabled(),
+            &policy(&dir, 2),
+            &rec_golden,
+        )
+        .unwrap();
+        let files = list_checkpoint_files(&dir);
+        assert!(files.len() >= 2);
+        let (newest_epoch, newest) = files.last().unwrap();
+        let mut bytes = std::fs::read(newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xA5;
+        std::fs::write(newest, &bytes).unwrap();
+
+        let rec = MemoryRecorder::new();
+        let m_resumed = resume_replay_checkpointed(
+            cfg,
+            FailureModel::none(),
+            &log,
+            &churn(),
+            4,
+            &OverloadConfig::disabled(),
+            &policy(&dir, 2),
+            &rec,
+        )
+        .unwrap();
+        assert_equal(&m_golden, &m_resumed);
+        assert_eq!(
+            rec.snapshot().events.get(&(Event::CheckpointRestoreFallback, *newest_epoch)),
+            Some(&1)
+        );
+    }
+
+    #[test]
+    fn worker_count_mismatch_is_rejected() {
+        let log = log();
+        let cfg = StarCdnConfig::starcdn_no_relay(4, 100_000);
+        let dir = tmpdir("workers");
+        replay_parallel_checkpointed(
+            cfg.clone(),
+            FailureModel::none(),
+            &log,
+            &churn(),
+            4,
+            &OverloadConfig::disabled(),
+            &policy(&dir, 4),
+            &starcdn_telemetry::Noop,
+        )
+        .unwrap();
+        let err = resume_replay_checkpointed(
+            cfg,
+            FailureModel::none(),
+            &log,
+            &churn(),
+            8, // different sharding → different fingerprint
+            &OverloadConfig::disabled(),
+            &policy(&dir, 4),
+            &starcdn_telemetry::Noop,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CheckpointError::NoValidCheckpoint));
+    }
+}

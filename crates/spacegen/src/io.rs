@@ -137,10 +137,15 @@ pub fn read_binary(r: impl Read) -> Result<Trace, IoError> {
         if filled < rec.len() {
             return Err(IoError::TruncatedRecord);
         }
-        let time = u64::from_le_bytes(rec[0..8].try_into().unwrap());
-        let object = u64::from_le_bytes(rec[8..16].try_into().unwrap());
-        let size = u64::from_le_bytes(rec[16..24].try_into().unwrap());
-        let loc = u16::from_le_bytes(rec[24..26].try_into().unwrap());
+        // Split the record into fixed-size fields without fallible
+        // conversions: the borrow checker proves these widths.
+        let (time_b, rest) = rec.split_at(8);
+        let (object_b, rest) = rest.split_at(8);
+        let (size_b, loc_b) = rest.split_at(8);
+        let time = u64::from_le_bytes(*<&[u8; 8]>::try_from(time_b).expect("8-byte field"));
+        let object = u64::from_le_bytes(*<&[u8; 8]>::try_from(object_b).expect("8-byte field"));
+        let size = u64::from_le_bytes(*<&[u8; 8]>::try_from(size_b).expect("8-byte field"));
+        let loc = u16::from_le_bytes(*<&[u8; 2]>::try_from(loc_b).expect("2-byte field"));
         requests.push(Request {
             time: SimTime::from_millis(time),
             object: ObjectId(object),
@@ -149,6 +154,26 @@ pub fn read_binary(r: impl Read) -> Result<Trace, IoError> {
         });
     }
     Ok(Trace::new(requests))
+}
+
+/// Write a trace as CSV to `path` (created or truncated).
+pub fn write_csv_path(trace: &Trace, path: impl AsRef<std::path::Path>) -> Result<(), IoError> {
+    write_csv(trace, std::fs::File::create(path)?)
+}
+
+/// Read a CSV trace from `path`.
+pub fn read_csv_path(path: impl AsRef<std::path::Path>) -> Result<Trace, IoError> {
+    read_csv(std::fs::File::open(path)?)
+}
+
+/// Write a binary trace to `path` (created or truncated).
+pub fn write_binary_path(trace: &Trace, path: impl AsRef<std::path::Path>) -> Result<(), IoError> {
+    write_binary(trace, std::fs::File::create(path)?)
+}
+
+/// Read a binary trace from `path`.
+pub fn read_binary_path(path: impl AsRef<std::path::Path>) -> Result<Trace, IoError> {
+    read_binary(std::fs::File::open(path)?)
 }
 
 /// A serializable bundle of the traffic models SpaceGEN needs: one pFD
@@ -181,6 +206,16 @@ impl ModelBundle {
     /// Deserialize from JSON.
     pub fn read_json(r: impl Read) -> Result<Self, IoError> {
         serde_json::from_reader(BufReader::new(r)).map_err(IoError::BadModel)
+    }
+
+    /// Serialize as JSON to `path` (created or truncated).
+    pub fn write_json_path(&self, path: impl AsRef<std::path::Path>) -> Result<(), IoError> {
+        self.write_json(std::fs::File::create(path)?)
+    }
+
+    /// Deserialize from the JSON file at `path`.
+    pub fn read_json_path(path: impl AsRef<std::path::Path>) -> Result<Self, IoError> {
+        Self::read_json(std::fs::File::open(path)?)
     }
 }
 
@@ -287,6 +322,21 @@ mod tests {
         let back = ModelBundle::read_json(buf.as_slice()).unwrap();
         assert_eq!(back.pfds.len(), 9);
         assert_eq!(back.gpd.records, bundle.gpd.records);
+    }
+
+    #[test]
+    fn path_roundtrips() {
+        let t = sample_trace();
+        let dir = std::env::temp_dir().join(format!("spacegen-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("t.csv");
+        write_csv_path(&t, &csv).unwrap();
+        assert_eq!(read_csv_path(&csv).unwrap(), t);
+        let bin = dir.join("t.bin");
+        write_binary_path(&t, &bin).unwrap();
+        assert_eq!(read_binary_path(&bin).unwrap(), t);
+        assert!(matches!(read_binary_path(dir.join("missing.bin")), Err(IoError::Io(_))));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

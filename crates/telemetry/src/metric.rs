@@ -214,11 +214,14 @@ pub enum Event {
     Reroute,
     /// Misses charged to cold restarted caches during this epoch.
     ColdMiss,
+    /// A corrupt/torn checkpoint was skipped in favor of an older one
+    /// during resume (the epoch key is the skipped checkpoint's epoch).
+    CheckpointRestoreFallback,
 }
 
 impl Event {
     /// Every event kind, in snapshot order.
-    pub const ALL: [Event; 7] = [
+    pub const ALL: [Event; 8] = [
         Event::SatDown,
         Event::SatUp,
         Event::LinkDown,
@@ -226,6 +229,7 @@ impl Event {
         Event::Remap,
         Event::Reroute,
         Event::ColdMiss,
+        Event::CheckpointRestoreFallback,
     ];
 
     /// Stable snake_case name used by the exporters.
@@ -238,6 +242,7 @@ impl Event {
             Event::Remap => "remap",
             Event::Reroute => "reroute",
             Event::ColdMiss => "cold_miss",
+            Event::CheckpointRestoreFallback => "checkpoint_restore_fallback",
         }
     }
 }

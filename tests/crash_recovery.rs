@@ -1,0 +1,386 @@
+//! Integration: crash-consistent checkpoint/resume (DESIGN.md §11).
+//!
+//! A "crash" is simulated by running the checkpointed engine over only
+//! the log prefix that precedes a kill epoch — exactly the state a
+//! SIGKILL at that epoch leaves on disk, since checkpoints are written
+//! atomically at epoch boundaries and nothing later is durable — then
+//! resuming over the full log. The resumed run must be bit-for-bit
+//! identical (metrics, latency bit patterns, telemetry) to a golden
+//! uninterrupted run, across all three engine fault modes and the
+//! parallel replayer at 1/4/8 workers, with kill epochs drawn from a
+//! seeded generator. Torn and garbage checkpoint files must be skipped
+//! via fallback without ever panicking.
+
+use spacegen::trace::{LocationId, Request, Trace};
+use starcdn::config::StarCdnConfig;
+use starcdn::metrics::SystemMetrics;
+use starcdn::system::SpaceCdn;
+use starcdn_cache::object::ObjectId;
+use starcdn_constellation::failures::FailureModel;
+use starcdn_constellation::schedule::{FaultEvent, FaultSchedule, TimedFault};
+use starcdn_orbit::time::SimTime;
+use starcdn_orbit::walker::SatelliteId;
+use starcdn_sim::engine::SimConfig;
+use starcdn_sim::{
+    build_access_log, list_checkpoint_files, replay_parallel_checkpointed,
+    resume_replay_checkpointed, resume_space_checkpointed, run_space_checkpointed,
+    validate_checkpoint_bytes, AccessLog, CheckpointError, CheckpointPolicy, OverloadConfig, World,
+};
+use starcdn_telemetry::{Event, MemoryRecorder, TelemetrySnapshot};
+use std::path::{Path, PathBuf};
+
+const EPOCH_SECS: u64 = 15;
+
+fn log() -> AccessLog {
+    let w = World::starlink_nine_cities();
+    let reqs: Vec<Request> = (0..4000u64)
+        .map(|k| Request {
+            time: SimTime::from_secs(k / 4),
+            object: ObjectId((k * 7) % 80),
+            size: 1000 + (k % 5) * 300,
+            location: LocationId((k % 9) as u16),
+        })
+        .collect();
+    build_access_log(&w, &Trace::new(reqs), EPOCH_SECS, &SimConfig::default().scheduler())
+}
+
+fn churn() -> FaultSchedule {
+    FaultSchedule::from_events([
+        TimedFault { at_secs: 120, event: FaultEvent::SatDown(SatelliteId::new(3, 7)) },
+        TimedFault { at_secs: 150, event: FaultEvent::SatDown(SatelliteId::new(10, 2)) },
+        TimedFault { at_secs: 450, event: FaultEvent::SatUp(SatelliteId::new(3, 7)) },
+        TimedFault { at_secs: 600, event: FaultEvent::SatUp(SatelliteId::new(10, 2)) },
+    ])
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("starcdn-crashrec-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn policy(dir: &Path, every: u64) -> CheckpointPolicy {
+    CheckpointPolicy { every_n_epochs: every, dir: dir.to_path_buf(), keep_last: 0 }
+}
+
+/// Truncate the log to everything strictly before `kill_epoch` — the
+/// requests a process killed at that epoch would have replayed.
+fn prefix_before(log: &AccessLog, kill_epoch: u64) -> AccessLog {
+    let cut = log
+        .entries
+        .iter()
+        .position(|e| e.time.as_secs() / log.epoch_secs >= kill_epoch)
+        .unwrap_or(log.entries.len());
+    AccessLog { entries: log.entries[..cut].to_vec(), epoch_secs: log.epoch_secs }
+}
+
+/// Deterministic kill epochs: a seeded xorshift draw over the run's
+/// epoch range, so different epochs (early, mid, late, off-boundary)
+/// are exercised without any test-order dependence.
+fn kill_epochs(seed: u64, max_epoch: u64, n: usize) -> Vec<u64> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            1 + s % max_epoch.max(2)
+        })
+        .collect()
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn assert_metrics_identical(a: &SystemMetrics, b: &SystemMetrics) {
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.uplink_bytes, b.uplink_bytes);
+    assert_eq!(a.served_local, b.served_local);
+    assert_eq!(a.served_relay_west, b.served_relay_west);
+    assert_eq!(a.served_relay_east, b.served_relay_east);
+    assert_eq!(a.served_ground, b.served_ground);
+    assert_eq!(a.relay_bytes, b.relay_bytes);
+    assert_eq!(bits(&a.latencies_ms), bits(&b.latencies_ms), "latency bit patterns");
+    assert_eq!(a.per_satellite, b.per_satellite);
+    assert_eq!(a.remapped_requests, b.remapped_requests);
+    assert_eq!(a.cold_restart_misses, b.cold_restart_misses);
+    assert_eq!(a.reroute_extra_hops, b.reroute_extra_hops);
+    assert_eq!(a.availability, b.availability);
+    assert_eq!(a.shed_requests, b.shed_requests);
+    assert_eq!(a.retry_attempts, b.retry_attempts);
+    assert_eq!(a.served_primary, b.served_primary);
+    assert_eq!(a.served_replica, b.served_replica);
+    assert_eq!(a.served_origin_fallback, b.served_origin_fallback);
+    assert_eq!(a.dropped_requests, b.dropped_requests);
+}
+
+/// Telemetry equality modulo span wall-clock durations and the
+/// recovery-path fallback event (which by construction only the
+/// resumed side carries).
+fn assert_telemetry_identical(a: &TelemetrySnapshot, b: &TelemetrySnapshot) {
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.histograms, b.histograms);
+    let events = |s: &TelemetrySnapshot| {
+        s.events
+            .iter()
+            .filter(|((e, _), _)| *e != Event::CheckpointRestoreFallback)
+            .map(|(&k, &v)| (k, v))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(events(a), events(b));
+    let span_counts =
+        |s: &TelemetrySnapshot| s.spans.iter().map(|(&k, v)| (k, v.count)).collect::<Vec<_>>();
+    assert_eq!(span_counts(a), span_counts(b));
+}
+
+fn fresh_cdn() -> SpaceCdn {
+    SpaceCdn::new(StarCdnConfig::starcdn(4, 2_000_000))
+}
+
+/// Kill-and-resume sweep for one engine fault mode: for each seeded
+/// kill epoch, crash (replay only the pre-kill prefix into a fresh
+/// checkpoint dir) then resume over the full log and demand
+/// bit-equality with the golden uninterrupted run.
+fn engine_kill_sweep(name: &str, sched: &FaultSchedule, overload: &OverloadConfig, seed: u64) {
+    let log = log();
+    let max_epoch = log.entries.last().unwrap().time.as_secs() / EPOCH_SECS;
+
+    let gold_dir = tmpdir(&format!("{name}-gold"));
+    let gold_rec = MemoryRecorder::new();
+    let golden = run_space_checkpointed(
+        &mut fresh_cdn(),
+        &log,
+        sched,
+        overload,
+        &policy(&gold_dir, 7),
+        &gold_rec,
+    )
+    .unwrap();
+
+    for (i, kill) in kill_epochs(seed, max_epoch, 3).into_iter().enumerate() {
+        let dir = tmpdir(&format!("{name}-kill{i}"));
+        let pol = policy(&dir, 7);
+        // Crash: the killed process got through the prefix only.
+        run_space_checkpointed(
+            &mut fresh_cdn(),
+            &prefix_before(&log, kill),
+            sched,
+            overload,
+            &pol,
+            &MemoryRecorder::new(),
+        )
+        .unwrap();
+        // Resume over the full log. A kill before the first barrier
+        // leaves no checkpoint at all: resume reports that, and the
+        // operator path is a fresh checkpointed run.
+        let rec = MemoryRecorder::new();
+        let resumed = if list_checkpoint_files(&dir).is_empty() {
+            let err =
+                resume_space_checkpointed(&mut fresh_cdn(), &log, sched, overload, &pol, &rec)
+                    .unwrap_err();
+            assert!(matches!(err, CheckpointError::NoValidCheckpoint), "got {err:?}");
+            run_space_checkpointed(&mut fresh_cdn(), &log, sched, overload, &pol, &rec).unwrap()
+        } else {
+            resume_space_checkpointed(&mut fresh_cdn(), &log, sched, overload, &pol, &rec).unwrap()
+        };
+        assert_metrics_identical(&golden, &resumed);
+        assert_telemetry_identical(&gold_rec.snapshot(), &rec.snapshot());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&gold_dir);
+}
+
+#[test]
+fn engine_kill_resume_bit_identical_plain() {
+    engine_kill_sweep("plain", &FaultSchedule::empty(), &OverloadConfig::disabled(), 0x5EED_0001);
+}
+
+#[test]
+fn engine_kill_resume_bit_identical_churn() {
+    engine_kill_sweep("churn", &churn(), &OverloadConfig::disabled(), 0x5EED_0002);
+}
+
+#[test]
+fn engine_kill_resume_bit_identical_churn_overload() {
+    engine_kill_sweep("churn-ov", &churn(), &OverloadConfig::with_headroom(0.4), 0x5EED_0003);
+}
+
+#[test]
+fn replayer_kill_resume_bit_identical_at_1_4_8_workers() {
+    let log = log();
+    let sched = churn();
+    let overload = OverloadConfig::with_headroom(0.4);
+    let cfg = StarCdnConfig::starcdn_no_relay(4, 2_000_000);
+    let max_epoch = log.entries.last().unwrap().time.as_secs() / EPOCH_SECS;
+
+    for workers in [1usize, 4, 8] {
+        let gold_dir = tmpdir(&format!("rep-gold-{workers}"));
+        let gold_rec = MemoryRecorder::new();
+        let golden = replay_parallel_checkpointed(
+            cfg.clone(),
+            FailureModel::none(),
+            &log,
+            &sched,
+            workers,
+            &overload,
+            &policy(&gold_dir, 7),
+            &gold_rec,
+        )
+        .unwrap();
+
+        for (i, kill) in
+            kill_epochs(0x5EED_0100 + workers as u64, max_epoch, 2).into_iter().enumerate()
+        {
+            let dir = tmpdir(&format!("rep-kill-{workers}-{i}"));
+            let pol = policy(&dir, 7);
+            replay_parallel_checkpointed(
+                cfg.clone(),
+                FailureModel::none(),
+                &prefix_before(&log, kill),
+                &sched,
+                workers,
+                &overload,
+                &pol,
+                &MemoryRecorder::new(),
+            )
+            .unwrap();
+            let rec = MemoryRecorder::new();
+            let resumed = if list_checkpoint_files(&dir).is_empty() {
+                let err = resume_replay_checkpointed(
+                    cfg.clone(),
+                    FailureModel::none(),
+                    &log,
+                    &sched,
+                    workers,
+                    &overload,
+                    &pol,
+                    &rec,
+                )
+                .unwrap_err();
+                assert!(matches!(err, CheckpointError::NoValidCheckpoint), "got {err:?}");
+                replay_parallel_checkpointed(
+                    cfg.clone(),
+                    FailureModel::none(),
+                    &log,
+                    &sched,
+                    workers,
+                    &overload,
+                    &pol,
+                    &rec,
+                )
+                .unwrap()
+            } else {
+                resume_replay_checkpointed(
+                    cfg.clone(),
+                    FailureModel::none(),
+                    &log,
+                    &sched,
+                    workers,
+                    &overload,
+                    &pol,
+                    &rec,
+                )
+                .unwrap()
+            };
+            assert_metrics_identical(&golden, &resumed);
+            assert_telemetry_identical(&gold_rec.snapshot(), &rec.snapshot());
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        let _ = std::fs::remove_dir_all(&gold_dir);
+    }
+}
+
+#[test]
+fn torn_checkpoint_is_skipped_and_resume_still_exact() {
+    // A kill arriving mid-write tears the newest checkpoint in half and
+    // strands a temp file; resume must fall back to the previous intact
+    // checkpoint, flag the fallback, and still reproduce the golden run.
+    let log = log();
+    let sched = churn();
+    let overload = OverloadConfig::with_headroom(0.4);
+
+    let gold_dir = tmpdir("torn-gold");
+    let gold_rec = MemoryRecorder::new();
+    let golden = run_space_checkpointed(
+        &mut fresh_cdn(),
+        &log,
+        &sched,
+        &overload,
+        &policy(&gold_dir, 5),
+        &gold_rec,
+    )
+    .unwrap();
+
+    let dir = tmpdir("torn");
+    let pol = policy(&dir, 5);
+    run_space_checkpointed(
+        &mut fresh_cdn(),
+        &prefix_before(&log, 40),
+        &sched,
+        &overload,
+        &pol,
+        &MemoryRecorder::new(),
+    )
+    .unwrap();
+    let files = list_checkpoint_files(&dir);
+    assert!(files.len() >= 2, "need at least two checkpoints for fallback");
+    let (_, newest) = files.last().unwrap();
+    let bytes = std::fs::read(newest).unwrap();
+    std::fs::write(newest, &bytes[..bytes.len() / 2]).unwrap();
+    std::fs::write(dir.join("ckpt-9999999999.ckpt.tmp"), b"torn mid write").unwrap();
+
+    let rec = MemoryRecorder::new();
+    let resumed =
+        resume_space_checkpointed(&mut fresh_cdn(), &log, &sched, &overload, &pol, &rec).unwrap();
+    assert_metrics_identical(&golden, &resumed);
+    assert_telemetry_identical(&gold_rec.snapshot(), &rec.snapshot());
+    let fallbacks: u64 = rec
+        .snapshot()
+        .events
+        .iter()
+        .filter(|((e, _), _)| *e == Event::CheckpointRestoreFallback)
+        .map(|(_, &c)| c)
+        .sum();
+    assert!(fallbacks >= 1, "the torn newest checkpoint must be counted as skipped");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&gold_dir);
+}
+
+#[test]
+fn garbage_checkpoint_files_never_panic() {
+    // A directory full of adversarial junk: resume must either fall
+    // back to a valid checkpoint or report NoValidCheckpoint — never
+    // panic, never return garbage metrics.
+    let log = log();
+    let dir = tmpdir("garbage");
+    let pol = policy(&dir, 5);
+
+    let mut s = 0x0BAD_F00Du64;
+    for i in 0..4u64 {
+        let n = 64 + (i as usize) * 137;
+        let junk: Vec<u8> = (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s as u8
+            })
+            .collect();
+        assert!(validate_checkpoint_bytes(&junk).is_err(), "junk must not validate");
+        std::fs::write(dir.join(format!("ckpt-{:010}.ckpt", i * 5)), &junk).unwrap();
+    }
+
+    let err = resume_space_checkpointed(
+        &mut fresh_cdn(),
+        &log,
+        &FaultSchedule::empty(),
+        &OverloadConfig::disabled(),
+        &pol,
+        &MemoryRecorder::new(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, CheckpointError::NoValidCheckpoint), "got {err:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
