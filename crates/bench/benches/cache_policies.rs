@@ -3,7 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use starcdn_cache::object::ObjectId;
-use starcdn_cache::policy::{Cache, PolicyKind};
+use starcdn_cache::policy::PolicyKind;
 
 /// Deterministic pseudo-Zipf id stream (mix of hot head + cold tail).
 fn workload(n: usize) -> Vec<(ObjectId, u64)> {

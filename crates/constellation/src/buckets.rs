@@ -164,7 +164,7 @@ mod tests {
         let t = BucketTiling::new(9).unwrap();
         for base_o in [0u16, 3, 33, 69] {
             for base_s in [0u16, 3, 15] {
-                let mut seen = vec![false; 9];
+                let mut seen = [false; 9];
                 for dol in 0..3u16 {
                     for dsl in 0..3u16 {
                         let b = t.bucket_of_sat(SatelliteId::new(base_o + dol, base_s + dsl));

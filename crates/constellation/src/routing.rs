@@ -44,8 +44,25 @@ impl GridPath {
 
 /// Canonical shortest path on the healthy torus: wrap-minimal plane moves
 /// first, then wrap-minimal slot moves.
+///
+/// Panics when the grid is degenerate (an axis without a wrap
+/// neighbour); hot paths that must survive a broken topology use
+/// [`try_shortest_path`] and treat `None` as a partition.
 pub fn shortest_path(grid: &GridTopology, from: SatelliteId, to: SatelliteId) -> GridPath {
-    debug_assert!(grid.contains(from) && grid.contains(to));
+    try_shortest_path(grid, from, to).expect("canonical walk needs a torus with wrap neighbours")
+}
+
+/// Fallible [`shortest_path`]: returns `None` instead of panicking when
+/// a neighbour lookup fails mid-walk (degenerate or partitioned grid),
+/// so callers can degrade to the origin bent-pipe path.
+pub fn try_shortest_path(
+    grid: &GridTopology,
+    from: SatelliteId,
+    to: SatelliteId,
+) -> Option<GridPath> {
+    if !grid.contains(from) || !grid.contains(to) {
+        return None;
+    }
     let mut hops = Vec::new();
     let mut nodes = vec![from];
     let mut cur = from;
@@ -56,7 +73,7 @@ pub fn shortest_path(grid: &GridTopology, from: SatelliteId, to: SatelliteId) ->
     let (pd, psteps) =
         if fwd <= p - fwd { (Direction::East, fwd) } else { (Direction::West, p - fwd) };
     for _ in 0..psteps {
-        cur = grid.neighbor(cur, pd).expect("torus east/west neighbour");
+        cur = grid.neighbor(cur, pd)?;
         hops.push(pd);
         nodes.push(cur);
     }
@@ -67,13 +84,15 @@ pub fn shortest_path(grid: &GridTopology, from: SatelliteId, to: SatelliteId) ->
     let (sd, ssteps) =
         if fwd <= s - fwd { (Direction::North, fwd) } else { (Direction::South, s - fwd) };
     for _ in 0..ssteps {
-        cur = grid.neighbor(cur, sd).expect("torus north/south neighbour");
+        cur = grid.neighbor(cur, sd)?;
         hops.push(sd);
         nodes.push(cur);
     }
 
-    debug_assert_eq!(cur, to);
-    GridPath { hops, nodes }
+    if cur != to {
+        return None;
+    }
+    Some(GridPath { hops, nodes })
 }
 
 /// BFS shortest path avoiding satellites for which `alive` returns false.
@@ -221,6 +240,32 @@ mod tests {
         let p = shortest_path(&g, SatelliteId::new(0, 0), SatelliteId::new(2, 1));
         assert_eq!(p.hop_mix(), (1, 2));
         assert!((p.delay_ms(&m) - 12.33).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_shortest_path_matches_panicking_walk() {
+        let g = grid();
+        for (a, b) in [
+            (SatelliteId::new(0, 0), SatelliteId::new(5, 3)),
+            (SatelliteId::new(71, 5), SatelliteId::new(0, 5)),
+            (SatelliteId::new(3, 4), SatelliteId::new(3, 4)),
+        ] {
+            let fallible = try_shortest_path(&g, a, b).expect("healthy torus always routes");
+            assert_eq!(fallible, shortest_path(&g, a, b));
+        }
+    }
+
+    #[test]
+    fn try_shortest_path_recovers_on_degenerate_grid() {
+        // A seamless-less grid has no east/west wrap at the seam: the
+        // canonical walk would panic; the fallible walk reports None.
+        let g = GridTopology { num_planes: 4, sats_per_plane: 4, seamless: false };
+        let a = SatelliteId::new(3, 0);
+        let b = SatelliteId::new(0, 0);
+        assert!(try_shortest_path(&g, a, b).is_none(), "seam crossing must not route");
+        // Off-grid endpoints are rejected rather than walked.
+        let g = grid();
+        assert!(try_shortest_path(&g, SatelliteId::new(99, 0), SatelliteId::new(0, 0)).is_none());
     }
 
     #[test]

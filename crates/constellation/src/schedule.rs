@@ -77,6 +77,55 @@ impl ChurnParams {
     }
 }
 
+/// Parameters for [`FaultSchedule::solar_storm`]: a spatially-correlated
+/// mass outage over a contiguous plane window with staged, jittered
+/// recovery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolarStormParams {
+    /// Center of the affected plane window.
+    pub center_plane: u16,
+    /// Planes within `plane_halfwidth` (torus distance) of the center
+    /// are inside the storm footprint.
+    pub plane_halfwidth: u16,
+    /// Probability that a satellite inside the footprint is knocked out.
+    pub kill_prob: f64,
+    /// Storm onset: knockouts land in `[onset, onset + jitter]`.
+    pub onset_secs: u64,
+    /// Spread of the knockout times past the onset, seconds.
+    pub onset_jitter_secs: u64,
+    /// Earliest staged recovery; each recovery lands in
+    /// `[recovery_start, recovery_start + spread]` but never before its
+    /// own knockout completed.
+    pub recovery_start_secs: u64,
+    /// Spread of the staged recoveries, seconds.
+    pub recovery_spread_secs: u64,
+    /// Seed of the deterministic knockout/jitter stream.
+    pub seed: u64,
+}
+
+/// Parameters for [`FaultSchedule::cascading_isl`]: link failures that
+/// spread outward along the torus from an origin satellite, wave by
+/// wave, until the origin's grid neighborhood is fully severed (wave 0
+/// alone already partitions the origin from the rest of the torus).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CascadingIslParams {
+    /// Satellite at the center of the cascade.
+    pub origin: SatelliteId,
+    /// Time of the first wave.
+    pub start_secs: u64,
+    /// Seconds between successive waves; per-link jitter stays inside
+    /// one step so waves never reorder.
+    pub step_secs: u64,
+    /// Number of waves. Wave `w` cuts every ISL crossing the hop-radius
+    /// `w` boundary around the origin.
+    pub waves: u16,
+    /// When set, each cut link is restored this many seconds after its
+    /// own cut (staged, so the cascade heals outside-in last-cut-first).
+    pub restore_after_secs: Option<u64>,
+    /// Seed of the deterministic per-link jitter stream.
+    pub seed: u64,
+}
+
 /// A deterministic, time-ordered stream of fault events.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultSchedule {
@@ -168,6 +217,77 @@ impl FaultSchedule {
     pub fn merged(self, other: FaultSchedule) -> FaultSchedule {
         Self::from_events(self.events.into_iter().chain(other.events))
     }
+
+    /// Seeded solar storm: every satellite whose plane lies within
+    /// `plane_halfwidth` of `center_plane` is knocked out with
+    /// probability `kill_prob` at a jittered onset time, then recovers
+    /// (cold) at a staged time drawn from the recovery window. Every
+    /// `SatDown` is paired with a later `SatUp`, so the constellation
+    /// always heals fully.
+    pub fn solar_storm(grid: &GridTopology, p: &SolarStormParams) -> Self {
+        assert!((0.0..=1.0).contains(&p.kill_prob), "kill_prob must be a probability");
+        let mut rng = SmallRng::new(p.seed ^ 0x5074_A50B_AD50_1A12);
+        let mut events = Vec::new();
+        for id in grid.iter_ids() {
+            if grid.plane_distance(p.center_plane, id.orbit) > p.plane_halfwidth {
+                continue;
+            }
+            if rng.next_f64() >= p.kill_prob {
+                continue;
+            }
+            let down = p.onset_secs + bounded_jitter(&mut rng, p.onset_jitter_secs);
+            let up = (p.recovery_start_secs + bounded_jitter(&mut rng, p.recovery_spread_secs))
+                .max(down + 1);
+            events.push(TimedFault { at_secs: down, event: FaultEvent::SatDown(id) });
+            events.push(TimedFault { at_secs: up, event: FaultEvent::SatUp(id) });
+        }
+        Self::from_events(events)
+    }
+
+    /// Seeded cascading ISL failure: wave `w` (at `start + w·step`, plus
+    /// per-link jitter inside one step) cuts every ISL whose endpoints
+    /// sit at hop distances exactly `w` and `w + 1` from the origin —
+    /// the boundary edges of the hop-radius-`w` ball. Adjacent grid
+    /// nodes differ by at most one hop of origin distance, so those are
+    /// *all* the edges leaving the ball: wave 0 severs the origin from
+    /// the torus (a partition), and later waves widen the cut ring.
+    /// Wave link sets are disjoint by construction, so no live link is
+    /// ever cut twice.
+    pub fn cascading_isl(grid: &GridTopology, p: &CascadingIslParams) -> Self {
+        assert!(grid.contains(p.origin), "cascade origin must be on the grid");
+        let mut rng = SmallRng::new(p.seed ^ 0x0CA5_CADE_0000_1517);
+        let mut events = Vec::new();
+        for id in grid.iter_ids() {
+            // North + East covers every torus link exactly once.
+            for dir in [Direction::North, Direction::East] {
+                let Some(n) = grid.neighbor(id, dir) else { continue };
+                let (da, db) = (grid.hop_distance(p.origin, id), grid.hop_distance(p.origin, n));
+                let wave = da.min(db);
+                if wave >= p.waves || da.abs_diff(db) != 1 {
+                    continue;
+                }
+                let jitter = if p.step_secs > 1 { rng.gen_range(p.step_secs) } else { 0 };
+                let cut = p.start_secs + u64::from(wave) * p.step_secs + jitter;
+                events.push(TimedFault { at_secs: cut, event: FaultEvent::LinkDown(id, n) });
+                if let Some(after) = p.restore_after_secs {
+                    events.push(TimedFault {
+                        at_secs: cut + after,
+                        event: FaultEvent::LinkUp(id, n),
+                    });
+                }
+            }
+        }
+        Self::from_events(events)
+    }
+}
+
+/// Uniform draw from `[0, bound]` (inclusive), `0` when `bound` is 0.
+fn bounded_jitter(rng: &mut SmallRng, bound: u64) -> u64 {
+    if bound == 0 {
+        0
+    } else {
+        rng.gen_range(bound + 1)
+    }
 }
 
 /// Alternating (down, up) outage windows for one element: down times are
@@ -192,6 +312,150 @@ fn alternating_outages(
         t += rng.next_exp(mtbf);
     }
     out
+}
+
+/// Parameters for [`DemandSchedule::flash_crowd`]: seeded regional
+/// demand surges (e.g. a live event concentrating viewers onto a few
+/// ground cells) layered on top of a base trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashCrowdParams {
+    /// Size of the consumer's location table; surge locations are drawn
+    /// from `[0, num_locations)`.
+    pub num_locations: u16,
+    /// Number of surge windows to draw.
+    pub surges: u16,
+    /// Earliest surge onset, seconds.
+    pub start_secs: u64,
+    /// Onsets are drawn from `[start_secs, horizon_secs)`.
+    pub horizon_secs: u64,
+    /// Demand multiplier at the surge plateau (≥ 1).
+    pub peak_multiplier: f64,
+    /// Linear ramp from baseline to the plateau, seconds.
+    pub ramp_secs: u64,
+    /// Plateau duration at `peak_multiplier`, seconds.
+    pub hold_secs: u64,
+    /// Linear decay back to baseline, seconds.
+    pub decay_secs: u64,
+    /// Seed of the deterministic surge draw.
+    pub seed: u64,
+}
+
+/// One demand surge: requests at `location` are amplified by a
+/// ramp/plateau/decay envelope starting at `onset_secs`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandSurge {
+    /// Location index (the consumer maps it onto its location table).
+    pub location: u16,
+    /// Envelope start, seconds.
+    pub onset_secs: u64,
+    /// Linear ramp duration, seconds.
+    pub ramp_secs: u64,
+    /// Plateau duration, seconds.
+    pub hold_secs: u64,
+    /// Linear decay duration, seconds.
+    pub decay_secs: u64,
+    /// Multiplier at the plateau.
+    pub peak_multiplier: f64,
+}
+
+impl DemandSurge {
+    /// Time the envelope returns to baseline.
+    pub fn end_secs(&self) -> u64 {
+        self.onset_secs + self.ramp_secs + self.hold_secs + self.decay_secs
+    }
+
+    /// Demand multiplier at `t_secs`: 1 outside the envelope, linear up
+    /// the ramp, `peak_multiplier` across the plateau, linear down the
+    /// decay.
+    pub fn multiplier_at(&self, t_secs: u64) -> f64 {
+        if t_secs < self.onset_secs || t_secs >= self.end_secs() {
+            return 1.0;
+        }
+        let into = t_secs - self.onset_secs;
+        let gain = self.peak_multiplier - 1.0;
+        if into < self.ramp_secs {
+            1.0 + gain * (into as f64 / self.ramp_secs as f64)
+        } else if into < self.ramp_secs + self.hold_secs {
+            self.peak_multiplier
+        } else {
+            let out = into - self.ramp_secs - self.hold_secs;
+            1.0 + gain * (1.0 - out as f64 / self.decay_secs as f64)
+        }
+    }
+}
+
+/// A deterministic, onset-ordered stream of demand surges: the demand
+/// counterpart of [`FaultSchedule`]. Pure data — spacegen amplifies a
+/// trace with it *before* the access log is built, so the engine and
+/// the parallel replayer consume identical request streams and
+/// bit-for-bit parity is preserved by construction.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DemandSchedule {
+    /// Sorted by `onset_secs`; ties keep insertion order (stable sort).
+    surges: Vec<DemandSurge>,
+}
+
+impl DemandSchedule {
+    /// No surges: demand is never amplified.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Build from explicit surges (any order; sorted stably by onset).
+    pub fn from_surges(surges: impl IntoIterator<Item = DemandSurge>) -> Self {
+        let mut surges: Vec<DemandSurge> = surges.into_iter().collect();
+        surges.sort_by_key(|s| s.onset_secs);
+        DemandSchedule { surges }
+    }
+
+    /// Seeded flash crowd: `p.surges` windows at uniformly drawn
+    /// locations and onsets, each with the ramp/plateau/decay envelope
+    /// from `p`.
+    pub fn flash_crowd(p: &FlashCrowdParams) -> Self {
+        assert!(p.num_locations > 0, "flash crowd needs a location table");
+        assert!(p.peak_multiplier >= 1.0, "a surge never shrinks demand");
+        assert!(p.horizon_secs > p.start_secs, "onset window must be nonempty");
+        let mut rng = SmallRng::new(p.seed ^ 0xF1A5_4C20_FEED_0CDE);
+        let surges = (0..p.surges).map(|_| DemandSurge {
+            location: rng.gen_range(u64::from(p.num_locations)) as u16,
+            onset_secs: p.start_secs + rng.gen_range(p.horizon_secs - p.start_secs),
+            ramp_secs: p.ramp_secs,
+            hold_secs: p.hold_secs,
+            decay_secs: p.decay_secs,
+            peak_multiplier: p.peak_multiplier,
+        });
+        Self::from_surges(surges.collect::<Vec<_>>())
+    }
+
+    /// True when the schedule holds no surges.
+    pub fn is_empty(&self) -> bool {
+        self.surges.is_empty()
+    }
+
+    /// Number of surges.
+    pub fn len(&self) -> usize {
+        self.surges.len()
+    }
+
+    /// The onset-ordered surges.
+    pub fn surges(&self) -> &[DemandSurge] {
+        &self.surges
+    }
+
+    /// Time the last envelope returns to baseline, if any.
+    pub fn last_event_secs(&self) -> Option<u64> {
+        self.surges.iter().map(DemandSurge::end_secs).max()
+    }
+
+    /// Demand multiplier for `location` at `t_secs`: the strongest
+    /// active envelope wins (overlapping surges do not compound).
+    pub fn multiplier_at(&self, location: u16, t_secs: u64) -> f64 {
+        self.surges
+            .iter()
+            .filter(|s| s.location == location)
+            .map(|s| s.multiplier_at(t_secs))
+            .fold(1.0, f64::max)
+    }
 }
 
 /// What changed across one [`ScheduleCursor::advance_to`] step.
@@ -458,9 +722,192 @@ mod tests {
             .all(|e| matches!(e.event, FaultEvent::LinkDown(..) | FaultEvent::LinkUp(..))));
     }
 
+    fn storm_params(seed: u64) -> SolarStormParams {
+        SolarStormParams {
+            center_plane: 20,
+            plane_halfwidth: 4,
+            kill_prob: 0.8,
+            onset_secs: 120,
+            onset_jitter_secs: 30,
+            recovery_start_secs: 600,
+            recovery_spread_secs: 300,
+            seed,
+        }
+    }
+
+    #[test]
+    fn solar_storm_confined_to_plane_window() {
+        let g = grid();
+        let p = storm_params(7);
+        let sched = FaultSchedule::solar_storm(&g, &p);
+        assert!(!sched.is_empty(), "an 80% storm over 9 planes must kill satellites");
+        for e in sched.events() {
+            let (FaultEvent::SatDown(id) | FaultEvent::SatUp(id)) = e.event else {
+                panic!("solar storm emits only satellite events");
+            };
+            assert!(
+                g.plane_distance(p.center_plane, id.orbit) <= p.plane_halfwidth,
+                "{id} outside the storm footprint"
+            );
+        }
+    }
+
+    #[test]
+    fn solar_storm_deterministic_in_seed() {
+        let g = grid();
+        let a = FaultSchedule::solar_storm(&g, &storm_params(7));
+        let b = FaultSchedule::solar_storm(&g, &storm_params(7));
+        assert_eq!(a, b);
+        let c = FaultSchedule::solar_storm(&g, &storm_params(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn solar_storm_full_kill_covers_window_and_heals() {
+        let g = grid();
+        let p = SolarStormParams { kill_prob: 1.0, ..storm_params(3) };
+        let sched = FaultSchedule::solar_storm(&g, &p);
+        // 9 planes × 18 slots, one down + one up each.
+        assert_eq!(sched.len(), 9 * 18 * 2);
+        let mut cur = ScheduleCursor::new(&sched, FailureModel::none());
+        cur.advance_to(p.onset_secs + p.onset_jitter_secs);
+        assert_eq!(cur.view().dead_count(), 9 * 18, "everyone in the window is down");
+        cur.advance_to(u64::MAX);
+        assert_eq!(cur.view().dead_count(), 0, "staged recovery must fully heal");
+    }
+
+    #[test]
+    fn cascading_isl_wave_zero_partitions_origin() {
+        let g = grid();
+        let origin = sat(10, 7);
+        let p = CascadingIslParams {
+            origin,
+            start_secs: 60,
+            step_secs: 30,
+            waves: 3,
+            restore_after_secs: None,
+            seed: 5,
+        };
+        let sched = FaultSchedule::cascading_isl(&g, &p);
+        let mut cur = ScheduleCursor::new(&sched, FailureModel::none());
+        // After wave 0 (including its jitter) the origin's four incident
+        // links are all cut: it is severed from the rest of the torus.
+        cur.advance_to(p.start_secs + p.step_secs - 1);
+        for (_, n) in g.neighbors(origin) {
+            assert!(!cur.view().is_link_alive(origin, n), "link to {n} survived wave 0");
+        }
+        // Later waves cut strictly more links (the wider rings).
+        let after_wave0 = cur.view().cut_link_count();
+        cur.advance_to(u64::MAX);
+        assert!(cur.view().cut_link_count() > after_wave0);
+    }
+
+    #[test]
+    fn cascading_isl_restore_heals_everything() {
+        let g = grid();
+        let p = CascadingIslParams {
+            origin: sat(0, 0),
+            start_secs: 10,
+            step_secs: 20,
+            waves: 2,
+            restore_after_secs: Some(500),
+            seed: 9,
+        };
+        let sched = FaultSchedule::cascading_isl(&g, &p);
+        let mut cur = ScheduleCursor::new(&sched, FailureModel::none());
+        cur.advance_to(u64::MAX);
+        assert_eq!(cur.view().cut_link_count(), 0, "every cut link must restore");
+    }
+
+    fn crowd_params(seed: u64) -> FlashCrowdParams {
+        FlashCrowdParams {
+            num_locations: 9,
+            surges: 4,
+            start_secs: 300,
+            horizon_secs: 3000,
+            peak_multiplier: 5.0,
+            ramp_secs: 60,
+            hold_secs: 120,
+            decay_secs: 180,
+            seed,
+        }
+    }
+
+    #[test]
+    fn flash_crowd_surges_inside_windows() {
+        let sched = DemandSchedule::flash_crowd(&crowd_params(11));
+        assert_eq!(sched.len(), 4);
+        for s in sched.surges() {
+            assert!(s.location < 9);
+            assert!((300..3000).contains(&s.onset_secs));
+            assert_eq!(s.peak_multiplier, 5.0);
+        }
+        // Onset-sorted.
+        for w in sched.surges().windows(2) {
+            assert!(w[0].onset_secs <= w[1].onset_secs);
+        }
+        assert_eq!(sched.last_event_secs(), sched.surges().iter().map(|s| s.end_secs()).max(),);
+    }
+
+    #[test]
+    fn flash_crowd_deterministic_in_seed() {
+        let a = DemandSchedule::flash_crowd(&crowd_params(11));
+        let b = DemandSchedule::flash_crowd(&crowd_params(11));
+        assert_eq!(a, b);
+        let c = DemandSchedule::flash_crowd(&crowd_params(12));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn surge_envelope_ramps_holds_and_decays() {
+        let s = DemandSurge {
+            location: 2,
+            onset_secs: 100,
+            ramp_secs: 50,
+            hold_secs: 100,
+            decay_secs: 50,
+            peak_multiplier: 3.0,
+        };
+        assert_eq!(s.end_secs(), 300);
+        assert_eq!(s.multiplier_at(99), 1.0);
+        assert_eq!(s.multiplier_at(125), 2.0, "halfway up the ramp");
+        assert_eq!(s.multiplier_at(150), 3.0);
+        assert_eq!(s.multiplier_at(249), 3.0, "plateau holds");
+        assert_eq!(s.multiplier_at(275), 2.0, "halfway down the decay");
+        assert_eq!(s.multiplier_at(300), 1.0, "envelope closed");
+    }
+
+    #[test]
+    fn overlapping_surges_take_max_not_product() {
+        let mk = |onset, peak| DemandSurge {
+            location: 0,
+            onset_secs: onset,
+            ramp_secs: 0,
+            hold_secs: 100,
+            decay_secs: 0,
+            peak_multiplier: peak,
+        };
+        let sched = DemandSchedule::from_surges([mk(0, 2.0), mk(50, 4.0)]);
+        assert_eq!(sched.multiplier_at(0, 10), 2.0);
+        assert_eq!(sched.multiplier_at(0, 60), 4.0, "strongest envelope wins");
+        assert_eq!(sched.multiplier_at(1, 60), 1.0, "other locations at baseline");
+        assert_eq!(sched.multiplier_at(0, 200), 1.0);
+        assert!(DemandSchedule::empty().is_empty());
+        assert_eq!(DemandSchedule::empty().multiplier_at(0, 0), 1.0);
+    }
+
     use proptest::prelude::*;
 
     proptest! {
+        #[test]
+        fn prop_flash_crowd_multiplier_bounded(
+            seed in 1u64..40, loc in 0u16..9, t in 0u64..4000,
+        ) {
+            let sched = DemandSchedule::flash_crowd(&crowd_params(seed));
+            let m = sched.multiplier_at(loc, t);
+            prop_assert!((1.0..=5.0).contains(&m), "multiplier {} out of envelope", m);
+        }
+
         #[test]
         fn prop_churn_events_time_sorted(seed in 1u64..40, mtbf_mins in 5u64..120) {
             let g = grid();
@@ -515,6 +962,108 @@ mod tests {
                     _ => {}
                 }
             }
+        }
+
+        #[test]
+        fn prop_solar_storm_sorted_and_paired(
+            seed in 1u64..60,
+            center in 0u16..72,
+            halfwidth in 0u16..10,
+            kill_pct in 1u32..100,
+        ) {
+            let g = grid();
+            let p = SolarStormParams {
+                center_plane: center,
+                plane_halfwidth: halfwidth,
+                kill_prob: kill_pct as f64 / 100.0,
+                onset_secs: 100,
+                onset_jitter_secs: 45,
+                recovery_start_secs: 700,
+                recovery_spread_secs: 200,
+                seed,
+            };
+            let sched = FaultSchedule::solar_storm(&g, &p);
+            for w in sched.events().windows(2) {
+                prop_assert!(w[0].at_secs <= w[1].at_secs, "storm must sort by time");
+            }
+            // Every SatDown has exactly one matching staged SatUp, later.
+            let mut down_at = std::collections::HashMap::new();
+            let mut ups = 0usize;
+            for e in sched.events() {
+                match e.event {
+                    FaultEvent::SatDown(id) => {
+                        prop_assert!(down_at.insert(id, e.at_secs).is_none(), "{id} downed twice");
+                    }
+                    FaultEvent::SatUp(id) => {
+                        let down = down_at.get(&id).copied();
+                        prop_assert!(down.is_some(), "{id} recovered without a knockout");
+                        prop_assert!(e.at_secs > down.unwrap(), "{id} recovered before its knockout");
+                        ups += 1;
+                    }
+                    _ => prop_assert!(false, "storm emits only satellite events"),
+                }
+            }
+            prop_assert_eq!(ups, down_at.len(), "unpaired knockout");
+        }
+
+        #[test]
+        fn prop_cascading_isl_never_cuts_a_cut_link(
+            seed in 1u64..60,
+            orbit in 0u16..72,
+            slot in 0u16..18,
+            waves in 1u16..6,
+            restore in proptest::option::of(1u64..1000),
+        ) {
+            let g = grid();
+            let p = CascadingIslParams {
+                origin: sat(orbit, slot),
+                start_secs: 30,
+                step_secs: 25,
+                waves,
+                restore_after_secs: restore,
+                seed,
+            };
+            let sched = FaultSchedule::cascading_isl(&g, &p);
+            prop_assert!(!sched.is_empty());
+            // Replaying the stream, every LinkDown must target a live
+            // link (no duplicate cut of an already-cut link).
+            let mut cut = std::collections::HashSet::new();
+            for e in sched.events() {
+                match e.event {
+                    FaultEvent::LinkDown(a, b) => {
+                        prop_assert!(cut.insert(link_id(a, b)), "duplicate cut of {a}-{b}");
+                    }
+                    FaultEvent::LinkUp(a, b) => {
+                        prop_assert!(cut.remove(&link_id(a, b)), "restore of a live link {a}-{b}");
+                    }
+                    _ => prop_assert!(false, "cascade emits only link events"),
+                }
+            }
+        }
+
+        #[test]
+        fn prop_merged_storm_and_churn_keeps_cursor_idempotent(
+            seed in 1u64..40,
+            t in 0u64..7200,
+        ) {
+            // An overlapping storm + churn stream: after any advance the
+            // cursor must be a fixed point at the same time.
+            let g = grid();
+            let storm = FaultSchedule::solar_storm(&g, &storm_params(seed));
+            let churn =
+                FaultSchedule::churn(&g, &ChurnParams::sats_only(1800.0, 300.0, 7200, seed));
+            let sched = storm.merged(churn);
+            for w in sched.events().windows(2) {
+                prop_assert!(w[0].at_secs <= w[1].at_secs, "merge must sort by time");
+            }
+            let mut cur = ScheduleCursor::new(&sched, FailureModel::none());
+            cur.advance_to(t);
+            let pos = cur.position();
+            let view = cur.view().clone();
+            let again = cur.advance_to(t);
+            prop_assert!(again.is_empty(), "second advance_to({t}) must be a no-op");
+            prop_assert_eq!(cur.position(), pos);
+            prop_assert_eq!(cur.view(), &view);
         }
 
         #[test]

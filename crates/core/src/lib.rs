@@ -41,5 +41,7 @@ pub mod system;
 pub mod variants;
 
 pub use config::{RelayPolicy, StarCdnConfig};
-pub use metrics::{AvailabilityPoint, SystemMetrics};
-pub use system::{resolve_route_in, ResolvedRoute, ServeOutcome, ServedFrom, SpaceCdn};
+pub use metrics::{AvailabilityPoint, RecoverySlo, SystemMetrics};
+pub use system::{
+    resolve_route_in, ResolvedRoute, RouteOutcome, ServeOutcome, ServedFrom, SpaceCdn,
+};

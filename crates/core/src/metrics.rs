@@ -138,6 +138,50 @@ pub struct SystemMetrics {
     /// (empty unless overload mode is on).
     #[serde(default)]
     pub utilization: Vec<starcdn_constellation::capacity::UtilizationPoint>,
+    /// Requests whose owner resolved to a live satellite that was
+    /// unreachable across a partitioned grid; each was served degraded
+    /// over the origin bent pipe instead.
+    #[serde(default)]
+    pub partitioned_requests: u64,
+}
+
+/// Recovery-SLO summary of one availability dip episode, derived from
+/// the [`AvailabilityPoint`] timeline: how deep the constellation sank
+/// and how long it took to start and to finish recovering. Epoch times
+/// are scheduler epoch indices (`u64::MAX` when the run ended before
+/// the milestone was reached).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoverySlo {
+    /// Alive satellites immediately before the dip began.
+    pub baseline_alive: u32,
+    /// Minimum alive satellites during the dip.
+    pub trough_alive: u32,
+    /// `baseline_alive - trough_alive`.
+    pub dip_depth: u32,
+    /// First epoch with fewer alive satellites than the baseline.
+    pub dip_start_epoch: u64,
+    /// Epoch of the trough (first epoch attaining the minimum).
+    pub trough_epoch: u64,
+    /// First epoch after the trough where availability rose at all
+    /// (`u64::MAX` if it never did).
+    pub first_recovery_epoch: u64,
+    /// First epoch at or after the trough back at the baseline
+    /// (`u64::MAX` if the run ended still degraded).
+    pub full_recovery_epoch: u64,
+}
+
+impl RecoverySlo {
+    /// Epochs from the trough to the first upward movement.
+    pub fn time_to_first_recovery(&self) -> Option<u64> {
+        (self.first_recovery_epoch != u64::MAX)
+            .then(|| self.first_recovery_epoch - self.trough_epoch)
+    }
+
+    /// Epochs from the dip start back to the baseline.
+    pub fn time_to_full_recovery(&self) -> Option<u64> {
+        (self.full_recovery_epoch != u64::MAX)
+            .then(|| self.full_recovery_epoch - self.dip_start_epoch)
+    }
 }
 
 impl SystemMetrics {
@@ -179,6 +223,51 @@ impl SystemMetrics {
         LatencyCdf::from_samples(self.latencies_ms.clone())
     }
 
+    /// Recovery-SLO episodes derived from the availability timeline: one
+    /// entry per contiguous dip below the preceding baseline. Pure
+    /// derivation — nothing extra is stored, so engine↔replayer parity
+    /// of the timeline carries over to the SLOs.
+    pub fn recovery_slos(&self) -> Vec<RecoverySlo> {
+        let pts = &self.availability;
+        let mut out = Vec::new();
+        let mut i = 1;
+        while i < pts.len() {
+            if pts[i].alive_sats >= pts[i - 1].alive_sats {
+                i += 1;
+                continue;
+            }
+            // Dip begins at `i`; baseline is the point just before.
+            let baseline = pts[i - 1].alive_sats;
+            let dip_start = pts[i].epoch;
+            let mut trough = pts[i];
+            let mut j = i;
+            // The dip runs until availability is back at the baseline.
+            while j < pts.len() && pts[j].alive_sats < baseline {
+                if pts[j].alive_sats < trough.alive_sats {
+                    trough = pts[j];
+                }
+                j += 1;
+            }
+            let first_recovery = pts[i..j]
+                .iter()
+                .find(|p| p.epoch > trough.epoch && p.alive_sats > trough.alive_sats)
+                .map(|p| p.epoch)
+                .unwrap_or(if j < pts.len() { pts[j].epoch } else { u64::MAX });
+            let full_recovery = if j < pts.len() { pts[j].epoch } else { u64::MAX };
+            out.push(RecoverySlo {
+                baseline_alive: baseline,
+                trough_alive: trough.alive_sats,
+                dip_depth: baseline - trough.alive_sats,
+                dip_start_epoch: dip_start,
+                trough_epoch: trough.epoch,
+                first_recovery_epoch: first_recovery,
+                full_recovery_epoch: full_recovery,
+            });
+            i = j.max(i + 1);
+        }
+        out
+    }
+
     /// Merge another run's metrics into this one.
     pub fn merge(&mut self, other: &SystemMetrics) {
         self.stats += other.stats;
@@ -206,6 +295,7 @@ impl SystemMetrics {
         self.utilization.extend_from_slice(&other.utilization);
         self.utilization.sort_by_key(|a| a.epoch);
         self.utilization.dedup_by_key(|p| p.epoch);
+        self.partitioned_requests += other.partitioned_requests;
         for (sat, st) in &other.per_satellite {
             *self.per_satellite.entry(*sat).or_default() += *st;
         }
@@ -286,13 +376,11 @@ mod tests {
 
     #[test]
     fn merge_degraded_mode_counters() {
-        let mut a = SystemMetrics::default();
-        a.remapped_requests = 3;
-        a.cold_restart_misses = 1;
+        let mut a =
+            SystemMetrics { remapped_requests: 3, cold_restart_misses: 1, ..Default::default() };
         a.availability.push(AvailabilityPoint { epoch: 0, alive_sats: 1296, cut_links: 0 });
-        let mut b = SystemMetrics::default();
-        b.remapped_requests = 2;
-        b.reroute_extra_hops = 7;
+        let mut b =
+            SystemMetrics { remapped_requests: 2, reroute_extra_hops: 7, ..Default::default() };
         // Duplicate epoch 0 (parallel shards each see the boundary) plus a
         // new epoch 1 — merge dedups by epoch.
         b.availability.push(AvailabilityPoint { epoch: 0, alive_sats: 1296, cut_links: 0 });
@@ -316,16 +404,16 @@ mod tests {
             isl_bytes: 0,
             shed_requests: 0,
         };
-        let mut a = SystemMetrics::default();
-        a.shed_requests = 2;
-        a.served_primary = 5;
+        let mut a = SystemMetrics { shed_requests: 2, served_primary: 5, ..Default::default() };
         a.utilization.push(point(0, 0.5));
-        let mut b = SystemMetrics::default();
-        b.shed_requests = 1;
-        b.retry_attempts = 4;
-        b.served_replica = 2;
-        b.served_origin_fallback = 1;
-        b.dropped_requests = 1;
+        let mut b = SystemMetrics {
+            shed_requests: 1,
+            retry_attempts: 4,
+            served_replica: 2,
+            served_origin_fallback: 1,
+            dropped_requests: 1,
+            ..Default::default()
+        };
         b.utilization.push(point(0, 0.5)); // duplicate epoch → deduped
         b.utilization.push(point(1, 0.9));
         a.merge(&b);
@@ -337,6 +425,80 @@ mod tests {
         assert_eq!(a.dropped_requests, 1);
         assert_eq!(a.utilization.len(), 2);
         assert_eq!(a.utilization[1].epoch, 1);
+    }
+
+    fn avail(epoch: u64, alive: u32) -> AvailabilityPoint {
+        AvailabilityPoint { epoch, alive_sats: alive, cut_links: 0 }
+    }
+
+    #[test]
+    fn recovery_slos_empty_without_dips() {
+        let mut m = SystemMetrics::default();
+        assert!(m.recovery_slos().is_empty());
+        m.availability = vec![avail(0, 1296), avail(1, 1296), avail(2, 1296)];
+        assert!(m.recovery_slos().is_empty(), "flat availability has no episodes");
+    }
+
+    #[test]
+    fn recovery_slos_one_storm_episode() {
+        // Baseline 1296, storm drops to 1200 then 1150, staged recovery
+        // via 1210 back to 1296.
+        let m = SystemMetrics {
+            availability: vec![
+                avail(0, 1296),
+                avail(1, 1200),
+                avail(2, 1150),
+                avail(3, 1150),
+                avail(4, 1210),
+                avail(5, 1296),
+                avail(6, 1296),
+            ],
+            ..Default::default()
+        };
+        let slos = m.recovery_slos();
+        assert_eq!(slos.len(), 1);
+        let s = slos[0];
+        assert_eq!(s.baseline_alive, 1296);
+        assert_eq!(s.trough_alive, 1150);
+        assert_eq!(s.dip_depth, 146);
+        assert_eq!(s.dip_start_epoch, 1);
+        assert_eq!(s.trough_epoch, 2);
+        assert_eq!(s.first_recovery_epoch, 4);
+        assert_eq!(s.full_recovery_epoch, 5);
+        assert_eq!(s.time_to_first_recovery(), Some(2));
+        assert_eq!(s.time_to_full_recovery(), Some(4));
+    }
+
+    #[test]
+    fn recovery_slos_unrecovered_dip_and_two_episodes() {
+        let m = SystemMetrics {
+            availability: vec![
+                avail(0, 100),
+                avail(1, 90), // episode 1: dips, recovers at 3
+                avail(2, 95),
+                avail(3, 100),
+                avail(4, 80), // episode 2: never recovers
+                avail(5, 80),
+            ],
+            ..Default::default()
+        };
+        let slos = m.recovery_slos();
+        assert_eq!(slos.len(), 2);
+        assert_eq!(slos[0].dip_depth, 10);
+        assert_eq!(slos[0].full_recovery_epoch, 3);
+        assert_eq!(slos[1].dip_depth, 20);
+        assert_eq!(slos[1].first_recovery_epoch, u64::MAX);
+        assert_eq!(slos[1].full_recovery_epoch, u64::MAX);
+        assert_eq!(slos[1].time_to_first_recovery(), None);
+        assert_eq!(slos[1].time_to_full_recovery(), None);
+    }
+
+    #[test]
+    fn merge_partitioned_requests() {
+        let mut a = SystemMetrics { partitioned_requests: 2, ..Default::default() };
+        let b = SystemMetrics { partitioned_requests: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.partitioned_requests, 5);
     }
 
     #[test]

@@ -88,6 +88,52 @@ impl ResolvedRoute {
     }
 }
 
+/// How a route resolution ended: the explicit three-way split the
+/// degraded-serving paths need. `Partitioned` (owner alive but
+/// unreachable across a severed grid) and `Unroutable` (owner and every
+/// remap candidate dead) both degrade to the origin bent-pipe path, but
+/// are distinct failure modes with distinct counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteOutcome {
+    /// A live owner with a surviving route.
+    Routed(ResolvedRoute),
+    /// The owner resolved to a live satellite, but no surviving ISL path
+    /// connects the first contact to it: they sit in different connected
+    /// components of the damaged grid.
+    Partitioned {
+        /// The live-but-unreachable owner.
+        owner: SatelliteId,
+    },
+    /// The preferred owner (and, with remapping, every candidate in its
+    /// bucket chain) is dead.
+    Unroutable,
+}
+
+impl RouteOutcome {
+    /// The resolved route, dropping the degraded outcomes.
+    pub fn routed(self) -> Option<ResolvedRoute> {
+        match self {
+            RouteOutcome::Routed(r) => Some(r),
+            RouteOutcome::Partitioned { .. } | RouteOutcome::Unroutable => None,
+        }
+    }
+}
+
+/// [`resolve_route_in_recorded`] with the explicit three-way outcome.
+#[allow(clippy::too_many_arguments)]
+pub fn classify_route_in_recorded(
+    grid: &GridTopology,
+    tiling: Option<&BucketTiling>,
+    failures: &FailureModel,
+    remap_on_failure: bool,
+    first_contact: SatelliteId,
+    object: ObjectId,
+    rec: &dyn starcdn_telemetry::Recorder,
+) -> RouteOutcome {
+    let preferred = preferred_owner(grid, tiling, first_contact, object);
+    classify_route_toward_recorded(grid, failures, remap_on_failure, first_contact, preferred, rec)
+}
+
 /// Resolve the serving owner and route for `object` arriving at
 /// `first_contact`, under an arbitrary failure view. Free function so the
 /// parallel replayer's pre-pass can resolve against a churn cursor's view
@@ -146,7 +192,9 @@ pub fn preferred_owner(
 /// Resolve the route toward an explicit `preferred` owner (rather than
 /// the one the object hashes to): §3.4 remapping, then hop mix on the
 /// healthy torus or the fault-avoiding BFS. The overload retry path uses
-/// this to probe successive same-bucket replicas.
+/// this to probe successive same-bucket replicas. `None` collapses both
+/// degraded outcomes; use [`classify_route_toward_recorded`] to tell a
+/// partition from a dead owner chain.
 pub fn resolve_route_toward_recorded(
     grid: &GridTopology,
     failures: &FailureModel,
@@ -155,38 +203,68 @@ pub fn resolve_route_toward_recorded(
     preferred: SatelliteId,
     rec: &dyn starcdn_telemetry::Recorder,
 ) -> Option<ResolvedRoute> {
+    classify_route_toward_recorded(grid, failures, remap_on_failure, first_contact, preferred, rec)
+        .routed()
+}
+
+/// [`resolve_route_toward_recorded`] with the explicit three-way
+/// outcome: `Routed`, `Partitioned` (live owner, no surviving path — a
+/// dead first contact counts, it is trivially disconnected), or
+/// `Unroutable` (owner chain dead). Telemetry recording is identical to
+/// the `Option` form — the BFS fallback runs exactly once either way.
+pub fn classify_route_toward_recorded(
+    grid: &GridTopology,
+    failures: &FailureModel,
+    remap_on_failure: bool,
+    first_contact: SatelliteId,
+    preferred: SatelliteId,
+    rec: &dyn starcdn_telemetry::Recorder,
+) -> RouteOutcome {
     let owner = if remap_on_failure {
-        failures.resolve_owner(grid, preferred)?
+        match failures.resolve_owner(grid, preferred) {
+            Some(o) => o,
+            None => return RouteOutcome::Unroutable,
+        }
     } else if failures.is_alive(preferred) {
         preferred
     } else {
         // Transient failure response (§3.4): report a miss and forward
         // the request to the ground.
-        return None;
+        return RouteOutcome::Unroutable;
     };
     let remapped = owner != preferred;
     if owner == first_contact {
-        return Some(ResolvedRoute { owner, intra: 0, inter: 0, remapped, extra_hops: 0 });
+        return RouteOutcome::Routed(ResolvedRoute {
+            owner,
+            intra: 0,
+            inter: 0,
+            remapped,
+            extra_hops: 0,
+        });
     }
     if !failures.has_faults() {
         // Healthy torus: the canonical path's hop mix is the wrap
         // distance on each axis.
         let inter = grid.plane_distance(first_contact.orbit, owner.orbit);
         let intra = grid.slot_distance(first_contact.slot, owner.slot);
-        Some(ResolvedRoute { owner, intra, inter, remapped, extra_hops: 0 })
+        RouteOutcome::Routed(ResolvedRoute { owner, intra, inter, remapped, extra_hops: 0 })
     } else {
-        let path = shortest_path_avoiding_links_recorded(
+        let Some(path) = shortest_path_avoiding_links_recorded(
             grid,
             first_contact,
             owner,
             |id| failures.is_alive(id),
             |a, b| failures.is_link_alive(a, b),
             rec,
-        )?;
+        ) else {
+            // The owner is alive but BFS over the surviving grid found no
+            // path: first contact and owner are in different components.
+            return RouteOutcome::Partitioned { owner };
+        };
         let (intra, inter) = path.hop_mix();
         let extra_hops =
             (path.len() as u16).saturating_sub(grid.hop_distance(first_contact, owner));
-        Some(ResolvedRoute {
+        RouteOutcome::Routed(ResolvedRoute {
             owner,
             intra: intra as u16,
             inter: inter as u16,
@@ -277,6 +355,20 @@ impl SpaceCdn {
         )
     }
 
+    /// [`SpaceCdn::resolve_route`] with the explicit three-way outcome
+    /// (routed / partitioned / unroutable).
+    pub fn classify_route(&self, first_contact: SatelliteId, object: ObjectId) -> RouteOutcome {
+        classify_route_in_recorded(
+            &self.cfg.grid,
+            self.tiling.as_ref(),
+            &self.failures,
+            self.cfg.remap_on_failure,
+            first_contact,
+            object,
+            &starcdn_telemetry::Noop,
+        )
+    }
+
     /// Handle one request arriving at `first_contact` with the given
     /// one-way user↔satellite GSL delay.
     pub fn handle_request(
@@ -286,18 +378,27 @@ impl SpaceCdn {
         size: u64,
         gsl_oneway_ms: f64,
     ) -> ServeOutcome {
-        let Some(route) = self.resolve_route(first_contact, object) else {
-            // No reachable owner: downlink straight from the first-contact
-            // satellite (transient-failure path of §3.4).
-            let latency_ms = self.latency.ground_miss_rtt_ms(gsl_oneway_ms, 0, 0, 0);
-            self.metrics.record(first_contact, ServedFrom::Ground, size, latency_ms);
-            return ServeOutcome {
-                served_from: ServedFrom::Ground,
-                latency_ms,
-                uplink_bytes: size,
-                owner: first_contact,
-                route_hops: 0,
-            };
+        let route = match self.classify_route(first_contact, object) {
+            RouteOutcome::Routed(route) => route,
+            degraded @ (RouteOutcome::Partitioned { .. } | RouteOutcome::Unroutable) => {
+                // No reachable owner: downlink straight from the
+                // first-contact satellite (transient-failure path of
+                // §3.4). A partition — live owner across a severed grid —
+                // additionally bumps its own counter; the serve itself is
+                // identical degraded bent-pipe either way.
+                if matches!(degraded, RouteOutcome::Partitioned { .. }) {
+                    self.metrics.partitioned_requests += 1;
+                }
+                let latency_ms = self.latency.ground_miss_rtt_ms(gsl_oneway_ms, 0, 0, 0);
+                self.metrics.record(first_contact, ServedFrom::Ground, size, latency_ms);
+                return ServeOutcome {
+                    served_from: ServedFrom::Ground,
+                    latency_ms,
+                    uplink_bytes: size,
+                    owner: first_contact,
+                    route_hops: 0,
+                };
+            }
         };
         self.serve_routed(route, object, size, gsl_oneway_ms, 0.0)
     }
@@ -814,6 +915,48 @@ mod tests {
         assert!(rerouted.hops() >= route.hops(), "detour cannot shorten the route");
         cdn.handle_request(fc, ObjectId(3), 100, 2.9);
         assert_eq!(cdn.metrics.reroute_extra_hops, rerouted.extra_hops as u64);
+    }
+
+    #[test]
+    fn partitioned_owner_degrades_to_bent_pipe() {
+        // Sever every ISL of the first contact: the owner stays alive,
+        // but no surviving path connects them — a partition, not an
+        // unroutable request.
+        let cfg = StarCdnConfig::starcdn(9, CAP);
+        let fc = SatelliteId::new(10, 5);
+        let probe = SpaceCdn::new(cfg.clone());
+        let route = probe.resolve_route(fc, ObjectId(5)).unwrap();
+        assert!(route.hops() > 0, "pick an object owned elsewhere");
+        let grid = cfg.grid.clone();
+        let failures =
+            FailureModel::from_outages([], grid.neighbors(fc).into_iter().map(|(_, n)| (fc, n)));
+        let mut cdn = SpaceCdn::with_failures(cfg, failures);
+        match cdn.classify_route(fc, ObjectId(5)) {
+            RouteOutcome::Partitioned { owner } => assert_eq!(owner, route.owner),
+            other => panic!("expected a partition, got {other:?}"),
+        }
+        assert_eq!(cdn.resolve_route(fc, ObjectId(5)), None, "Option view collapses to None");
+        let out = cdn.handle_request(fc, ObjectId(5), 100, 2.9);
+        assert_eq!(out.served_from, ServedFrom::Ground, "degrades to the bent pipe");
+        assert_eq!(out.uplink_bytes, 100);
+        assert_eq!(out.route_hops, 0);
+        assert_eq!(cdn.metrics.partitioned_requests, 1);
+    }
+
+    #[test]
+    fn dead_owner_chain_is_unroutable_not_partitioned() {
+        // Without remapping, a dead preferred owner is Unroutable: the
+        // degraded serve is identical but the partition counter stays 0.
+        let cfg = StarCdnConfig { remap_on_failure: false, ..StarCdnConfig::starcdn(9, CAP) };
+        let fc = SatelliteId::new(10, 5);
+        let probe = SpaceCdn::new(cfg.clone());
+        let owner = probe.resolve_route(fc, ObjectId(5)).unwrap().owner;
+        assert_ne!(owner, fc);
+        let mut cdn = SpaceCdn::with_failures(cfg, FailureModel::from_dead([owner]));
+        assert_eq!(cdn.classify_route(fc, ObjectId(5)), RouteOutcome::Unroutable);
+        let out = cdn.handle_request(fc, ObjectId(5), 100, 2.9);
+        assert_eq!(out.served_from, ServedFrom::Ground);
+        assert_eq!(cdn.metrics.partitioned_requests, 0);
     }
 
     #[test]

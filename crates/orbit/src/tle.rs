@@ -251,8 +251,8 @@ mod tests {
 
     #[test]
     fn checksum_counts_minus_as_one() {
-        assert_eq!(checksum("1 ------"), 7 % 10);
-        assert_eq!(checksum("1 11111"), 6 % 10);
+        assert_eq!(checksum("1 ------"), 7);
+        assert_eq!(checksum("1 11111"), 6);
     }
 
     #[test]

@@ -542,6 +542,7 @@ pub(crate) fn put_metrics(w: &mut ByteWriter, m: &SystemMetrics) {
         w.u64(p.isl_bytes);
         w.u64(p.shed_requests);
     }
+    w.u64(m.partitioned_requests);
 }
 
 pub(crate) fn get_metrics(r: &mut ByteReader) -> Result<SystemMetrics, CheckpointError> {
@@ -605,6 +606,7 @@ pub(crate) fn get_metrics(r: &mut ByteReader) -> Result<SystemMetrics, Checkpoin
             shed_requests: r.u64()?,
         });
     }
+    let partitioned_requests = r.u64()?;
     Ok(SystemMetrics {
         stats,
         uplink_bytes,
@@ -629,6 +631,7 @@ pub(crate) fn get_metrics(r: &mut ByteReader) -> Result<SystemMetrics, Checkpoin
         served_origin_fallback,
         dropped_requests,
         utilization,
+        partitioned_requests,
     })
 }
 
@@ -1460,10 +1463,16 @@ fn drive_checkpointed(
             );
             cdn.metrics.shed_requests += lifecycle.sheds as u64;
             cdn.metrics.retry_attempts += lifecycle.retries as u64;
+            if lifecycle.partitioned > 0 {
+                cdn.metrics.partitioned_requests += 1;
+            }
             if enabled {
                 eff.add(Counter::RequestsShed, lifecycle.sheds as u64);
                 eff.add(Counter::RetryAttempts, lifecycle.retries as u64);
                 eff.observe(Histo::RetryCount, lifecycle.retries as u64);
+                if lifecycle.partitioned > 0 {
+                    eff.add(Counter::RequestsPartitioned, 1);
+                }
             }
             match lifecycle.decision {
                 crate::overload::Decision::Serve { route, replica, penalty_ms } => {
@@ -1494,9 +1503,14 @@ fn drive_checkpointed(
         } else {
             match e.first_contact {
                 Some(sat) => {
+                    let partitioned_before =
+                        if enabled { cdn.metrics.partitioned_requests } else { 0 };
                     let out = cdn.handle_request(sat, e.object, e.size, e.gsl_oneway_ms);
                     if enabled {
                         record_outcome(eff, &out, e.size);
+                        if cdn.metrics.partitioned_requests > partitioned_before {
+                            eff.add(Counter::RequestsPartitioned, 1);
+                        }
                     }
                 }
                 None => {
@@ -1612,6 +1626,7 @@ mod tests {
         assert_eq!(a.served_origin_fallback, b.served_origin_fallback);
         assert_eq!(a.dropped_requests, b.dropped_requests);
         assert_eq!(util_bits(&a.utilization), util_bits(&b.utilization), "utilization timeline");
+        assert_eq!(a.partitioned_requests, b.partitioned_requests);
     }
 
     /// Telemetry equality modulo span wall-clock time (span *counts*
@@ -1644,6 +1659,7 @@ mod tests {
             isl_bytes: 400,
             shed_requests: 2,
         });
+        metrics.partitioned_requests = 3;
         let mut lru = starcdn_cache::policy::PolicyKind::Lru.build(10_000);
         lru.access(ObjectId(7), 100);
         lru.access(ObjectId(9), 200);

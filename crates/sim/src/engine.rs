@@ -291,9 +291,13 @@ fn drive_with_faults(
         }
         match e.first_contact {
             Some(sat) => {
+                let partitioned_before = if enabled { cdn.metrics.partitioned_requests } else { 0 };
                 let out = cdn.handle_request(sat, e.object, e.size, e.gsl_oneway_ms);
                 if enabled {
                     record_outcome(rec, &out, e.size);
+                    if cdn.metrics.partitioned_requests > partitioned_before {
+                        rec.add(Counter::RequestsPartitioned, 1);
+                    }
                 }
             }
             None => {
@@ -445,10 +449,16 @@ fn drive_overloaded(
         );
         cdn.metrics.shed_requests += lifecycle.sheds as u64;
         cdn.metrics.retry_attempts += lifecycle.retries as u64;
+        if lifecycle.partitioned > 0 {
+            cdn.metrics.partitioned_requests += 1;
+        }
         if enabled {
             rec.add(Counter::RequestsShed, lifecycle.sheds as u64);
             rec.add(Counter::RetryAttempts, lifecycle.retries as u64);
             rec.observe(Histo::RetryCount, lifecycle.retries as u64);
+            if lifecycle.partitioned > 0 {
+                rec.add(Counter::RequestsPartitioned, 1);
+            }
         }
         match lifecycle.decision {
             crate::overload::Decision::Serve { route, replica, penalty_ms } => {

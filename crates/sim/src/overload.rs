@@ -24,7 +24,9 @@
 //! to the engine.
 
 use starcdn::latency::LatencyModel;
-use starcdn::system::{preferred_owner, resolve_route_toward_recorded, ResolvedRoute};
+use starcdn::system::{
+    classify_route_toward_recorded, preferred_owner, ResolvedRoute, RouteOutcome,
+};
 use starcdn_cache::object::ObjectId;
 use starcdn_constellation::buckets::BucketTiling;
 use starcdn_constellation::capacity::{AdmitDecision, CapacityLedger};
@@ -105,6 +107,9 @@ pub(crate) struct LifecycleOutcome {
     pub sheds: u32,
     /// Attempts made beyond the first.
     pub retries: u32,
+    /// Attempts whose live target sat across a grid partition from the
+    /// first contact.
+    pub partitioned: u32,
 }
 
 /// Run the admission/retry state machine for one request. Deterministic
@@ -133,6 +138,7 @@ pub(crate) fn decide(
     let mut penalty_ms = 0.0f64;
     let mut sheds = 0u32;
     let mut retries = 0u32;
+    let mut partitioned = 0u32;
     let mut last_epoch = epoch;
     let mut deadline_blown = false;
     for attempt in 0..max_attempts {
@@ -153,7 +159,7 @@ pub(crate) fn decide(
         };
         let admit_epoch = epoch + attempt as u64 * policy.backoff_epochs;
         last_epoch = admit_epoch;
-        match resolve_route_toward_recorded(
+        match classify_route_toward_recorded(
             grid,
             view,
             remap_on_failure,
@@ -161,13 +167,14 @@ pub(crate) fn decide(
             target,
             rec,
         ) {
-            Some(route) => {
+            RouteOutcome::Routed(route) => {
                 match ledger.admit(admit_epoch, first_contact, route.owner, size) {
                     AdmitDecision::Admit => {
                         return LifecycleOutcome {
                             decision: Decision::Serve { route, replica: attempt > 0, penalty_ms },
                             sheds,
                             retries,
+                            partitioned,
                         };
                     }
                     AdmitDecision::Shed(_) => {
@@ -179,7 +186,14 @@ pub(crate) fn decide(
                     }
                 }
             }
-            None => {
+            RouteOutcome::Partitioned { .. } => {
+                // Target alive but cut off behind a grid partition: a
+                // wasted attempt; only the backoff wait accrues. Counted
+                // separately so callers can surface degraded serving.
+                partitioned += 1;
+                penalty_ms += backoff_wait_ms;
+            }
+            RouteOutcome::Unroutable => {
                 // Target (and its whole remap chain) dead or unreachable:
                 // a wasted attempt; only the backoff wait accrues.
                 penalty_ms += backoff_wait_ms;
@@ -187,15 +201,18 @@ pub(crate) fn decide(
         }
     }
     if deadline_blown || penalty_ms > policy.deadline_ms {
-        return LifecycleOutcome { decision: Decision::Drop, sheds, retries };
+        return LifecycleOutcome { decision: Decision::Drop, sheds, retries, partitioned };
     }
     // Origin-direct last resort: only the first contact's GSL carries it.
     match ledger.admit_direct(last_epoch, first_contact, size) {
-        AdmitDecision::Admit => {
-            LifecycleOutcome { decision: Decision::OriginFallback { penalty_ms }, sheds, retries }
-        }
+        AdmitDecision::Admit => LifecycleOutcome {
+            decision: Decision::OriginFallback { penalty_ms },
+            sheds,
+            retries,
+            partitioned,
+        },
         AdmitDecision::Shed(_) => {
-            LifecycleOutcome { decision: Decision::Drop, sheds: sheds + 1, retries }
+            LifecycleOutcome { decision: Decision::Drop, sheds: sheds + 1, retries, partitioned }
         }
     }
 }
@@ -369,6 +386,29 @@ mod tests {
         let out = run_decide(&cfg, &latency, &view, &mut ledger, &ocfg, 1, size);
         assert_eq!(out.retries, 0);
         assert!(matches!(out.decision, Decision::OriginFallback { .. } | Decision::Drop));
+    }
+
+    #[test]
+    fn partitioned_attempts_count_and_fall_back_to_origin() {
+        let (cfg, latency, _) = ctx();
+        // Cut all four ISLs of the first contact: every live replica sits
+        // across the partition, so each attempt is Partitioned and the
+        // request degrades to the origin bent pipe.
+        let fc = SatelliteId::new(10, 5);
+        let cuts: Vec<_> = cfg.grid.neighbors(fc).into_iter().map(|(_, n)| (fc, n)).collect();
+        let view = FailureModel::from_outages([], cuts);
+        let mut ledger = CapacityLedger::new(&cfg.grid, &LinkModel::table1(), 15, 1.0);
+        let ocfg = OverloadConfig::with_headroom(1.0);
+        // Owner on a different slot: no east-shifted retry replica can
+        // coincide with the first contact (east_by preserves the slot).
+        let tiling = cfg.num_buckets.map(|l| BucketTiling::new(l).unwrap());
+        let obj = (0..64)
+            .find(|&o| preferred_owner(&cfg.grid, tiling.as_ref(), fc, ObjectId(o)).slot != fc.slot)
+            .expect("some bucket owner must sit off the first contact's slot");
+        let out = run_decide(&cfg, &latency, &view, &mut ledger, &ocfg, obj, 1000);
+        assert!(matches!(out.decision, Decision::OriginFallback { .. }), "{out:?}");
+        assert_eq!(out.partitioned, 3, "every attempt crossed the partition");
+        assert_eq!(out.sheds, 0);
     }
 
     #[test]

@@ -37,7 +37,7 @@ use starcdn::config::StarCdnConfig;
 use starcdn::latency::LatencyModel;
 use starcdn::metrics::{AvailabilityPoint, SystemMetrics};
 use starcdn::relay::relay_candidates;
-use starcdn::system::{resolve_route_in_recorded, ServeOutcome, ServedFrom};
+use starcdn::system::{classify_route_in_recorded, RouteOutcome, ServeOutcome, ServedFrom};
 use starcdn_cache::policy::Cache;
 use starcdn_constellation::buckets::BucketTiling;
 use starcdn_constellation::failures::FailureModel;
@@ -342,10 +342,16 @@ pub(crate) fn prepare_shards(
             );
             direct.shed_requests += lc.sheds as u64;
             direct.retry_attempts += lc.retries as u64;
+            if lc.partitioned > 0 {
+                direct.partitioned_requests += 1;
+            }
             if enabled {
                 rec.add(Counter::RequestsShed, lc.sheds as u64);
                 rec.add(Counter::RetryAttempts, lc.retries as u64);
                 rec.observe(Histo::RetryCount, lc.retries as u64);
+                if lc.partitioned > 0 {
+                    rec.add(Counter::RequestsPartitioned, 1);
+                }
             }
             match lc.decision {
                 crate::overload::Decision::Serve { route, replica, penalty_ms } => {
@@ -391,7 +397,7 @@ pub(crate) fn prepare_shards(
             }
             continue;
         }
-        match resolve_route_in_recorded(
+        match classify_route_in_recorded(
             &cfg.grid,
             tiling.as_ref(),
             view,
@@ -400,7 +406,7 @@ pub(crate) fn prepare_shards(
             e.object,
             rec,
         ) {
-            Some(route) => {
+            RouteOutcome::Routed(route) => {
                 if route.remapped {
                     direct.remapped_requests += 1;
                 }
@@ -425,7 +431,19 @@ pub(crate) fn prepare_shards(
                     replica: None,
                 }));
             }
-            None => {
+            RouteOutcome::Partitioned { .. } => {
+                // Owner alive but cut off behind a grid partition:
+                // degrade to the origin bent pipe, exactly like the
+                // engine's `handle_request` (uplink charged to the first
+                // contact's GSL, zero ISL hops).
+                let lat = latency.ground_miss_rtt_ms(e.gsl_oneway_ms, 0, 0, 0);
+                direct.record(fc, ServedFrom::Ground, e.size, lat);
+                direct.partitioned_requests += 1;
+                if enabled {
+                    rec.add(Counter::RequestsPartitioned, 1);
+                }
+            }
+            RouteOutcome::Unroutable => {
                 let lat = latency.ground_miss_rtt_ms(e.gsl_oneway_ms, 0, 0, 0);
                 direct.record(fc, ServedFrom::Ground, e.size, lat);
                 if enabled {

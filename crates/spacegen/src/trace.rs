@@ -1,7 +1,9 @@
 //! Trace records and the nine-city location set.
 
+use rand::prelude::*;
 use serde::{Deserialize, Serialize};
 use starcdn_cache::object::ObjectId;
+use starcdn_constellation::schedule::DemandSchedule;
 use starcdn_orbit::coords::Geodetic;
 use starcdn_orbit::time::SimTime;
 
@@ -143,6 +145,36 @@ impl Trace {
     pub fn accesses(&self) -> Vec<(ObjectId, u64)> {
         self.requests.iter().map(|r| (r.object, r.size)).collect()
     }
+
+    /// Amplify the trace with a flash-crowd [`DemandSchedule`]: each
+    /// request whose location sits under an active surge envelope is
+    /// replicated so the local request rate scales by the envelope's
+    /// multiplier (fractional parts resolved by a seeded coin).
+    ///
+    /// The overlay runs *before* the access log is built, so the engine
+    /// and the parallel replayer see the same amplified stream and
+    /// bit-for-bit parity is preserved by construction. Clones keep the
+    /// original timestamp; [`Trace::new`]'s stable sort keeps them
+    /// adjacent to their source request.
+    pub fn with_demand_surges(&self, surges: &DemandSchedule, seed: u64) -> Trace {
+        if surges.is_empty() {
+            return self.clone();
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF1A5_4C20_0B5E_71E5);
+        let mut out = Vec::with_capacity(self.requests.len());
+        for r in &self.requests {
+            out.push(*r);
+            let extra = surges.multiplier_at(r.location.0, r.time.as_secs()) - 1.0;
+            if extra <= 0.0 {
+                continue;
+            }
+            let copies = extra.floor() as u64 + u64::from(rng.gen::<f64>() < extra.fract());
+            for _ in 0..copies {
+                out.push(*r);
+            }
+        }
+        Trace::new(out)
+    }
 }
 
 #[cfg(test)]
@@ -222,5 +254,53 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.end_time(), SimTime::ZERO);
         assert_eq!(t.unique_objects(), (0, 0));
+    }
+
+    fn surge(loc: u16, onset: u64, hold: u64, peak: f64) -> DemandSurge {
+        DemandSurge {
+            location: loc,
+            onset_secs: onset,
+            ramp_secs: 0,
+            hold_secs: hold,
+            decay_secs: 0,
+            peak_multiplier: peak,
+        }
+    }
+
+    use starcdn_constellation::schedule::DemandSurge;
+
+    #[test]
+    fn demand_surge_amplifies_only_the_hot_location() {
+        // 100 requests per location; a 3× plateau over location 1 only.
+        let base = Trace::new((0..200).map(|i| req(i % 100, i, 10, (i % 2) as u16)).collect());
+        let sched = DemandSchedule::from_surges([surge(1, 0, 100, 3.0)]);
+        let amp = base.with_demand_surges(&sched, 7);
+        let counts = amp.split_by_location(2);
+        assert_eq!(counts[0].len(), 100, "cold location untouched");
+        assert_eq!(counts[1].len(), 300, "integer multiplier is exact");
+        // Amplification clones requests: no new objects, same end time.
+        assert_eq!(amp.unique_objects(), base.unique_objects());
+        assert_eq!(amp.end_time(), base.end_time());
+        // Sorted-by-time invariant survives amplification.
+        for w in amp.requests.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    fn demand_surge_fractional_multiplier_is_seed_deterministic() {
+        let base = Trace::new((0..1000).map(|i| req(i, i, 1, 0)).collect());
+        let sched = DemandSchedule::from_surges([surge(0, 0, 1000, 2.5)]);
+        let a = base.with_demand_surges(&sched, 42);
+        let b = base.with_demand_surges(&sched, 42);
+        assert_eq!(a, b, "same seed, same amplified trace");
+        // ~2.5× in expectation: 1 clone always, a second one half the time.
+        assert!(a.len() > 2200 && a.len() < 2800, "got {}", a.len());
+    }
+
+    #[test]
+    fn empty_demand_schedule_is_identity() {
+        let base = Trace::new(vec![req(0, 1, 10, 0), req(5, 2, 20, 1)]);
+        assert_eq!(base.with_demand_surges(&DemandSchedule::empty(), 3), base);
     }
 }

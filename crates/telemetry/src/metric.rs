@@ -47,11 +47,14 @@ pub enum Counter {
     OriginFallbacks,
     /// Requests dropped after the retry policy ran out.
     RequestsDropped,
+    /// Requests whose live owner was unreachable across a partitioned
+    /// grid, served degraded over the origin bent pipe.
+    RequestsPartitioned,
 }
 
 impl Counter {
     /// Every counter, in snapshot order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 20] = [
         Counter::RequestsRouted,
         Counter::RequestsUnreachable,
         Counter::RequestsUnroutable,
@@ -71,6 +74,7 @@ impl Counter {
         Counter::RetryAttempts,
         Counter::OriginFallbacks,
         Counter::RequestsDropped,
+        Counter::RequestsPartitioned,
     ];
 
     /// Stable snake_case name used by the exporters.
@@ -95,6 +99,7 @@ impl Counter {
             Counter::RetryAttempts => "retry_attempts",
             Counter::OriginFallbacks => "origin_fallbacks",
             Counter::RequestsDropped => "requests_dropped",
+            Counter::RequestsPartitioned => "requests_partitioned",
         }
     }
 }

@@ -17,7 +17,7 @@ use starcdn::metrics::SystemMetrics;
 use starcdn::system::SpaceCdn;
 use starcdn_cache::object::ObjectId;
 use starcdn_constellation::failures::FailureModel;
-use starcdn_constellation::schedule::{FaultEvent, FaultSchedule, TimedFault};
+use starcdn_constellation::schedule::{FaultEvent, FaultSchedule, SolarStormParams, TimedFault};
 use starcdn_orbit::time::SimTime;
 use starcdn_orbit::walker::SatelliteId;
 use starcdn_sim::engine::SimConfig;
@@ -114,6 +114,7 @@ fn assert_metrics_identical(a: &SystemMetrics, b: &SystemMetrics) {
     assert_eq!(a.served_replica, b.served_replica);
     assert_eq!(a.served_origin_fallback, b.served_origin_fallback);
     assert_eq!(a.dropped_requests, b.dropped_requests);
+    assert_eq!(a.partitioned_requests, b.partitioned_requests);
 }
 
 /// Telemetry equality modulo span wall-clock durations and the
@@ -205,6 +206,75 @@ fn engine_kill_resume_bit_identical_churn() {
 #[test]
 fn engine_kill_resume_bit_identical_churn_overload() {
     engine_kill_sweep("churn-ov", &churn(), &OverloadConfig::with_headroom(0.4), 0x5EED_0003);
+}
+
+#[test]
+fn engine_kill_resume_bit_identical_mid_solar_storm() {
+    // A SIGKILL landing *inside* a solar storm, between the mass
+    // knockout and the end of the staged recovery: resume must rebuild
+    // the schedule cursor mid-dip — satellites down, recoveries still
+    // pending — and replay the rest of the storm to bit-equality with
+    // the golden uninterrupted run.
+    let log = log();
+    let grid = World::starlink_nine_cities().grid;
+    let storm = SolarStormParams {
+        center_plane: 30,
+        plane_halfwidth: 5,
+        kill_prob: 0.85,
+        onset_secs: 300,
+        onset_jitter_secs: 30,
+        recovery_start_secs: 600,
+        recovery_spread_secs: 300,
+        seed: 77,
+    };
+    let sched = FaultSchedule::solar_storm(&grid, &storm);
+    let overload = OverloadConfig::with_headroom(0.4);
+
+    let gold_dir = tmpdir("storm-gold");
+    let gold_rec = MemoryRecorder::new();
+    let golden = run_space_checkpointed(
+        &mut fresh_cdn(),
+        &log,
+        &sched,
+        &overload,
+        &policy(&gold_dir, 7),
+        &gold_rec,
+    )
+    .unwrap();
+    // The storm really happened: the availability timeline dips.
+    let slos = golden.recovery_slos();
+    assert_eq!(slos.len(), 1, "one storm, one dip");
+    assert!(slos[0].dip_depth > 0, "the storm must knock satellites out");
+
+    // Kill epochs pinned inside the disturbed window (onset at epoch 20,
+    // last staged recovery by epoch 60): just after the knockout, at
+    // the trough, and during the staged recovery.
+    let first_down = sched.events().first().unwrap().at_secs / EPOCH_SECS;
+    let last_up = sched.last_event_secs().unwrap() / EPOCH_SECS;
+    for (i, kill) in
+        [first_down + 2, (first_down + last_up) / 2, last_up - 2].into_iter().enumerate()
+    {
+        assert!(kill > first_down && kill < last_up, "kill epoch {kill} must be mid-storm");
+        let dir = tmpdir(&format!("storm-kill{i}"));
+        let pol = policy(&dir, 7);
+        run_space_checkpointed(
+            &mut fresh_cdn(),
+            &prefix_before(&log, kill),
+            &sched,
+            &overload,
+            &pol,
+            &MemoryRecorder::new(),
+        )
+        .unwrap();
+        let rec = MemoryRecorder::new();
+        let resumed =
+            resume_space_checkpointed(&mut fresh_cdn(), &log, &sched, &overload, &pol, &rec)
+                .unwrap();
+        assert_metrics_identical(&golden, &resumed);
+        assert_telemetry_identical(&gold_rec.snapshot(), &rec.snapshot());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&gold_dir);
 }
 
 #[test]

@@ -105,10 +105,10 @@ fn demand_spike_sheds_and_falls_back_without_panicking() {
     let mut spiked = log.clone();
     spiked.entries = Vec::with_capacity(log.entries.len() * 2);
     for e in &log.entries {
-        spiked.entries.push(e.clone());
+        spiked.entries.push(*e);
         if tiling.bucket_of_object(e.object.hash64()).0 == 0 {
             for _ in 0..9 {
-                spiked.entries.push(e.clone());
+                spiked.entries.push(*e);
             }
         }
     }

@@ -7,7 +7,7 @@ use spacegen::trace::Location;
 use starcdn::config::StarCdnConfig;
 use starcdn::system::SpaceCdn;
 use starcdn_constellation::failures::FailureModel;
-use starcdn_constellation::schedule::{ChurnParams, FaultSchedule};
+use starcdn_constellation::schedule::{ChurnParams, FaultSchedule, SolarStormParams};
 use starcdn_orbit::time::SimDuration;
 use starcdn_sim::access_log::{build_access_log, AccessLog};
 use starcdn_sim::engine::{run_space, run_space_with_faults, SimConfig};
@@ -286,4 +286,77 @@ fn parallel_handles_outages() {
     let reference = run_space(&mut seq, &log);
     let par = replay_parallel(cfg, failures, &log, 6);
     assert_eq!(par.stats, reference.stats);
+}
+
+#[test]
+fn parallel_exact_parity_under_solar_storm_with_partitions() {
+    // A spatially-correlated mass outage (solar storm over a contiguous
+    // plane window, kill_prob < 1) strands live satellites inside the
+    // dead footprint: their owners survive but no path reaches them, so
+    // requests degrade to the origin bent pipe as `Partitioned`. The
+    // engine and the parallel replayer must agree bit-for-bit on the
+    // partitioned count, the recovery timeline, and every latency
+    // sample at any worker count.
+    let locations = Location::akamai_nine();
+    let model = ProductionModel::build(TrafficClass::Video.params().scaled(0.02), &locations, 61);
+    let trace = model.generate_trace(SimDuration::from_hours(1), 61);
+    let world = World::starlink_nine_cities();
+    let params = SolarStormParams {
+        center_plane: 36,
+        plane_halfwidth: 6,
+        kill_prob: 0.9,
+        onset_secs: 600,
+        onset_jitter_secs: 30,
+        recovery_start_secs: 1800,
+        recovery_spread_secs: 600,
+        seed: 61,
+    };
+    let sched = FaultSchedule::solar_storm(&world.grid, &params);
+    let world = world.with_fault_schedule(sched.clone());
+    let log = build_access_log(&world, &trace, 15, &SimConfig::default().scheduler());
+
+    let cfg = StarCdnConfig::starcdn_no_relay(9, 5_000_000);
+    let mut seq = SpaceCdn::new(cfg.clone());
+    let reference = run_space_with_faults(&mut seq, &log, &sched);
+    assert!(
+        reference.partitioned_requests > 0,
+        "a 90% storm must strand some survivors behind a partition"
+    );
+    // The storm dips availability and the staged recovery heals it
+    // before the trace ends.
+    let slos = reference.recovery_slos();
+    assert_eq!(slos.len(), 1, "one storm, one dip");
+    assert!(slos[0].dip_depth > 0);
+    assert!(slos[0].time_to_full_recovery().is_some(), "storm must fully recover in-trace");
+    // Conservation: every request is served somewhere (no overload, so
+    // nothing is dropped).
+    let served = reference.served_local
+        + reference.served_relay_west
+        + reference.served_relay_east
+        + reference.served_ground;
+    assert_eq!(served, reference.stats.requests);
+    assert_eq!(reference.stats.requests, log.entries.len() as u64);
+
+    let sorted_bits = |m: &starcdn::metrics::SystemMetrics| {
+        let mut bits: Vec<u64> = m.latencies_ms.iter().map(|l| l.to_bits()).collect();
+        bits.sort_unstable();
+        bits
+    };
+    let ref_lat = sorted_bits(&reference);
+    for workers in [1, 4, 8] {
+        let par =
+            replay_parallel_with_faults(cfg.clone(), FailureModel::none(), &log, &sched, workers);
+        assert_eq!(par.stats, reference.stats, "{workers} workers");
+        assert_eq!(par.uplink_bytes, reference.uplink_bytes, "{workers} workers");
+        assert_eq!(par.per_satellite, reference.per_satellite, "{workers} workers");
+        assert_eq!(
+            par.partitioned_requests, reference.partitioned_requests,
+            "{workers} workers: partitioned"
+        );
+        assert_eq!(par.availability, reference.availability, "{workers} workers: timeline");
+        assert_eq!(par.recovery_slos(), slos, "{workers} workers: recovery SLOs");
+        assert_eq!(par.cold_restart_misses, reference.cold_restart_misses, "{workers} workers");
+        assert_eq!(par.remapped_requests, reference.remapped_requests, "{workers} workers");
+        assert_eq!(sorted_bits(&par), ref_lat, "{workers} workers: latency samples");
+    }
 }
