@@ -30,7 +30,6 @@ use starcdn_sim::engine::{run_space_overloaded, SimConfig};
 use starcdn_sim::overload::OverloadConfig;
 use starcdn_sim::replayer::replay_parallel_overloaded;
 use starcdn_sim::world::World;
-use std::io::Write;
 
 const EPOCH_SECS: u64 = 15;
 const NUM_BUCKETS: u32 = 4;
@@ -303,7 +302,5 @@ fn main() {
         crowd.len(),
         json_cells.join(",\n"),
     );
-    let mut f = std::fs::File::create("BENCH_extreme.json").expect("create BENCH_extreme.json");
-    f.write_all(json.as_bytes()).expect("write BENCH_extreme.json");
-    println!("\nwrote BENCH_extreme.json");
+    starcdn_bench::output::write_root_artifact("BENCH_extreme.json", &json);
 }

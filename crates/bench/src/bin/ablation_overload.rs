@@ -184,8 +184,6 @@ fn main() {
         base_entries,
         results,
     };
-    let out = std::fs::File::create("BENCH_overload.json").expect("create BENCH_overload.json");
-    serde_json::to_writer_pretty(std::io::BufWriter::new(out), &report)
-        .expect("write BENCH_overload.json");
-    println!("\nwrote BENCH_overload.json");
+    let json = serde_json::to_string_pretty(&report).expect("encode BENCH_overload.json");
+    starcdn_bench::output::write_root_artifact("BENCH_overload.json", &json);
 }

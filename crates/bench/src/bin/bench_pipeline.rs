@@ -1,30 +1,47 @@
 //! Pipeline throughput benchmark: entries/sec for every stage of the
-//! trace → access-log → replay pipeline, plus the visibility-culling
-//! microbenchmark. Writes `BENCH_pipeline.json` so subsequent changes
-//! have a perf trajectory to defend.
+//! trace → access-log → replay pipeline, row vs columnar, plus the
+//! visibility-culling microbenchmark. Writes `BENCH_pipeline.json` at
+//! the repo root (gitignored trajectory dump) and, at the default
+//! scale, the committed before/after summary
+//! `results/bench_pipeline.json`.
 //!
 //! Stages measured:
-//! * access-log build, sequential and parallel at 1/2/4/8 workers
-//!   (parallel output is asserted bit-for-bit equal to sequential);
-//! * per-satellite visibility scan, exact-only vs culled vs top-k;
-//! * deterministic engine replay (`run_space`);
-//! * parallel sharded replayer (`replay_parallel`).
+//! * access-log build, sequential and parallel at 1/2/4/8 workers, in
+//!   both representations (row `build_access_log*` and columnar
+//!   `build_access_log_columns*`; all outputs asserted bit-for-bit
+//!   equal to the sequential row build);
+//! * the shared 39-byte binary codec, decoded into rows vs straight
+//!   into columns;
+//! * per-satellite visibility scan: exact-only vs culled vs top-k vs
+//!   the batched struct-of-arrays top-k;
+//! * deterministic engine replay, row (`run_space`) vs columnar
+//!   (`run_space_columns`);
+//! * parallel sharded replayer, row vs columnar.
+//!
+//! `--gate-columnar` exits nonzero if the columnar 8-worker log build
+//! is slower than the row 8-worker build — the CI regression gate for
+//! the struct-of-arrays hot path.
 
-use serde::Serialize;
 use spacegen::classes::TrafficClass;
 use starcdn::config::StarCdnConfig;
 use starcdn::system::SpaceCdn;
-use starcdn_bench::args;
+use starcdn_bench::output::{write_results_artifact, write_root_artifact};
 use starcdn_bench::table::print_table;
 use starcdn_bench::workload::{cache_bytes_for_gb, Workload};
+use starcdn_bench::{args, Scale};
 use starcdn_orbit::coords::{Ecef, Geodetic};
 use starcdn_orbit::time::SimTime;
 use starcdn_orbit::visibility::{
-    elevation_and_range, visible_from_positions, visible_top_k_from_positions,
+    elevation_and_range, visible_from_positions, visible_top_k_from_positions, visible_top_k_into,
+    VisScratch, VisibleSatellite,
 };
-use starcdn_sim::engine::{run_space, SimConfig};
-use starcdn_sim::replayer::replay_parallel;
-use starcdn_sim::{build_access_log, build_access_log_parallel, World};
+use starcdn_sim::columns::AccessLogColumns;
+use starcdn_sim::engine::{run_space, run_space_columns, SimConfig};
+use starcdn_sim::replayer::{replay_parallel, replay_parallel_columns};
+use starcdn_sim::{
+    build_access_log, build_access_log_columns, build_access_log_columns_parallel,
+    build_access_log_parallel, AccessLog, World,
+};
 use std::time::Instant;
 
 const LOG_WORKERS: [usize; 4] = [1, 2, 4, 8];
@@ -32,7 +49,7 @@ const REPLAY_WORKERS: usize = 8;
 /// Epochs scanned by the visibility microbenchmark (one simulated hour).
 const VIS_EPOCHS: u64 = 240;
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct StageResult {
     stage: String,
     items: u64,
@@ -42,13 +59,14 @@ struct StageResult {
     speedup: f64,
 }
 
-#[derive(Debug, Serialize)]
-struct BenchReport {
-    scale: String,
-    seed: u64,
-    trace_entries: u64,
-    hardware_threads: usize,
-    stages: Vec<StageResult>,
+impl StageResult {
+    fn to_json(&self) -> String {
+        format!(
+            "    {{\"stage\": \"{}\", \"items\": {}, \"secs\": {:.6}, \
+             \"items_per_sec\": {:.1}, \"speedup\": {:.4}}}",
+            self.stage, self.items, self.secs, self.items_per_sec, self.speedup
+        )
+    }
 }
 
 fn stage(name: &str, items: u64, secs: f64, baseline_secs: f64) -> StageResult {
@@ -78,8 +96,33 @@ fn visible_exact_only(
         .count()
 }
 
+fn report_json(
+    scale: &str,
+    seed: u64,
+    trace_entries: u64,
+    hardware_threads: usize,
+    stages: &[StageResult],
+) -> String {
+    let find = |name: &str| stages.iter().find(|s| s.stage == name);
+    let row8 = find("log_build_par8").map_or(0.0, |s| s.items_per_sec);
+    let cols8 = find("log_build_cols_par8").map_or(0.0, |s| s.items_per_sec);
+    let stage_rows: Vec<String> = stages.iter().map(StageResult::to_json).collect();
+    format!
+        ("{{\n  \"scale\": \"{scale}\",\n  \"seed\": {seed},\n  \"trace_entries\": {trace_entries},\n  \
+         \"hardware_threads\": {hardware_threads},\n  \"stages\": [\n{}\n  ],\n  \
+         \"columnar_vs_row\": {{\"row_par8_entries_per_sec\": {row8:.1}, \
+         \"cols_par8_entries_per_sec\": {cols8:.1}, \"speedup\": {:.4}}}\n}}\n",
+        stage_rows.join(",\n"),
+        cols8 / row8.max(1e-9),
+    )
+}
+
 fn main() {
-    let a = args::from_env();
+    // `--gate-columnar` is ours; everything else goes to the common parser.
+    let (gate_args, rest): (Vec<String>, Vec<String>) =
+        std::env::args().skip(1).partition(|t| t == "--gate-columnar");
+    let gate = !gate_args.is_empty();
+    let a = args::parse_args(rest);
     let w = Workload::build(TrafficClass::Video, a);
     let (_, ws) = w.production.unique_objects();
     let cache = cache_bytes_for_gb(50, ws);
@@ -89,7 +132,9 @@ fn main() {
     let entries = w.production.len() as u64;
     let mut stages = Vec::new();
 
-    // Stage 1: access-log build, sequential baseline then parallel.
+    // Stage 1: access-log build — sequential row baseline, then parallel
+    // row, then the columnar twins; every variant is asserted bit-for-bit
+    // equal to the sequential row build.
     let t0 = Instant::now();
     let seq = build_access_log(&world, &w.production, sim.epoch_secs, &scheduler);
     let seq_secs = t0.elapsed().as_secs_f64();
@@ -102,9 +147,48 @@ fn main() {
         assert_eq!(seq, par, "parallel log build diverged at {workers} workers");
         stages.push(stage(&format!("log_build_par{workers}"), entries, secs, seq_secs));
     }
+    let t0 = Instant::now();
+    let cols = build_access_log_columns(&world, &w.production, sim.epoch_secs, &scheduler);
+    let cols_secs = t0.elapsed().as_secs_f64();
+    assert!(
+        cols.len() == seq.len() && cols.iter().zip(&seq.entries).all(|(c, r)| c == *r),
+        "columnar build diverged from row build"
+    );
+    stages.push(stage("log_build_cols_seq", entries, cols_secs, seq_secs));
+    for workers in LOG_WORKERS {
+        let t0 = Instant::now();
+        let par = build_access_log_columns_parallel(
+            &world,
+            &w.production,
+            sim.epoch_secs,
+            &scheduler,
+            workers,
+        );
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(cols, par, "parallel columnar build diverged at {workers} workers");
+        stages.push(stage(&format!("log_build_cols_par{workers}"), entries, secs, seq_secs));
+    }
 
-    // Stage 2: visibility scan — exact-only vs culled vs top-k, all nine
-    // cities over VIS_EPOCHS epochs.
+    // Stage 2: the shared binary codec — decode into rows vs straight
+    // into columns (identical bytes, no per-entry structs on the right).
+    let mut bin = Vec::new();
+    cols.write_binary(&mut bin).expect("encode log");
+    let t0 = Instant::now();
+    let rows_back = AccessLog::read_binary(bin.as_slice()).expect("decode rows");
+    let rows_read_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(rows_back.len(), seq.len());
+    drop(rows_back);
+    stages.push(stage("binary_read_rows", entries, rows_read_secs, rows_read_secs));
+    let t0 = Instant::now();
+    let cols_back = AccessLogColumns::read_binary(bin.as_slice()).expect("decode columns");
+    let cols_read_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(cols_back, cols);
+    drop(cols_back);
+    drop(bin);
+    stages.push(stage("binary_read_cols", entries, cols_read_secs, rows_read_secs));
+
+    // Stage 3: visibility scan — exact-only vs culled vs top-k vs the
+    // batched SoA top-k, all nine cities over VIS_EPOCHS epochs.
     let grounds: Vec<Geodetic> =
         world.locations.iter().map(|l| Geodetic::from_degrees(l.lat_deg, l.lon_deg, 0.0)).collect();
     let scans = VIS_EPOCHS * grounds.len() as u64 * world.satellites.len() as u64;
@@ -155,16 +239,45 @@ fn main() {
     let topk_secs = t0.elapsed().as_secs_f64();
     assert!(topk_sink <= culled_sink);
     stages.push(stage("visibility_top_k", scans, topk_secs, exact_secs));
+    let mut scratch = VisScratch::default();
+    let mut visible: Vec<VisibleSatellite> = Vec::new();
+    let mut batched_sink = 0usize;
+    let t0 = Instant::now();
+    for e in 0..VIS_EPOCHS {
+        snap.advance_to(SimTime::from_secs(e * sim.epoch_secs));
+        for g in &grounds {
+            visible_top_k_into(
+                &world.satellites,
+                snap.positions_soa(),
+                *g,
+                sim.min_elevation_deg,
+                sim.top_k,
+                |_| true,
+                &mut scratch,
+                &mut visible,
+            );
+            batched_sink += visible.len();
+        }
+    }
+    let batched_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(batched_sink, topk_sink, "batched top-k changed the selected set");
+    stages.push(stage("visibility_batched_top_k", scans, batched_secs, exact_secs));
 
-    // Stage 3: deterministic engine replay.
+    // Stage 4: deterministic engine replay, row vs columnar.
     let mut cdn = SpaceCdn::new(StarCdnConfig::starcdn(9, cache));
     let t0 = Instant::now();
     let m = run_space(&mut cdn, &seq);
     let replay_secs = t0.elapsed().as_secs_f64();
     assert_eq!(m.stats.requests, seq.len() as u64);
     stages.push(stage("engine_replay", entries, replay_secs, replay_secs));
+    let mut cdn_cols = SpaceCdn::new(StarCdnConfig::starcdn(9, cache));
+    let t0 = Instant::now();
+    let m_cols = run_space_columns(&mut cdn_cols, &cols);
+    let cols_replay_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(m_cols.stats, m.stats, "columnar engine replay diverged");
+    stages.push(stage("engine_replay_cols", entries, cols_replay_secs, replay_secs));
 
-    // Stage 4: parallel sharded replayer.
+    // Stage 5: parallel sharded replayer, row vs columnar.
     let t0 = Instant::now();
     let mp = replay_parallel(
         StarCdnConfig::starcdn(9, cache),
@@ -180,20 +293,29 @@ fn main() {
         par_replay_secs,
         replay_secs,
     ));
+    let t0 = Instant::now();
+    let mpc = replay_parallel_columns(
+        StarCdnConfig::starcdn(9, cache),
+        world.failures.clone(),
+        &cols,
+        REPLAY_WORKERS,
+    );
+    let cols_par_replay_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(mpc.stats.requests, seq.len() as u64);
+    stages.push(stage(
+        &format!("replayer_cols_par{REPLAY_WORKERS}"),
+        entries,
+        cols_par_replay_secs,
+        replay_secs,
+    ));
 
-    let report = BenchReport {
-        scale: format!("{:?}", a.scale),
-        seed: a.seed,
-        trace_entries: entries,
-        hardware_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
-        stages,
-    };
+    let scale = format!("{:?}", a.scale);
+    let hardware_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
         "scale={} seed={} trace_entries={} hardware_threads={}",
-        report.scale, report.seed, report.trace_entries, report.hardware_threads
+        scale, a.seed, entries, hardware_threads
     );
-    let rows: Vec<Vec<String>> = report
-        .stages
+    let rows: Vec<Vec<String>> = stages
         .iter()
         .map(|s| {
             vec![
@@ -206,15 +328,32 @@ fn main() {
         })
         .collect();
     print_table(
-        "Pipeline throughput: trace -> access log -> replay. Speedups are against \
-         each stage's baseline (sequential build / exact visibility scan / \
-         sequential replay)",
+        "Pipeline throughput: trace -> access log -> replay, row vs columnar. \
+         Speedups are against each stage's baseline (sequential row build / row \
+         binary decode / exact visibility scan / sequential row replay)",
         &["stage", "items", "secs", "items/s", "speedup"],
         &rows,
     );
 
-    let out = std::fs::File::create("BENCH_pipeline.json").expect("create BENCH_pipeline.json");
-    serde_json::to_writer_pretty(std::io::BufWriter::new(out), &report)
-        .expect("write BENCH_pipeline.json");
-    println!("\nwrote BENCH_pipeline.json");
+    let json = report_json(&scale, a.seed, entries, hardware_threads, &stages);
+    write_root_artifact("BENCH_pipeline.json", &json);
+    if a.scale == Scale::Default {
+        // The committed before/after record: seeded, default scale.
+        write_results_artifact("bench_pipeline.json", &json);
+    }
+
+    if gate {
+        let ips = |name: &str| {
+            stages.iter().find(|s| s.stage == name).map(|s| s.items_per_sec).unwrap_or(0.0)
+        };
+        let row8 = ips("log_build_par8");
+        let cols8 = ips("log_build_cols_par8");
+        if cols8 < row8 {
+            eprintln!(
+                "columnar gate FAILED: log_build_cols_par8 {cols8:.0}/s < log_build_par8 {row8:.0}/s"
+            );
+            std::process::exit(1);
+        }
+        println!("columnar gate ok: {cols8:.0}/s >= {row8:.0}/s ({:.2}x)", cols8 / row8.max(1e-9));
+    }
 }

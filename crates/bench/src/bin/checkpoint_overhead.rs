@@ -39,7 +39,6 @@ use starcdn_sim::{
     run_space_overloaded_recorded, AccessLog, CheckpointPolicy, OverloadConfig, World,
 };
 use starcdn_telemetry::{MemoryRecorder, TelemetrySnapshot};
-use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -341,10 +340,7 @@ fn run_overhead() {
         log.entries.len(),
         json_rows.join(",\n")
     );
-    let mut f =
-        std::fs::File::create("BENCH_checkpoint.json").expect("create BENCH_checkpoint.json");
-    f.write_all(json.as_bytes()).expect("write BENCH_checkpoint.json");
-    println!("\nwrote BENCH_checkpoint.json");
+    starcdn_bench::output::write_root_artifact("BENCH_checkpoint.json", &json);
 }
 
 fn main() {

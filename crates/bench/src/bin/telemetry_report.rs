@@ -196,9 +196,8 @@ fn main() {
         overhead_pct,
         snap.to_json(),
     );
-    std::fs::write("BENCH_telemetry.json", &json).expect("write BENCH_telemetry.json");
-    std::fs::write("BENCH_telemetry.csv", snap.to_csv()).expect("write BENCH_telemetry.csv");
-    println!("\nwrote BENCH_telemetry.json, BENCH_telemetry.csv");
+    starcdn_bench::output::write_root_artifact("BENCH_telemetry.json", &json);
+    starcdn_bench::output::write_root_artifact("BENCH_telemetry.csv", &snap.to_csv());
 }
 
 /// Deterministic digest of every histogram's exact bucket contents.

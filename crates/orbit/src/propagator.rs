@@ -53,8 +53,9 @@ impl Propagator for AnalyticPropagator {
     }
 }
 
-/// Per-satellite constants hoisted out of the epoch-advance hot loop:
-/// everything in `position_eci` + `to_ecef` that does not depend on `t`.
+/// Per-satellite constants hoisted out of the epoch-advance hot loop,
+/// stored struct-of-arrays: everything in `position_eci` + `to_ecef` that
+/// does not depend on `t`, one contiguous column per term.
 ///
 /// The time-dependent angles are the argument of latitude
 /// `u = phase + n·t` and the Earth-fixed node angle
@@ -64,17 +65,93 @@ impl Propagator for AnalyticPropagator {
 /// needs only the sincos of the two *rate* angles — shared by every
 /// satellite with the same orbital rates, i.e. computed once per epoch
 /// for a whole Walker shell — plus a handful of multiplies per satellite.
-#[derive(Debug, Clone, Copy)]
-struct OrbitConstants {
-    radius_km: f64,
-    sin_phase: f64,
-    cos_phase: f64,
-    sin_raan: f64,
-    cos_raan: f64,
-    sin_inc: f64,
-    cos_inc: f64,
+/// The columnar layout keeps those multiplies in straight-line loops over
+/// contiguous `f64` lanes, which the compiler autovectorizes.
+#[derive(Debug, Default)]
+struct ConstantsSoa {
+    radius_km: Vec<f64>,
+    sin_phase: Vec<f64>,
+    cos_phase: Vec<f64>,
+    sin_raan: Vec<f64>,
+    cos_raan: Vec<f64>,
+    sin_inc: Vec<f64>,
+    cos_inc: Vec<f64>,
     /// Index into the propagator's distinct `(n, Ω̇−ω⊕)` rate table.
-    rate_group: u32,
+    rate_group: Vec<u32>,
+}
+
+impl ConstantsSoa {
+    fn len(&self) -> usize {
+        self.radius_km.len()
+    }
+}
+
+/// Struct-of-arrays snapshot positions: one contiguous column per ECEF
+/// axis plus the squared norm `|p|²` of every position and its fleet-wide
+/// maximum (the largest orbital radius², which parameterizes the
+/// conservative visibility culling bound).
+///
+/// The batched visibility scans in
+/// [`visibility`](crate::visibility) consume this layout directly so the
+/// per-satellite dot products run over plain `f64` slices.
+#[derive(Debug, Default, Clone)]
+pub struct PositionsSoa {
+    x: Vec<f64>,
+    y: Vec<f64>,
+    z: Vec<f64>,
+    p2: Vec<f64>,
+    r2_max: f64,
+}
+
+impl PositionsSoa {
+    /// Number of satellites in the snapshot.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when the snapshot holds no satellites.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// ECEF x column, km.
+    pub fn x(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// ECEF y column, km.
+    pub fn y(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// ECEF z column, km.
+    pub fn z(&self) -> &[f64] {
+        &self.z
+    }
+
+    /// Squared position norms `x² + y² + z²`, km².
+    pub fn p2(&self) -> &[f64] {
+        &self.p2
+    }
+
+    /// Fleet-wide maximum of [`PositionsSoa::p2`] (largest orbital
+    /// radius²) — the value the visibility culling threshold is built
+    /// from.
+    pub fn r2_max(&self) -> f64 {
+        self.r2_max
+    }
+
+    /// Position of satellite `i` recomposed as an [`Ecef`] point.
+    pub fn ecef(&self, i: usize) -> Ecef {
+        Ecef { x: self.x[i], y: self.y[i], z: self.z[i] }
+    }
+
+    fn resize(&mut self, n: usize) {
+        self.x.resize(n, 0.0);
+        self.y.resize(n, 0.0);
+        self.z.resize(n, 0.0);
+        self.p2.resize(n, 0.0);
+    }
 }
 
 /// An epoch-snapshot propagator: positions for a whole constellation are
@@ -83,19 +160,25 @@ struct OrbitConstants {
 /// The simulation engine advances in 15 s steps and, within a step, asks
 /// for the same positions many times (per user, per request batch); this
 /// cache makes those queries O(1) array lookups. The per-epoch
-/// recomputation itself is hoisted (see [`OrbitConstants`]): for a
+/// recomputation itself is hoisted (see [`ConstantsSoa`]): for a
 /// single-shell constellation an `advance_to` costs two `sin_cos` calls
-/// total plus ~a dozen multiplies per satellite.
+/// total plus ~a dozen multiplies per satellite, streamed through
+/// struct-of-arrays columns. After the first `advance_to` all buffers are
+/// warm and subsequent advances perform **zero heap allocations**.
 #[derive(Debug)]
 pub struct SnapshotPropagator {
     satellites: Vec<Satellite>,
     epoch: SimTime,
     positions: Vec<Ecef>,
+    soa: PositionsSoa,
     sats_per_plane: u16,
-    constants: Vec<OrbitConstants>,
+    constants: ConstantsSoa,
     /// Distinct `(mean motion, node rate)` pairs across the fleet — one
     /// entry for a uniform Walker shell, a handful for a TLE catalog.
     rates: Vec<(f64, f64)>,
+    /// Reusable per-epoch sincos table, one entry per rate pair
+    /// (allocation-free after the first advance).
+    trigs: Vec<(f64, f64, f64, f64)>,
 }
 
 impl SnapshotPropagator {
@@ -104,74 +187,111 @@ impl SnapshotPropagator {
     /// `sats_per_plane` is used to index positions by [`SatelliteId`].
     pub fn new(satellites: Vec<Satellite>, sats_per_plane: u16) -> Self {
         let mut rates: Vec<(f64, f64)> = Vec::new();
-        let constants = satellites
-            .iter()
-            .map(|s| {
-                let o = &s.orbit;
-                let n = o.mean_motion_rad_s();
-                let node_rate = o.raan_drift_rad_s() - crate::constants::EARTH_ROTATION_RAD_S;
-                let key = (n, node_rate);
-                let rate_group = match rates.iter().position(|&r| r == key) {
-                    Some(i) => i,
-                    None => {
-                        rates.push(key);
-                        rates.len() - 1
-                    }
-                } as u32;
-                let (sin_phase, cos_phase) = o.phase_rad.sin_cos();
-                let (sin_raan, cos_raan) = o.raan_rad.sin_cos();
-                let (sin_inc, cos_inc) = o.inclination_rad.sin_cos();
-                OrbitConstants {
-                    radius_km: o.radius_km(),
-                    sin_phase,
-                    cos_phase,
-                    sin_raan,
-                    cos_raan,
-                    sin_inc,
-                    cos_inc,
-                    rate_group,
+        let mut constants = ConstantsSoa::default();
+        for s in &satellites {
+            let o = &s.orbit;
+            let n = o.mean_motion_rad_s();
+            let node_rate = o.raan_drift_rad_s() - crate::constants::EARTH_ROTATION_RAD_S;
+            let key = (n, node_rate);
+            let rate_group = match rates.iter().position(|&r| r == key) {
+                Some(i) => i,
+                None => {
+                    rates.push(key);
+                    rates.len() - 1
                 }
-            })
-            .collect();
+            } as u32;
+            let (sin_phase, cos_phase) = o.phase_rad.sin_cos();
+            let (sin_raan, cos_raan) = o.raan_rad.sin_cos();
+            let (sin_inc, cos_inc) = o.inclination_rad.sin_cos();
+            constants.radius_km.push(o.radius_km());
+            constants.sin_phase.push(sin_phase);
+            constants.cos_phase.push(cos_phase);
+            constants.sin_raan.push(sin_raan);
+            constants.cos_raan.push(cos_raan);
+            constants.sin_inc.push(sin_inc);
+            constants.cos_inc.push(cos_inc);
+            constants.rate_group.push(rate_group);
+        }
         let mut p = SnapshotPropagator {
             positions: Vec::with_capacity(satellites.len()),
+            soa: PositionsSoa::default(),
             satellites,
             epoch: SimTime::ZERO,
             sats_per_plane,
             constants,
             rates,
+            trigs: Vec::new(),
         };
         p.advance_to(SimTime::ZERO);
         p
     }
 
     /// Recompute the snapshot for a new epoch.
+    ///
+    /// The columnar loops below evaluate exactly the angle-addition
+    /// arithmetic the scalar path always used, in the same order, so the
+    /// produced positions are bit-for-bit stable across refactors; they
+    /// just stream it through contiguous columns (with the whole-shell
+    /// single-rate-group case free of the per-satellite trig gather).
     pub fn advance_to(&mut self, t: SimTime) {
         self.epoch = t;
         let ts = t.as_secs_f64();
         // sincos of the two rate angles, once per distinct rate pair.
-        let trigs: Vec<(f64, f64, f64, f64)> = self
-            .rates
-            .iter()
-            .map(|&(n, node_rate)| {
-                let (snt, cnt) = (n * ts).sin_cos();
-                let (sot, cot) = (node_rate * ts).sin_cos();
-                (snt, cnt, sot, cot)
-            })
-            .collect();
-        self.positions.clear();
-        self.positions.extend(self.constants.iter().map(|c| {
-            let (snt, cnt, sot, cot) = trigs[c.rate_group as usize];
-            // Angle addition: u = phase + n·t, node = raan₀ + (Ω̇−ω⊕)·t.
-            let su = c.sin_phase * cnt + c.cos_phase * snt;
-            let cu = c.cos_phase * cnt - c.sin_phase * snt;
-            let sn = c.sin_raan * cot + c.cos_raan * sot;
-            let cn = c.cos_raan * cot - c.sin_raan * sot;
-            // In-plane vector rotated by the combined node angle about z.
-            let xo = c.radius_km * cu;
-            let yo = c.radius_km * su * c.cos_inc;
-            Ecef { x: cn * xo - sn * yo, y: sn * xo + cn * yo, z: c.radius_km * su * c.sin_inc }
+        self.trigs.clear();
+        self.trigs.extend(self.rates.iter().map(|&(n, node_rate)| {
+            let (snt, cnt) = (n * ts).sin_cos();
+            let (sot, cot) = (node_rate * ts).sin_cos();
+            (snt, cnt, sot, cot)
         }));
+        let n = self.constants.len();
+        self.soa.resize(n);
+        let c = &self.constants;
+        let soa = &mut self.soa;
+        if let [(snt, cnt, sot, cot)] = self.trigs[..] {
+            // Uniform shell: one rate pair for the whole fleet, so the
+            // sincos values are loop-invariant scalars and the body is a
+            // pure column sweep.
+            for i in 0..n {
+                // Angle addition: u = phase + n·t, node = raan₀ + (Ω̇−ω⊕)·t.
+                let su = c.sin_phase[i] * cnt + c.cos_phase[i] * snt;
+                let cu = c.cos_phase[i] * cnt - c.sin_phase[i] * snt;
+                let sn = c.sin_raan[i] * cot + c.cos_raan[i] * sot;
+                let cn = c.cos_raan[i] * cot - c.sin_raan[i] * sot;
+                // In-plane vector rotated by the combined node angle about z.
+                let xo = c.radius_km[i] * cu;
+                let yo = c.radius_km[i] * su * c.cos_inc[i];
+                soa.x[i] = cn * xo - sn * yo;
+                soa.y[i] = sn * xo + cn * yo;
+                soa.z[i] = c.radius_km[i] * su * c.sin_inc[i];
+            }
+        } else {
+            for i in 0..n {
+                let (snt, cnt, sot, cot) = self.trigs[c.rate_group[i] as usize];
+                let su = c.sin_phase[i] * cnt + c.cos_phase[i] * snt;
+                let cu = c.cos_phase[i] * cnt - c.sin_phase[i] * snt;
+                let sn = c.sin_raan[i] * cot + c.cos_raan[i] * sot;
+                let cn = c.cos_raan[i] * cot - c.sin_raan[i] * sot;
+                let xo = c.radius_km[i] * cu;
+                let yo = c.radius_km[i] * su * c.cos_inc[i];
+                soa.x[i] = cn * xo - sn * yo;
+                soa.y[i] = sn * xo + cn * yo;
+                soa.z[i] = c.radius_km[i] * su * c.sin_inc[i];
+            }
+        }
+        // Squared norms and their maximum feed the visibility culling
+        // bound; computing them here (once per epoch) replaces the
+        // per-ground-location rescan of the scalar path with a lookup.
+        for i in 0..n {
+            soa.p2[i] = soa.x[i] * soa.x[i] + soa.y[i] * soa.y[i] + soa.z[i] * soa.z[i];
+        }
+        let mut r2_max = 0.0f64;
+        for &p2 in &soa.p2 {
+            r2_max = r2_max.max(p2);
+        }
+        soa.r2_max = r2_max;
+        // Keep the array-of-structs view for scalar callers.
+        self.positions.clear();
+        self.positions.extend((0..n).map(|i| Ecef { x: soa.x[i], y: soa.y[i], z: soa.z[i] }));
     }
 
     /// The snapshot's epoch.
@@ -192,6 +312,12 @@ impl SnapshotPropagator {
     /// All positions in the current snapshot, indexed like `satellites()`.
     pub fn positions(&self) -> &[Ecef] {
         &self.positions
+    }
+
+    /// The struct-of-arrays view of the current snapshot, indexed like
+    /// `satellites()` — the batched visibility fast path consumes this.
+    pub fn positions_soa(&self) -> &PositionsSoa {
+        &self.soa
     }
 }
 
@@ -293,5 +419,28 @@ mod tests {
         // ~7.6 km/s for 15 s ≈ 114 km of motion.
         let d = p0.distance_km(&p1);
         assert!((80.0..160.0).contains(&d), "moved {d} km in 15 s");
+    }
+
+    #[test]
+    fn soa_view_matches_aos_view_bit_for_bit() {
+        let shell = WalkerConstellation::starlink_shell1();
+        let mut snap = SnapshotPropagator::new(shell.satellites(), shell.sats_per_plane);
+        for secs in [0u64, 15, 450, 86400] {
+            snap.advance_to(SimTime::from_secs(secs));
+            let soa = snap.positions_soa();
+            let aos = snap.positions();
+            assert_eq!(soa.len(), aos.len());
+            let mut r2_max = 0.0f64;
+            for (i, p) in aos.iter().enumerate() {
+                assert_eq!(soa.x()[i].to_bits(), p.x.to_bits());
+                assert_eq!(soa.y()[i].to_bits(), p.y.to_bits());
+                assert_eq!(soa.z()[i].to_bits(), p.z.to_bits());
+                let p2 = p.x * p.x + p.y * p.y + p.z * p.z;
+                assert_eq!(soa.p2()[i].to_bits(), p2.to_bits());
+                r2_max = r2_max.max(p2);
+            }
+            assert_eq!(soa.r2_max().to_bits(), r2_max.to_bits());
+            assert_eq!(soa.ecef(7), aos[7]);
+        }
     }
 }

@@ -7,7 +7,7 @@
 
 use crate::constants::{EARTH_RADIUS_KM, SPEED_OF_LIGHT_KM_S};
 use crate::coords::{Ecef, Geodetic};
-use crate::propagator::Satellite;
+use crate::propagator::{PositionsSoa, Satellite};
 use crate::time::{SimDuration, SimTime};
 use crate::walker::SatelliteId;
 
@@ -229,6 +229,166 @@ pub fn visible_top_k_from_positions(
     tagged.into_iter().map(|(_, v)| v).collect()
 }
 
+/// Reusable buffers for the batched (struct-of-arrays) visibility scans:
+/// the per-satellite culling verdicts and the tagged candidate list the
+/// top-k selection runs over. One scratch per worker makes the
+/// steady-state epoch loop allocation-free once the buffers are warm.
+#[derive(Debug, Default)]
+pub struct VisScratch {
+    /// 1 where the conservative dot-product bound cannot rule the
+    /// satellite out (recomputed per scan).
+    pass: Vec<u8>,
+    /// Candidates tagged with their collection order for tie-breaking.
+    tagged: Vec<(usize, VisibleSatellite)>,
+}
+
+/// The culling threshold over a struct-of-arrays snapshot: identical to
+/// [`cull_threshold`] but reading the precomputed fleet-wide maximum
+/// radius² off the snapshot instead of rescanning every position.
+fn cull_threshold_soa(g2: f64, soa: &PositionsSoa, min_elevation_deg: f64) -> Option<(f64, f64)> {
+    let r2_max = soa.r2_max();
+    if r2_max <= 0.0 || g2 <= 0.0 {
+        return None;
+    }
+    let c = max_central_angle_cos(g2.sqrt(), r2_max.sqrt(), min_elevation_deg);
+    (c > 0.0).then_some((c * c, g2))
+}
+
+/// Batched candidate collection over SoA columns, writing tagged
+/// candidates into `scratch.tagged` (cleared first) in slice order.
+///
+/// Two passes: a branch-free sweep evaluates the conservative culling
+/// bound for every satellite over the contiguous x/y/z/p2 columns (the
+/// compiler autovectorizes the two fused comparisons per lane), then only
+/// the survivors — a dozen out of 1296 for a Starlink shell — pay the
+/// `keep` lookup and the exact `asin`/`sqrt` elevation math. Reordering
+/// `keep` after the cull is sound because the two filters are
+/// independent; candidates still arrive in slice order, so the result is
+/// bit-for-bit the scalar [`collect_visible`] set. (A stateful `keep`
+/// closure would observe fewer calls than the scalar path makes — the
+/// schedulers pass pure liveness lookups.)
+fn collect_visible_batched(
+    satellites: &[Satellite],
+    soa: &PositionsSoa,
+    g: &Ecef,
+    min_elevation_deg: f64,
+    mut keep: impl FnMut(SatelliteId) -> bool,
+    scratch: &mut VisScratch,
+) {
+    debug_assert_eq!(satellites.len(), soa.len());
+    let n = satellites.len();
+    let g2 = g.x * g.x + g.y * g.y + g.z * g.z;
+    scratch.tagged.clear();
+    scratch.pass.clear();
+    scratch.pass.resize(n, 1);
+    if let Some((c2, g2)) = cull_threshold_soa(g2, soa, min_elevation_deg) {
+        let (xs, ys, zs, p2s) = (soa.x(), soa.y(), soa.z(), soa.p2());
+        let t = c2 * g2;
+        // cos γ ≥ c  ⇔  d ≥ 0 ∧ d² ≥ c²·|g|²·|p|²  (c > 0) — the same
+        // reject test as the scalar path, evaluated branch-free over
+        // zipped column slices (no index bound checks in the hot loop).
+        for ((((pass, x), y), z), p2) in
+            scratch.pass[..n].iter_mut().zip(xs).zip(ys).zip(zs).zip(p2s)
+        {
+            let d = g.x * x + g.y * y + g.z * z;
+            *pass = ((d > 0.0) & (d * d >= t * p2)) as u8;
+        }
+    }
+    let VisScratch { pass, tagged } = scratch;
+    let mut survivor = |i: usize| {
+        let sat = &satellites[i];
+        if !keep(sat.id) {
+            return;
+        }
+        let p = soa.ecef(i);
+        let (el, range) = elevation_and_range(g, &p);
+        if el >= min_elevation_deg {
+            let tag = tagged.len();
+            tagged.push((
+                tag,
+                VisibleSatellite { id: sat.id, elevation_deg: el, slant_range_km: range },
+            ));
+        }
+    };
+    // Walk the verdicts eight at a time: for a Starlink shell ~97 % of
+    // the words are all-zero, so one u64 compare skips eight satellites.
+    let words = pass[..n].chunks_exact(8);
+    let tail_start = n - words.remainder().len();
+    for (w, chunk) in words.enumerate() {
+        if u64::from_ne_bytes(chunk.try_into().unwrap()) == 0 {
+            continue;
+        }
+        for (j, &v) in chunk.iter().enumerate() {
+            if v != 0 {
+                survivor(w * 8 + j);
+            }
+        }
+    }
+    for (i, &v) in pass[..n].iter().enumerate().skip(tail_start) {
+        if v != 0 {
+            survivor(i);
+        }
+    }
+}
+
+/// Total order shared by the top-k selection and the full sort:
+/// elevation descending, collection order ascending (so ties break
+/// exactly like a stable elevation-only sort).
+fn by_elevation_then_order(
+    a: &(usize, VisibleSatellite),
+    b: &(usize, VisibleSatellite),
+) -> std::cmp::Ordering {
+    b.1.elevation_deg.total_cmp(&a.1.elevation_deg).then(a.0.cmp(&b.0))
+}
+
+/// Batched, allocation-free [`visible_from_positions`]: the full sorted
+/// visible list computed over a struct-of-arrays snapshot into a caller
+/// buffer. Bit-for-bit the scalar function's output.
+pub fn visible_into(
+    satellites: &[Satellite],
+    soa: &PositionsSoa,
+    ground: Geodetic,
+    min_elevation_deg: f64,
+    scratch: &mut VisScratch,
+    out: &mut Vec<VisibleSatellite>,
+) {
+    let g = ground.to_ecef();
+    collect_visible_batched(satellites, soa, &g, min_elevation_deg, |_| true, scratch);
+    scratch.tagged.sort_unstable_by(by_elevation_then_order);
+    out.clear();
+    out.extend(scratch.tagged.iter().map(|&(_, v)| v));
+}
+
+/// Batched, allocation-free [`visible_top_k_from_positions`]: the `k`
+/// best visible satellites computed over a struct-of-arrays snapshot
+/// into a caller buffer. Bit-for-bit the scalar function's output for
+/// any pure `keep` filter.
+#[allow(clippy::too_many_arguments)]
+pub fn visible_top_k_into(
+    satellites: &[Satellite],
+    soa: &PositionsSoa,
+    ground: Geodetic,
+    min_elevation_deg: f64,
+    k: usize,
+    keep: impl FnMut(SatelliteId) -> bool,
+    scratch: &mut VisScratch,
+    out: &mut Vec<VisibleSatellite>,
+) {
+    out.clear();
+    if k == 0 {
+        return;
+    }
+    let g = ground.to_ecef();
+    collect_visible_batched(satellites, soa, &g, min_elevation_deg, keep, scratch);
+    let tagged = &mut scratch.tagged;
+    if tagged.len() > k {
+        tagged.select_nth_unstable_by(k - 1, by_elevation_then_order);
+        tagged.truncate(k);
+    }
+    tagged.sort_unstable_by(by_elevation_then_order);
+    out.extend(tagged.iter().map(|&(_, v)| v));
+}
+
 /// Maximum slant range to a satellite at `altitude_km` that is still above
 /// `min_elevation_deg` (law of cosines on the Earth-centred triangle).
 pub fn max_slant_range_km(altitude_km: f64, min_elevation_deg: f64) -> f64 {
@@ -381,6 +541,90 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn batched_scans_are_bit_for_bit_the_scalar_scans() {
+        use crate::propagator::SnapshotPropagator;
+        let shell = WalkerConstellation::starlink_shell1();
+        let sats = shell.satellites();
+        let mut snap = SnapshotPropagator::new(sats.clone(), shell.sats_per_plane);
+        let mut scratch = VisScratch::default();
+        let mut out = Vec::new();
+        for (lat, lon) in [(40.7, -74.0), (0.0, 0.0), (-33.9, 151.2), (65.0, 25.0)] {
+            let g = Geodetic::from_degrees(lat, lon, 0.0);
+            for secs in [0u64, 137, 5000] {
+                snap.advance_to(SimTime::from_secs(secs));
+                for mask in [5.0, 25.0, 40.0] {
+                    let scalar =
+                        visible_from_positions(snap.satellites(), snap.positions(), g, mask);
+                    visible_into(
+                        snap.satellites(),
+                        snap.positions_soa(),
+                        g,
+                        mask,
+                        &mut scratch,
+                        &mut out,
+                    );
+                    assert_eq!(out.len(), scalar.len(), "({lat},{lon}) t={secs} mask={mask}");
+                    for (a, b) in out.iter().zip(&scalar) {
+                        assert_eq!(a.id, b.id);
+                        assert_eq!(a.elevation_deg.to_bits(), b.elevation_deg.to_bits());
+                        assert_eq!(a.slant_range_km.to_bits(), b.slant_range_km.to_bits());
+                    }
+                    for k in [0usize, 1, 4, 100] {
+                        let scalar_k = visible_top_k_from_positions(
+                            snap.satellites(),
+                            snap.positions(),
+                            g,
+                            mask,
+                            k,
+                            |_| true,
+                        );
+                        visible_top_k_into(
+                            snap.satellites(),
+                            snap.positions_soa(),
+                            g,
+                            mask,
+                            k,
+                            |_| true,
+                            &mut scratch,
+                            &mut out,
+                        );
+                        assert_eq!(out, scalar_k, "k={k} ({lat},{lon}) t={secs} mask={mask}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_top_k_respects_keep_filter_like_scalar() {
+        use crate::propagator::SnapshotPropagator;
+        let shell = WalkerConstellation::starlink_shell1();
+        let snap = SnapshotPropagator::new(shell.satellites(), shell.sats_per_plane);
+        let g = Geodetic::from_degrees(40.7128, -74.0060, 0.0);
+        let full = visible_from_positions(snap.satellites(), snap.positions(), g, 25.0);
+        assert!(full.len() >= 2);
+        let banned = full[0].id;
+        let scalar =
+            visible_top_k_from_positions(snap.satellites(), snap.positions(), g, 25.0, 4, |id| {
+                id != banned
+            });
+        let mut scratch = VisScratch::default();
+        let mut out = Vec::new();
+        visible_top_k_into(
+            snap.satellites(),
+            snap.positions_soa(),
+            g,
+            25.0,
+            4,
+            |id| id != banned,
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(out, scalar);
+        assert!(!out.iter().any(|v| v.id == banned));
     }
 
     #[test]

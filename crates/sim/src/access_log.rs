@@ -113,24 +113,9 @@ impl AccessLog {
         let epoch_secs = u64::from_le_bytes(*<&[u8; 8]>::try_from(epoch_b).expect("8-byte field"));
         let mut entries = Vec::new();
         let mut rec = [0u8; 39];
-        loop {
-            // Fill the record manually so a partial trailing record is
-            // reported as corruption rather than silently dropped.
-            let mut filled = 0usize;
-            while filled < rec.len() {
-                match r.read(&mut rec[filled..]) {
-                    Ok(0) => break,
-                    Ok(n) => filled += n,
-                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                    Err(e) => return Err(IoError::Io(e)),
-                }
-            }
-            if filled == 0 {
-                break; // clean EOF on a record boundary
-            }
-            if filled < rec.len() {
-                return Err(IoError::TruncatedRecord);
-            }
+        // A partial trailing record is reported as corruption rather
+        // than silently dropped (see `read_fixed_record`).
+        while spacegen::io::read_fixed_record(&mut r, &mut rec)? {
             // Split the record into fixed-size fields without fallible
             // conversions on the hot read path: the widths are proved by
             // the splits over the fixed 39-byte record.
@@ -186,7 +171,7 @@ impl AccessLog {
     }
 }
 
-const BIN_MAGIC: &[u8; 8] = b"STARLOG1";
+pub(crate) const BIN_MAGIC: &[u8; 8] = b"STARLOG1";
 
 /// Resolve a trace against the world: advance the constellation in
 /// `epoch_secs` steps, recompute the link schedule each epoch, and
@@ -284,9 +269,12 @@ pub(crate) fn record_fault_delta(
 }
 
 /// Materialize one log entry from a request and its user's assignment —
-/// shared by the sequential and parallel builders so both construct
-/// entries through identical code.
-fn resolve_entry(r: &Request, assignment: Option<crate::scheduler::Assignment>) -> AccessLogEntry {
+/// shared by the sequential and parallel builders (row and columnar) so
+/// all construct entries through identical code.
+pub(crate) fn resolve_entry(
+    r: &Request,
+    assignment: Option<crate::scheduler::Assignment>,
+) -> AccessLogEntry {
     match assignment {
         Some(a) => AccessLogEntry {
             time: r.time,
@@ -311,12 +299,68 @@ fn resolve_entry(r: &Request, assignment: Option<crate::scheduler::Assignment>) 
 /// a worker needs to schedule it independently: the failure view the
 /// sequential pass would have used and the round-robin counters as they
 /// stood when the run began.
-struct EpochRun {
-    start: usize,
-    end: usize,
-    epoch: u64,
-    rr_start: Vec<usize>,
-    view: Arc<FailureModel>,
+pub(crate) struct EpochRun {
+    pub(crate) start: usize,
+    pub(crate) end: usize,
+    pub(crate) epoch: u64,
+    pub(crate) rr_start: Vec<usize>,
+    pub(crate) view: Arc<FailureModel>,
+}
+
+/// Sequential pre-scan shared by the row and columnar parallel builders:
+/// splits `reqs` into maximal same-epoch runs, replays the fault cursor
+/// once (the only inherently sequential state), and snapshots per-run
+/// failure views and round-robin counters so workers can schedule runs
+/// independently and still reproduce the sequential builder bit-for-bit.
+pub(crate) fn prescan_epoch_runs(
+    world: &World,
+    reqs: &[Request],
+    epoch_secs: u64,
+    rec: &dyn Recorder,
+) -> Vec<EpochRun> {
+    let enabled = rec.is_enabled();
+    let mut runs: Vec<EpochRun> = Vec::new();
+    let mut cursor = ScheduleCursor::new(&world.schedule, world.failures.clone());
+    let mut rr = vec![0usize; world.num_locations()];
+    let mut shared_view: Option<Arc<FailureModel>> = None;
+    let mut start = 0usize;
+    let epoch_ms = epoch_secs * 1000;
+    while start < reqs.len() {
+        let epoch = epoch_of(reqs[start].time, epoch_secs);
+        // `epoch_of(t) == epoch ⇔ epoch·epoch_ms ≤ t_ms < (epoch+1)·epoch_ms`
+        // (u64 floor division composes) — one range check per entry
+        // instead of the two divisions inside `epoch_of`.
+        let run_start_ms = epoch * epoch_ms;
+        let run_end_ms = run_start_ms + epoch_ms;
+        let mut end = start + 1;
+        while end < reqs.len() && {
+            let t_ms = reqs[end].time.as_millis();
+            t_ms >= run_start_ms && t_ms < run_end_ms
+        } {
+            end += 1;
+        }
+        let delta = cursor.advance_to(epoch * epoch_secs);
+        if enabled {
+            rec.observe(Histo::QueueDepth, (end - start) as u64);
+            if !delta.is_empty() {
+                record_fault_delta(rec, epoch, &delta);
+            }
+        }
+        let view = match &shared_view {
+            Some(v) if delta.is_empty() => v.clone(),
+            _ => {
+                let v = Arc::new(cursor.view().clone());
+                shared_view = Some(v.clone());
+                v
+            }
+        };
+        runs.push(EpochRun { start, end, epoch, rr_start: rr.clone(), view });
+        for r in &reqs[start..end] {
+            rr[r.location.0 as usize] += 1;
+        }
+        start = end;
+    }
+    runs
 }
 
 /// [`build_access_log`] fanned out over `num_workers` OS threads,
@@ -366,43 +410,11 @@ pub fn build_access_log_parallel_recorded(
     if num_workers <= 1 || trace.len() < 2 {
         return build_access_log_recorded(world, trace, epoch_secs, cfg, rec);
     }
-    let enabled = rec.is_enabled();
     let reqs = &trace.requests;
 
     // Sequential pre-scan: run boundaries, failure views, RR counters.
     let prescan_span = SpanTimer::start(rec, Stage::PreScan, 0);
-    let mut runs: Vec<EpochRun> = Vec::new();
-    let mut cursor = ScheduleCursor::new(&world.schedule, world.failures.clone());
-    let mut rr = vec![0usize; world.num_locations()];
-    let mut shared_view: Option<Arc<FailureModel>> = None;
-    let mut start = 0usize;
-    while start < reqs.len() {
-        let epoch = epoch_of(reqs[start].time, epoch_secs);
-        let mut end = start + 1;
-        while end < reqs.len() && epoch_of(reqs[end].time, epoch_secs) == epoch {
-            end += 1;
-        }
-        let delta = cursor.advance_to(epoch * epoch_secs);
-        if enabled {
-            rec.observe(Histo::QueueDepth, (end - start) as u64);
-            if !delta.is_empty() {
-                record_fault_delta(rec, epoch, &delta);
-            }
-        }
-        let view = match &shared_view {
-            Some(v) if delta.is_empty() => v.clone(),
-            _ => {
-                let v = Arc::new(cursor.view().clone());
-                shared_view = Some(v.clone());
-                v
-            }
-        };
-        runs.push(EpochRun { start, end, epoch, rr_start: rr.clone(), view });
-        for r in &reqs[start..end] {
-            rr[r.location.0 as usize] += 1;
-        }
-        start = end;
-    }
+    let runs = prescan_epoch_runs(world, reqs, epoch_secs, rec);
     prescan_span.stop();
 
     // Fan the runs out; each slot is written exactly once by whichever

@@ -1,0 +1,769 @@
+//! Columnar (struct-of-arrays) access log.
+//!
+//! [`AccessLogColumns`] stores one contiguous buffer per
+//! [`AccessLogEntry`] field instead of an array of structs. The layout
+//! is lossless in both directions ([`AccessLogColumns::from_log`] /
+//! [`AccessLogColumns::to_log`]) and shares the exact 39-byte binary
+//! record format with [`AccessLog`], so a binary file written by either
+//! representation is readable by the other — and the columnar reader
+//! decodes straight into the column buffers without ever materializing
+//! per-entry structs.
+//!
+//! The columnar builders ([`build_access_log_columns`] and
+//! [`build_access_log_columns_parallel`]) produce logs whose
+//! materialized entries are bit-for-bit identical to the row builders'
+//! output: scheduling goes through the same `assign_user` arithmetic
+//! (via `schedule_epoch_into`) and entry resolution mirrors
+//! `resolve_entry` field for field. The parallel builder pre-sizes the
+//! column buffers once and hands each worker disjoint `&mut` chunks
+//! (split at epoch-run boundaries), so the steady-state epoch loop —
+//! propagate, schedule into reusable scratch, write columns in place —
+//! performs zero heap allocations and there is no final stitch copy.
+
+use crate::access_log::BIN_MAGIC;
+use crate::access_log::{prescan_epoch_runs, record_fault_delta, AccessLog, AccessLogEntry};
+use crate::scheduler::{
+    epoch_of, schedule_epoch_into, Assignment, EpochSchedule, ScheduleScratch, SchedulerConfig,
+};
+use crate::world::World;
+use spacegen::io::{read_fixed_record, IoError};
+use spacegen::trace::{LocationId, Request, Trace};
+use starcdn_cache::object::ObjectId;
+use starcdn_constellation::schedule::ScheduleCursor;
+use starcdn_orbit::time::SimTime;
+use starcdn_orbit::walker::SatelliteId;
+use starcdn_telemetry::{Histo, Noop, Recorder, SpanTimer, Stage};
+
+/// Struct-of-arrays access log: one contiguous, equally long buffer per
+/// [`AccessLogEntry`] field. `first_contact: Option<SatelliteId>` is
+/// decomposed into a presence tag plus orbit/slot columns (the same
+/// decomposition the binary codec uses on disk); absent contacts store
+/// zeros in the orbit/slot/gsl columns, exactly what `resolve_entry`
+/// stores in the row representation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AccessLogColumns {
+    time_ms: Vec<u64>,
+    object: Vec<u64>,
+    size: Vec<u64>,
+    location: Vec<u16>,
+    fc_tag: Vec<u8>,
+    fc_orbit: Vec<u16>,
+    fc_slot: Vec<u16>,
+    gsl_oneway_ms: Vec<f64>,
+    epoch_secs: u64,
+}
+
+impl AccessLogColumns {
+    /// An empty columnar log with the given epoch length.
+    pub fn new(epoch_secs: u64) -> Self {
+        AccessLogColumns { epoch_secs, ..Default::default() }
+    }
+
+    /// An empty columnar log with every column's capacity reserved.
+    pub fn with_capacity(n: usize, epoch_secs: u64) -> Self {
+        AccessLogColumns {
+            time_ms: Vec::with_capacity(n),
+            object: Vec::with_capacity(n),
+            size: Vec::with_capacity(n),
+            location: Vec::with_capacity(n),
+            fc_tag: Vec::with_capacity(n),
+            fc_orbit: Vec::with_capacity(n),
+            fc_slot: Vec::with_capacity(n),
+            gsl_oneway_ms: Vec::with_capacity(n),
+            epoch_secs,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.time_ms.len()
+    }
+
+    /// True when the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.time_ms.is_empty()
+    }
+
+    /// Epoch length used when scheduling, seconds.
+    pub fn epoch_secs(&self) -> u64 {
+        self.epoch_secs
+    }
+
+    /// Total requested bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.size.iter().sum()
+    }
+
+    /// The request-size column (bytes per entry).
+    pub fn sizes(&self) -> &[u64] {
+        &self.size
+    }
+
+    /// The request-time column, milliseconds since simulation start.
+    pub fn times_ms(&self) -> &[u64] {
+        &self.time_ms
+    }
+
+    /// Append one row-form entry.
+    pub fn push(&mut self, e: &AccessLogEntry) {
+        self.time_ms.push(e.time.as_millis());
+        self.object.push(e.object.0);
+        self.size.push(e.size);
+        self.location.push(e.location.0);
+        match e.first_contact {
+            Some(sat) => {
+                self.fc_tag.push(1);
+                self.fc_orbit.push(sat.orbit);
+                self.fc_slot.push(sat.slot);
+            }
+            None => {
+                self.fc_tag.push(0);
+                self.fc_orbit.push(0);
+                self.fc_slot.push(0);
+            }
+        }
+        self.gsl_oneway_ms.push(e.gsl_oneway_ms);
+    }
+
+    /// Append a request with its resolved assignment — the columnar twin
+    /// of the row builders' `resolve_entry`, storing identical values.
+    pub fn push_resolved(&mut self, r: &Request, assignment: Option<Assignment>) {
+        self.time_ms.push(r.time.as_millis());
+        self.object.push(r.object.0);
+        self.size.push(r.size);
+        self.location.push(r.location.0);
+        match assignment {
+            Some(a) => {
+                self.fc_tag.push(1);
+                self.fc_orbit.push(a.satellite.orbit);
+                self.fc_slot.push(a.satellite.slot);
+                self.gsl_oneway_ms.push(a.gsl_oneway_ms);
+            }
+            None => {
+                self.fc_tag.push(0);
+                self.fc_orbit.push(0);
+                self.fc_slot.push(0);
+                self.gsl_oneway_ms.push(0.0);
+            }
+        }
+    }
+
+    /// Materialize entry `i` in row form.
+    ///
+    /// # Panics
+    /// Panics when `i >= self.len()`.
+    pub fn entry(&self, i: usize) -> AccessLogEntry {
+        AccessLogEntry {
+            time: SimTime::from_millis(self.time_ms[i]),
+            object: ObjectId(self.object[i]),
+            size: self.size[i],
+            location: LocationId(self.location[i]),
+            first_contact: (self.fc_tag[i] != 0)
+                .then(|| SatelliteId { orbit: self.fc_orbit[i], slot: self.fc_slot[i] }),
+            gsl_oneway_ms: self.gsl_oneway_ms[i],
+        }
+    }
+
+    /// Iterate the log as materialized row entries.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = AccessLogEntry> + '_ {
+        (0..self.len()).map(move |i| self.entry(i))
+    }
+
+    /// Transpose a row log into columns (lossless).
+    pub fn from_log(log: &AccessLog) -> Self {
+        let mut cols = AccessLogColumns::with_capacity(log.len(), log.epoch_secs);
+        for e in &log.entries {
+            cols.push(e);
+        }
+        cols
+    }
+
+    /// Transpose back into a row log (lossless inverse of
+    /// [`AccessLogColumns::from_log`] for logs produced by the builders
+    /// or the codec, where absent contacts carry zero orbit/slot).
+    pub fn to_log(&self) -> AccessLog {
+        AccessLog { entries: self.iter().collect(), epoch_secs: self.epoch_secs }
+    }
+
+    /// Persist in the shared binary format — byte-identical output to
+    /// [`AccessLog::write_binary`] on the equivalent row log.
+    pub fn write_binary(&self, w: impl std::io::Write) -> Result<(), IoError> {
+        use std::io::Write;
+        let mut w = std::io::BufWriter::new(w);
+        w.write_all(BIN_MAGIC)?;
+        w.write_all(&self.epoch_secs.to_le_bytes())?;
+        let mut rec = [0u8; 39];
+        for i in 0..self.len() {
+            rec[0..8].copy_from_slice(&self.time_ms[i].to_le_bytes());
+            rec[8..16].copy_from_slice(&self.object[i].to_le_bytes());
+            rec[16..24].copy_from_slice(&self.size[i].to_le_bytes());
+            rec[24..26].copy_from_slice(&self.location[i].to_le_bytes());
+            if self.fc_tag[i] != 0 {
+                rec[26] = 1;
+                rec[27..29].copy_from_slice(&self.fc_orbit[i].to_le_bytes());
+                rec[29..31].copy_from_slice(&self.fc_slot[i].to_le_bytes());
+            } else {
+                rec[26..31].fill(0);
+            }
+            rec[31..39].copy_from_slice(&self.gsl_oneway_ms[i].to_bits().to_le_bytes());
+            w.write_all(&rec)?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Load the shared binary format straight into column buffers —
+    /// accepts exactly the files [`AccessLog::read_binary`] accepts
+    /// (including its corruption errors) without materializing a single
+    /// per-entry struct.
+    pub fn read_binary(r: impl std::io::Read) -> Result<Self, IoError> {
+        use std::io::Read;
+        let mut r = std::io::BufReader::new(r);
+        let mut header = [0u8; 16];
+        r.read_exact(&mut header).map_err(|_| IoError::BadHeader)?;
+        if &header[..8] != BIN_MAGIC {
+            return Err(IoError::BadHeader);
+        }
+        let (_, epoch_b) = header.split_at(8);
+        let epoch_secs = u64::from_le_bytes(*<&[u8; 8]>::try_from(epoch_b).expect("8-byte field"));
+        let mut cols = AccessLogColumns::new(epoch_secs);
+        let mut rec = [0u8; 39];
+        let field8 = |b: &[u8]| u64::from_le_bytes(*<&[u8; 8]>::try_from(b).expect("8 bytes"));
+        let field2 = |b: &[u8]| u16::from_le_bytes(*<&[u8; 2]>::try_from(b).expect("2 bytes"));
+        while read_fixed_record(&mut r, &mut rec)? {
+            cols.time_ms.push(field8(&rec[0..8]));
+            cols.object.push(field8(&rec[8..16]));
+            cols.size.push(field8(&rec[16..24]));
+            cols.location.push(field2(&rec[24..26]));
+            cols.fc_tag.push(u8::from(rec[26] != 0));
+            cols.fc_orbit.push(field2(&rec[27..29]));
+            cols.fc_slot.push(field2(&rec[29..31]));
+            cols.gsl_oneway_ms.push(f64::from_bits(field8(&rec[31..39])));
+        }
+        Ok(cols)
+    }
+
+    /// Write the binary format to `path` (created or truncated).
+    pub fn write_binary_path(&self, path: impl AsRef<std::path::Path>) -> Result<(), IoError> {
+        self.write_binary(std::fs::File::create(path).map_err(IoError::Io)?)
+    }
+
+    /// Load a binary log from `path`.
+    pub fn read_binary_path(path: impl AsRef<std::path::Path>) -> Result<Self, IoError> {
+        Self::read_binary(std::fs::File::open(path).map_err(IoError::Io)?)
+    }
+
+    /// Grow every column to `n` entries, zero-filled — backing store for
+    /// the parallel builder's pre-sized disjoint chunks.
+    fn resize_zeroed(&mut self, n: usize) {
+        self.time_ms.resize(n, 0);
+        self.object.resize(n, 0);
+        self.size.resize(n, 0);
+        self.location.resize(n, 0);
+        self.fc_tag.resize(n, 0);
+        self.fc_orbit.resize(n, 0);
+        self.fc_slot.resize(n, 0);
+        self.gsl_oneway_ms.resize(n, 0.0);
+    }
+}
+
+/// Disjoint mutable views over one epoch run's slice of every column.
+/// Runs partition the log, so handing each worker its runs' chunks lets
+/// workers write results in place — no per-run result vectors and no
+/// stitch copy afterwards.
+pub(crate) struct ColumnChunk<'a> {
+    time_ms: &'a mut [u64],
+    object: &'a mut [u64],
+    size: &'a mut [u64],
+    location: &'a mut [u16],
+    fc_tag: &'a mut [u8],
+    fc_orbit: &'a mut [u16],
+    fc_slot: &'a mut [u16],
+    gsl_oneway_ms: &'a mut [f64],
+}
+
+impl ColumnChunk<'_> {
+    /// Write slot `j` of this chunk — field-for-field what
+    /// `resolve_entry` + [`AccessLogColumns::push`] would store.
+    #[inline]
+    pub(crate) fn write_resolved(&mut self, j: usize, r: &Request, assignment: Option<Assignment>) {
+        self.time_ms[j] = r.time.as_millis();
+        self.object[j] = r.object.0;
+        self.size[j] = r.size;
+        self.location[j] = r.location.0;
+        match assignment {
+            Some(a) => {
+                self.fc_tag[j] = 1;
+                self.fc_orbit[j] = a.satellite.orbit;
+                self.fc_slot[j] = a.satellite.slot;
+                self.gsl_oneway_ms[j] = a.gsl_oneway_ms;
+            }
+            None => {
+                self.fc_tag[j] = 0;
+                self.fc_orbit[j] = 0;
+                self.fc_slot[j] = 0;
+                self.gsl_oneway_ms[j] = 0.0;
+            }
+        }
+    }
+}
+
+/// Split `cols` (already sized to the trace length) into one
+/// [`ColumnChunk`] per `(start, end)` range. Ranges must be
+/// consecutive, disjoint, and cover `[0, cols.len())` — which epoch
+/// runs are by construction.
+fn split_into_chunks<'a>(
+    cols: &'a mut AccessLogColumns,
+    ranges: impl Iterator<Item = (usize, usize)>,
+) -> Vec<ColumnChunk<'a>> {
+    let mut chunks = Vec::new();
+    let mut time_ms = cols.time_ms.as_mut_slice();
+    let mut object = cols.object.as_mut_slice();
+    let mut size = cols.size.as_mut_slice();
+    let mut location = cols.location.as_mut_slice();
+    let mut fc_tag = cols.fc_tag.as_mut_slice();
+    let mut fc_orbit = cols.fc_orbit.as_mut_slice();
+    let mut fc_slot = cols.fc_slot.as_mut_slice();
+    let mut gsl = cols.gsl_oneway_ms.as_mut_slice();
+    for (start, end) in ranges {
+        let len = end - start;
+        let (t, rest) = time_ms.split_at_mut(len);
+        time_ms = rest;
+        let (o, rest) = object.split_at_mut(len);
+        object = rest;
+        let (s, rest) = size.split_at_mut(len);
+        size = rest;
+        let (l, rest) = location.split_at_mut(len);
+        location = rest;
+        let (ft, rest) = fc_tag.split_at_mut(len);
+        fc_tag = rest;
+        let (fo, rest) = fc_orbit.split_at_mut(len);
+        fc_orbit = rest;
+        let (fs, rest) = fc_slot.split_at_mut(len);
+        fc_slot = rest;
+        let (g, rest) = gsl.split_at_mut(len);
+        gsl = rest;
+        chunks.push(ColumnChunk {
+            time_ms: t,
+            object: o,
+            size: s,
+            location: l,
+            fc_tag: ft,
+            fc_orbit: fo,
+            fc_slot: fs,
+            gsl_oneway_ms: g,
+        });
+    }
+    chunks
+}
+
+/// The columnar twin of
+/// [`build_access_log`](crate::access_log::build_access_log): one
+/// sequential pass over the trace, scheduling through the batched
+/// struct-of-arrays visibility scan with reusable scratch. The
+/// materialized entries are bit-for-bit the row builder's.
+pub fn build_access_log_columns(
+    world: &World,
+    trace: &Trace,
+    epoch_secs: u64,
+    cfg: &SchedulerConfig,
+) -> AccessLogColumns {
+    build_access_log_columns_recorded(world, trace, epoch_secs, cfg, &Noop)
+}
+
+/// [`build_access_log_columns`] with telemetry — the same spans, events,
+/// and histograms the row builder records.
+pub fn build_access_log_columns_recorded(
+    world: &World,
+    trace: &Trace,
+    epoch_secs: u64,
+    cfg: &SchedulerConfig,
+    rec: &dyn Recorder,
+) -> AccessLogColumns {
+    assert!(epoch_secs > 0);
+    let enabled = rec.is_enabled();
+    let users = cfg.users_per_location;
+    assert!(users > 0, "users_per_location must be positive");
+    let mut snapshot = world.snapshot();
+    let mut cols = AccessLogColumns::with_capacity(trace.len(), epoch_secs);
+    let mut epoch_len = 0u64;
+    let mut scratch = ScheduleScratch::default();
+    let mut schedule = EpochSchedule::default();
+    let mut have_schedule = false;
+    // Wrapped round-robin cursors: each slot holds `raw_count % users`,
+    // stepped without the per-entry modulo the row builder pays.
+    let mut rr_counters = vec![0usize; world.num_locations()];
+    let mut cursor = ScheduleCursor::new(&world.schedule, world.failures.clone());
+    // `epoch_of(t) == e  ⇔  e·epoch_ms ≤ t_ms < (e+1)·epoch_ms` (u64
+    // floor division composes), so steady-state entries replace the two
+    // divisions inside `epoch_of` with one range check. The empty
+    // initial range forces the first entry to compute its epoch.
+    let epoch_ms = epoch_secs * 1000;
+    let mut epoch_start_ms = u64::MAX;
+    let mut epoch_end_ms = 0u64;
+
+    for r in &trace.requests {
+        let t_ms = r.time.as_millis();
+        if t_ms < epoch_start_ms || t_ms >= epoch_end_ms {
+            let epoch = epoch_of(r.time, epoch_secs);
+            if enabled && have_schedule {
+                rec.observe(Histo::QueueDepth, epoch_len);
+            }
+            epoch_len = 0;
+            epoch_start_ms = epoch * epoch_ms;
+            epoch_end_ms = epoch_start_ms + epoch_ms;
+            {
+                let _propagate = SpanTimer::start(rec, Stage::Propagate, epoch);
+                snapshot.advance_to(SimTime::from_secs(epoch * epoch_secs));
+            }
+            let delta = cursor.advance_to(epoch * epoch_secs);
+            if enabled && !delta.is_empty() {
+                record_fault_delta(rec, epoch, &delta);
+            }
+            schedule_epoch_into(
+                world,
+                &snapshot,
+                epoch,
+                cfg,
+                cursor.view(),
+                rec,
+                &mut scratch,
+                &mut schedule,
+            );
+            have_schedule = true;
+        }
+        epoch_len += 1;
+        debug_assert!(have_schedule);
+        let loc = r.location.0 as usize;
+        let user = rr_counters[loc];
+        rr_counters[loc] = if user + 1 == users { 0 } else { user + 1 };
+        cols.push_resolved(r, schedule.assignments[loc][user]);
+    }
+    if enabled && epoch_len > 0 {
+        rec.observe(Histo::QueueDepth, epoch_len);
+    }
+    cols
+}
+
+/// The columnar twin of
+/// [`build_access_log_parallel`](crate::access_log::build_access_log_parallel):
+/// the same sequential pre-scan into epoch runs, then workers write
+/// results directly into disjoint pre-split column chunks. Once a
+/// worker's scratch is warm, its steady-state epoch loop — propagate,
+/// schedule into scratch, write the run's chunk — performs zero heap
+/// allocations, and there is no stitch copy at the end. Output is
+/// bit-for-bit the sequential columnar (and therefore row) builder's.
+pub fn build_access_log_columns_parallel(
+    world: &World,
+    trace: &Trace,
+    epoch_secs: u64,
+    cfg: &SchedulerConfig,
+    num_workers: usize,
+) -> AccessLogColumns {
+    build_access_log_columns_parallel_recorded(world, trace, epoch_secs, cfg, num_workers, &Noop)
+}
+
+/// [`build_access_log_columns_parallel`] with telemetry — the same
+/// pre-scan/propagate/merge spans the row parallel builder records
+/// (the merge span brackets the chunk split, since no stitch exists).
+pub fn build_access_log_columns_parallel_recorded(
+    world: &World,
+    trace: &Trace,
+    epoch_secs: u64,
+    cfg: &SchedulerConfig,
+    num_workers: usize,
+    rec: &dyn Recorder,
+) -> AccessLogColumns {
+    assert!(epoch_secs > 0);
+    if num_workers <= 1 || trace.len() < 2 {
+        return build_access_log_columns_recorded(world, trace, epoch_secs, cfg, rec);
+    }
+    let reqs = &trace.requests;
+
+    let prescan_span = SpanTimer::start(rec, Stage::PreScan, 0);
+    let runs = prescan_epoch_runs(world, reqs, epoch_secs, rec);
+    prescan_span.stop();
+
+    let mut cols = AccessLogColumns::new(epoch_secs);
+    cols.resize_zeroed(reqs.len());
+
+    // Split the columns into one disjoint chunk per run and deal the
+    // (run, chunk) pairs round-robin across workers. Epoch runs are
+    // near-uniform in cost, so static assignment balances well and
+    // needs no claim queue.
+    let merge_span = SpanTimer::start(rec, Stage::Merge, 0);
+    let chunks = split_into_chunks(&mut cols, runs.iter().map(|r| (r.start, r.end)));
+    merge_span.stop();
+    let workers = num_workers.min(runs.len()).max(1);
+    let mut buckets: Vec<Vec<(usize, ColumnChunk)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, chunk) in chunks.into_iter().enumerate() {
+        buckets[i % workers].push((i, chunk));
+    }
+
+    let users = cfg.users_per_location;
+    assert!(users > 0, "users_per_location must be positive");
+    std::thread::scope(|s| {
+        for bucket in buckets {
+            s.spawn(|| {
+                let mut snapshot = world.snapshot();
+                let mut scratch = ScheduleScratch::default();
+                let mut schedule = EpochSchedule::default();
+                let mut rr = vec![0usize; world.num_locations()];
+                for (i, mut chunk) in bucket {
+                    let run = &runs[i];
+                    {
+                        let _propagate = SpanTimer::start(rec, Stage::Propagate, run.epoch);
+                        snapshot.advance_to(SimTime::from_secs(run.epoch * epoch_secs));
+                    }
+                    schedule_epoch_into(
+                        world,
+                        &snapshot,
+                        run.epoch,
+                        cfg,
+                        &run.view,
+                        rec,
+                        &mut scratch,
+                        &mut schedule,
+                    );
+                    // Fold the pre-scan's raw counts into wrapped
+                    // cursors once per run; entries then step without
+                    // the modulo (see the sequential builder).
+                    for (w, &raw) in rr.iter_mut().zip(&run.rr_start) {
+                        *w = raw % users;
+                    }
+                    for (j, r) in reqs[run.start..run.end].iter().enumerate() {
+                        let loc = r.location.0 as usize;
+                        let user = rr[loc];
+                        rr[loc] = if user + 1 == users { 0 } else { user + 1 };
+                        chunk.write_resolved(j, r, schedule.assignments[loc][user]);
+                    }
+                }
+            });
+        }
+    });
+    cols
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access_log::{build_access_log, build_access_log_parallel};
+    use proptest::prelude::*;
+
+    fn tiny_trace() -> Trace {
+        let mut reqs = Vec::new();
+        for k in 0..200u64 {
+            reqs.push(Request {
+                time: SimTime::from_secs(k * 3),
+                object: ObjectId(k % 17),
+                size: 100,
+                location: LocationId((k % 9) as u16),
+            });
+        }
+        Trace::new(reqs)
+    }
+
+    fn churny_world() -> World {
+        use starcdn_constellation::schedule::{ChurnParams, FaultSchedule};
+        let base = World::starlink_nine_cities();
+        let p = ChurnParams::sats_only(1800.0, 120.0, 600, 0xD00D);
+        let schedule = FaultSchedule::churn(&base.grid, &p);
+        assert!(!schedule.is_empty(), "churn parameters produced no events");
+        base.with_fault_schedule(schedule)
+    }
+
+    /// A row log exercising the unreachable encoding alongside normal
+    /// entries.
+    fn codec_fixture() -> AccessLog {
+        let w = World::starlink_nine_cities();
+        let mut log = build_access_log(&w, &tiny_trace(), 15, &SchedulerConfig::default());
+        log.entries[3].first_contact = None;
+        log.entries[3].gsl_oneway_ms = 0.0;
+        log
+    }
+
+    #[test]
+    fn transpose_roundtrip_is_lossless() {
+        let log = codec_fixture();
+        let cols = AccessLogColumns::from_log(&log);
+        assert_eq!(cols.len(), log.len());
+        assert_eq!(cols.total_bytes(), log.total_bytes());
+        assert_eq!(cols.epoch_secs(), log.epoch_secs);
+        let back = cols.to_log();
+        assert_eq!(back, log);
+        for (i, e) in log.entries.iter().enumerate() {
+            let c = cols.entry(i);
+            assert_eq!(c, *e, "entry {i}");
+            assert_eq!(c.gsl_oneway_ms.to_bits(), e.gsl_oneway_ms.to_bits(), "entry {i} gsl bits");
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip_empty() {
+        let log = AccessLog { entries: Vec::new(), epoch_secs: 30 };
+        let cols = AccessLogColumns::from_log(&log);
+        assert!(cols.is_empty());
+        assert_eq!(cols.to_log(), log);
+    }
+
+    #[test]
+    fn binary_format_is_shared_with_row_log() {
+        let log = codec_fixture();
+        let cols = AccessLogColumns::from_log(&log);
+
+        let mut row_bytes = Vec::new();
+        log.write_binary(&mut row_bytes).unwrap();
+        let mut col_bytes = Vec::new();
+        cols.write_binary(&mut col_bytes).unwrap();
+        assert_eq!(row_bytes, col_bytes, "both writers must emit identical bytes");
+
+        // Cross-read both directions.
+        let cols_from_row = AccessLogColumns::read_binary(row_bytes.as_slice()).unwrap();
+        assert_eq!(cols_from_row, cols);
+        let log_from_col = AccessLog::read_binary(col_bytes.as_slice()).unwrap();
+        assert_eq!(log_from_col, log);
+    }
+
+    #[test]
+    fn binary_empty_log() {
+        let cols = AccessLogColumns::new(30);
+        let mut buf = Vec::new();
+        cols.write_binary(&mut buf).unwrap();
+        assert_eq!(buf.len(), 16);
+        let back = AccessLogColumns::read_binary(buf.as_slice()).unwrap();
+        assert_eq!(back, cols);
+    }
+
+    #[test]
+    fn binary_detects_truncation_and_bad_header() {
+        let cols = AccessLogColumns::from_log(&codec_fixture());
+        let mut buf = Vec::new();
+        cols.write_binary(&mut buf).unwrap();
+        buf.truncate(buf.len() - 7); // chop mid-record
+        assert!(matches!(
+            AccessLogColumns::read_binary(buf.as_slice()),
+            Err(IoError::TruncatedRecord)
+        ));
+        assert!(matches!(
+            AccessLogColumns::read_binary(b"NOTALOG!\0\0\0\0\0\0\0\0".as_slice()),
+            Err(IoError::BadHeader)
+        ));
+        // A header shorter than 16 bytes is a bad header, not a panic.
+        assert!(matches!(
+            AccessLogColumns::read_binary(b"STARLOG1\x0f".as_slice()),
+            Err(IoError::BadHeader)
+        ));
+    }
+
+    #[test]
+    fn sequential_columnar_builder_matches_row_builder_bit_for_bit() {
+        let cfg = SchedulerConfig::default();
+        for w in [World::starlink_nine_cities(), churny_world()] {
+            let row = build_access_log(&w, &tiny_trace(), 15, &cfg);
+            let cols = build_access_log_columns(&w, &tiny_trace(), 15, &cfg);
+            assert_eq!(cols.len(), row.len());
+            for (i, (c, r)) in cols.iter().zip(&row.entries).enumerate() {
+                assert_eq!(c, *r, "entry {i}");
+                assert_eq!(c.gsl_oneway_ms.to_bits(), r.gsl_oneway_ms.to_bits(), "entry {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_columnar_builder_matches_sequential_bit_for_bit() {
+        let cfg = SchedulerConfig::default();
+        for w in [World::starlink_nine_cities(), churny_world()] {
+            let trace = tiny_trace();
+            let seq = build_access_log_columns(&w, &trace, 15, &cfg);
+            for n in [1usize, 2, 4, 7] {
+                let par = build_access_log_columns_parallel(&w, &trace, 15, &cfg, n);
+                assert_eq!(seq, par, "{n} workers diverged from sequential");
+            }
+            // And against the row parallel builder, through transpose.
+            let row_par = build_access_log_parallel(&w, &trace, 15, &cfg, 4);
+            assert_eq!(seq.to_log(), row_par);
+        }
+    }
+
+    #[test]
+    fn parallel_columnar_handles_degenerate_traces() {
+        let w = World::starlink_nine_cities();
+        let cfg = SchedulerConfig::default();
+        let empty = build_access_log_columns_parallel(&w, &Trace::default(), 15, &cfg, 4);
+        assert!(empty.is_empty());
+        let one = Trace::new(vec![Request {
+            time: SimTime::from_secs(7),
+            object: ObjectId(1),
+            size: 10,
+            location: LocationId(4),
+        }]);
+        let seq = build_access_log_columns(&w, &one, 15, &cfg);
+        let par = build_access_log_columns_parallel(&w, &one, 15, &cfg, 8);
+        assert_eq!(seq, par);
+    }
+
+    proptest! {
+        /// Row ↔ columnar transpose and the shared binary codec are
+        /// lossless for arbitrary entries (including absent contacts
+        /// and extreme field values).
+        #[test]
+        fn prop_transpose_and_binary_roundtrip(
+            raw in proptest::collection::vec(
+                (0u64..u64::MAX / 2, 0u64..1 << 40, 0u64..1 << 30, 0u16..512, 0u8..2, 0u16..72, 0u16..24, 0u64..1 << 52),
+                0..64,
+            ),
+            epoch_secs in 1u64..3600,
+        ) {
+            let entries: Vec<AccessLogEntry> = raw
+                .into_iter()
+                .map(|(t, o, s, l, tag, orbit, slot, gsl_ms)| AccessLogEntry {
+                    time: SimTime::from_millis(t),
+                    object: ObjectId(o),
+                    size: s,
+                    location: LocationId(l),
+                    first_contact: (tag != 0).then_some(SatelliteId { orbit, slot }),
+                    // Row entries with no contact always carry 0.0 (what
+                    // resolve_entry stores), keeping the transpose lossless.
+                    gsl_oneway_ms: if tag != 0 { gsl_ms as f64 / 1024.0 } else { 0.0 },
+                })
+                .collect();
+            let log = AccessLog { entries, epoch_secs };
+            let cols = AccessLogColumns::from_log(&log);
+            prop_assert_eq!(cols.to_log(), log.clone());
+
+            let mut row_bytes = Vec::new();
+            log.write_binary(&mut row_bytes).unwrap();
+            let mut col_bytes = Vec::new();
+            cols.write_binary(&mut col_bytes).unwrap();
+            prop_assert_eq!(&row_bytes, &col_bytes);
+            let back = AccessLogColumns::read_binary(col_bytes.as_slice()).unwrap();
+            prop_assert_eq!(back, cols);
+        }
+
+        /// Truncating a valid binary log anywhere either reproduces a
+        /// record-boundary prefix or returns a clean error — never a
+        /// panic, never silently dropped bytes.
+        #[test]
+        fn prop_truncation_never_panics(cut in 0usize..800) {
+            let w = World::starlink_nine_cities();
+            let log = build_access_log(&w, &tiny_trace(), 15, &SchedulerConfig::default());
+            let mut buf = Vec::new();
+            log.write_binary(&mut buf).unwrap();
+            let cut = cut.min(buf.len());
+            buf.truncate(cut);
+            match AccessLogColumns::read_binary(buf.as_slice()) {
+                Ok(cols) => {
+                    prop_assert!(cut >= 16);
+                    prop_assert_eq!((cut - 16) % 39, 0);
+                    prop_assert_eq!(cols.len(), (cut - 16) / 39);
+                }
+                Err(IoError::BadHeader) => prop_assert!(cut < 16),
+                Err(IoError::TruncatedRecord) => {
+                    prop_assert!(cut >= 16);
+                    prop_assert!((cut - 16) % 39 != 0);
+                }
+                Err(e) => prop_assert!(false, "unexpected error: {e:?}"),
+            }
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! [`crate::replayer`].
 
 use crate::access_log::AccessLog;
+use crate::columns::AccessLogColumns;
 use starcdn::baselines::{NoCacheBaseline, StaticCacheBaseline, TerrestrialCdnBaseline};
 use starcdn::metrics::SystemMetrics;
 use starcdn::system::{ServeOutcome, SpaceCdn};
@@ -110,6 +111,36 @@ pub fn run_space_entries_recorded(
     epoch_secs: u64,
     rec: &dyn Recorder,
 ) -> SystemMetrics {
+    run_space_iter_recorded(cdn, entries.iter().copied(), epoch_secs, rec)
+}
+
+/// [`run_space`] over a columnar log: entries are materialized lane by
+/// lane from the column buffers as the loop consumes them, never
+/// collected into a row vector. Bit-for-bit [`run_space`] on the
+/// equivalent row log.
+pub fn run_space_columns(cdn: &mut SpaceCdn, cols: &AccessLogColumns) -> SystemMetrics {
+    run_space_columns_recorded(cdn, cols, &Noop)
+}
+
+/// [`run_space_columns`] with telemetry (see
+/// [`run_space_entries_recorded`]).
+pub fn run_space_columns_recorded(
+    cdn: &mut SpaceCdn,
+    cols: &AccessLogColumns,
+    rec: &dyn Recorder,
+) -> SystemMetrics {
+    run_space_iter_recorded(cdn, cols.iter(), cols.epoch_secs(), rec)
+}
+
+/// The shared engine loop behind the row and columnar entry points —
+/// generic over any entry stream so neither representation pays a
+/// conversion copy.
+fn run_space_iter_recorded(
+    cdn: &mut SpaceCdn,
+    entries: impl Iterator<Item = crate::access_log::AccessLogEntry>,
+    epoch_secs: u64,
+    rec: &dyn Recorder,
+) -> SystemMetrics {
     let prefetching = cdn.config().prefetch_top_k.is_some();
     let enabled = rec.is_enabled();
     let epoch_secs = epoch_secs.max(1);
@@ -180,7 +211,31 @@ pub fn run_space_with_faults_recorded(
     if schedule.is_empty() {
         return run_space_recorded(cdn, log, rec);
     }
-    drive_with_faults(cdn, log, schedule, None, rec)
+    drive_with_faults(cdn, log.entries.iter().copied(), log.epoch_secs, schedule, None, rec)
+}
+
+/// [`run_space_with_faults`] over a columnar log — bit-for-bit the row
+/// path on the equivalent log, including the empty-schedule fast path.
+pub fn run_space_with_faults_columns(
+    cdn: &mut SpaceCdn,
+    cols: &AccessLogColumns,
+    schedule: &FaultSchedule,
+) -> SystemMetrics {
+    run_space_with_faults_columns_recorded(cdn, cols, schedule, &Noop)
+}
+
+/// [`run_space_with_faults_columns`] with telemetry (see
+/// [`run_space_with_faults_recorded`]).
+pub fn run_space_with_faults_columns_recorded(
+    cdn: &mut SpaceCdn,
+    cols: &AccessLogColumns,
+    schedule: &FaultSchedule,
+    rec: &dyn Recorder,
+) -> SystemMetrics {
+    if schedule.is_empty() {
+        return run_space_columns_recorded(cdn, cols, rec);
+    }
+    drive_with_faults(cdn, cols.iter(), cols.epoch_secs(), schedule, None, rec)
 }
 
 /// [`run_space_with_faults`] with metrics reset at the first entry at or
@@ -193,7 +248,14 @@ pub fn run_space_with_faults_measured(
     schedule: &FaultSchedule,
     measure_from_secs: u64,
 ) -> SystemMetrics {
-    drive_with_faults(cdn, log, schedule, Some(measure_from_secs), &Noop)
+    drive_with_faults(
+        cdn,
+        log.entries.iter().copied(),
+        log.epoch_secs,
+        schedule,
+        Some(measure_from_secs),
+        &Noop,
+    )
 }
 
 /// Degraded-mode counter levels at the last epoch boundary; the deltas
@@ -228,20 +290,21 @@ impl FaultEventWatermark {
 
 fn drive_with_faults(
     cdn: &mut SpaceCdn,
-    log: &AccessLog,
+    entries: impl Iterator<Item = crate::access_log::AccessLogEntry>,
+    epoch_secs: u64,
     schedule: &FaultSchedule,
     measure_from_secs: Option<u64>,
     rec: &dyn Recorder,
 ) -> SystemMetrics {
     let prefetching = cdn.config().prefetch_top_k.is_some();
     let enabled = rec.is_enabled();
-    let epoch_secs = log.epoch_secs.max(1);
+    let epoch_secs = epoch_secs.max(1);
     let mut current_epoch = u64::MAX;
     let mut cursor = ScheduleCursor::new(schedule, cdn.failures().clone());
     let mut reset_done = measure_from_secs.is_none();
     let mut watermark = FaultEventWatermark::default();
     let mut epoch_span: Option<SpanTimer> = None;
-    for e in &log.entries {
+    for e in entries {
         let epoch = e.time.as_secs() / epoch_secs;
         if epoch != current_epoch {
             if enabled && current_epoch != u64::MAX {
@@ -343,7 +406,34 @@ pub fn run_space_overloaded_recorded(
     if !overload.is_enabled() {
         return run_space_with_faults_recorded(cdn, log, schedule, rec);
     }
-    drive_overloaded(cdn, log, schedule, overload, rec)
+    drive_overloaded(cdn, log.entries.iter().copied(), log.epoch_secs, schedule, overload, rec)
+}
+
+/// [`run_space_overloaded`] over a columnar log — bit-for-bit the row
+/// path on the equivalent log, including the disabled-overload fast
+/// path.
+pub fn run_space_overloaded_columns(
+    cdn: &mut SpaceCdn,
+    cols: &AccessLogColumns,
+    schedule: &FaultSchedule,
+    overload: &crate::overload::OverloadConfig,
+) -> SystemMetrics {
+    run_space_overloaded_columns_recorded(cdn, cols, schedule, overload, &Noop)
+}
+
+/// [`run_space_overloaded_columns`] with telemetry (see
+/// [`run_space_overloaded_recorded`]).
+pub fn run_space_overloaded_columns_recorded(
+    cdn: &mut SpaceCdn,
+    cols: &AccessLogColumns,
+    schedule: &FaultSchedule,
+    overload: &crate::overload::OverloadConfig,
+    rec: &dyn Recorder,
+) -> SystemMetrics {
+    if !overload.is_enabled() {
+        return run_space_with_faults_columns_recorded(cdn, cols, schedule, rec);
+    }
+    drive_overloaded(cdn, cols.iter(), cols.epoch_secs(), schedule, overload, rec)
 }
 
 /// The overload twin of [`drive_with_faults`]: same epoch-boundary churn
@@ -353,7 +443,8 @@ pub fn run_space_overloaded_recorded(
 /// fault path stays untouched on its hot loop.
 fn drive_overloaded(
     cdn: &mut SpaceCdn,
-    log: &AccessLog,
+    entries: impl Iterator<Item = crate::access_log::AccessLogEntry>,
+    epoch_secs: u64,
     schedule: &FaultSchedule,
     overload: &crate::overload::OverloadConfig,
     rec: &dyn Recorder,
@@ -362,7 +453,7 @@ fn drive_overloaded(
 
     let prefetching = cdn.config().prefetch_top_k.is_some();
     let enabled = rec.is_enabled();
-    let epoch_secs = log.epoch_secs.max(1);
+    let epoch_secs = epoch_secs.max(1);
     let epoch_ms = epoch_secs as f64 * 1000.0;
     let span = cdn.config().relay_span_planes();
     let mut ledger = CapacityLedger::new(
@@ -376,7 +467,7 @@ fn drive_overloaded(
         (!schedule.is_empty()).then(|| ScheduleCursor::new(schedule, cdn.failures().clone()));
     let mut watermark = FaultEventWatermark::default();
     let mut epoch_span: Option<SpanTimer> = None;
-    for e in &log.entries {
+    for e in entries {
         let epoch = e.time.as_secs() / epoch_secs;
         if epoch != current_epoch {
             if enabled && current_epoch != u64::MAX {

@@ -30,6 +30,7 @@
 
 pub mod access_log;
 pub mod checkpoint;
+pub mod columns;
 pub mod coverage;
 pub mod engine;
 pub mod experiment;
@@ -48,15 +49,25 @@ pub use checkpoint::{
     list_checkpoint_files, resume_space_checkpointed, run_space_checkpointed,
     validate_checkpoint_bytes, CheckpointError, CheckpointPolicy,
 };
+pub use columns::{
+    build_access_log_columns, build_access_log_columns_parallel,
+    build_access_log_columns_parallel_recorded, build_access_log_columns_recorded,
+    AccessLogColumns,
+};
 pub use engine::{
-    run_space, run_space_entries, run_space_entries_recorded, run_space_overloaded,
-    run_space_overloaded_recorded, run_space_recorded, run_space_with_faults,
+    run_space, run_space_columns, run_space_columns_recorded, run_space_entries,
+    run_space_entries_recorded, run_space_overloaded, run_space_overloaded_columns,
+    run_space_overloaded_columns_recorded, run_space_overloaded_recorded, run_space_recorded,
+    run_space_with_faults, run_space_with_faults_columns, run_space_with_faults_columns_recorded,
     run_space_with_faults_measured, run_space_with_faults_recorded, SimConfig,
 };
 pub use overload::{OverloadConfig, RetryPolicy};
 pub use replayer::{
-    replay_parallel, replay_parallel_overloaded, replay_parallel_overloaded_recorded,
-    replay_parallel_recorded, replay_parallel_with_faults, replay_parallel_with_faults_recorded,
+    replay_parallel, replay_parallel_columns, replay_parallel_columns_recorded,
+    replay_parallel_overloaded, replay_parallel_overloaded_columns,
+    replay_parallel_overloaded_columns_recorded, replay_parallel_overloaded_recorded,
+    replay_parallel_recorded, replay_parallel_with_faults, replay_parallel_with_faults_columns,
+    replay_parallel_with_faults_columns_recorded, replay_parallel_with_faults_recorded,
 };
 pub use replayer_checkpoint::{replay_parallel_checkpointed, resume_replay_checkpointed};
 pub use world::World;

@@ -29,7 +29,8 @@
 //! rounds are global barriers, which would defeat the sharding); use the
 //! sequential engine for the prefetch ablation.
 
-use crate::access_log::AccessLog;
+use crate::access_log::{AccessLog, AccessLogEntry};
+use crate::columns::AccessLogColumns;
 use crate::engine::record_outcome;
 use crossbeam::thread;
 use parking_lot::Mutex;
@@ -79,7 +80,77 @@ pub fn replay_parallel(
     log: &AccessLog,
     num_workers: usize,
 ) -> SystemMetrics {
-    replay_impl(cfg, failures, log, None, num_workers, &Noop, None)
+    replay_impl(cfg, failures, log.view(), None, num_workers, &Noop, None)
+}
+
+/// A borrowed entry stream feeding [`replay_impl`]/[`prepare_shards`]:
+/// either representation replays through the identical code path, the
+/// columnar one materializing entries lane-by-lane as the pre-pass
+/// consumes them.
+#[derive(Clone, Copy)]
+pub(crate) enum LogView<'a> {
+    Rows(&'a AccessLog),
+    Columns(&'a AccessLogColumns),
+}
+
+impl<'a> LogView<'a> {
+    pub(crate) fn epoch_secs(&self) -> u64 {
+        match self {
+            LogView::Rows(l) => l.epoch_secs,
+            LogView::Columns(c) => c.epoch_secs(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            LogView::Rows(l) => l.len(),
+            LogView::Columns(c) => c.len(),
+        }
+    }
+
+    pub(crate) fn entries(&self) -> impl Iterator<Item = AccessLogEntry> + 'a {
+        let (rows, cols) = match self {
+            LogView::Rows(l) => (Some(l.entries.iter().copied()), None),
+            LogView::Columns(c) => (None, Some(c.iter())),
+        };
+        rows.into_iter().flatten().chain(cols.into_iter().flatten())
+    }
+}
+
+impl AccessLog {
+    pub(crate) fn view(&self) -> LogView<'_> {
+        LogView::Rows(self)
+    }
+}
+
+impl AccessLogColumns {
+    pub(crate) fn view(&self) -> LogView<'_> {
+        LogView::Columns(self)
+    }
+}
+
+/// [`replay_parallel`] over a columnar log. The pre-pass streams entries
+/// straight out of the column buffers; metrics are bit-for-bit
+/// [`replay_parallel`] on the equivalent row log.
+pub fn replay_parallel_columns(
+    cfg: StarCdnConfig,
+    failures: FailureModel,
+    cols: &AccessLogColumns,
+    num_workers: usize,
+) -> SystemMetrics {
+    replay_parallel_columns_recorded(cfg, failures, cols, num_workers, &Noop)
+}
+
+/// [`replay_parallel_columns`] with telemetry (see
+/// [`replay_parallel_recorded`]).
+pub fn replay_parallel_columns_recorded(
+    cfg: StarCdnConfig,
+    failures: FailureModel,
+    cols: &AccessLogColumns,
+    num_workers: usize,
+    rec: &dyn Recorder,
+) -> SystemMetrics {
+    replay_impl(cfg, failures, cols.view(), None, num_workers, rec, None)
 }
 
 /// [`replay_parallel`] with telemetry. Workers record into private
@@ -94,7 +165,7 @@ pub fn replay_parallel_recorded(
     num_workers: usize,
     rec: &dyn Recorder,
 ) -> SystemMetrics {
-    replay_impl(cfg, failures, log, None, num_workers, rec, None)
+    replay_impl(cfg, failures, log.view(), None, num_workers, rec, None)
 }
 
 /// [`replay_parallel`] under a time-varying fault schedule applied on top
@@ -127,9 +198,34 @@ pub fn replay_parallel_with_faults_recorded(
     rec: &dyn Recorder,
 ) -> SystemMetrics {
     if schedule.is_empty() {
-        return replay_impl(cfg, failures, log, None, num_workers, rec, None);
+        return replay_impl(cfg, failures, log.view(), None, num_workers, rec, None);
     }
-    replay_impl(cfg, failures, log, Some(schedule), num_workers, rec, None)
+    replay_impl(cfg, failures, log.view(), Some(schedule), num_workers, rec, None)
+}
+
+/// [`replay_parallel_with_faults`] over a columnar log — bit-for-bit
+/// the row path, including the empty-schedule fast path.
+pub fn replay_parallel_with_faults_columns(
+    cfg: StarCdnConfig,
+    failures: FailureModel,
+    cols: &AccessLogColumns,
+    schedule: &FaultSchedule,
+    num_workers: usize,
+) -> SystemMetrics {
+    replay_parallel_with_faults_columns_recorded(cfg, failures, cols, schedule, num_workers, &Noop)
+}
+
+/// [`replay_parallel_with_faults_columns`] with telemetry.
+pub fn replay_parallel_with_faults_columns_recorded(
+    cfg: StarCdnConfig,
+    failures: FailureModel,
+    cols: &AccessLogColumns,
+    schedule: &FaultSchedule,
+    num_workers: usize,
+    rec: &dyn Recorder,
+) -> SystemMetrics {
+    let schedule = (!schedule.is_empty()).then_some(schedule);
+    replay_impl(cfg, failures, cols.view(), schedule, num_workers, rec, None)
 }
 
 /// [`replay_parallel_with_faults`] with the overload-aware request
@@ -173,7 +269,53 @@ pub fn replay_parallel_overloaded_recorded(
         );
     }
     let schedule = (!schedule.is_empty()).then_some(schedule);
-    replay_impl(cfg, failures, log, schedule, num_workers, rec, Some(overload))
+    replay_impl(cfg, failures, log.view(), schedule, num_workers, rec, Some(overload))
+}
+
+/// [`replay_parallel_overloaded`] over a columnar log — bit-for-bit the
+/// row path, including the disabled-overload fast path.
+pub fn replay_parallel_overloaded_columns(
+    cfg: StarCdnConfig,
+    failures: FailureModel,
+    cols: &AccessLogColumns,
+    schedule: &FaultSchedule,
+    num_workers: usize,
+    overload: &crate::overload::OverloadConfig,
+) -> SystemMetrics {
+    replay_parallel_overloaded_columns_recorded(
+        cfg,
+        failures,
+        cols,
+        schedule,
+        num_workers,
+        overload,
+        &Noop,
+    )
+}
+
+/// [`replay_parallel_overloaded_columns`] with telemetry.
+#[allow(clippy::too_many_arguments)]
+pub fn replay_parallel_overloaded_columns_recorded(
+    cfg: StarCdnConfig,
+    failures: FailureModel,
+    cols: &AccessLogColumns,
+    schedule: &FaultSchedule,
+    num_workers: usize,
+    overload: &crate::overload::OverloadConfig,
+    rec: &dyn Recorder,
+) -> SystemMetrics {
+    if !overload.is_enabled() {
+        return replay_parallel_with_faults_columns_recorded(
+            cfg,
+            failures,
+            cols,
+            schedule,
+            num_workers,
+            rec,
+        );
+    }
+    let schedule = (!schedule.is_empty()).then_some(schedule);
+    replay_impl(cfg, failures, cols.view(), schedule, num_workers, rec, Some(overload))
 }
 
 /// A checkpointable barrier recorded by the pre-pass: the length of every
@@ -206,7 +348,7 @@ pub(crate) struct PrePass {
 pub(crate) fn prepare_shards(
     cfg: &StarCdnConfig,
     base_failures: &FailureModel,
-    log: &AccessLog,
+    log: LogView<'_>,
     schedule: Option<&FaultSchedule>,
     num_workers: usize,
     rec: &dyn Recorder,
@@ -222,11 +364,16 @@ pub(crate) fn prepare_shards(
     let total_slots = cfg.grid.total_slots();
 
     let enabled = rec.is_enabled();
-    let mut shards: Vec<Vec<ShardOp>> = (0..num_workers).map(|_| Vec::new()).collect();
+    // Reserve each shard for its expected share up front: the op streams
+    // together hold nearly every entry, and pre-sizing keeps the hot
+    // pre-pass loop free of reallocation copies.
+    let shard_hint = log.len() / num_workers + 16;
+    let mut shards: Vec<Vec<ShardOp>> =
+        (0..num_workers).map(|_| Vec::with_capacity(shard_hint)).collect();
     let mut cuts: Vec<ShardCut> = Vec::new();
     let mut direct = SystemMetrics::default();
     let mut cursor = schedule.map(|s| ScheduleCursor::new(s, base_failures.clone()));
-    let epoch_secs = log.epoch_secs.max(1);
+    let epoch_secs = log.epoch_secs().max(1);
     let epoch_ms = epoch_secs as f64 * 1000.0;
     // Overload mode: the capacity ledger lives on this sequential
     // pre-pass (per-shard results merge in shard index order below), so
@@ -248,7 +395,7 @@ pub(crate) fn prepare_shards(
     let mut resolve_span: Option<SpanTimer> = None;
     let mut epoch_remaps = 0u64;
     let mut epoch_reroutes = 0u64;
-    for e in &log.entries {
+    for e in log.entries() {
         let epoch = e.time.as_secs() / epoch_secs;
         if let Some(every) = barrier_every {
             let every = every.max(1);
@@ -594,7 +741,7 @@ pub(crate) fn run_shard_ops(
 fn replay_impl(
     cfg: StarCdnConfig,
     base_failures: FailureModel,
-    log: &AccessLog,
+    log: LogView<'_>,
     schedule: Option<&FaultSchedule>,
     num_workers: usize,
     rec: &dyn Recorder,

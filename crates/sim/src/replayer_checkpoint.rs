@@ -342,7 +342,7 @@ fn checkpointed_impl(
     let pre = prepare_shards(
         &cfg,
         &base_failures,
-        log,
+        log.view(),
         schedule,
         num_workers,
         rec,

@@ -13,7 +13,10 @@ use crate::world::World;
 use starcdn_orbit::coords::Geodetic;
 use starcdn_orbit::propagator::SnapshotPropagator;
 use starcdn_orbit::time::SimTime;
-use starcdn_orbit::visibility::{propagation_delay_ms_f64, visible_top_k_from_positions};
+use starcdn_orbit::visibility::{
+    propagation_delay_ms_f64, visible_top_k_from_positions, visible_top_k_into, VisScratch,
+    VisibleSatellite,
+};
 use starcdn_orbit::walker::SatelliteId;
 use starcdn_telemetry::{Counter, Histo, Noop, Recorder, SpanTimer, Stage};
 
@@ -56,6 +59,30 @@ fn mix(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
+}
+
+/// One user's deterministic pick among the visible candidates — shared
+/// by the allocating and scratch-based schedulers so both assign through
+/// identical arithmetic.
+#[inline]
+fn assign_user(
+    visible: &[VisibleSatellite],
+    cfg: &SchedulerConfig,
+    epoch_index: u64,
+    loc_idx: usize,
+    user: usize,
+) -> Option<Assignment> {
+    if visible.is_empty() {
+        return None;
+    }
+    // `.max(1)` guards a degenerate `top_k: 0` config: rather than a
+    // modulo-by-zero panic, everyone takes the best visible satellite.
+    let k = cfg.top_k.min(visible.len()).max(1);
+    let pick =
+        (mix(cfg.seed ^ epoch_index.rotate_left(17) ^ ((loc_idx as u64) << 24) ^ user as u64)
+            % k as u64) as usize;
+    let v = &visible[pick];
+    Some(Assignment { satellite: v.id, gsl_oneway_ms: propagation_delay_ms_f64(v.slant_range_km) })
 }
 
 /// Compute the schedule for one epoch. `snapshot` must already be
@@ -122,25 +149,7 @@ pub fn schedule_epoch_recorded(
         }
 
         let per_user: Vec<Option<Assignment>> = (0..cfg.users_per_location)
-            .map(|user| {
-                if visible.is_empty() {
-                    return None;
-                }
-                // `.max(1)` guards a degenerate `top_k: 0` config: rather
-                // than a modulo-by-zero panic, everyone takes the best
-                // visible satellite.
-                let k = cfg.top_k.min(visible.len()).max(1);
-                let pick = (mix(cfg.seed
-                    ^ epoch_index.rotate_left(17)
-                    ^ ((loc_idx as u64) << 24)
-                    ^ user as u64)
-                    % k as u64) as usize;
-                let v = &visible[pick];
-                Some(Assignment {
-                    satellite: v.id,
-                    gsl_oneway_ms: propagation_delay_ms_f64(v.slant_range_km),
-                })
-            })
+            .map(|user| assign_user(&visible, cfg, epoch_index, loc_idx, user))
             .collect();
         if enabled {
             for a in per_user.iter().flatten() {
@@ -155,6 +164,76 @@ pub fn schedule_epoch_recorded(
     }
     span.stop();
     EpochSchedule { epoch_index, assignments }
+}
+
+/// Reusable buffers for [`schedule_epoch_into`]: the batched visibility
+/// scratch plus the top-k output list. One instance per worker keeps the
+/// steady-state epoch loop free of heap allocations.
+#[derive(Debug, Default)]
+pub struct ScheduleScratch {
+    vis: VisScratch,
+    visible: Vec<VisibleSatellite>,
+}
+
+/// The allocation-free twin of [`schedule_epoch_recorded`]: computes the
+/// schedule into a caller-owned [`EpochSchedule`] using the batched
+/// struct-of-arrays visibility scan and reusable scratch buffers. Once
+/// `scratch` and `out` are warm (after the first call with this world's
+/// shape), an invocation performs zero heap allocations.
+///
+/// The produced schedule is bit-for-bit what [`schedule_epoch_recorded`]
+/// returns: the visibility fast path is proven identical in
+/// `starcdn-orbit`, and the per-user assignment arithmetic is shared
+/// (`assign_user`).
+#[allow(clippy::too_many_arguments)]
+pub fn schedule_epoch_into(
+    world: &World,
+    snapshot: &SnapshotPropagator,
+    epoch_index: u64,
+    cfg: &SchedulerConfig,
+    failures: &starcdn_constellation::failures::FailureModel,
+    rec: &dyn Recorder,
+    scratch: &mut ScheduleScratch,
+    out: &mut EpochSchedule,
+) {
+    let enabled = rec.is_enabled();
+    let span = SpanTimer::start(rec, Stage::Schedule, epoch_index);
+    let mut vis_ns = 0u64;
+    out.epoch_index = epoch_index;
+    out.assignments.truncate(world.locations.len());
+    out.assignments.resize_with(world.locations.len(), Vec::new);
+    for (loc_idx, loc) in world.locations.iter().enumerate() {
+        let ground = Geodetic::from_degrees(loc.lat_deg, loc.lon_deg, 0.0);
+        let vis_t0 = enabled.then(std::time::Instant::now);
+        visible_top_k_into(
+            &world.satellites,
+            snapshot.positions_soa(),
+            ground,
+            cfg.min_elevation_deg,
+            cfg.top_k.max(1),
+            |id| failures.is_alive(id),
+            &mut scratch.vis,
+            &mut scratch.visible,
+        );
+        if let Some(t0) = vis_t0 {
+            vis_ns += t0.elapsed().as_nanos() as u64;
+        }
+        let per_user = &mut out.assignments[loc_idx];
+        per_user.clear();
+        for user in 0..cfg.users_per_location {
+            per_user.push(assign_user(&scratch.visible, cfg, epoch_index, loc_idx, user));
+        }
+        if enabled {
+            for a in per_user.iter().flatten() {
+                rec.observe(Histo::GslDelayUs, (a.gsl_oneway_ms * 1000.0) as u64);
+            }
+        }
+    }
+    if enabled {
+        rec.add(Counter::ScheduleEpochs, 1);
+        rec.span_ns(Stage::Visibility, epoch_index, vis_ns);
+    }
+    span.stop();
 }
 
 /// The epoch index containing time `t` for a given epoch length.
@@ -231,6 +310,40 @@ mod tests {
         assert_eq!(a.assignments, b.assignments);
         let c = schedule_epoch(&w, &snap, 3, &SchedulerConfig { seed: 99, ..cfg });
         assert_ne!(a.assignments, c.assignments);
+    }
+
+    #[test]
+    fn scratch_scheduler_is_bit_for_bit_the_allocating_one() {
+        use starcdn_telemetry::Noop;
+        let w = world();
+        let mut snap = w.snapshot();
+        let cfg = SchedulerConfig::default();
+        let mut scratch = ScheduleScratch::default();
+        let mut out = EpochSchedule::default();
+        // Kill a visible satellite so the keep filter is exercised too.
+        let probe = schedule_epoch(&w, &snap, 0, &cfg);
+        let victim = probe.assignments[4][0].as_ref().unwrap().satellite;
+        let live = FailureModel::from_dead([victim]);
+        for epoch in [0u64, 20, 240, 5000] {
+            snap.advance_to(SimTime::from_secs(epoch * 15));
+            let base = schedule_epoch_with(&w, &snap, epoch, &cfg, &live);
+            schedule_epoch_into(&w, &snap, epoch, &cfg, &live, &Noop, &mut scratch, &mut out);
+            assert_eq!(out.epoch_index, base.epoch_index);
+            assert_eq!(out.assignments.len(), base.assignments.len());
+            for (loc, (a, b)) in out.assignments.iter().zip(&base.assignments).enumerate() {
+                assert_eq!(a.len(), b.len(), "epoch {epoch} loc {loc}");
+                for (x, y) in a.iter().zip(b) {
+                    match (x, y) {
+                        (None, None) => {}
+                        (Some(x), Some(y)) => {
+                            assert_eq!(x.satellite, y.satellite);
+                            assert_eq!(x.gsl_oneway_ms.to_bits(), y.gsl_oneway_ms.to_bits());
+                        }
+                        _ => panic!("epoch {epoch} loc {loc}: assignment presence diverged"),
+                    }
+                }
+            }
+        }
     }
 
     #[test]

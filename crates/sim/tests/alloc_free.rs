@@ -1,0 +1,130 @@
+//! Zero-allocation invariant of the steady-state epoch loop.
+//!
+//! A counting global allocator wraps the system allocator; after one
+//! warm-up pass over the measured epochs (growing every scratch buffer
+//! to its high-water mark), re-running the same epochs — orbital
+//! advance, batched schedule into reusable scratch, per-request
+//! resolution into a pre-sized columnar log — must perform zero heap
+//! allocations. This pins the contract the parallel columnar builder's
+//! worker loop relies on (`build_access_log_columns_parallel` hands
+//! each worker warm scratch plus pre-split column chunks).
+//!
+//! One `#[test]` only: the allocation counter is process-global, and a
+//! concurrently running test would pollute the measured window.
+
+use spacegen::trace::{LocationId, Request, Trace};
+use starcdn_cache::object::ObjectId;
+use starcdn_orbit::time::SimTime;
+use starcdn_sim::columns::AccessLogColumns;
+use starcdn_sim::scheduler::{epoch_of, schedule_epoch_into, EpochSchedule, ScheduleScratch};
+use starcdn_sim::{SimConfig, World};
+use starcdn_telemetry::Noop;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to the system allocator unchanged;
+// the counter is a relaxed atomic with no effect on allocation behavior.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_epoch_loop_allocates_nothing() {
+    let world = World::starlink_nine_cities();
+    let cfg = SimConfig::default();
+    let sched_cfg = cfg.scheduler();
+
+    // 20 epochs of requests, every city, pre-built outside the window.
+    let reqs: Vec<Request> = (0..1800u64)
+        .map(|k| Request {
+            time: SimTime::from_secs(k / 6),
+            object: ObjectId(k % 97),
+            size: 1000,
+            location: LocationId((k % 9) as u16),
+        })
+        .collect();
+    let trace = Trace::new(reqs);
+
+    let mut snapshot = world.snapshot();
+    let mut scratch = ScheduleScratch::default();
+    let mut schedule = EpochSchedule::default();
+    let mut rr = vec![0usize; world.num_locations()];
+    let mut cols = AccessLogColumns::with_capacity(trace.len(), cfg.epoch_secs);
+
+    // The steady-state loop under test — identical shape to one parallel
+    // columnar worker's per-run body.
+    let run_epochs = |cols: &mut AccessLogColumns,
+                      snapshot: &mut starcdn_orbit::propagator::SnapshotPropagator,
+                      scratch: &mut ScheduleScratch,
+                      schedule: &mut EpochSchedule,
+                      rr: &mut [usize]| {
+        rr.fill(0);
+        let mut current_epoch = u64::MAX;
+        for r in &trace.requests {
+            let epoch = epoch_of(r.time, cfg.epoch_secs);
+            if epoch != current_epoch {
+                current_epoch = epoch;
+                snapshot.advance_to(SimTime::from_secs(epoch * cfg.epoch_secs));
+                schedule_epoch_into(
+                    &world,
+                    snapshot,
+                    epoch,
+                    &sched_cfg,
+                    &world.failures,
+                    &Noop,
+                    scratch,
+                    schedule,
+                );
+            }
+            let loc = r.location.0 as usize;
+            let user = rr[loc] % sched_cfg.users_per_location;
+            rr[loc] += 1;
+            cols.push_resolved(r, schedule.assignments[loc][user]);
+        }
+    };
+
+    // Warm-up: grows scratch, schedule, and snapshot buffers to their
+    // high-water marks and fills the (pre-reserved) columns once.
+    run_epochs(&mut cols, &mut snapshot, &mut scratch, &mut schedule, &mut rr);
+    let warm = cols.to_log();
+    assert_eq!(warm.len(), trace.len());
+
+    // Measured pass over the same epochs: zero allocator calls allowed.
+    let mut fresh_cols = AccessLogColumns::with_capacity(trace.len(), cfg.epoch_secs);
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    run_epochs(&mut fresh_cols, &mut snapshot, &mut scratch, &mut schedule, &mut rr);
+    let after = ALLOC_CALLS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state epoch loop must not allocate (saw {} allocator calls)",
+        after - before
+    );
+
+    // And the allocation-free pass still produced the right answer.
+    assert_eq!(fresh_cols.to_log(), warm);
+}

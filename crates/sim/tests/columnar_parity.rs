@@ -1,0 +1,194 @@
+//! Columnar ↔ row parity pins: the struct-of-arrays pipeline (columnar
+//! builders, columnar engine runs, columnar replayer runs) must produce
+//! bit-for-bit the `SystemMetrics` of the row paths under every serving
+//! regime — plain, churn, overload, and an extreme solar-storm event —
+//! at 1, 4, and 8 workers.
+//!
+//! Replayer comparisons use the no-relay config, where the parallel
+//! replayer's exactness contract holds (relayed fetch replays
+//! approximately; see `crates/sim/src/replayer.rs`).
+
+use spacegen::trace::{LocationId, Request, Trace};
+use starcdn::config::StarCdnConfig;
+use starcdn::metrics::SystemMetrics;
+use starcdn::system::SpaceCdn;
+use starcdn_cache::object::ObjectId;
+use starcdn_constellation::failures::FailureModel;
+use starcdn_constellation::schedule::{ChurnParams, FaultSchedule, SolarStormParams};
+use starcdn_orbit::time::SimTime;
+use starcdn_sim::columns::AccessLogColumns;
+use starcdn_sim::overload::OverloadConfig;
+use starcdn_sim::{
+    build_access_log, build_access_log_columns, build_access_log_columns_parallel,
+    replay_parallel_overloaded, replay_parallel_overloaded_columns, run_space_overloaded,
+    run_space_overloaded_columns, AccessLog, SimConfig, World,
+};
+
+const WORKERS: [usize; 3] = [1, 4, 8];
+
+fn trace() -> Trace {
+    let reqs: Vec<Request> = (0..3000u64)
+        .map(|k| Request {
+            time: SimTime::from_secs(k / 6),
+            object: ObjectId((k * 7919) % 200),
+            size: 500 + (k % 5) * 100,
+            location: LocationId((k % 9) as u16),
+        })
+        .collect();
+    Trace::new(reqs)
+}
+
+/// Every exported metric, bit-for-bit (latency samples compared as f64
+/// bit patterns in sequence order — both sides run identical code paths,
+/// so even the ordering must agree).
+fn assert_metrics_identical(a: &SystemMetrics, b: &SystemMetrics, what: &str) {
+    assert_eq!(a.stats, b.stats, "{what}: stats");
+    assert_eq!(a.uplink_bytes, b.uplink_bytes, "{what}: uplink");
+    assert_eq!(a.per_satellite, b.per_satellite, "{what}: per-satellite");
+    assert_eq!(a.availability, b.availability, "{what}: availability");
+    assert_eq!(a.partitioned_requests, b.partitioned_requests, "{what}: partitioned");
+    assert_eq!(a.remapped_requests, b.remapped_requests, "{what}: remaps");
+    assert_eq!(a.reroute_extra_hops, b.reroute_extra_hops, "{what}: reroutes");
+    assert_eq!(a.cold_restart_misses, b.cold_restart_misses, "{what}: cold misses");
+    assert_eq!(a.shed_requests, b.shed_requests, "{what}: sheds");
+    assert_eq!(a.retry_attempts, b.retry_attempts, "{what}: retries");
+    assert_eq!(a.served_origin_fallback, b.served_origin_fallback, "{what}: fallbacks");
+    assert_eq!(a.dropped_requests, b.dropped_requests, "{what}: drops");
+    let bits =
+        |m: &SystemMetrics| -> Vec<u64> { m.latencies_ms.iter().map(|l| l.to_bits()).collect() };
+    assert_eq!(bits(a), bits(b), "{what}: latency bit patterns");
+}
+
+/// One scenario: build row + columnar logs, assert the builders agree,
+/// then assert engine and replayer parity across worker counts.
+fn check_scenario(world: &World, schedule: &FaultSchedule, overload: &OverloadConfig, what: &str) {
+    let cfg = SimConfig::default();
+    let trace = trace();
+    let log: AccessLog = build_access_log(world, &trace, cfg.epoch_secs, &cfg.scheduler());
+    let cols: AccessLogColumns =
+        build_access_log_columns(world, &trace, cfg.epoch_secs, &cfg.scheduler());
+    assert_eq!(cols.to_log(), log, "{what}: columnar builder diverged from row builder");
+    for n in WORKERS {
+        let par =
+            build_access_log_columns_parallel(world, &trace, cfg.epoch_secs, &cfg.scheduler(), n);
+        assert_eq!(par, cols, "{what}: parallel columnar builder at {n} workers");
+    }
+
+    // Engine: row vs columnar, same CDN config.
+    let ccfg = StarCdnConfig::starcdn_no_relay(4, 1_000_000);
+    let mut row_cdn = SpaceCdn::with_failures(ccfg.clone(), world.failures.clone());
+    let m_row = run_space_overloaded(&mut row_cdn, &log, schedule, overload);
+    let mut col_cdn = SpaceCdn::with_failures(ccfg.clone(), world.failures.clone());
+    let m_col = run_space_overloaded_columns(&mut col_cdn, &cols, schedule, overload);
+    assert_metrics_identical(&m_row, &m_col, &format!("{what}: engine"));
+
+    // Replayer: row vs columnar at each worker count, and both against
+    // the engine (exact for the no-relay config).
+    for n in WORKERS {
+        let m_rpar = replay_parallel_overloaded(
+            ccfg.clone(),
+            world.failures.clone(),
+            &log,
+            schedule,
+            n,
+            overload,
+        );
+        let m_cpar = replay_parallel_overloaded_columns(
+            ccfg.clone(),
+            world.failures.clone(),
+            &cols,
+            schedule,
+            n,
+            overload,
+        );
+        assert_metrics_identical(&m_rpar, &m_cpar, &format!("{what}: replayer {n} workers"));
+        assert_eq!(m_row.stats, m_rpar.stats, "{what}: engine vs replayer {n} workers");
+        assert_eq!(m_row.per_satellite, m_rpar.per_satellite, "{what}: {n} workers");
+    }
+}
+
+#[test]
+fn plain_serving_parity() {
+    let w = World::starlink_nine_cities();
+    check_scenario(&w, &FaultSchedule::empty(), &OverloadConfig::disabled(), "plain");
+}
+
+#[test]
+fn churn_parity() {
+    let base = World::starlink_nine_cities();
+    let p = ChurnParams::sats_only(1800.0, 120.0, 500, 0xD00D);
+    let schedule = FaultSchedule::churn(&base.grid, &p);
+    assert!(!schedule.is_empty(), "churn parameters produced no events");
+    let w = base.with_fault_schedule(schedule.clone());
+    check_scenario(&w, &schedule, &OverloadConfig::disabled(), "churn");
+}
+
+#[test]
+fn overload_parity() {
+    let w = World::starlink_nine_cities();
+    // Headroom in mean-objects-per-epoch units, tight enough that the
+    // lifecycle actually sheds (same calibration as ablation_overload).
+    let t = trace();
+    let mean = (t.total_bytes() / t.len() as u64) as f64;
+    let overload = OverloadConfig::with_headroom(mean / 37_500_000_000.0 * 1.5);
+    check_scenario(&w, &FaultSchedule::empty(), &overload, "overload");
+}
+
+#[test]
+fn extreme_storm_parity() {
+    let base = World::starlink_nine_cities();
+    let storm = SolarStormParams {
+        center_plane: 20,
+        plane_halfwidth: 4,
+        kill_prob: 0.9,
+        onset_secs: 120,
+        onset_jitter_secs: 30,
+        recovery_start_secs: 300,
+        recovery_spread_secs: 120,
+        seed: 0xBEEF,
+    };
+    let schedule = FaultSchedule::solar_storm(&base.grid, &storm);
+    assert!(!schedule.is_empty(), "storm produced no events");
+    let w = base.with_fault_schedule(schedule.clone());
+    let t = trace();
+    let mean = (t.total_bytes() / t.len() as u64) as f64;
+    let overload = OverloadConfig::with_headroom(mean / 37_500_000_000.0 * 8.0);
+    check_scenario(&w, &schedule, &overload, "extreme");
+}
+
+#[test]
+fn mixed_run_with_faults_parity() {
+    // The faults-only entry points (no overload config) through both
+    // representations.
+    use starcdn_sim::{
+        replay_parallel_with_faults, replay_parallel_with_faults_columns, run_space_with_faults,
+        run_space_with_faults_columns,
+    };
+    let base = World::starlink_nine_cities();
+    let p = ChurnParams::sats_only(1500.0, 90.0, 500, 0xFEED);
+    let schedule = FaultSchedule::churn(&base.grid, &p);
+    let w = base.with_fault_schedule(schedule.clone());
+    let cfg = SimConfig::default();
+    let trace = trace();
+    let log = build_access_log(&w, &trace, cfg.epoch_secs, &cfg.scheduler());
+    let cols = build_access_log_columns(&w, &trace, cfg.epoch_secs, &cfg.scheduler());
+
+    let ccfg = StarCdnConfig::starcdn_no_relay(4, 1_000_000);
+    let mut a = SpaceCdn::new(ccfg.clone());
+    let m_row = run_space_with_faults(&mut a, &log, &schedule);
+    let mut b = SpaceCdn::new(ccfg.clone());
+    let m_col = run_space_with_faults_columns(&mut b, &cols, &schedule);
+    assert_metrics_identical(&m_row, &m_col, "faults engine");
+    for n in WORKERS {
+        let m_rpar =
+            replay_parallel_with_faults(ccfg.clone(), FailureModel::none(), &log, &schedule, n);
+        let m_cpar = replay_parallel_with_faults_columns(
+            ccfg.clone(),
+            FailureModel::none(),
+            &cols,
+            &schedule,
+            n,
+        );
+        assert_metrics_identical(&m_rpar, &m_cpar, &format!("faults replayer {n} workers"));
+    }
+}

@@ -109,6 +109,32 @@ pub fn write_binary(trace: &Trace, w: impl Write) -> Result<(), IoError> {
     Ok(())
 }
 
+/// Fill `buf` with the next fixed-size record from `r`.
+///
+/// Returns `Ok(true)` when a full record was read, `Ok(false)` on a
+/// clean EOF at a record boundary, and [`IoError::TruncatedRecord`] when
+/// the stream ends mid-record — a partial trailing record is corruption,
+/// never silently dropped. Shared by every fixed-record binary codec in
+/// the pipeline (spacegen traces, access logs, columnar access logs).
+pub fn read_fixed_record(r: &mut impl Read, buf: &mut [u8]) -> Result<bool, IoError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(IoError::Io(e)),
+        }
+    }
+    if filled == 0 {
+        return Ok(false);
+    }
+    if filled < buf.len() {
+        return Err(IoError::TruncatedRecord);
+    }
+    Ok(true)
+}
+
 /// Read a binary trace written by [`write_binary`].
 pub fn read_binary(r: impl Read) -> Result<Trace, IoError> {
     let mut r = BufReader::new(r);
@@ -119,24 +145,7 @@ pub fn read_binary(r: impl Read) -> Result<Trace, IoError> {
     }
     let mut requests = Vec::new();
     let mut rec = [0u8; 26];
-    loop {
-        // Fill the record manually so a partial trailing record is
-        // reported as corruption rather than silently dropped.
-        let mut filled = 0usize;
-        while filled < rec.len() {
-            match r.read(&mut rec[filled..]) {
-                Ok(0) => break,
-                Ok(n) => filled += n,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(IoError::Io(e)),
-            }
-        }
-        if filled == 0 {
-            break; // clean EOF on a record boundary
-        }
-        if filled < rec.len() {
-            return Err(IoError::TruncatedRecord);
-        }
+    while read_fixed_record(&mut r, &mut rec)? {
         // Split the record into fixed-size fields without fallible
         // conversions: the borrow checker proves these widths.
         let (time_b, rest) = rec.split_at(8);
