@@ -19,8 +19,10 @@
 //! ```
 
 pub mod fifo;
+pub mod inflight;
 pub mod lfu;
 pub mod lru;
+pub mod mad;
 pub mod object;
 pub mod policy;
 pub mod sieve;
@@ -30,6 +32,7 @@ pub mod state;
 pub mod stats;
 pub mod tinylfu;
 
+pub use inflight::{InflightQueue, InflightState, RetiredFetch};
 pub use object::ObjectId;
 pub use policy::{AccessOutcome, Cache, PolicyKind};
 pub use state::{CacheState, StateError};

@@ -40,6 +40,14 @@ pub trait Cache {
     /// larger than capacity).
     fn insert(&mut self, id: ObjectId, size: u64);
 
+    /// Charge `delay_epochs` of aggregate fetch delay to a cached
+    /// object — called by the delayed-hit serving layer when an origin
+    /// fetch retires (full fetch latency plus every coalesced
+    /// follower's residual wait). Latency-oblivious policies ignore it;
+    /// [`crate::mad::MadCache`] ranks victims by it. No-op when the
+    /// object is absent.
+    fn record_fetch_delay(&mut self, _id: ObjectId, _delay_epochs: u64) {}
+
     /// Read-only presence probe.
     fn contains(&self, id: ObjectId) -> bool;
 
@@ -87,17 +95,22 @@ pub enum PolicyKind {
     Sieve,
     Slru,
     TinyLfu,
+    /// Aggregate-delay-weighted ranking in the spirit of MAD
+    /// ("Caching with Delayed Hits"); latency-aware via
+    /// [`Cache::record_fetch_delay`].
+    Mad,
 }
 
 impl PolicyKind {
     /// Every policy, for sweeps.
-    pub const ALL: [PolicyKind; 6] = [
+    pub const ALL: [PolicyKind; 7] = [
         PolicyKind::Lru,
         PolicyKind::Lfu,
         PolicyKind::Fifo,
         PolicyKind::Sieve,
         PolicyKind::Slru,
         PolicyKind::TinyLfu,
+        PolicyKind::Mad,
     ];
 
     /// Instantiate a cache of this policy with `capacity_bytes`.
@@ -109,6 +122,7 @@ impl PolicyKind {
             PolicyKind::Sieve => Box::new(crate::sieve::SieveCache::new(capacity_bytes)),
             PolicyKind::Slru => Box::new(crate::slru::SlruCache::new(capacity_bytes)),
             PolicyKind::TinyLfu => Box::new(crate::tinylfu::TinyLfuCache::new(capacity_bytes)),
+            PolicyKind::Mad => Box::new(crate::mad::MadCache::new(capacity_bytes)),
         }
     }
 
@@ -121,6 +135,7 @@ impl PolicyKind {
             PolicyKind::Sieve => "sieve",
             PolicyKind::Slru => "slru",
             PolicyKind::TinyLfu => "tinylfu",
+            PolicyKind::Mad => "mad",
         }
     }
 }
@@ -135,6 +150,7 @@ impl std::str::FromStr for PolicyKind {
             "sieve" => Ok(PolicyKind::Sieve),
             "slru" => Ok(PolicyKind::Slru),
             "tinylfu" | "tiny-lfu" => Ok(PolicyKind::TinyLfu),
+            "mad" => Ok(PolicyKind::Mad),
             other => Err(format!("unknown cache policy `{other}`")),
         }
     }

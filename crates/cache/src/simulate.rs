@@ -4,6 +4,7 @@
 //! The paper's Fig. 6c/6d (CDN LRU simulation across cache sizes) and
 //! all of Fig. 7/12's per-cache-size sweeps are built on this harness.
 
+use crate::inflight::InflightQueue;
 use crate::object::ObjectId;
 use crate::policy::{AccessOutcome, Cache, PolicyKind};
 use crate::stats::CacheStats;
@@ -42,6 +43,89 @@ pub fn replay_recorded<C: Cache + ?Sized>(
     }
     if enabled {
         rec.observe(Histo::QueueDepth, stats.requests);
+    }
+    stats
+}
+
+/// How a request was served under the delayed-hit model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayedOutcome {
+    /// Served from cache immediately.
+    Hit,
+    /// Coalesced onto an in-flight fetch; waits `residual_epochs`.
+    DelayedHit { residual_epochs: u64 },
+    /// No copy cached or in flight; a new origin fetch starts.
+    Miss,
+}
+
+/// Aggregate statistics of a delayed-hit replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DelayedStats {
+    pub requests: u64,
+    pub hits: u64,
+    pub delayed_hits: u64,
+    pub misses: u64,
+    /// Total residual wait charged to delayed hits, in epochs.
+    pub residual_epochs: u64,
+    /// Followers aboard fetches that completed and retired.
+    pub coalesced: u64,
+}
+
+/// Classify one access at epoch `now` under the delayed-hit model and
+/// advance `cache` + `queue` accordingly. This is the canonical
+/// ordering every serving layer mirrors (see `crate::inflight`):
+/// retire a landed fetch (admission + delay charge), then cache
+/// presence, then coalesce, then register a new fetch.
+///
+/// Returns the outcome plus the followers retired by this access.
+pub fn access_delayed<C: Cache + ?Sized>(
+    cache: &mut C,
+    queue: &mut InflightQueue,
+    id: ObjectId,
+    size: u64,
+    now: u64,
+    fetch_epochs: u64,
+) -> (DelayedOutcome, u64) {
+    let mut retired_followers = 0;
+    if let Some(r) = queue.take_completed(id, now) {
+        cache.insert(id, r.size);
+        cache.record_fetch_delay(id, r.delay_epochs);
+        retired_followers = r.followers;
+    }
+    let outcome = if cache.contains(id) {
+        let hit = cache.access(id, size);
+        debug_assert!(hit.is_hit());
+        DelayedOutcome::Hit
+    } else if let Some(residual_epochs) = queue.coalesce(id, now) {
+        DelayedOutcome::DelayedHit { residual_epochs }
+    } else {
+        queue.register(id, size, now, fetch_epochs);
+        DelayedOutcome::Miss
+    };
+    (outcome, retired_followers)
+}
+
+/// Replay an epoch-stamped access sequence through the delayed-hit
+/// model: `(object, size, epoch)` triples, epochs non-decreasing.
+pub fn replay_delayed<C: Cache + ?Sized>(
+    cache: &mut C,
+    queue: &mut InflightQueue,
+    accesses: impl IntoIterator<Item = (ObjectId, u64, u64)>,
+    fetch_epochs: u64,
+) -> DelayedStats {
+    let mut stats = DelayedStats::default();
+    for (id, size, now) in accesses {
+        let (outcome, retired) = access_delayed(cache, queue, id, size, now, fetch_epochs);
+        stats.requests += 1;
+        stats.coalesced += retired;
+        match outcome {
+            DelayedOutcome::Hit => stats.hits += 1,
+            DelayedOutcome::DelayedHit { residual_epochs } => {
+                stats.delayed_hits += 1;
+                stats.residual_epochs += residual_epochs;
+            }
+            DelayedOutcome::Miss => stats.misses += 1,
+        }
     }
     stats
 }
@@ -194,6 +278,49 @@ mod tests {
         let (uniq, bytes) = working_set(&trace);
         assert_eq!(uniq, 2);
         assert_eq!(bytes, 30);
+    }
+
+    #[test]
+    fn delayed_replay_classifies_and_coalesces() {
+        // L=3: request at epoch 0 misses and starts a fetch completing
+        // at 3; requests at 1 and 2 are delayed hits (residuals 2, 1);
+        // the request at 3 retires the fetch (2 followers) and hits.
+        let mut cache = PolicyKind::Lru.build(1000);
+        let mut queue = InflightQueue::new();
+        let x = ObjectId(42);
+        let accesses = [(x, 100, 0), (x, 100, 1), (x, 100, 2), (x, 100, 3), (x, 100, 4)];
+        let stats = replay_delayed(cache.as_mut(), &mut queue, accesses, 3);
+        assert_eq!(stats.requests, 5);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.delayed_hits, 2);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.residual_epochs, 3);
+        assert_eq!(stats.coalesced, 2);
+        assert!(queue.is_empty());
+        assert!(cache.contains(x));
+    }
+
+    #[test]
+    fn unretired_fetch_never_admits() {
+        // A one-hit wonder's fetch completes but nothing touches it
+        // again: it stays queued and the object never enters the cache.
+        let mut cache = PolicyKind::Lru.build(1000);
+        let mut queue = InflightQueue::new();
+        let stats = replay_delayed(cache.as_mut(), &mut queue, [(ObjectId(7), 100, 0)], 2);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(queue.len(), 1);
+        assert!(!cache.contains(ObjectId(7)));
+    }
+
+    #[test]
+    fn delayed_replay_charges_mad_delay_at_retirement() {
+        let mut cache = crate::mad::MadCache::new(1000);
+        let mut queue = InflightQueue::new();
+        let x = ObjectId(5);
+        let accesses = [(x, 10, 0), (x, 10, 2), (x, 10, 4)];
+        replay_delayed(&mut cache, &mut queue, accesses, 4);
+        // Fetch latency 4 + one follower residual of 2 at retirement.
+        assert_eq!(cache.delay_of(x), Some(6));
     }
 
     #[test]

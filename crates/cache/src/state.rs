@@ -30,6 +30,18 @@ pub struct LfuEntryState {
     pub last_touch: u64,
 }
 
+/// One MAD entry: identity plus the GreedyDual metadata that orders
+/// victims — the accumulated aggregate-delay cost and the priority it
+/// was folded into at the last refresh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MadEntryState {
+    pub id: ObjectId,
+    pub size: u64,
+    pub delay: u64,
+    pub priority: u64,
+    pub last_touch: u64,
+}
+
 /// One SIEVE entry in queue order, with its visited bit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SieveEntryState {
@@ -73,6 +85,10 @@ pub enum CacheState {
         ops: u64,
         window: u64,
     },
+    /// Entries in victim order (ascending `(priority, last_touch,
+    /// id)`), plus the logical clock that stamps future touches and
+    /// the GreedyDual inflation floor future refreshes build on.
+    Mad { capacity: u64, clock: u64, inflation: u64, entries: Vec<MadEntryState> },
 }
 
 impl CacheState {
@@ -85,6 +101,7 @@ impl CacheState {
             CacheState::Sieve { .. } => PolicyKind::Sieve,
             CacheState::Slru { .. } => PolicyKind::Slru,
             CacheState::TinyLfu { .. } => PolicyKind::TinyLfu,
+            CacheState::Mad { .. } => PolicyKind::Mad,
         }
     }
 
@@ -102,6 +119,7 @@ impl CacheState {
             PolicyKind::Sieve => Box::new(crate::sieve::SieveCache::from_state(self)?),
             PolicyKind::Slru => Box::new(crate::slru::SlruCache::from_state(self)?),
             PolicyKind::TinyLfu => Box::new(crate::tinylfu::TinyLfuCache::from_state(self)?),
+            PolicyKind::Mad => Box::new(crate::mad::MadCache::from_state(self)?),
         })
     }
 }
@@ -249,6 +267,23 @@ mod tests {
             protected_capacity: 200,
             protected: vec![],
             probation: vec![],
+        };
+        assert!(matches!(s.build(), Err(StateError::Inconsistent(_))));
+    }
+
+    #[test]
+    fn mad_touch_after_clock_rejected() {
+        let s = CacheState::Mad {
+            capacity: 100,
+            clock: 1,
+            inflation: 0,
+            entries: vec![MadEntryState {
+                id: ObjectId(1),
+                size: 10,
+                delay: 0,
+                priority: 0,
+                last_touch: 5,
+            }],
         };
         assert!(matches!(s.build(), Err(StateError::Inconsistent(_))));
     }

@@ -1,0 +1,205 @@
+//! Differential property battery for the delayed-hit substrate: a
+//! naive BTreeMap-of-deadlines reference model is replayed against the
+//! production [`InflightQueue`] over arbitrary request/epoch sequences,
+//! and must agree on every classification (hit / delayed hit / miss),
+//! every residual latency, every retired follower count, and the full
+//! outstanding-fetch state — for every eviction policy.
+
+use proptest::prelude::*;
+use starcdn_cache::object::ObjectId;
+use starcdn_cache::policy::{Cache, PolicyKind};
+use starcdn_cache::simulate::{access_delayed, DelayedOutcome};
+use starcdn_cache::InflightQueue;
+use std::collections::BTreeMap;
+
+/// One outstanding fetch in the reference model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ShadowFetch {
+    deadline: u64,
+    size: u64,
+    followers: u64,
+    delay: u64,
+}
+
+/// The reference: a plain map of object id to fetch deadline, driven
+/// by a from-scratch restatement of the serve-order rules (retire,
+/// then presence, then coalesce, then register) rather than the
+/// production queue's API.
+#[derive(Default)]
+struct ShadowFetches {
+    fetches: BTreeMap<u64, ShadowFetch>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShadowOutcome {
+    Hit,
+    DelayedHit { residual: u64 },
+    Miss,
+}
+
+impl ShadowFetches {
+    fn serve<C: Cache + ?Sized>(
+        &mut self,
+        cache: &mut C,
+        id: u64,
+        size: u64,
+        now: u64,
+        fetch_epochs: u64,
+    ) -> (ShadowOutcome, u64) {
+        let mut retired_followers = 0;
+        if self.fetches.get(&id).is_some_and(|f| f.deadline <= now) {
+            let f = self.fetches.remove(&id).expect("deadline just observed");
+            cache.insert(ObjectId(id), f.size);
+            cache.record_fetch_delay(ObjectId(id), f.delay);
+            retired_followers = f.followers;
+        }
+        let out = if cache.contains(ObjectId(id)) {
+            assert!(cache.access(ObjectId(id), size).is_hit());
+            ShadowOutcome::Hit
+        } else if let Some(f) = self.fetches.get_mut(&id) {
+            // Still outstanding: the retire step above already removed
+            // any fetch whose deadline has passed.
+            let residual = f.deadline - now;
+            f.followers += 1;
+            f.delay += residual;
+            ShadowOutcome::DelayedHit { residual }
+        } else {
+            self.fetches.insert(
+                id,
+                ShadowFetch {
+                    deadline: now + fetch_epochs,
+                    size,
+                    followers: 0,
+                    delay: fetch_epochs,
+                },
+            );
+            ShadowOutcome::Miss
+        };
+        (out, retired_followers)
+    }
+}
+
+/// An arbitrary request schedule: object, size, and epochs to advance
+/// the clock before serving (0 = same epoch as the previous request).
+fn schedule() -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
+    proptest::collection::vec((0u64..12, 1u64..60, 0u64..4), 1..400)
+}
+
+proptest! {
+    /// The production queue and the naive reference classify every
+    /// request identically, charge the same residuals, retire the same
+    /// follower counts, and leave identical outstanding-fetch state —
+    /// under every eviction policy.
+    #[test]
+    fn prop_shadow_model_agrees_on_every_classification(
+        ops in schedule(),
+        fetch_epochs in 1u64..6,
+    ) {
+        for kind in PolicyKind::ALL {
+            let mut prod_cache = kind.build(200);
+            let mut shadow_cache = kind.build(200);
+            let mut queue = InflightQueue::new();
+            let mut shadow = ShadowFetches::default();
+            let mut now = 0u64;
+            for &(id, size, advance) in &ops {
+                now += advance;
+                let (got, got_followers) =
+                    access_delayed(&mut *prod_cache, &mut queue, ObjectId(id), size, now, fetch_epochs);
+                let (want, want_followers) =
+                    shadow.serve(&mut *shadow_cache, id, size, now, fetch_epochs);
+                let matches = matches!(
+                    (&got, &want),
+                    (DelayedOutcome::Hit, ShadowOutcome::Hit)
+                        | (DelayedOutcome::Miss, ShadowOutcome::Miss)
+                );
+                let matches = matches
+                    || matches!(
+                        (&got, &want),
+                        (
+                            DelayedOutcome::DelayedHit { residual_epochs },
+                            ShadowOutcome::DelayedHit { residual },
+                        ) if residual_epochs == residual
+                    );
+                prop_assert!(
+                    matches,
+                    "{}: epoch {} object {}: production {:?} vs reference {:?}",
+                    kind.name(), now, id, got, want
+                );
+                prop_assert_eq!(
+                    got_followers, want_followers,
+                    "{}: retired follower counts diverged", kind.name()
+                );
+            }
+            // The outstanding state must agree exactly: same fetches,
+            // same deadlines, same coalesced followers and aggregate
+            // delay aboard each.
+            let state = queue.to_state();
+            prop_assert_eq!(state.fetches.len(), shadow.fetches.len(), "{}", kind.name());
+            for e in &state.fetches {
+                let s = shadow.fetches.get(&e.id.0).expect("reference has the fetch");
+                prop_assert_eq!(e.completes_at, s.deadline, "{}", kind.name());
+                prop_assert_eq!(e.size, s.size, "{}", kind.name());
+                prop_assert_eq!(e.followers, s.followers, "{}", kind.name());
+                prop_assert_eq!(e.delay_epochs, s.delay, "{}", kind.name());
+            }
+            // And the caches saw the same admissions in the same order.
+            for id in 0..12u64 {
+                prop_assert_eq!(
+                    prod_cache.contains(ObjectId(id)),
+                    shadow_cache.contains(ObjectId(id)),
+                    "{}: cache contents diverged at object {}", kind.name(), id
+                );
+            }
+        }
+    }
+
+    /// Conservation and bounds that hold for any schedule: outcomes
+    /// partition requests; a delayed hit's residual is positive and
+    /// never exceeds the fetch latency; a fetch's aggregate delay is
+    /// at least the full latency and grows by exactly its followers'
+    /// residuals.
+    #[test]
+    fn prop_outcomes_partition_and_residuals_bounded(
+        ops in schedule(),
+        fetch_epochs in 1u64..6,
+    ) {
+        let mut cache = PolicyKind::Mad.build(200);
+        let mut queue = InflightQueue::new();
+        let (mut hits, mut delayed, mut misses) = (0u64, 0u64, 0u64);
+        let mut residual_total = 0u64;
+        let mut retired_followers = 0u64;
+        let mut now = 0u64;
+        for &(id, size, advance) in &ops {
+            now += advance;
+            let (out, followers) =
+                access_delayed(&mut *cache, &mut queue, ObjectId(id), size, now, fetch_epochs);
+            retired_followers += followers;
+            match out {
+                DelayedOutcome::Hit => hits += 1,
+                DelayedOutcome::DelayedHit { residual_epochs } => {
+                    prop_assert!(residual_epochs >= 1, "zero residual would be a plain hit");
+                    prop_assert!(
+                        residual_epochs <= fetch_epochs,
+                        "residual {} exceeds the full fetch latency {}",
+                        residual_epochs, fetch_epochs
+                    );
+                    residual_total += residual_epochs;
+                    delayed += 1;
+                }
+                DelayedOutcome::Miss => misses += 1,
+            }
+        }
+        prop_assert_eq!(hits + delayed + misses, ops.len() as u64);
+        // Followers still aboard outstanding fetches + followers already
+        // retired account for every delayed hit.
+        let outstanding: u64 = queue.to_state().fetches.iter().map(|f| f.followers).sum();
+        prop_assert_eq!(outstanding + retired_followers, delayed);
+        // Each outstanding fetch carries the full latency plus its
+        // followers' residuals; summed residuals match the histogram
+        // total exactly.
+        let outstanding_delay: u64 = queue.to_state().fetches.iter().map(|f| f.delay_epochs).sum();
+        let outstanding_base = queue.len() as u64 * fetch_epochs;
+        prop_assert!(outstanding_delay >= outstanding_base);
+        prop_assert!(outstanding_delay - outstanding_base <= residual_total);
+    }
+}

@@ -1,11 +1,13 @@
 //! Property tests over every cache policy: byte-capacity safety,
 //! hit/miss conservation, and the per-policy eviction-order invariants
 //! (LRU/FIFO shadow models, SLRU segment promotion, SIEVE visited bits,
-//! TinyLFU admission monotonicity).
+//! TinyLFU admission monotonicity, MAD inflation-floor monotonicity and
+//! its exact-LRU degeneration without a delay signal).
 
 use proptest::prelude::*;
 use starcdn_cache::lfu::LfuCache;
 use starcdn_cache::lru::LruCache;
+use starcdn_cache::mad::MadCache;
 use starcdn_cache::object::ObjectId;
 use starcdn_cache::policy::{Cache, PolicyKind};
 use starcdn_cache::sieve::SieveCache;
@@ -255,6 +257,84 @@ proptest! {
         // always beat a once-requested victim eventually.
         prop_assert!(admitted_after.is_some(), "frequent object never admitted");
         prop_assert!(c.used_bytes() <= c.capacity_bytes());
+    }
+
+    /// MAD with no delay signal is exact LRU: same hits, same victims,
+    /// same membership, and the GreedyDual floor never leaves zero.
+    #[test]
+    fn prop_mad_without_delay_signal_is_exact_lru(
+        ops in proptest::collection::vec((0u64..25, 1u64..70), 1..400),
+    ) {
+        let mut c = MadCache::new(160);
+        let mut shadow = ShadowList { capacity: 160, items: Vec::new(), reorder_on_hit: true };
+        for (id, size) in ops {
+            let hit = c.access(ObjectId(id), size);
+            let shadow_hit = shadow.access(id, size);
+            prop_assert_eq!(hit.is_hit(), shadow_hit);
+            prop_assert_eq!(c.used_bytes(), shadow.used());
+            prop_assert_eq!(c.victim(), shadow.victim().map(ObjectId), "victim order diverged");
+            prop_assert_eq!(c.inflation(), 0, "cost-free evictions moved the floor");
+            for i in 0..25u64 {
+                let in_shadow = shadow.items.iter().any(|&(x, _)| x == i);
+                prop_assert_eq!(c.contains(ObjectId(i)), in_shadow, "object {} membership", i);
+            }
+        }
+    }
+
+    /// MAD GreedyDual invariants under an arbitrary mix of accesses and
+    /// delay charges: the victim is always a minimum-priority resident,
+    /// every priority sits on or above the inflation floor, and the
+    /// floor itself never moves backwards.
+    #[test]
+    fn prop_mad_victim_has_minimum_priority_above_floor(
+        ops in proptest::collection::vec((0u64..30, 1u64..50, 0u64..9), 1..300),
+    ) {
+        let mut c = MadCache::new(150);
+        let mut floor_before = 0u64;
+        for (id, size, charge) in ops {
+            c.access(ObjectId(id), size);
+            if charge > 0 {
+                c.record_fetch_delay(ObjectId(id), charge);
+            }
+            prop_assert!(c.inflation() >= floor_before, "inflation floor moved backwards");
+            floor_before = c.inflation();
+            if let Some(v) = c.victim() {
+                let vp = c.priority_of(v).expect("victim must be cached");
+                for i in 0..30u64 {
+                    if let Some(p) = c.priority_of(ObjectId(i)) {
+                        prop_assert!(
+                            vp <= p,
+                            "victim {:?} (priority {}) outranked by {} (priority {})", v, vp, i, p
+                        );
+                        prop_assert!(p >= c.inflation(), "live priority below the floor");
+                    }
+                }
+            }
+        }
+    }
+
+    /// MAD state roundtrip is exact under arbitrary delay charges, and
+    /// the rebuilt cache replays the next access identically.
+    #[test]
+    fn prop_mad_state_roundtrip_exact(
+        ops in proptest::collection::vec((0u64..20, 1u64..50, 0u64..6), 1..200),
+        probe in 0u64..20,
+    ) {
+        let mut c = MadCache::new(150);
+        for &(id, size, charge) in &ops {
+            c.access(ObjectId(id), size);
+            if charge > 0 {
+                c.record_fetch_delay(ObjectId(id), charge);
+            }
+        }
+        let state = c.to_state();
+        let mut r = MadCache::from_state(&state).expect("own export must rebuild");
+        prop_assert_eq!(r.to_state(), state);
+        prop_assert_eq!(r.inflation(), c.inflation());
+        let a = c.access(ObjectId(probe), 33);
+        let b = r.access(ObjectId(probe), 33);
+        prop_assert_eq!(a.is_hit(), b.is_hit(), "rebuilt cache diverged on the next access");
+        prop_assert_eq!(c.victim(), r.victim());
     }
 
     /// LFU: the eviction victim is always a minimum-frequency resident.

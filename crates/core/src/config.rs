@@ -28,6 +28,76 @@ impl RelayPolicy {
     }
 }
 
+/// Delayed-hit model parameters (DESIGN.md §14). With `fetch_epochs`
+/// set to 0 the model is disabled and every serving path is
+/// byte-identical to the plain hit/miss pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayedHitConfig {
+    /// Epochs an origin fetch stays in flight after a miss. While it is
+    /// outstanding, further requests for the object coalesce onto it as
+    /// delayed hits; the object is admitted when the fetch lands. 0
+    /// disables the model entirely.
+    pub fetch_epochs: u64,
+    /// Latency charged per epoch of fetch wait: a miss pays the fetch's
+    /// in-flight epochs of it, a delayed hit only its residual epochs.
+    pub wait_ms_per_epoch: f64,
+    /// Origin latency heterogeneity: objects are spread deterministically
+    /// over `origin_tiers` tiers, and an object in tier `t` (1-based)
+    /// fetches in `fetch_epochs * t` epochs — different ground origins
+    /// sit behind very different LEO paths. 1 (or 0) means a uniform
+    /// origin: every fetch takes exactly `fetch_epochs`. Latency-aware
+    /// eviction (MAD) only has room to beat hit-rate-maximising policies
+    /// when tiers differ.
+    pub origin_tiers: u64,
+}
+
+impl DelayedHitConfig {
+    /// The model switched off (the default).
+    pub fn disabled() -> Self {
+        DelayedHitConfig { fetch_epochs: 0, wait_ms_per_epoch: 0.0, origin_tiers: 1 }
+    }
+
+    /// Fetches in flight for `fetch_epochs` epochs, each epoch of wait
+    /// costing `wait_ms_per_epoch` milliseconds. Uniform origin.
+    pub fn with_latency(fetch_epochs: u64, wait_ms_per_epoch: f64) -> Self {
+        DelayedHitConfig { fetch_epochs, wait_ms_per_epoch, origin_tiers: 1 }
+    }
+
+    /// Spread objects over `tiers` origin-latency tiers (see
+    /// [`origin_tiers`](Self::origin_tiers)).
+    pub fn with_origin_tiers(mut self, tiers: u64) -> Self {
+        self.origin_tiers = tiers;
+        self
+    }
+
+    /// Whether the delayed-hit model is active.
+    pub fn is_enabled(&self) -> bool {
+        self.fetch_epochs > 0
+    }
+
+    /// In-flight epochs for a fetch of `object`: the base latency times
+    /// the object's origin tier. Deterministic in the object id alone
+    /// (split-mix finalizer, independent of the bucket-routing hash),
+    /// so every serving path — engine, replayer, resumed checkpoint —
+    /// charges the same fetch the same wait.
+    pub fn fetch_epochs_for(&self, object: starcdn_cache::ObjectId) -> u64 {
+        if self.origin_tiers <= 1 {
+            return self.fetch_epochs;
+        }
+        let mut x = object.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        self.fetch_epochs * (1 + x % self.origin_tiers)
+    }
+}
+
+impl Default for DelayedHitConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
 /// Full system configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StarCdnConfig {
@@ -66,6 +136,11 @@ pub struct StarCdnConfig {
     /// the paper compares *idle* (propagation-only) latencies and leaves
     /// link-layer modelling to future work (§7).
     pub model_transmission_delay: bool,
+    /// Delayed-hit model: in-flight origin fetches with request
+    /// coalescing. Disabled by default (and absent from older
+    /// serialized configs).
+    #[serde(default)]
+    pub delayed: DelayedHitConfig,
 }
 
 impl StarCdnConfig {
@@ -83,7 +158,14 @@ impl StarCdnConfig {
             prefetch_top_k: None,
             remap_on_failure: true,
             model_transmission_delay: false,
+            delayed: DelayedHitConfig::disabled(),
         }
+    }
+
+    /// This configuration with the delayed-hit model switched on.
+    pub fn with_delayed_hits(mut self, delayed: DelayedHitConfig) -> Self {
+        self.delayed = delayed;
+        self
     }
 
     /// The proactive-prefetch alternative the paper evaluated and

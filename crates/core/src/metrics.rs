@@ -143,6 +143,18 @@ pub struct SystemMetrics {
     /// over the origin bent pipe instead.
     #[serde(default)]
     pub partitioned_requests: u64,
+    /// Requests that found an origin fetch already in flight for their
+    /// object and coalesced onto it (delayed hits; zero unless the
+    /// delayed-hit model is enabled).
+    #[serde(default)]
+    pub delayed_hits: u64,
+    /// Followers aboard origin fetches that completed and retired.
+    #[serde(default)]
+    pub coalesced_requests: u64,
+    /// Histogram of residual fetch wait charged to delayed hits,
+    /// keyed by residual epochs (1..=fetch_epochs).
+    #[serde(default)]
+    pub residual_epoch_hist: std::collections::BTreeMap<u64, u64>,
 }
 
 /// Recovery-SLO summary of one availability dip episode, derived from
@@ -296,6 +308,11 @@ impl SystemMetrics {
         self.utilization.sort_by_key(|a| a.epoch);
         self.utilization.dedup_by_key(|p| p.epoch);
         self.partitioned_requests += other.partitioned_requests;
+        self.delayed_hits += other.delayed_hits;
+        self.coalesced_requests += other.coalesced_requests;
+        for (&residual, &count) in &other.residual_epoch_hist {
+            *self.residual_epoch_hist.entry(residual).or_insert(0) += count;
+        }
         for (sat, st) in &other.per_satellite {
             *self.per_satellite.entry(*sat).or_default() += *st;
         }
@@ -491,6 +508,22 @@ mod tests {
         assert_eq!(slos[1].full_recovery_epoch, u64::MAX);
         assert_eq!(slos[1].time_to_first_recovery(), None);
         assert_eq!(slos[1].time_to_full_recovery(), None);
+    }
+
+    #[test]
+    fn merge_delayed_hit_counters() {
+        let mut a = SystemMetrics { delayed_hits: 2, coalesced_requests: 1, ..Default::default() };
+        a.residual_epoch_hist.insert(1, 1);
+        a.residual_epoch_hist.insert(2, 1);
+        let mut b = SystemMetrics { delayed_hits: 3, coalesced_requests: 4, ..Default::default() };
+        b.residual_epoch_hist.insert(2, 2);
+        b.residual_epoch_hist.insert(5, 1);
+        a.merge(&b);
+        assert_eq!(a.delayed_hits, 5);
+        assert_eq!(a.coalesced_requests, 5);
+        assert_eq!(a.residual_epoch_hist[&1], 1);
+        assert_eq!(a.residual_epoch_hist[&2], 3);
+        assert_eq!(a.residual_epoch_hist[&5], 1);
     }
 
     #[test]

@@ -20,7 +20,8 @@ use crate::metrics::SystemMetrics;
 use crate::relay::relay_candidates;
 use serde::{Deserialize, Serialize};
 use starcdn_cache::object::ObjectId;
-use starcdn_cache::policy::Cache;
+use starcdn_cache::policy::{AccessOutcome, Cache};
+use starcdn_cache::{InflightQueue, InflightState};
 use starcdn_constellation::buckets::BucketTiling;
 use starcdn_constellation::failures::FailureModel;
 use starcdn_constellation::grid::GridTopology;
@@ -60,6 +61,15 @@ pub struct ServeOutcome {
     pub owner: SatelliteId,
     /// ISL hops from the first-contact satellite to the owner (one way).
     pub route_hops: u16,
+    /// Residual fetch wait charged to this request, in epochs. Nonzero
+    /// exactly when the request was a delayed hit (coalesced onto an
+    /// in-flight fetch); always 0 with the delayed-hit model off.
+    pub residual_epochs: u64,
+    /// An in-flight fetch for this object completed and retired
+    /// (admitting the object) when this request arrived.
+    pub fetch_retired: bool,
+    /// Followers that were aboard the retired fetch.
+    pub coalesced: u64,
 }
 
 /// The owner a request routes to, with the degraded-mode context the
@@ -283,6 +293,12 @@ pub struct SpaceCdn {
     /// Per-slot cold-restart flag: set when a satellite recovers from an
     /// outage with an empty cache, cleared by its first local hit.
     cold: Vec<bool>,
+    /// Per-slot outstanding origin fetches (empty unless the delayed-hit
+    /// model is enabled).
+    inflight: Vec<InflightQueue>,
+    /// Current scheduler epoch, the delayed-hit clock. Drivers call
+    /// [`SpaceCdn::set_now_epoch`] at every epoch boundary.
+    now_epoch: u64,
     latency: LatencyModel,
     /// Aggregate run metrics.
     pub metrics: SystemMetrics,
@@ -305,7 +321,35 @@ impl SpaceCdn {
             .collect();
         let latency = LatencyModel { link: cfg.link_model.clone(), ..LatencyModel::default() };
         let cold = vec![false; cfg.grid.total_slots()];
-        SpaceCdn { cfg, tiling, failures, caches, cold, latency, metrics: SystemMetrics::default() }
+        let inflight = (0..cfg.grid.total_slots()).map(|_| InflightQueue::new()).collect();
+        SpaceCdn {
+            cfg,
+            tiling,
+            failures,
+            caches,
+            cold,
+            inflight,
+            now_epoch: 0,
+            latency,
+            metrics: SystemMetrics::default(),
+        }
+    }
+
+    /// Advance the delayed-hit clock to `epoch`. Drivers call this at
+    /// every scheduler epoch boundary; with the model disabled it only
+    /// stores a number.
+    pub fn set_now_epoch(&mut self, epoch: u64) {
+        self.now_epoch = epoch;
+    }
+
+    /// The current delayed-hit clock.
+    pub fn now_epoch(&self) -> u64 {
+        self.now_epoch
+    }
+
+    /// Read-only view of one satellite's outstanding-fetch queue.
+    pub fn inflight_of(&self, id: SatelliteId) -> &InflightQueue {
+        &self.inflight[self.cache_idx(id)]
     }
 
     /// The configuration in force.
@@ -397,6 +441,9 @@ impl SpaceCdn {
                     uplink_bytes: size,
                     owner: first_contact,
                     route_hops: 0,
+                    residual_epochs: 0,
+                    fetch_retired: false,
+                    coalesced: 0,
                 };
             }
         };
@@ -425,9 +472,48 @@ impl SpaceCdn {
         let owner_idx = self.cache_idx(owner);
         let span = self.cfg.relay_span_planes();
 
-        // Owner cache access: a miss auto-admits (the owner will cache the
-        // object wherever it ends up coming from).
-        let local = self.caches[owner_idx].access(object, size);
+        // Delayed-hit preamble, mirroring `starcdn_cache::simulate::
+        // access_delayed` branch for branch: retire a landed fetch
+        // (admission + eviction-delay charge), then classify against the
+        // cache and the outstanding queue. Fully gated — with the model
+        // off, the plain auto-admitting access below runs unchanged.
+        let delayed_cfg = self.cfg.delayed;
+        let mut fetch_retired = false;
+        let mut coalesced = 0u64;
+        let mut residual_epochs = 0u64;
+        if delayed_cfg.is_enabled() {
+            if let Some(r) = self.inflight[owner_idx].take_completed(object, self.now_epoch) {
+                self.caches[owner_idx].insert(object, r.size);
+                self.caches[owner_idx].record_fetch_delay(object, r.delay_epochs);
+                fetch_retired = true;
+                coalesced = r.followers;
+                self.metrics.coalesced_requests += r.followers;
+            }
+            if !self.caches[owner_idx].contains(object) {
+                if let Some(res) = self.inflight[owner_idx].coalesce(object, self.now_epoch) {
+                    residual_epochs = res;
+                    self.metrics.delayed_hits += 1;
+                    *self.metrics.residual_epoch_hist.entry(res).or_insert(0) += 1;
+                }
+            }
+        }
+
+        // Owner cache access. Plain model: a miss auto-admits (the owner
+        // will cache the object wherever it ends up coming from).
+        // Delayed model: a delayed hit counts as a space hit without
+        // touching the cache, and a true miss does NOT admit — the
+        // object is only admitted when its fetch retires.
+        let local = if !delayed_cfg.is_enabled() {
+            self.caches[owner_idx].access(object, size)
+        } else if residual_epochs > 0 {
+            AccessOutcome::Hit
+        } else if self.caches[owner_idx].contains(object) {
+            let hit = self.caches[owner_idx].access(object, size);
+            debug_assert!(hit.is_hit());
+            hit
+        } else {
+            AccessOutcome::Miss
+        };
         if self.cold[owner_idx] {
             if local.is_hit() {
                 // Re-warmed: cached content is flowing again.
@@ -483,6 +569,32 @@ impl SpaceCdn {
         let latency_ms =
             if extra_latency_ms > 0.0 { latency_ms + extra_latency_ms } else { latency_ms };
 
+        // The relayed copy crosses the ISL within the epoch: the owner
+        // caches it immediately, with no origin fetch to wait out (the
+        // plain model admits it through the auto-admitting access above).
+        if delayed_cfg.is_enabled()
+            && matches!(served_from, ServedFrom::RelayWest | ServedFrom::RelayEast)
+        {
+            self.caches[owner_idx].insert(object, size);
+        }
+
+        // Delayed-hit wait accounting: a ground miss starts a fetch and
+        // waits it out in full; a delayed hit waits only the residual.
+        // Relay hits wait nothing (served from a neighbour's cache).
+        let latency_ms = if delayed_cfg.is_enabled() {
+            if served_from == ServedFrom::Ground {
+                let fetch_epochs = delayed_cfg.fetch_epochs_for(object);
+                self.inflight[owner_idx].register(object, size, self.now_epoch, fetch_epochs);
+                latency_ms + fetch_epochs as f64 * delayed_cfg.wait_ms_per_epoch
+            } else if residual_epochs > 0 {
+                latency_ms + residual_epochs as f64 * delayed_cfg.wait_ms_per_epoch
+            } else {
+                latency_ms
+            }
+        } else {
+            latency_ms
+        };
+
         self.metrics.record(owner, served_from, size, latency_ms);
         ServeOutcome {
             served_from,
@@ -490,6 +602,9 @@ impl SpaceCdn {
             uplink_bytes: uplink,
             owner,
             route_hops: intra + inter,
+            residual_epochs,
+            fetch_retired,
+            coalesced,
         }
     }
 
@@ -605,10 +720,12 @@ impl SpaceCdn {
     }
 
     /// Drop one satellite's cached content (it went out of service; its
-    /// state does not survive the outage).
+    /// state does not survive the outage). Outstanding fetches die with
+    /// it — their followers were already counted as delayed hits.
     pub fn wipe_cache(&mut self, id: SatelliteId) {
         let idx = self.cache_idx(id);
         self.caches[idx].clear();
+        self.inflight[idx].clear();
         self.cold[idx] = false;
     }
 
@@ -640,7 +757,11 @@ impl SpaceCdn {
         for c in &mut self.caches {
             c.clear();
         }
+        for q in &mut self.inflight {
+            q.clear();
+        }
         self.cold.fill(false);
+        self.now_epoch = 0;
         self.metrics = SystemMetrics::default();
     }
 
@@ -660,6 +781,7 @@ impl SpaceCdn {
             failures: self.failures.clone(),
             caches: self.caches.iter().map(|c| c.to_state()).collect(),
             cold: self.cold.clone(),
+            inflight: self.inflight.iter().map(|q| q.to_state()).collect(),
             metrics: self.metrics.clone(),
         }
     }
@@ -669,10 +791,11 @@ impl SpaceCdn {
     /// invariants; on error the fleet is left unchanged.
     pub fn import_state(&mut self, state: CdnState) -> Result<(), CdnStateError> {
         let slots = self.cfg.grid.total_slots();
-        if state.caches.len() != slots || state.cold.len() != slots {
+        if state.caches.len() != slots || state.cold.len() != slots || state.inflight.len() != slots
+        {
             return Err(CdnStateError::SlotCountMismatch {
                 expected: slots,
-                got: state.caches.len().max(state.cold.len()),
+                got: state.caches.len().max(state.cold.len()).max(state.inflight.len()),
             });
         }
         let expected = self.cfg.policy.name();
@@ -687,8 +810,13 @@ impl SpaceCdn {
             }
             rebuilt.push(cs.build().map_err(CdnStateError::Cache)?);
         }
+        let mut queues = Vec::with_capacity(slots);
+        for qs in &state.inflight {
+            queues.push(InflightQueue::from_state(qs).map_err(CdnStateError::Inflight)?);
+        }
         self.caches = rebuilt;
         self.cold = state.cold;
+        self.inflight = queues;
         self.failures = state.failures;
         self.metrics = state.metrics;
         Ok(())
@@ -703,6 +831,9 @@ pub struct CdnState {
     pub failures: FailureModel,
     pub caches: Vec<starcdn_cache::CacheState>,
     pub cold: Vec<bool>,
+    /// Per-slot outstanding-fetch queues, slot order (all empty unless
+    /// the delayed-hit model is enabled).
+    pub inflight: Vec<InflightState>,
     pub metrics: SystemMetrics,
 }
 
@@ -715,6 +846,8 @@ pub enum CdnStateError {
     PolicyMismatch { slot: usize, expected: &'static str, got: &'static str },
     /// A cache state failed its structural validation.
     Cache(starcdn_cache::StateError),
+    /// An outstanding-fetch queue failed its structural validation.
+    Inflight(starcdn_cache::StateError),
 }
 
 impl std::fmt::Display for CdnStateError {
@@ -727,6 +860,7 @@ impl std::fmt::Display for CdnStateError {
                 write!(f, "slot {slot} cache state is `{got}`, config wants `{expected}`")
             }
             CdnStateError::Cache(e) => write!(f, "cache state: {e}"),
+            CdnStateError::Inflight(e) => write!(f, "in-flight fetch state: {e}"),
         }
     }
 }
@@ -1065,6 +1199,117 @@ mod tests {
         assert_eq!(cdn.metrics.stats.requests, 0);
         let o = cdn.handle_request(sat, ObjectId(1), 100, 2.9);
         assert_eq!(o.served_from, ServedFrom::Ground, "caches cleared");
+    }
+
+    mod delayed {
+        use super::*;
+        use crate::config::DelayedHitConfig;
+
+        fn delayed_system(fetch_epochs: u64, wait_ms: f64) -> SpaceCdn {
+            let cfg = StarCdnConfig::starcdn(4, CAP)
+                .with_delayed_hits(DelayedHitConfig::with_latency(fetch_epochs, wait_ms));
+            SpaceCdn::new(cfg)
+        }
+
+        #[test]
+        fn miss_registers_fetch_and_does_not_admit() {
+            let mut cdn = delayed_system(2, 10.0);
+            let fc = SatelliteId::new(10, 5);
+            cdn.set_now_epoch(0);
+            let o = cdn.handle_request(fc, ObjectId(1), 100, 2.9);
+            assert_eq!(o.served_from, ServedFrom::Ground);
+            assert_eq!(o.residual_epochs, 0);
+            assert!(!o.fetch_retired);
+            let owner = o.owner;
+            assert!(!cdn.cache_of(owner).contains(ObjectId(1)), "no admission before retirement");
+            assert_eq!(cdn.inflight_of(owner).len(), 1);
+            // The miss waited out the whole fetch: 2 epochs × 10 ms.
+            let plain = SpaceCdn::new(StarCdnConfig::starcdn(4, CAP))
+                .handle_request(fc, ObjectId(1), 100, 2.9)
+                .latency_ms;
+            assert!((o.latency_ms - plain - 20.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn coalesced_request_is_a_delayed_hit_with_residual() {
+            let mut cdn = delayed_system(3, 10.0);
+            let fc = SatelliteId::new(10, 5);
+            cdn.set_now_epoch(0);
+            cdn.handle_request(fc, ObjectId(1), 100, 2.9); // miss, completes at 3
+            cdn.set_now_epoch(1);
+            let o = cdn.handle_request(fc, ObjectId(1), 100, 2.9);
+            assert_eq!(o.served_from, ServedFrom::LocalHit, "delayed hit is a space hit");
+            assert_eq!(o.residual_epochs, 2);
+            assert_eq!(o.uplink_bytes, 0);
+            assert_eq!(cdn.metrics.delayed_hits, 1);
+            assert_eq!(cdn.metrics.residual_epoch_hist[&2], 1);
+            assert_eq!(cdn.metrics.coalesced_requests, 0, "follower not yet retired");
+            // Retirement: the next touch at/after epoch 3 admits the
+            // object and credits the follower.
+            cdn.set_now_epoch(3);
+            let o = cdn.handle_request(fc, ObjectId(1), 100, 2.9);
+            assert_eq!(o.served_from, ServedFrom::LocalHit);
+            assert!(o.fetch_retired);
+            assert_eq!(o.coalesced, 1);
+            assert_eq!(o.residual_epochs, 0);
+            assert_eq!(cdn.metrics.coalesced_requests, 1);
+            assert!(cdn.cache_of(o.owner).contains(ObjectId(1)));
+            assert!(cdn.inflight_of(o.owner).is_empty());
+        }
+
+        #[test]
+        fn relay_hit_admits_owner_copy_without_a_fetch() {
+            let mut cdn = delayed_system(2, 10.0);
+            let fc = SatelliteId::new(10, 5);
+            let owner = cdn.resolve_route(fc, ObjectId(3)).unwrap().owner;
+            let west = cdn.config().grid.west_by(owner, 2);
+            // Seed the west neighbour: miss at epoch 0, retire at 2.
+            cdn.set_now_epoch(0);
+            cdn.handle_request(west, ObjectId(3), 100, 2.9);
+            cdn.set_now_epoch(2);
+            cdn.handle_request(west, ObjectId(3), 100, 2.9);
+            assert!(cdn.cache_of(west).contains(ObjectId(3)));
+            // Owner miss → relay west hit; the ISL copy admits instantly.
+            let o = cdn.handle_request(fc, ObjectId(3), 100, 2.9);
+            assert_eq!(o.served_from, ServedFrom::RelayWest);
+            assert!(cdn.cache_of(owner).contains(ObjectId(3)));
+            assert!(cdn.inflight_of(owner).is_empty(), "relay hit starts no origin fetch");
+            let o2 = cdn.handle_request(fc, ObjectId(3), 100, 2.9);
+            assert_eq!(o2.served_from, ServedFrom::LocalHit);
+        }
+
+        #[test]
+        fn wipe_clears_outstanding_fetches() {
+            let mut cdn = delayed_system(4, 10.0);
+            let fc = SatelliteId::new(10, 5);
+            cdn.set_now_epoch(0);
+            let o = cdn.handle_request(fc, ObjectId(1), 100, 2.9);
+            assert_eq!(cdn.inflight_of(o.owner).len(), 1);
+            cdn.wipe_cache(o.owner);
+            assert!(cdn.inflight_of(o.owner).is_empty());
+        }
+
+        #[test]
+        fn state_roundtrip_preserves_inflight_queues() {
+            let mut cdn = delayed_system(5, 10.0);
+            let fc = SatelliteId::new(10, 5);
+            cdn.set_now_epoch(1);
+            let o = cdn.handle_request(fc, ObjectId(1), 100, 2.9); // completes at 6
+            cdn.set_now_epoch(2);
+            cdn.handle_request(fc, ObjectId(1), 100, 2.9); // follower, residual 4
+            let state = cdn.export_state();
+            let mut fresh = delayed_system(5, 10.0);
+            fresh.import_state(state).unwrap();
+            fresh.set_now_epoch(3);
+            let q = fresh.inflight_of(o.owner);
+            assert_eq!(q.len(), 1);
+            let f = q.get(ObjectId(1)).unwrap();
+            assert_eq!(f.completes_at, 6);
+            assert_eq!(f.followers, 1);
+            // The restored queue keeps coalescing where it left off.
+            let o2 = fresh.handle_request(fc, ObjectId(1), 100, 2.9);
+            assert_eq!(o2.residual_epochs, 3);
+        }
     }
 
     mod properties {

@@ -38,10 +38,11 @@ use crate::engine::{record_outcome, FaultEventWatermark};
 use crate::overload::OverloadConfig;
 use starcdn::metrics::{AvailabilityPoint, NeighborAvailability, SystemMetrics};
 use starcdn::system::{CdnState, SpaceCdn};
+use starcdn_cache::inflight::InflightEntryState;
 use starcdn_cache::object::ObjectId;
-use starcdn_cache::state::{LfuEntryState, SieveEntryState};
+use starcdn_cache::state::{LfuEntryState, MadEntryState, SieveEntryState};
 use starcdn_cache::stats::CacheStats;
-use starcdn_cache::CacheState;
+use starcdn_cache::{CacheState, InflightState};
 use starcdn_constellation::capacity::{CapacityLedger, EpochUsageState, UtilizationPoint};
 use starcdn_constellation::failures::FailureModel;
 use starcdn_constellation::schedule::{FaultSchedule, ScheduleCursor};
@@ -365,6 +366,20 @@ pub(crate) fn put_cache_state(w: &mut ByteWriter, s: &CacheState) {
             w.u64(*ops);
             w.u64(*window);
         }
+        CacheState::Mad { capacity, clock, inflation, entries } => {
+            w.u8(6);
+            w.u64(*capacity);
+            w.u64(*clock);
+            w.u64(*inflation);
+            w.len(entries.len());
+            for e in entries {
+                w.u64(e.id.0);
+                w.u64(e.size);
+                w.u64(e.delay);
+                w.u64(e.priority);
+                w.u64(e.last_touch);
+            }
+        }
     }
 }
 
@@ -433,8 +448,53 @@ pub(crate) fn get_cache_state(r: &mut ByteReader) -> Result<CacheState, Checkpoi
                 window: r.u64()?,
             }
         }
+        6 => {
+            let capacity = r.u64()?;
+            let clock = r.u64()?;
+            let inflation = r.u64()?;
+            let n = r.len()?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push(MadEntryState {
+                    id: ObjectId(r.u64()?),
+                    size: r.u64()?,
+                    delay: r.u64()?,
+                    priority: r.u64()?,
+                    last_touch: r.u64()?,
+                });
+            }
+            CacheState::Mad { capacity, clock, inflation, entries }
+        }
         _ => return Err(CheckpointError::Malformed("unknown cache-state tag")),
     })
+}
+
+/// An in-flight fetch queue snapshot. [`InflightState`] keeps fetches in
+/// ascending object-id order, so the encoding is deterministic.
+pub(crate) fn put_inflight(w: &mut ByteWriter, s: &InflightState) {
+    w.len(s.fetches.len());
+    for f in &s.fetches {
+        w.u64(f.id.0);
+        w.u64(f.completes_at);
+        w.u64(f.size);
+        w.u64(f.followers);
+        w.u64(f.delay_epochs);
+    }
+}
+
+pub(crate) fn get_inflight(r: &mut ByteReader) -> Result<InflightState, CheckpointError> {
+    let n = r.len()?;
+    let mut fetches = Vec::with_capacity(n);
+    for _ in 0..n {
+        fetches.push(InflightEntryState {
+            id: ObjectId(r.u64()?),
+            completes_at: r.u64()?,
+            size: r.u64()?,
+            followers: r.u64()?,
+            delay_epochs: r.u64()?,
+        });
+    }
+    Ok(InflightState { fetches })
 }
 
 pub(crate) fn put_failures(w: &mut ByteWriter, f: &FailureModel) {
@@ -543,6 +603,13 @@ pub(crate) fn put_metrics(w: &mut ByteWriter, m: &SystemMetrics) {
         w.u64(p.shed_requests);
     }
     w.u64(m.partitioned_requests);
+    w.u64(m.delayed_hits);
+    w.u64(m.coalesced_requests);
+    w.len(m.residual_epoch_hist.len());
+    for (&residual, &count) in &m.residual_epoch_hist {
+        w.u64(residual);
+        w.u64(count);
+    }
 }
 
 pub(crate) fn get_metrics(r: &mut ByteReader) -> Result<SystemMetrics, CheckpointError> {
@@ -607,6 +674,14 @@ pub(crate) fn get_metrics(r: &mut ByteReader) -> Result<SystemMetrics, Checkpoin
         });
     }
     let partitioned_requests = r.u64()?;
+    let delayed_hits = r.u64()?;
+    let coalesced_requests = r.u64()?;
+    let nrh = r.len()?;
+    let mut residual_epoch_hist = BTreeMap::new();
+    for _ in 0..nrh {
+        let residual = r.u64()?;
+        residual_epoch_hist.insert(residual, r.u64()?);
+    }
     Ok(SystemMetrics {
         stats,
         uplink_bytes,
@@ -632,6 +707,9 @@ pub(crate) fn get_metrics(r: &mut ByteReader) -> Result<SystemMetrics, Checkpoin
         dropped_requests,
         utilization,
         partitioned_requests,
+        delayed_hits,
+        coalesced_requests,
+        residual_epoch_hist,
     })
 }
 
@@ -999,6 +1077,9 @@ pub(crate) fn config_fingerprint(
     h = fp(h, overload.retry.max_attempts as u64);
     h = fp(h, overload.retry.backoff_epochs);
     h = fp(h, overload.retry.deadline_ms.to_bits());
+    h = fp(h, cfg.delayed.fetch_epochs);
+    h = fp(h, cfg.delayed.wait_ms_per_epoch.to_bits());
+    h = fp(h, cfg.delayed.origin_tiers);
     h
 }
 
@@ -1043,6 +1124,9 @@ fn decode_engine_meta(bytes: &[u8]) -> Result<EngineMeta, CheckpointError> {
 struct EngineBody {
     failures: FailureModel,
     caches: Vec<CacheState>,
+    /// Per-slot outstanding-fetch queues (DESIGN.md §14); all empty
+    /// when the delayed-hit model is disabled.
+    inflight: Vec<InflightState>,
     cold: Vec<bool>,
     metrics: SystemMetrics,
     /// `(events applied, live failure view)` of the schedule cursor.
@@ -1057,6 +1141,10 @@ fn encode_engine_body(b: &EngineBody) -> Vec<u8> {
     w.len(b.caches.len());
     for c in &b.caches {
         put_cache_state(&mut w, c);
+    }
+    w.len(b.inflight.len());
+    for q in &b.inflight {
+        put_inflight(&mut w, q);
     }
     w.len(b.cold.len());
     for &c in &b.cold {
@@ -1092,6 +1180,11 @@ fn decode_engine_body(bytes: &[u8]) -> Result<EngineBody, CheckpointError> {
     for _ in 0..nc {
         caches.push(get_cache_state(&mut r)?);
     }
+    let nq = r.len()?;
+    let mut inflight = Vec::with_capacity(nq);
+    for _ in 0..nq {
+        inflight.push(get_inflight(&mut r)?);
+    }
     let ncold = r.len()?;
     let mut cold = Vec::with_capacity(ncold);
     for _ in 0..ncold {
@@ -1110,7 +1203,7 @@ fn decode_engine_body(bytes: &[u8]) -> Result<EngineBody, CheckpointError> {
     };
     let watermark = [r.u64()?, r.u64()?, r.u64()?];
     r.finish()?;
-    Ok(EngineBody { failures, caches, cold, metrics, cursor, ledger, watermark })
+    Ok(EngineBody { failures, caches, inflight, cold, metrics, cursor, ledger, watermark })
 }
 
 fn encode_telemetry_section(tele: Option<&TelemetrySnapshot>) -> Vec<u8> {
@@ -1218,6 +1311,7 @@ pub fn resume_space_checkpointed(
                 let state = CdnState {
                     failures: body.failures,
                     caches: body.caches,
+                    inflight: body.inflight,
                     cold: body.cold,
                     metrics: body.metrics,
                 };
@@ -1373,6 +1467,7 @@ fn drive_checkpointed(
                 let body = EngineBody {
                     failures: state.failures,
                     caches: state.caches,
+                    inflight: state.inflight,
                     cold: state.cold,
                     metrics: state.metrics,
                     cursor: cursor.as_ref().map(|c| (c.position() as u64, c.view().clone())),
@@ -1393,6 +1488,7 @@ fn drive_checkpointed(
                 watermark.flush(eff, current_epoch, &cdn.metrics);
             }
             current_epoch = epoch;
+            cdn.set_now_epoch(epoch);
             if enabled {
                 epoch_span = Some(SpanTimer::start(eff, Stage::CacheAccess, epoch));
             }
@@ -1547,7 +1643,7 @@ mod tests {
     use crate::world::World;
     use proptest::prelude::*;
     use spacegen::trace::{LocationId, Request, Trace};
-    use starcdn::config::StarCdnConfig;
+    use starcdn::config::{DelayedHitConfig, StarCdnConfig};
     use starcdn_constellation::schedule::{FaultEvent, TimedFault};
     use starcdn_orbit::time::SimTime;
 
@@ -1627,6 +1723,9 @@ mod tests {
         assert_eq!(a.dropped_requests, b.dropped_requests);
         assert_eq!(util_bits(&a.utilization), util_bits(&b.utilization), "utilization timeline");
         assert_eq!(a.partitioned_requests, b.partitioned_requests);
+        assert_eq!(a.delayed_hits, b.delayed_hits);
+        assert_eq!(a.coalesced_requests, b.coalesced_requests);
+        assert_eq!(a.residual_epoch_hist, b.residual_epoch_hist);
     }
 
     /// Telemetry equality modulo span wall-clock time (span *counts*
@@ -1660,16 +1759,38 @@ mod tests {
             shed_requests: 2,
         });
         metrics.partitioned_requests = 3;
+        metrics.delayed_hits = 4;
+        metrics.coalesced_requests = 2;
+        metrics.residual_epoch_hist.insert(1, 3);
+        metrics.residual_epoch_hist.insert(2, 1);
         let mut lru = starcdn_cache::policy::PolicyKind::Lru.build(10_000);
         lru.access(ObjectId(7), 100);
         lru.access(ObjectId(9), 200);
+        // A latency-aware slot too, so the Mad section (inflation floor
+        // plus per-entry priorities) is under the corruption proptests.
+        let mut mad = starcdn_cache::policy::PolicyKind::Mad.build(10_000);
+        mad.access(ObjectId(11), 300);
+        mad.access(ObjectId(12), 400);
+        mad.record_fetch_delay(ObjectId(11), 6);
         EngineBody {
             failures: FailureModel::from_outages(
                 [SatelliteId::new(0, 1)],
                 [(SatelliteId::new(2, 2), SatelliteId::new(2, 3))],
             ),
-            caches: vec![lru.to_state()],
-            cold: vec![false],
+            caches: vec![lru.to_state(), mad.to_state()],
+            inflight: vec![
+                InflightState {
+                    fetches: vec![InflightEntryState {
+                        id: ObjectId(3),
+                        completes_at: 9,
+                        size: 700,
+                        followers: 2,
+                        delay_epochs: 4,
+                    }],
+                },
+                InflightState { fetches: vec![] },
+            ],
+            cold: vec![false, true],
             metrics,
             cursor: Some((2, FailureModel::from_dead([SatelliteId::new(0, 1)]))),
             ledger: Some(vec![EpochUsageState {
@@ -1857,15 +1978,30 @@ mod tests {
     /// would), then a fresh process resumes on the full log and must
     /// match the uninterrupted run bit-for-bit.
     fn crash_resume_roundtrip(name: &str, sched: &FaultSchedule, overload: &OverloadConfig) {
-        let log = log();
-        let cfg = || StarCdnConfig::starcdn(4, 1_000_000);
+        crash_resume_roundtrip_cfg(
+            name,
+            &StarCdnConfig::starcdn(4, 1_000_000),
+            &log(),
+            sched,
+            overload,
+        );
+    }
+
+    fn crash_resume_roundtrip_cfg(
+        name: &str,
+        config: &StarCdnConfig,
+        log: &AccessLog,
+        sched: &FaultSchedule,
+        overload: &OverloadConfig,
+    ) {
+        let cfg = || config.clone();
 
         let dir_golden = tmpdir(&format!("{name}-golden"));
         let rec_golden = MemoryRecorder::new();
         let mut golden = SpaceCdn::new(cfg());
         let m_golden = run_space_checkpointed(
             &mut golden,
-            &log,
+            log,
             sched,
             overload,
             &policy(&dir_golden, 3),
@@ -1893,7 +2029,7 @@ mod tests {
         let mut resumed = SpaceCdn::new(cfg());
         let m_resumed = resume_space_checkpointed(
             &mut resumed,
-            &log,
+            log,
             sched,
             overload,
             &policy(&dir, 3),
@@ -1932,6 +2068,66 @@ mod tests {
     #[test]
     fn resume_churn_overload_is_bit_identical() {
         crash_resume_roundtrip("resume-combined", &churn(), &OverloadConfig::with_headroom(0.4));
+    }
+
+    /// A single-city log: the first-contact satellite is stable within a
+    /// scheduler epoch, so repeat requests for an object land on the same
+    /// owner and reliably coalesce onto its in-flight fetch.
+    fn delayed_log() -> AccessLog {
+        let w = World::starlink_nine_cities();
+        let reqs: Vec<Request> = (0..2000u64)
+            .map(|k| Request {
+                time: SimTime::from_secs(k / 4),
+                object: ObjectId(k % 50),
+                size: 1000,
+                location: LocationId(0),
+            })
+            .collect();
+        build_access_log(&w, &Trace::new(reqs), 15, &SimConfig::default().scheduler())
+    }
+
+    /// Checkpointed run with the delayed-hit model on matches the plain
+    /// engine, and a kill/resume with fetches still in flight at the
+    /// boundary converges bit-for-bit (the queues travel in the body).
+    #[test]
+    fn parity_and_resume_with_delayed_hits() {
+        let cfg = StarCdnConfig::starcdn(4, 1_000_000)
+            .with_delayed_hits(DelayedHitConfig::with_latency(2, 40.0));
+        let log = delayed_log();
+        let dir = tmpdir("parity-delayed");
+        let sched = churn();
+        let rec_a = MemoryRecorder::new();
+        let mut a = SpaceCdn::new(cfg.clone());
+        let ma = run_space_with_faults_recorded(&mut a, &log, &sched, &rec_a);
+        assert!(ma.delayed_hits > 0, "scenario must exercise coalescing");
+        let rec_b = MemoryRecorder::new();
+        let mut b = SpaceCdn::new(cfg.clone());
+        let mb = run_space_checkpointed(
+            &mut b,
+            &log,
+            &sched,
+            &OverloadConfig::disabled(),
+            &policy(&dir, 4),
+            &rec_b,
+        )
+        .unwrap();
+        assert_metrics_identical(&ma, &mb);
+        assert_telemetry_identical(&rec_a.snapshot(), &rec_b.snapshot());
+
+        crash_resume_roundtrip_cfg(
+            "resume-delayed",
+            &cfg,
+            &log,
+            &sched,
+            &OverloadConfig::disabled(),
+        );
+        crash_resume_roundtrip_cfg(
+            "resume-delayed-overload",
+            &cfg,
+            &log,
+            &sched,
+            &OverloadConfig::with_headroom(0.4),
+        );
     }
 
     #[test]

@@ -98,6 +98,14 @@ pub(crate) fn record_outcome(rec: &dyn Recorder, out: &ServeOutcome, size: u64) 
     } else {
         rec.add(Counter::CacheMisses, 1);
     }
+    if out.residual_epochs > 0 {
+        rec.add(Counter::DelayedHits, 1);
+        rec.observe(Histo::ResidualWaitEpochs, out.residual_epochs);
+    }
+    if out.fetch_retired {
+        rec.add(Counter::FetchesRetired, 1);
+        rec.add(Counter::CoalescedRequests, out.coalesced);
+    }
 }
 
 /// [`run_space_entries`] with telemetry: per-request latency/hop/size
@@ -142,15 +150,17 @@ fn run_space_iter_recorded(
     rec: &dyn Recorder,
 ) -> SystemMetrics {
     let prefetching = cdn.config().prefetch_top_k.is_some();
+    let delayed = cdn.config().delayed.is_enabled();
     let enabled = rec.is_enabled();
     let epoch_secs = epoch_secs.max(1);
     let mut current_epoch = u64::MAX;
     let mut epoch_span: Option<SpanTimer> = None;
     for e in entries {
-        if prefetching || enabled {
+        if prefetching || enabled || delayed {
             let epoch = e.time.as_secs() / epoch_secs;
             if epoch != current_epoch {
                 current_epoch = epoch;
+                cdn.set_now_epoch(epoch);
                 if enabled {
                     // Replacing the guard closes the previous epoch's span.
                     epoch_span = Some(SpanTimer::start(rec, Stage::CacheAccess, epoch));
@@ -311,6 +321,7 @@ fn drive_with_faults(
                 watermark.flush(rec, current_epoch, &cdn.metrics);
             }
             current_epoch = epoch;
+            cdn.set_now_epoch(epoch);
             if enabled {
                 epoch_span = Some(SpanTimer::start(rec, Stage::CacheAccess, epoch));
             }
@@ -474,6 +485,7 @@ fn drive_overloaded(
                 watermark.flush(rec, current_epoch, &cdn.metrics);
             }
             current_epoch = epoch;
+            cdn.set_now_epoch(epoch);
             if enabled {
                 epoch_span = Some(SpanTimer::start(rec, Stage::CacheAccess, epoch));
             }
@@ -598,7 +610,17 @@ pub fn run_space_with_warmup(
     assert!((0.0..1.0).contains(&warmup_fraction), "warmup fraction in [0,1)");
     let cut = (log.entries.len() as f64 * warmup_fraction) as usize;
     let (warm, measured) = log.entries.split_at(cut);
+    let delayed = cdn.config().delayed.is_enabled();
+    let epoch_secs = log.epoch_secs.max(1);
+    let mut current_epoch = u64::MAX;
     for e in warm {
+        if delayed {
+            let epoch = e.time.as_secs() / epoch_secs;
+            if epoch != current_epoch {
+                current_epoch = epoch;
+                cdn.set_now_epoch(epoch);
+            }
+        }
         match e.first_contact {
             Some(sat) => {
                 cdn.handle_request(sat, e.object, e.size, e.gsl_oneway_ms);
@@ -824,6 +846,39 @@ mod tests {
         let mut cdn = SpaceCdn::new(StarCdnConfig::starcdn(4, 1_000_000));
         let m = run_space_with_faults_measured(&mut cdn, &log, &sched, cutoff);
         assert_eq!(m.stats.requests, tail_len, "only post-cutoff entries measured");
+    }
+
+    #[test]
+    fn delayed_model_counts_and_zero_latency_identity() {
+        use starcdn::config::DelayedHitConfig;
+        let log = log();
+        let mut plain = SpaceCdn::new(StarCdnConfig::starcdn(4, 1_000_000));
+        let mp = run_space(&mut plain, &log);
+        // fetch_epochs = 0 disables the model even with a nonzero wait
+        // cost configured: bit-for-bit the plain run.
+        let zero_cfg = StarCdnConfig::starcdn(4, 1_000_000)
+            .with_delayed_hits(DelayedHitConfig::with_latency(0, 50.0));
+        let mut zero = SpaceCdn::new(zero_cfg);
+        let mz = run_space(&mut zero, &log);
+        assert_eq!(mp.stats, mz.stats);
+        assert_eq!(mp.latencies_ms, mz.latencies_ms);
+        assert_eq!(mz.delayed_hits, 0);
+        assert!(mz.residual_epoch_hist.is_empty());
+
+        let del_cfg = StarCdnConfig::starcdn(4, 1_000_000)
+            .with_delayed_hits(DelayedHitConfig::with_latency(2, 40.0));
+        let mut del = SpaceCdn::new(del_cfg);
+        let md = run_space(&mut del, &log);
+        assert_eq!(md.stats.requests, log.len() as u64);
+        assert!(md.delayed_hits > 0, "hot 50-object set must coalesce");
+        assert!(md.coalesced_requests <= md.delayed_hits, "retired followers lag delayed hits");
+        assert!(!md.residual_epoch_hist.is_empty());
+        let hist_total: u64 = md.residual_epoch_hist.values().sum();
+        assert_eq!(hist_total, md.delayed_hits);
+        assert!(
+            md.residual_epoch_hist.keys().all(|r| (1..=2).contains(r)),
+            "residuals bounded by fetch latency"
+        );
     }
 
     #[test]

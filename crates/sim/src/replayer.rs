@@ -39,7 +39,8 @@ use starcdn::latency::LatencyModel;
 use starcdn::metrics::{AvailabilityPoint, SystemMetrics};
 use starcdn::relay::relay_candidates;
 use starcdn::system::{classify_route_in_recorded, RouteOutcome, ServeOutcome, ServedFrom};
-use starcdn_cache::policy::Cache;
+use starcdn_cache::policy::{AccessOutcome, Cache};
+use starcdn_cache::InflightQueue;
 use starcdn_constellation::buckets::BucketTiling;
 use starcdn_constellation::failures::FailureModel;
 use starcdn_constellation::schedule::{FaultSchedule, ScheduleCursor};
@@ -61,6 +62,10 @@ pub(crate) struct ResolvedEntry {
     /// Overload classification: `Some(false)` = admitted at the primary,
     /// `Some(true)` = at a retry replica, `None` = overload mode off.
     replica: Option<bool>,
+    /// Scheduler epoch of this request — the delayed-hit clock. The
+    /// pre-pass stamps it so each shard replays its own slots' fetch
+    /// timelines exactly as the sequential engine does.
+    epoch: u64,
 }
 
 /// One element of a shard's ordered work stream.
@@ -524,6 +529,7 @@ pub(crate) fn prepare_shards(
                         gsl_oneway_ms: e.gsl_oneway_ms,
                         penalty_ms,
                         replica: Some(replica),
+                        epoch,
                     }));
                 }
                 crate::overload::Decision::OriginFallback { penalty_ms } => {
@@ -576,6 +582,7 @@ pub(crate) fn prepare_shards(
                     gsl_oneway_ms: e.gsl_oneway_ms,
                     penalty_ms: 0.0,
                     replica: None,
+                    epoch,
                 }));
             }
             RouteOutcome::Partitioned { .. } => {
@@ -624,10 +631,16 @@ pub(crate) fn prepare_shards(
 /// behaviour is identical by construction.
 pub(crate) struct WorkerCtx<'a> {
     pub caches: &'a [Mutex<Box<dyn Cache + Send>>],
+    /// Per-slot outstanding-fetch queues. Owner-sharded like the
+    /// requests themselves, so each queue is only ever touched by the
+    /// one worker that owns its slot — the mutex is uncontended and
+    /// exists to satisfy `Sync`.
+    pub inflight: &'a [Mutex<InflightQueue>],
     pub grid: &'a starcdn_constellation::grid::GridTopology,
     pub failures: &'a FailureModel,
     pub latency: &'a LatencyModel,
     pub relay: starcdn::config::RelayPolicy,
+    pub delayed: starcdn::config::DelayedHitConfig,
     pub probe: bool,
     pub span: u16,
     pub spp: u16,
@@ -647,6 +660,7 @@ pub(crate) fn run_shard_ops(
             ShardOp::Request(e) => e,
             ShardOp::Wipe(idx) => {
                 ctx.caches[*idx].lock().clear();
+                ctx.inflight[*idx].lock().clear();
                 cold[*idx] = false;
                 continue;
             }
@@ -656,7 +670,43 @@ pub(crate) fn run_shard_ops(
             }
         };
         let owner_idx = e.owner.index(ctx.spp);
-        let local = ctx.caches[owner_idx].lock().access(e.object, e.size);
+        // Mirrors `SpaceCdn::serve_routed` branch for branch. Delayed
+        // model: retire a landed fetch, classify against cache + queue;
+        // a delayed hit is a space hit that never touches the cache and
+        // a true miss does not admit. Plain model: the auto-admitting
+        // access, unchanged.
+        let mut fetch_retired = false;
+        let mut coalesced = 0u64;
+        let mut residual_epochs = 0u64;
+        let local = if !ctx.delayed.is_enabled() {
+            ctx.caches[owner_idx].lock().access(e.object, e.size)
+        } else {
+            if let Some(r) = ctx.inflight[owner_idx].lock().take_completed(e.object, e.epoch) {
+                let mut g = ctx.caches[owner_idx].lock();
+                g.insert(e.object, r.size);
+                g.record_fetch_delay(e.object, r.delay_epochs);
+                drop(g);
+                fetch_retired = true;
+                coalesced = r.followers;
+                m.coalesced_requests += r.followers;
+            }
+            let mut g = ctx.caches[owner_idx].lock();
+            if g.contains(e.object) {
+                let hit = g.access(e.object, e.size);
+                debug_assert!(hit.is_hit());
+                hit
+            } else {
+                drop(g);
+                if let Some(res) = ctx.inflight[owner_idx].lock().coalesce(e.object, e.epoch) {
+                    residual_epochs = res;
+                    m.delayed_hits += 1;
+                    *m.residual_epoch_hist.entry(res).or_insert(0) += 1;
+                    AccessOutcome::Hit
+                } else {
+                    AccessOutcome::Miss
+                }
+            }
+        };
         if cold[owner_idx] {
             if local.is_hit() {
                 cold[owner_idx] = false;
@@ -716,6 +766,26 @@ pub(crate) fn run_shard_ops(
         // Gated: `x + 0.0` is not a bitwise no-op for every float
         // (-0.0); the no-penalty path must stay byte-identical.
         let lat = if e.penalty_ms > 0.0 { lat + e.penalty_ms } else { lat };
+        // Relayed copies admit instantly; a ground miss registers its
+        // origin fetch and waits it out in full; a delayed hit waits
+        // only the residual — the engine's wait accounting, verbatim.
+        if ctx.delayed.is_enabled() && matches!(from, ServedFrom::RelayWest | ServedFrom::RelayEast)
+        {
+            ctx.caches[owner_idx].lock().insert(e.object, e.size);
+        }
+        let lat = if ctx.delayed.is_enabled() {
+            if from == ServedFrom::Ground {
+                let fetch_epochs = ctx.delayed.fetch_epochs_for(e.object);
+                ctx.inflight[owner_idx].lock().register(e.object, e.size, e.epoch, fetch_epochs);
+                lat + fetch_epochs as f64 * ctx.delayed.wait_ms_per_epoch
+            } else if residual_epochs > 0 {
+                lat + residual_epochs as f64 * ctx.delayed.wait_ms_per_epoch
+            } else {
+                lat
+            }
+        } else {
+            lat
+        };
         match e.replica {
             Some(true) => m.served_replica += 1,
             Some(false) => m.served_primary += 1,
@@ -731,6 +801,9 @@ pub(crate) fn run_shard_ops(
                     uplink_bytes: 0,
                     owner: e.owner,
                     route_hops: e.intra + e.inter,
+                    residual_epochs,
+                    fetch_retired,
+                    coalesced,
                 },
                 e.size,
             );
@@ -754,9 +827,12 @@ fn replay_impl(
     let total_slots = cfg.grid.total_slots();
     let enabled = rec.is_enabled();
 
-    // Shared caches, one per slot.
+    // Shared caches, one per slot, plus the owner-sharded
+    // outstanding-fetch queues of the delayed-hit model.
     let caches: Vec<Mutex<Box<dyn Cache + Send>>> =
         (0..total_slots).map(|_| Mutex::new(cfg.policy.build(cfg.cache_capacity_bytes))).collect();
+    let inflight: Vec<Mutex<InflightQueue>> =
+        (0..total_slots).map(|_| Mutex::new(InflightQueue::new())).collect();
 
     // Sequential pre-pass: partition by owner, preserving per-owner
     // order. Route resolution uses the live failure view of each entry's
@@ -768,10 +844,12 @@ fn replay_impl(
 
     let ctx = WorkerCtx {
         caches: &caches,
+        inflight: &inflight,
         grid: &cfg.grid,
         failures: &base_failures,
         latency: &latency,
         relay: cfg.relay,
+        delayed: cfg.delayed,
         probe: cfg.probe_neighbors_on_miss,
         span,
         spp,
@@ -975,6 +1053,43 @@ mod tests {
             assert_eq!(m_seq.remapped_requests, m_par.remapped_requests);
             assert_eq!(m_seq.reroute_extra_hops, m_par.reroute_extra_hops);
             assert_eq!(m_seq.availability, m_par.availability);
+        }
+    }
+
+    #[test]
+    fn delayed_matches_engine_exactly_without_relay() {
+        use starcdn::config::DelayedHitConfig;
+        // Single location: the first contact is stable within a scheduler
+        // epoch, so same-epoch repeats land on one owner and coalesce;
+        // the small capacity keeps misses (and fetches) going all run.
+        let w = World::starlink_nine_cities();
+        let reqs: Vec<Request> = (0..3000u64)
+            .map(|k| Request {
+                time: SimTime::from_secs(k / 6),
+                object: ObjectId((k * 7919) % 50),
+                size: 500 + (k % 5) * 100,
+                location: LocationId(0),
+            })
+            .collect();
+        let log = build_access_log(&w, &Trace::new(reqs), 15, &SimConfig::default().scheduler());
+        let cfg = StarCdnConfig::starcdn_no_relay(4, 20_000)
+            .with_delayed_hits(DelayedHitConfig::with_latency(2, 40.0));
+        let mut seq = SpaceCdn::new(cfg.clone());
+        let m_seq = run_space(&mut seq, &log);
+        assert!(m_seq.delayed_hits > 0, "trace must exercise coalescing");
+        for workers in [1, 4] {
+            let m_par = replay_parallel(cfg.clone(), FailureModel::none(), &log, workers);
+            assert_eq!(m_seq.stats, m_par.stats, "{workers} workers");
+            assert_eq!(m_seq.delayed_hits, m_par.delayed_hits);
+            assert_eq!(m_seq.coalesced_requests, m_par.coalesced_requests);
+            assert_eq!(m_seq.residual_epoch_hist, m_par.residual_epoch_hist);
+            assert_eq!(m_seq.per_satellite, m_par.per_satellite);
+            assert_eq!(m_seq.uplink_bytes, m_par.uplink_bytes);
+            let mut a: Vec<u64> = m_seq.latencies_ms.iter().map(|l| l.to_bits()).collect();
+            let mut b: Vec<u64> = m_par.latencies_ms.iter().map(|l| l.to_bits()).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "latency multiset identical at {workers} workers");
         }
     }
 

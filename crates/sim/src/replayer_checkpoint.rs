@@ -26,9 +26,10 @@
 
 use crate::access_log::AccessLog;
 use crate::checkpoint::{
-    decode_container, encode_container, fp, fp_bytes, get_cache_state, get_metrics, get_telemetry,
-    list_checkpoint_files, put_cache_state, put_metrics, put_telemetry, write_atomic, ByteReader,
-    ByteWriter, CheckpointError, CheckpointPolicy, RawCheckpoint, KIND_REPLAY,
+    decode_container, encode_container, fp, fp_bytes, get_cache_state, get_inflight, get_metrics,
+    get_telemetry, list_checkpoint_files, put_cache_state, put_inflight, put_metrics,
+    put_telemetry, write_atomic, ByteReader, ByteWriter, CheckpointError, CheckpointPolicy,
+    RawCheckpoint, KIND_REPLAY,
 };
 use crate::overload::OverloadConfig;
 use crate::replayer::{prepare_shards, run_shard_ops, PrePass, WorkerCtx};
@@ -38,7 +39,7 @@ use starcdn::config::StarCdnConfig;
 use starcdn::latency::LatencyModel;
 use starcdn::metrics::SystemMetrics;
 use starcdn_cache::policy::Cache;
-use starcdn_cache::CacheState;
+use starcdn_cache::{CacheState, InflightQueue, InflightState};
 use starcdn_constellation::failures::FailureModel;
 use starcdn_constellation::schedule::FaultSchedule;
 use starcdn_telemetry::{Event, MemoryRecorder, Recorder, SpanTimer, Stage, TelemetrySnapshot};
@@ -69,6 +70,9 @@ fn replay_fingerprint(
     h = fp(h, schedule.map_or(0, |s| s.len() as u64));
     h = fp(h, overload.map_or(0, |o| 1 + o.headroom.to_bits()));
     h = fp(h, num_workers as u64);
+    h = fp(h, cfg.delayed.fetch_epochs);
+    h = fp(h, cfg.delayed.wait_ms_per_epoch.to_bits());
+    h = fp(h, cfg.delayed.origin_tiers);
     for s in base_failures.dead() {
         h = fp(h, ((s.orbit as u64) << 16) | s.slot as u64);
     }
@@ -114,6 +118,9 @@ fn decode_replay_meta(bytes: &[u8]) -> Result<ReplayMeta, CheckpointError> {
 
 struct ReplayBody {
     caches: Vec<CacheState>,
+    /// Per-slot outstanding-fetch queues (DESIGN.md §14), snapshotted at
+    /// the same barrier as the caches; empty when the model is off.
+    inflight: Vec<InflightState>,
     /// Per worker: cold flags and accumulated metrics, shard index order.
     cold: Vec<Vec<bool>>,
     metrics: Vec<SystemMetrics>,
@@ -124,6 +131,10 @@ fn encode_replay_body(b: &ReplayBody) -> Vec<u8> {
     w.len(b.caches.len());
     for c in &b.caches {
         put_cache_state(&mut w, c);
+    }
+    w.len(b.inflight.len());
+    for q in &b.inflight {
+        put_inflight(&mut w, q);
     }
     w.len(b.cold.len());
     for worker in &b.cold {
@@ -146,6 +157,11 @@ fn decode_replay_body(bytes: &[u8]) -> Result<ReplayBody, CheckpointError> {
     for _ in 0..nc {
         caches.push(get_cache_state(&mut r)?);
     }
+    let nq = r.len()?;
+    let mut inflight = Vec::with_capacity(nq);
+    for _ in 0..nq {
+        inflight.push(get_inflight(&mut r)?);
+    }
     let nw = r.len()?;
     let mut cold = Vec::with_capacity(nw);
     for _ in 0..nw {
@@ -162,7 +178,7 @@ fn decode_replay_body(bytes: &[u8]) -> Result<ReplayBody, CheckpointError> {
         metrics.push(get_metrics(&mut r)?);
     }
     r.finish()?;
-    Ok(ReplayBody { caches, cold, metrics })
+    Ok(ReplayBody { caches, inflight, cold, metrics })
 }
 
 fn encode_worker_telemetry(snaps: &[TelemetrySnapshot]) -> Vec<u8> {
@@ -299,6 +315,7 @@ fn try_load_replay(
     }
     let body = decode_replay_body(&raw.body)?;
     if body.caches.len() != total_slots
+        || body.inflight.len() != total_slots
         || body.cold.len() != num_workers
         || body.metrics.len() != num_workers
         || body.cold.iter().any(|c| c.len() != total_slots)
@@ -353,6 +370,8 @@ fn checkpointed_impl(
 
     let mut caches: Vec<Mutex<Box<dyn Cache + Send>>> =
         (0..total_slots).map(|_| Mutex::new(cfg.policy.build(cfg.cache_capacity_bytes))).collect();
+    let mut inflight: Vec<Mutex<InflightQueue>> =
+        (0..total_slots).map(|_| Mutex::new(InflightQueue::new())).collect();
     let mut worker_metrics: Vec<SystemMetrics> =
         (0..num_workers).map(|_| SystemMetrics::default()).collect();
     let mut worker_cold: Vec<Vec<bool>> =
@@ -377,6 +396,11 @@ fn checkpointed_impl(
                 .map_err(|e| CheckpointError::State(format!("cache slot {slot}: {e:?}")))?;
             caches[slot] = Mutex::new(built);
         }
+        for (slot, qs) in rs.body.inflight.iter().enumerate() {
+            let q = InflightQueue::from_state(qs)
+                .map_err(|e| CheckpointError::State(format!("inflight slot {slot}: {e:?}")))?;
+            inflight[slot] = Mutex::new(q);
+        }
         worker_cold = rs.body.cold;
         worker_metrics = rs.body.metrics;
         if enabled {
@@ -395,6 +419,8 @@ fn checkpointed_impl(
 
     let ctx = WorkerCtx {
         caches: &caches,
+        inflight: &inflight,
+        delayed: cfg.delayed,
         grid: &cfg.grid,
         failures: &base_failures,
         latency: &latency,
@@ -441,6 +467,7 @@ fn checkpointed_impl(
             // All workers joined: snapshot is globally consistent.
             let body = ReplayBody {
                 caches: caches.iter().map(|c| c.lock().to_state()).collect(),
+                inflight: inflight.iter().map(|q| q.lock().to_state()).collect(),
                 cold: worker_cold.clone(),
                 metrics: worker_metrics.clone(),
             };
@@ -534,6 +561,9 @@ mod tests {
         assert_eq!(a.shed_requests, b.shed_requests);
         assert_eq!(a.dropped_requests, b.dropped_requests);
         assert_eq!(a.served_origin_fallback, b.served_origin_fallback);
+        assert_eq!(a.delayed_hits, b.delayed_hits);
+        assert_eq!(a.coalesced_requests, b.coalesced_requests);
+        assert_eq!(a.residual_epoch_hist, b.residual_epoch_hist);
     }
 
     fn assert_tele_equal(a: &TelemetrySnapshot, b: &TelemetrySnapshot) {
@@ -578,15 +608,30 @@ mod tests {
     /// checkpoints are what a killed process leaves behind), then resume
     /// on the full log and compare against the uninterrupted run.
     fn crash_resume(name: &str, sched: &FaultSchedule, overload: &OverloadConfig, workers: usize) {
-        let log = log();
-        let cfg = StarCdnConfig::starcdn_no_relay(4, 100_000);
+        crash_resume_cfg(
+            name,
+            StarCdnConfig::starcdn_no_relay(4, 100_000),
+            &log(),
+            sched,
+            overload,
+            workers,
+        );
+    }
 
+    fn crash_resume_cfg(
+        name: &str,
+        cfg: StarCdnConfig,
+        log: &AccessLog,
+        sched: &FaultSchedule,
+        overload: &OverloadConfig,
+        workers: usize,
+    ) -> SystemMetrics {
         let dir_golden = tmpdir(&format!("{name}-golden-{workers}"));
         let rec_golden = MemoryRecorder::new();
         let m_golden = replay_parallel_checkpointed(
             cfg.clone(),
             FailureModel::none(),
-            &log,
+            log,
             sched,
             workers,
             overload,
@@ -616,7 +661,7 @@ mod tests {
         let m_resumed = resume_replay_checkpointed(
             cfg,
             FailureModel::none(),
-            &log,
+            log,
             sched,
             workers,
             overload,
@@ -626,12 +671,48 @@ mod tests {
         .unwrap();
         assert_equal(&m_golden, &m_resumed);
         assert_tele_equal(&rec_golden.snapshot(), &rec_resumed.snapshot());
+        m_golden
     }
 
     #[test]
     fn resume_is_bit_identical_at_1_4_8_workers() {
         for workers in [1usize, 4, 8] {
             crash_resume("plain", &churn(), &OverloadConfig::disabled(), workers);
+        }
+    }
+
+    /// One location: the first contact is stable within a scheduler
+    /// epoch, so same-epoch repeats coalesce at one owner. The small
+    /// capacity keeps evictions (and therefore in-flight fetches) going
+    /// for the whole run, so the kill point has fetches outstanding.
+    fn delayed_log() -> AccessLog {
+        let w = World::starlink_nine_cities();
+        let reqs: Vec<Request> = (0..3000u64)
+            .map(|k| Request {
+                time: SimTime::from_secs(k / 6),
+                object: ObjectId((k * 7919) % 50),
+                size: 500 + (k % 5) * 100,
+                location: LocationId(0),
+            })
+            .collect();
+        build_access_log(&w, &Trace::new(reqs), 15, &SimConfig::default().scheduler())
+    }
+
+    #[test]
+    fn resume_delayed_fetches_in_flight_is_bit_identical() {
+        let cfg = StarCdnConfig::starcdn_no_relay(4, 20_000)
+            .with_delayed_hits(starcdn::config::DelayedHitConfig::with_latency(2, 40.0));
+        let log = delayed_log();
+        for workers in [1usize, 4] {
+            let golden = crash_resume_cfg(
+                "delayed",
+                cfg.clone(),
+                &log,
+                &churn(),
+                &OverloadConfig::disabled(),
+                workers,
+            );
+            assert!(golden.delayed_hits > 0, "scenario must exercise coalescing");
         }
     }
 

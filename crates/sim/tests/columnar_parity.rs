@@ -1,15 +1,16 @@
 //! Columnar ↔ row parity pins: the struct-of-arrays pipeline (columnar
 //! builders, columnar engine runs, columnar replayer runs) must produce
 //! bit-for-bit the `SystemMetrics` of the row paths under every serving
-//! regime — plain, churn, overload, and an extreme solar-storm event —
-//! at 1, 4, and 8 workers.
+//! regime — plain, churn, overload, an extreme solar-storm event, and
+//! each of those with the delayed-hit fetch model enabled — at 1, 4,
+//! and 8 workers.
 //!
 //! Replayer comparisons use the no-relay config, where the parallel
 //! replayer's exactness contract holds (relayed fetch replays
 //! approximately; see `crates/sim/src/replayer.rs`).
 
 use spacegen::trace::{LocationId, Request, Trace};
-use starcdn::config::StarCdnConfig;
+use starcdn::config::{DelayedHitConfig, StarCdnConfig};
 use starcdn::metrics::SystemMetrics;
 use starcdn::system::SpaceCdn;
 use starcdn_cache::object::ObjectId;
@@ -38,6 +39,22 @@ fn trace() -> Trace {
     Trace::new(reqs)
 }
 
+/// Single-city trace for the delayed-hit scenarios: the first contact
+/// is stable within a scheduler epoch, so same-epoch repeats land on
+/// one owner and coalesce onto in-flight fetches; the small object
+/// population keeps misses (and fetches) going all run.
+fn delayed_trace() -> Trace {
+    let reqs: Vec<Request> = (0..3000u64)
+        .map(|k| Request {
+            time: SimTime::from_secs(k / 6),
+            object: ObjectId((k * 7919) % 50),
+            size: 500 + (k % 5) * 100,
+            location: LocationId(0),
+        })
+        .collect();
+    Trace::new(reqs)
+}
+
 /// Every exported metric, bit-for-bit (latency samples compared as f64
 /// bit patterns in sequence order — both sides run identical code paths,
 /// so even the ordering must agree).
@@ -54,6 +71,9 @@ fn assert_metrics_identical(a: &SystemMetrics, b: &SystemMetrics, what: &str) {
     assert_eq!(a.retry_attempts, b.retry_attempts, "{what}: retries");
     assert_eq!(a.served_origin_fallback, b.served_origin_fallback, "{what}: fallbacks");
     assert_eq!(a.dropped_requests, b.dropped_requests, "{what}: drops");
+    assert_eq!(a.delayed_hits, b.delayed_hits, "{what}: delayed hits");
+    assert_eq!(a.coalesced_requests, b.coalesced_requests, "{what}: coalesced");
+    assert_eq!(a.residual_epoch_hist, b.residual_epoch_hist, "{what}: residual histogram");
     let bits =
         |m: &SystemMetrics| -> Vec<u64> { m.latencies_ms.iter().map(|l| l.to_bits()).collect() };
     assert_eq!(bits(a), bits(b), "{what}: latency bit patterns");
@@ -62,25 +82,54 @@ fn assert_metrics_identical(a: &SystemMetrics, b: &SystemMetrics, what: &str) {
 /// One scenario: build row + columnar logs, assert the builders agree,
 /// then assert engine and replayer parity across worker counts.
 fn check_scenario(world: &World, schedule: &FaultSchedule, overload: &OverloadConfig, what: &str) {
+    let ccfg = StarCdnConfig::starcdn_no_relay(4, 1_000_000);
+    check_scenario_with(world, schedule, overload, &trace(), &ccfg, what);
+}
+
+/// The same battery over the coalescing-friendly single-city trace with
+/// fetch latency enabled: every scenario must keep bit parity *and*
+/// actually exercise the delayed-hit counters.
+fn check_delayed_scenario(
+    world: &World,
+    schedule: &FaultSchedule,
+    overload: &OverloadConfig,
+    what: &str,
+) {
+    // Heterogeneous origin tiers (2/4/6 epochs) so the latency-aware
+    // paths are live, not just the uniform degenerate case.
+    let delayed = DelayedHitConfig::with_latency(2, 40.0).with_origin_tiers(3);
+    let ccfg = StarCdnConfig::starcdn_no_relay(4, 20_000).with_delayed_hits(delayed);
+    check_scenario_with(world, schedule, overload, &delayed_trace(), &ccfg, what);
+}
+
+fn check_scenario_with(
+    world: &World,
+    schedule: &FaultSchedule,
+    overload: &OverloadConfig,
+    trace: &Trace,
+    ccfg: &StarCdnConfig,
+    what: &str,
+) {
     let cfg = SimConfig::default();
-    let trace = trace();
-    let log: AccessLog = build_access_log(world, &trace, cfg.epoch_secs, &cfg.scheduler());
+    let log: AccessLog = build_access_log(world, trace, cfg.epoch_secs, &cfg.scheduler());
     let cols: AccessLogColumns =
-        build_access_log_columns(world, &trace, cfg.epoch_secs, &cfg.scheduler());
+        build_access_log_columns(world, trace, cfg.epoch_secs, &cfg.scheduler());
     assert_eq!(cols.to_log(), log, "{what}: columnar builder diverged from row builder");
     for n in WORKERS {
         let par =
-            build_access_log_columns_parallel(world, &trace, cfg.epoch_secs, &cfg.scheduler(), n);
+            build_access_log_columns_parallel(world, trace, cfg.epoch_secs, &cfg.scheduler(), n);
         assert_eq!(par, cols, "{what}: parallel columnar builder at {n} workers");
     }
 
     // Engine: row vs columnar, same CDN config.
-    let ccfg = StarCdnConfig::starcdn_no_relay(4, 1_000_000);
     let mut row_cdn = SpaceCdn::with_failures(ccfg.clone(), world.failures.clone());
     let m_row = run_space_overloaded(&mut row_cdn, &log, schedule, overload);
     let mut col_cdn = SpaceCdn::with_failures(ccfg.clone(), world.failures.clone());
     let m_col = run_space_overloaded_columns(&mut col_cdn, &cols, schedule, overload);
     assert_metrics_identical(&m_row, &m_col, &format!("{what}: engine"));
+    if ccfg.delayed.is_enabled() {
+        assert!(m_row.delayed_hits > 0, "{what}: delayed config must exercise coalescing");
+    }
 
     // Replayer: row vs columnar at each worker count, and both against
     // the engine (exact for the no-relay config).
@@ -154,6 +203,31 @@ fn extreme_storm_parity() {
     let mean = (t.total_bytes() / t.len() as u64) as f64;
     let overload = OverloadConfig::with_headroom(mean / 37_500_000_000.0 * 8.0);
     check_scenario(&w, &schedule, &overload, "extreme");
+}
+
+#[test]
+fn delayed_plain_parity() {
+    let w = World::starlink_nine_cities();
+    check_delayed_scenario(&w, &FaultSchedule::empty(), &OverloadConfig::disabled(), "delayed");
+}
+
+#[test]
+fn delayed_churn_parity() {
+    let base = World::starlink_nine_cities();
+    let p = ChurnParams::sats_only(1800.0, 120.0, 500, 0xD00D);
+    let schedule = FaultSchedule::churn(&base.grid, &p);
+    assert!(!schedule.is_empty(), "churn parameters produced no events");
+    let w = base.with_fault_schedule(schedule.clone());
+    check_delayed_scenario(&w, &schedule, &OverloadConfig::disabled(), "delayed churn");
+}
+
+#[test]
+fn delayed_overload_parity() {
+    let w = World::starlink_nine_cities();
+    let t = delayed_trace();
+    let mean = (t.total_bytes() / t.len() as u64) as f64;
+    let overload = OverloadConfig::with_headroom(mean / 37_500_000_000.0 * 1.5);
+    check_delayed_scenario(&w, &FaultSchedule::empty(), &overload, "delayed overload");
 }
 
 #[test]

@@ -50,11 +50,18 @@ pub enum Counter {
     /// Requests whose live owner was unreachable across a partitioned
     /// grid, served degraded over the origin bent pipe.
     RequestsPartitioned,
+    /// Requests coalesced onto an in-flight origin fetch (delayed hits).
+    DelayedHits,
+    /// Followers aboard origin fetches that completed and retired.
+    CoalescedRequests,
+    /// Origin fetches retired (completed and admitted) by the
+    /// delayed-hit model.
+    FetchesRetired,
 }
 
 impl Counter {
     /// Every counter, in snapshot order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 23] = [
         Counter::RequestsRouted,
         Counter::RequestsUnreachable,
         Counter::RequestsUnroutable,
@@ -75,6 +82,9 @@ impl Counter {
         Counter::OriginFallbacks,
         Counter::RequestsDropped,
         Counter::RequestsPartitioned,
+        Counter::DelayedHits,
+        Counter::CoalescedRequests,
+        Counter::FetchesRetired,
     ];
 
     /// Stable snake_case name used by the exporters.
@@ -100,6 +110,9 @@ impl Counter {
             Counter::OriginFallbacks => "origin_fallbacks",
             Counter::RequestsDropped => "requests_dropped",
             Counter::RequestsPartitioned => "requests_partitioned",
+            Counter::DelayedHits => "delayed_hits",
+            Counter::CoalescedRequests => "coalesced_requests",
+            Counter::FetchesRetired => "fetches_retired",
         }
     }
 }
@@ -123,11 +136,13 @@ pub enum Histo {
     /// Retry attempts consumed per request under overload (0 = admitted
     /// first try).
     RetryCount,
+    /// Residual fetch wait charged to a delayed hit, in epochs.
+    ResidualWaitEpochs,
 }
 
 impl Histo {
     /// Every histogram, in snapshot order.
-    pub const ALL: [Histo; 7] = [
+    pub const ALL: [Histo; 8] = [
         Histo::LatencyUs,
         Histo::IslHops,
         Histo::ObjectBytes,
@@ -135,6 +150,7 @@ impl Histo {
         Histo::GslDelayUs,
         Histo::BfsPathHops,
         Histo::RetryCount,
+        Histo::ResidualWaitEpochs,
     ];
 
     /// Stable snake_case name used by the exporters.
@@ -147,6 +163,7 @@ impl Histo {
             Histo::GslDelayUs => "gsl_delay_us",
             Histo::BfsPathHops => "bfs_path_hops",
             Histo::RetryCount => "retry_count",
+            Histo::ResidualWaitEpochs => "residual_wait_epochs",
         }
     }
 }

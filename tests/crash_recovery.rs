@@ -115,6 +115,9 @@ fn assert_metrics_identical(a: &SystemMetrics, b: &SystemMetrics) {
     assert_eq!(a.served_origin_fallback, b.served_origin_fallback);
     assert_eq!(a.dropped_requests, b.dropped_requests);
     assert_eq!(a.partitioned_requests, b.partitioned_requests);
+    assert_eq!(a.delayed_hits, b.delayed_hits);
+    assert_eq!(a.coalesced_requests, b.coalesced_requests);
+    assert_eq!(a.residual_epoch_hist, b.residual_epoch_hist);
 }
 
 /// Telemetry equality modulo span wall-clock durations and the
@@ -275,6 +278,181 @@ fn engine_kill_resume_bit_identical_mid_solar_storm() {
         let _ = std::fs::remove_dir_all(&dir);
     }
     let _ = std::fs::remove_dir_all(&gold_dir);
+}
+
+/// Single-city trace for the delayed-hit kill sweeps: same-epoch
+/// repeats land on one stable owner and coalesce onto in-flight
+/// fetches, so the outstanding queues are live at the kill points.
+fn delayed_log() -> AccessLog {
+    let w = World::starlink_nine_cities();
+    let reqs: Vec<Request> = (0..4000u64)
+        .map(|k| Request {
+            time: SimTime::from_secs(k / 6),
+            object: ObjectId((k * 7919) % 60),
+            size: 500 + (k % 5) * 100,
+            location: LocationId(0),
+        })
+        .collect();
+    build_access_log(&w, &Trace::new(reqs), EPOCH_SECS, &SimConfig::default().scheduler())
+}
+
+fn delayed_cfg() -> StarCdnConfig {
+    use starcdn::config::DelayedHitConfig;
+    StarCdnConfig::starcdn_no_relay(4, 20_000)
+        .with_delayed_hits(DelayedHitConfig::with_latency(2, 40.0).with_origin_tiers(3))
+}
+
+#[test]
+fn engine_kill_resume_bit_identical_with_fetches_in_flight() {
+    // A SIGKILL while origin fetches are outstanding: the per-object
+    // queues travel in the checkpoint body (checkpointing every epoch,
+    // so the restore point always carries whatever was in flight), and
+    // the resumed run must retire exactly the fetches the killed
+    // process had registered — bit-equality on the delayed counters,
+    // the residual histogram, and every latency sample.
+    let log = delayed_log();
+    let cfg = delayed_cfg();
+    let sched = churn();
+    let overload = OverloadConfig::disabled();
+    let max_epoch = log.entries.last().unwrap().time.as_secs() / EPOCH_SECS;
+
+    let gold_dir = tmpdir("delayed-gold");
+    let gold_rec = MemoryRecorder::new();
+    let golden = run_space_checkpointed(
+        &mut SpaceCdn::new(cfg.clone()),
+        &log,
+        &sched,
+        &overload,
+        &policy(&gold_dir, 1),
+        &gold_rec,
+    )
+    .unwrap();
+    assert!(golden.delayed_hits > 0, "trace must exercise coalescing");
+    assert!(golden.coalesced_requests > 0, "fetches must retire followers");
+
+    for (i, kill) in kill_epochs(0x5EED_0D07, max_epoch, 3).into_iter().enumerate() {
+        let dir = tmpdir(&format!("delayed-kill{i}"));
+        let pol = policy(&dir, 1);
+        let mut crashed = SpaceCdn::new(cfg.clone());
+        run_space_checkpointed(
+            &mut crashed,
+            &prefix_before(&log, kill),
+            &sched,
+            &overload,
+            &pol,
+            &MemoryRecorder::new(),
+        )
+        .unwrap();
+        // The kill must actually strand fetches: the crashed process's
+        // final state — which equals the newest checkpoint's, since one
+        // is written every epoch — has a nonempty outstanding queue.
+        let stranded: usize = crashed.export_state().inflight.iter().map(|q| q.fetches.len()).sum();
+        assert!(stranded > 0, "kill epoch {kill} left no fetch in flight — weak scenario");
+
+        let rec = MemoryRecorder::new();
+        let resumed = if list_checkpoint_files(&dir).is_empty() {
+            run_space_checkpointed(
+                &mut SpaceCdn::new(cfg.clone()),
+                &log,
+                &sched,
+                &overload,
+                &pol,
+                &rec,
+            )
+            .unwrap()
+        } else {
+            resume_space_checkpointed(
+                &mut SpaceCdn::new(cfg.clone()),
+                &log,
+                &sched,
+                &overload,
+                &pol,
+                &rec,
+            )
+            .unwrap()
+        };
+        assert_metrics_identical(&golden, &resumed);
+        assert_telemetry_identical(&gold_rec.snapshot(), &rec.snapshot());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&gold_dir);
+}
+
+#[test]
+fn replayer_kill_resume_bit_identical_with_fetches_in_flight() {
+    // The same stranded-fetch crash through the parallel replayer: the
+    // queues are snapshotted at shard cuts, so resume at any worker
+    // count must agree with the golden uninterrupted run bit-for-bit.
+    let log = delayed_log();
+    let cfg = delayed_cfg();
+    let sched = churn();
+    let overload = OverloadConfig::with_headroom(0.4);
+    let max_epoch = log.entries.last().unwrap().time.as_secs() / EPOCH_SECS;
+
+    for workers in [1usize, 4, 8] {
+        let gold_dir = tmpdir(&format!("delayed-rep-gold-{workers}"));
+        let gold_rec = MemoryRecorder::new();
+        let golden = replay_parallel_checkpointed(
+            cfg.clone(),
+            FailureModel::none(),
+            &log,
+            &sched,
+            workers,
+            &overload,
+            &policy(&gold_dir, 3),
+            &gold_rec,
+        )
+        .unwrap();
+        assert!(golden.delayed_hits > 0, "{workers} workers: trace must exercise coalescing");
+
+        for (i, kill) in
+            kill_epochs(0x5EED_0D00 + workers as u64, max_epoch, 2).into_iter().enumerate()
+        {
+            let dir = tmpdir(&format!("delayed-rep-kill-{workers}-{i}"));
+            let pol = policy(&dir, 3);
+            replay_parallel_checkpointed(
+                cfg.clone(),
+                FailureModel::none(),
+                &prefix_before(&log, kill),
+                &sched,
+                workers,
+                &overload,
+                &pol,
+                &MemoryRecorder::new(),
+            )
+            .unwrap();
+            let rec = MemoryRecorder::new();
+            let resumed = if list_checkpoint_files(&dir).is_empty() {
+                replay_parallel_checkpointed(
+                    cfg.clone(),
+                    FailureModel::none(),
+                    &log,
+                    &sched,
+                    workers,
+                    &overload,
+                    &pol,
+                    &rec,
+                )
+                .unwrap()
+            } else {
+                resume_replay_checkpointed(
+                    cfg.clone(),
+                    FailureModel::none(),
+                    &log,
+                    &sched,
+                    workers,
+                    &overload,
+                    &pol,
+                    &rec,
+                )
+                .unwrap()
+            };
+            assert_metrics_identical(&golden, &resumed);
+            assert_telemetry_identical(&gold_rec.snapshot(), &rec.snapshot());
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        let _ = std::fs::remove_dir_all(&gold_dir);
+    }
 }
 
 #[test]

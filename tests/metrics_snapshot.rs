@@ -21,6 +21,8 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/metrics_snapshot.json");
+const FIXTURE_DELAYED: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/metrics_snapshot_delayed.json");
 
 /// The pinned scenario: an arithmetic (RNG-free) 20-minute trace over
 /// all nine cities, one satellite restart mid-run, StarCDN without
@@ -92,6 +94,62 @@ fn snapshot_json(m: &SystemMetrics) -> String {
     out
 }
 
+/// The delayed-hit pinned scenario: a single-city trace (stable owner
+/// per epoch, so requests coalesce onto in-flight fetches), the
+/// delayed-hit model on with heterogeneous origin tiers, and one
+/// mid-run restart of the busiest satellite so the snapshot pins the
+/// queue-clearing cold-restart path too.
+fn run_pinned_delayed_scenario() -> SystemMetrics {
+    use starcdn::config::DelayedHitConfig;
+    let world = World::starlink_nine_cities();
+    let reqs: Vec<Request> = (0..4000u64)
+        .map(|k| Request {
+            time: SimTime::from_secs((k * 1200) / 4000),
+            object: ObjectId((k * 7919) % 60),
+            size: 400 + (k % 7) * 150,
+            location: LocationId(0),
+        })
+        .collect();
+    let sim = SimConfig { seed: 13, ..SimConfig::default() };
+    let log = build_access_log(&world, &Trace::new(reqs), sim.epoch_secs, &sim.scheduler());
+    let cfg = StarCdnConfig::starcdn_no_relay(4, 20_000)
+        .with_delayed_hits(DelayedHitConfig::with_latency(2, 40.0).with_origin_tiers(3));
+    let busy: SatelliteId = {
+        let mut probe = SpaceCdn::new(cfg.clone());
+        starcdn_sim::run_space(&mut probe, &log);
+        let mut sats: Vec<(SatelliteId, u64)> =
+            probe.metrics.per_satellite.iter().map(|(s, st)| (*s, st.requests)).collect();
+        sats.sort_by_key(|&(s, r)| (std::cmp::Reverse(r), s));
+        sats[0].0
+    };
+    let schedule = FaultSchedule::from_events([
+        TimedFault { at_secs: 300, event: FaultEvent::SatDown(busy) },
+        TimedFault { at_secs: 600, event: FaultEvent::SatUp(busy) },
+    ]);
+    let mut cdn = SpaceCdn::new(cfg);
+    run_space_with_faults(&mut cdn, &log, &schedule)
+}
+
+/// The delayed scenario's snapshot: the plain document plus the
+/// delayed-hit counters and the full residual-latency histogram.
+fn snapshot_delayed_json(m: &SystemMetrics) -> String {
+    let mut out = snapshot_json(m);
+    // Splice the delayed section in before the closing document brace.
+    out.truncate(out.trim_end().len() - 1); // drop the final '}'
+    out.truncate(out.trim_end().len()); // back up to per_satellite's '}'
+    out.push_str(",\n");
+    let _ = writeln!(out, "  \"delayed_hits\": {},", m.delayed_hits);
+    let _ = writeln!(out, "  \"coalesced_requests\": {},", m.coalesced_requests);
+    out.push_str("  \"residual_epoch_hist\": {\n");
+    let n = m.residual_epoch_hist.len();
+    for (i, (residual, count)) in m.residual_epoch_hist.iter().enumerate() {
+        let _ = write!(out, "    \"{residual}\": {count}");
+        out.push_str(if i + 1 == n { "\n" } else { ",\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
 /// One-time fixture generator; run with `-- --ignored` after an
 /// intentional behaviour change.
 #[test]
@@ -99,6 +157,7 @@ fn snapshot_json(m: &SystemMetrics) -> String {
 fn regenerate_metrics_snapshot() {
     std::fs::create_dir_all(std::path::Path::new(FIXTURE).parent().unwrap()).unwrap();
     std::fs::write(FIXTURE, snapshot_json(&run_pinned_scenario())).unwrap();
+    std::fs::write(FIXTURE_DELAYED, snapshot_delayed_json(&run_pinned_delayed_scenario())).unwrap();
 }
 
 #[test]
@@ -115,4 +174,25 @@ fn pinned_scenario_matches_committed_snapshot() {
 #[test]
 fn pinned_scenario_is_run_to_run_deterministic() {
     assert_eq!(snapshot_json(&run_pinned_scenario()), snapshot_json(&run_pinned_scenario()));
+}
+
+#[test]
+fn pinned_delayed_scenario_matches_committed_snapshot() {
+    let golden = std::fs::read_to_string(FIXTURE_DELAYED).expect("committed fixture present");
+    let actual = snapshot_delayed_json(&run_pinned_delayed_scenario());
+    // The scenario must actually exercise the machinery it pins.
+    assert!(actual.contains("\"delayed_hits\": ") && !actual.contains("\"delayed_hits\": 0,"));
+    assert_eq!(
+        actual, golden,
+        "delayed-hit metrics drifted from the committed snapshot; if the \
+         behaviour change is intentional, regenerate the fixture"
+    );
+}
+
+#[test]
+fn pinned_delayed_scenario_is_run_to_run_deterministic() {
+    assert_eq!(
+        snapshot_delayed_json(&run_pinned_delayed_scenario()),
+        snapshot_delayed_json(&run_pinned_delayed_scenario())
+    );
 }

@@ -263,6 +263,139 @@ fn telemetry_recording_never_changes_replayer_output() {
     assert_eq!(again.events, snapshots[1].events);
 }
 
+/// Single-city trace for the delayed-hit parity pins: the first
+/// contact is stable within a scheduler epoch, so same-epoch repeats
+/// land on one owner and coalesce onto in-flight fetches.
+fn delayed_log() -> AccessLog {
+    use spacegen::trace::{LocationId, Request, Trace};
+    use starcdn_cache::object::ObjectId;
+    use starcdn_orbit::time::SimTime;
+    let world = World::starlink_nine_cities();
+    let reqs: Vec<Request> = (0..4000u64)
+        .map(|k| Request {
+            time: SimTime::from_secs(k / 6),
+            object: ObjectId((k * 7919) % 60),
+            size: 500 + (k % 5) * 100,
+            location: LocationId(0),
+        })
+        .collect();
+    build_access_log(&world, &Trace::new(reqs), 15, &SimConfig::default().scheduler())
+}
+
+fn delayed_cfg() -> StarCdnConfig {
+    use starcdn::config::DelayedHitConfig;
+    // Heterogeneous origin tiers (2/4/6 epochs in flight) so the
+    // latency-aware machinery — not just the uniform degenerate case —
+    // is under the parity pin.
+    StarCdnConfig::starcdn_no_relay(4, 20_000)
+        .with_delayed_hits(DelayedHitConfig::with_latency(2, 40.0).with_origin_tiers(3))
+}
+
+fn assert_delayed_metrics_equal(
+    a: &starcdn::metrics::SystemMetrics,
+    b: &starcdn::metrics::SystemMetrics,
+    what: &str,
+) {
+    assert_eq!(a.stats, b.stats, "{what}: stats");
+    assert_eq!(a.uplink_bytes, b.uplink_bytes, "{what}: uplink");
+    assert_eq!(a.per_satellite, b.per_satellite, "{what}: per-satellite");
+    assert_eq!(a.delayed_hits, b.delayed_hits, "{what}: delayed hits");
+    assert_eq!(a.coalesced_requests, b.coalesced_requests, "{what}: coalesced");
+    assert_eq!(a.residual_epoch_hist, b.residual_epoch_hist, "{what}: residual histogram");
+    let sorted = |m: &starcdn::metrics::SystemMetrics| {
+        let mut bits: Vec<u64> = m.latencies_ms.iter().map(|l| l.to_bits()).collect();
+        bits.sort_unstable();
+        bits
+    };
+    assert_eq!(sorted(a), sorted(b), "{what}: latency multiset");
+}
+
+#[test]
+fn delayed_exact_parity_across_worker_counts() {
+    let log = delayed_log();
+    let cfg = delayed_cfg();
+    let mut seq = SpaceCdn::new(cfg.clone());
+    let reference = run_space(&mut seq, &log);
+    assert!(reference.delayed_hits > 0, "trace must exercise coalescing");
+    assert!(reference.coalesced_requests > 0, "fetches must retire followers");
+    for workers in [1, 4, 8] {
+        let par = replay_parallel(cfg.clone(), FailureModel::none(), &log, workers);
+        assert_delayed_metrics_equal(&reference, &par, &format!("{workers} workers"));
+    }
+}
+
+#[test]
+fn delayed_exact_parity_under_churn() {
+    let world = World::starlink_nine_cities();
+    let params = ChurnParams {
+        sat_mtbf_secs: 3.0 * 3600.0,
+        sat_mttr_secs: 600.0,
+        link_mtbf_secs: Some(4.0 * 3600.0),
+        link_mttr_secs: 600.0,
+        horizon_secs: 3600,
+        seed: 91,
+    };
+    let sched = FaultSchedule::churn(&world.grid, &params);
+    assert!(!sched.is_empty(), "churn parameters produced no events");
+    let log = delayed_log();
+    let cfg = delayed_cfg();
+    let mut seq = SpaceCdn::new(cfg.clone());
+    let reference = run_space_with_faults(&mut seq, &log, &sched);
+    assert!(reference.delayed_hits > 0, "churn run must still coalesce");
+    for workers in [1, 4, 8] {
+        let par =
+            replay_parallel_with_faults(cfg.clone(), FailureModel::none(), &log, &sched, workers);
+        assert_delayed_metrics_equal(&reference, &par, &format!("churn {workers} workers"));
+        assert_eq!(par.cold_restart_misses, reference.cold_restart_misses, "{workers} workers");
+        assert_eq!(par.remapped_requests, reference.remapped_requests, "{workers} workers");
+        assert_eq!(par.availability, reference.availability, "{workers} workers");
+    }
+}
+
+#[test]
+fn delayed_exact_parity_under_overload_and_churn() {
+    use starcdn_sim::engine::run_space_overloaded;
+    use starcdn_sim::overload::{OverloadConfig, RetryPolicy};
+    use starcdn_sim::replayer::replay_parallel_overloaded;
+
+    let world = World::starlink_nine_cities();
+    let params = ChurnParams {
+        sat_mtbf_secs: 3.0 * 3600.0,
+        sat_mttr_secs: 600.0,
+        link_mtbf_secs: Some(4.0 * 3600.0),
+        link_mttr_secs: 600.0,
+        horizon_secs: 3600,
+        seed: 91,
+    };
+    let sched = FaultSchedule::churn(&world.grid, &params);
+    let log = delayed_log();
+    let cfg = delayed_cfg();
+    let mean = log.entries.iter().map(|e| e.size).sum::<u64>() / log.entries.len() as u64;
+    let overload = OverloadConfig {
+        headroom: mean as f64 * 1.5 / 37_500_000_000.0,
+        retry: RetryPolicy { max_attempts: 3, backoff_epochs: 0, deadline_ms: 1e9 },
+    };
+
+    let mut seq = SpaceCdn::new(cfg.clone());
+    let reference = run_space_overloaded(&mut seq, &log, &sched, &overload);
+    assert!(reference.delayed_hits > 0, "overloaded run must still coalesce");
+    for workers in [1, 4, 8] {
+        let par = replay_parallel_overloaded(
+            cfg.clone(),
+            FailureModel::none(),
+            &log,
+            &sched,
+            workers,
+            &overload,
+        );
+        assert_delayed_metrics_equal(&reference, &par, &format!("overload {workers} workers"));
+        assert_eq!(par.shed_requests, reference.shed_requests, "{workers} workers");
+        assert_eq!(par.retry_attempts, reference.retry_attempts, "{workers} workers");
+        assert_eq!(par.dropped_requests, reference.dropped_requests, "{workers} workers");
+        assert_eq!(par.utilization, reference.utilization, "{workers} workers");
+    }
+}
+
 #[test]
 fn parallel_empty_schedule_matches_static_replayer() {
     let log = log();
