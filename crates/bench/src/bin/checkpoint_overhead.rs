@@ -257,7 +257,54 @@ fn run_diff(a: &Path, b: &Path) {
     println!("OK: {} == {} (bit-for-bit)", a.display(), b.display());
 }
 
-fn run_overhead() {
+/// Assert the current run's relative overhead is in family with the
+/// committed pre-shim baseline: the `Io` seam must not make
+/// checkpointing measurably slower. The committed numbers come from a
+/// short run on a different machine and fsync timing swings ~3× between
+/// runs even on one host, so the gate compares the *relative* overhead
+/// percentage with a generous margin (3× + 500 points) — wide enough
+/// for scheduler noise, far below the order-of-magnitude blowup a real
+/// regression (per-byte sync, rewriting the file per section) would
+/// produce. Fine-grained evidence that `RealIo` is free comes from the
+/// seam's shape instead: one dynamic dispatch per I/O *operation*
+/// (nanoseconds) against operations that each cost an fsync
+/// (milliseconds).
+fn gate_against(baseline_path: &Path, current: &[(u64, f64)]) {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {}: {e}", baseline_path.display()));
+    // The baseline is this binary's own hand-written JSON; pull the two
+    // fields per interval object with a scan (the offline build carries
+    // no JSON parser).
+    let field = |obj: &str, key: &str| -> Option<f64> {
+        let rest = &obj[obj.find(&format!("\"{key}\":"))? + key.len() + 3..];
+        rest.trim_start().split([',', '}']).next()?.trim().parse().ok()
+    };
+    let baseline: Vec<(u64, f64)> = text
+        .split('{')
+        .filter(|obj| obj.contains("\"every_n_epochs\""))
+        .filter_map(|obj| Some((field(obj, "every_n_epochs")? as u64, field(obj, "overhead_pct")?)))
+        .collect();
+    assert!(!baseline.is_empty(), "no intervals found in {}", baseline_path.display());
+    let mut ok = true;
+    for (every_n, overhead_pct) in current {
+        let Some(&(_, base_pct)) = baseline.iter().find(|(n, _)| n == every_n) else {
+            continue;
+        };
+        let limit = base_pct * 3.0 + 500.0;
+        let verdict = if *overhead_pct <= limit { "ok" } else { "FAIL" };
+        println!(
+            "gate every_n={every_n}: overhead {overhead_pct:+.1}% vs baseline {base_pct:+.1}% \
+             (limit {limit:+.1}%) {verdict}"
+        );
+        ok &= *overhead_pct <= limit;
+    }
+    if !ok {
+        eprintln!("FAIL: checkpoint overhead regressed past the committed pre-shim baseline");
+        std::process::exit(1);
+    }
+}
+
+fn run_overhead(gate: Option<PathBuf>) {
     let (log, sched, overload) = workload();
 
     // Baseline: the non-checkpointed engine.
@@ -268,6 +315,7 @@ fn run_overhead() {
 
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();
+    let mut overheads = Vec::new();
     for every_n in [1u64, 5, 20] {
         let dir = std::env::temp_dir()
             .join(format!("starcdn-ckpt-bench-{}-{every_n}", std::process::id()));
@@ -307,6 +355,7 @@ fn run_overhead() {
         let resume_secs = t0.elapsed().as_secs_f64();
 
         let overhead_pct = (ckpt_secs / base_secs.max(1e-9) - 1.0) * 100.0;
+        overheads.push((every_n, overhead_pct));
         rows.push(vec![
             every_n.to_string(),
             files.len().to_string(),
@@ -341,12 +390,16 @@ fn run_overhead() {
         json_rows.join(",\n")
     );
     starcdn_bench::output::write_root_artifact("BENCH_checkpoint.json", &json);
+
+    if let Some(baseline) = gate {
+        gate_against(&baseline, &overheads);
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match arg_value(&args, "--mode").as_deref() {
-        None => run_overhead(),
+        None => run_overhead(arg_value(&args, "--gate").map(PathBuf::from)),
         Some("golden") => {
             let dir = PathBuf::from(arg_value(&args, "--dir").expect("--dir required"));
             let out = PathBuf::from(arg_value(&args, "--out").expect("--out required"));

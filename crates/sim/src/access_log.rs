@@ -110,17 +110,18 @@ impl AccessLog {
             return Err(IoError::BadHeader);
         }
         let (_, epoch_b) = header.split_at(8);
-        let epoch_secs = u64::from_le_bytes(*<&[u8; 8]>::try_from(epoch_b).expect("8-byte field"));
+        let epoch_secs = spacegen::io::le_u64(epoch_b)?;
         let mut entries = Vec::new();
         let mut rec = [0u8; 39];
         // A partial trailing record is reported as corruption rather
         // than silently dropped (see `read_fixed_record`).
         while spacegen::io::read_fixed_record(&mut r, &mut rec)? {
-            // Split the record into fixed-size fields without fallible
-            // conversions on the hot read path: the widths are proved by
-            // the splits over the fixed 39-byte record.
-            let field8 = |b: &[u8]| u64::from_le_bytes(*<&[u8; 8]>::try_from(b).expect("8 bytes"));
-            let field2 = |b: &[u8]| u16::from_le_bytes(*<&[u8; 2]>::try_from(b).expect("2 bytes"));
+            // Field widths come from splits over the fixed 39-byte
+            // record, but the decoders stay fallible so a codec edit
+            // that desynchronizes the splits reports corruption
+            // instead of panicking mid-read.
+            let field8 = spacegen::io::le_u64;
+            let field2 = spacegen::io::le_u16;
             let (time_b, rest) = rec.split_at(8);
             let (object_b, rest) = rest.split_at(8);
             let (size_b, rest) = rest.split_at(8);
@@ -128,15 +129,18 @@ impl AccessLog {
             let (fc_tag, rest) = rest.split_at(1);
             let (orbit_b, rest) = rest.split_at(2);
             let (slot_b, gsl_b) = rest.split_at(2);
-            let first_contact = (fc_tag[0] != 0)
-                .then(|| SatelliteId { orbit: field2(orbit_b), slot: field2(slot_b) });
+            let first_contact = if fc_tag[0] != 0 {
+                Some(SatelliteId { orbit: field2(orbit_b)?, slot: field2(slot_b)? })
+            } else {
+                None
+            };
             entries.push(AccessLogEntry {
-                time: SimTime::from_millis(field8(time_b)),
-                object: ObjectId(field8(object_b)),
-                size: field8(size_b),
-                location: LocationId(field2(loc_b)),
+                time: SimTime::from_millis(field8(time_b)?),
+                object: ObjectId(field8(object_b)?),
+                size: field8(size_b)?,
+                location: LocationId(field2(loc_b)?),
                 first_contact,
-                gsl_oneway_ms: f64::from_bits(field8(gsl_b)),
+                gsl_oneway_ms: f64::from_bits(field8(gsl_b)?),
             });
         }
         Ok(AccessLog { entries, epoch_secs })
@@ -144,12 +148,31 @@ impl AccessLog {
 
     /// Write the binary format to `path` (created or truncated).
     pub fn write_binary_path(&self, path: impl AsRef<std::path::Path>) -> Result<(), IoError> {
-        self.write_binary(std::fs::File::create(path).map_err(IoError::Io)?)
+        self.write_binary_path_io(path.as_ref(), &starcdn_io::RealIo)
+    }
+
+    /// [`AccessLog::write_binary_path`] over an explicit [`starcdn_io::Io`].
+    pub fn write_binary_path_io(
+        &self,
+        path: &std::path::Path,
+        io: &dyn starcdn_io::Io,
+    ) -> Result<(), IoError> {
+        let mut f = io.create(path)?;
+        self.write_binary(starcdn_io::WriteAdapter(&mut *f))
     }
 
     /// Load a binary log from `path`.
     pub fn read_binary_path(path: impl AsRef<std::path::Path>) -> Result<Self, IoError> {
-        Self::read_binary(std::fs::File::open(path).map_err(IoError::Io)?)
+        Self::read_binary_path_io(path.as_ref(), &starcdn_io::RealIo)
+    }
+
+    /// [`AccessLog::read_binary_path`] over an explicit [`starcdn_io::Io`].
+    pub fn read_binary_path_io(
+        path: &std::path::Path,
+        io: &dyn starcdn_io::Io,
+    ) -> Result<Self, IoError> {
+        let mut f = io.open(path)?;
+        Self::read_binary(starcdn_io::ReadAdapter(&mut *f))
     }
 
     /// Requests grouped per first-contact satellite (the shape of

@@ -46,14 +46,13 @@ use starcdn_cache::{CacheState, InflightState};
 use starcdn_constellation::capacity::{CapacityLedger, EpochUsageState, UtilizationPoint};
 use starcdn_constellation::failures::FailureModel;
 use starcdn_constellation::schedule::{FaultSchedule, ScheduleCursor};
+use starcdn_io::{Io, RealIo};
 use starcdn_orbit::walker::SatelliteId;
 use starcdn_telemetry::{
     Counter, Event, Histo, HistogramSnapshot, MemoryRecorder, Noop, Recorder, SpanStats, SpanTimer,
     Stage, TelemetrySnapshot,
 };
 use std::collections::{BTreeMap, HashMap};
-use std::fs::{self, File};
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// When and where the engine writes checkpoints.
@@ -77,8 +76,9 @@ impl CheckpointPolicy {
 /// Why a checkpoint could not be written, read, or restored.
 #[derive(Debug)]
 pub enum CheckpointError {
-    /// Filesystem failure while writing or reading.
-    Io(std::io::Error),
+    /// Filesystem failure while writing or reading, with the failing
+    /// operation and path attached (see [`starcdn_io::IoError`]).
+    Io(starcdn_io::IoError),
     /// The file does not start with the checkpoint magic.
     BadMagic,
     /// The container version is newer than this build understands.
@@ -118,10 +118,17 @@ impl std::fmt::Display for CheckpointError {
     }
 }
 
-impl std::error::Error for CheckpointError {}
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
-impl From<std::io::Error> for CheckpointError {
-    fn from(e: std::io::Error) -> Self {
+impl From<starcdn_io::IoError> for CheckpointError {
+    fn from(e: starcdn_io::IoError) -> Self {
         CheckpointError::Io(e)
     }
 }
@@ -967,14 +974,21 @@ pub(crate) fn checkpoint_path(dir: &Path, epoch: u64) -> PathBuf {
 }
 
 /// Every well-named checkpoint file in `dir`, sorted by epoch ascending.
-/// Missing or unreadable directories yield an empty list.
+/// Missing or unreadable directories yield an empty list. Entries with
+/// non-checkpoint names (including non-UTF-8 ones) are skipped; an
+/// entry that *names* a checkpoint but is actually a directory or
+/// garbage is caught later, when resume tries to read and decode it.
 pub fn list_checkpoint_files(dir: &Path) -> Vec<(u64, PathBuf)> {
+    list_checkpoint_files_io(&RealIo, dir)
+}
+
+/// [`list_checkpoint_files`] over an explicit [`Io`].
+pub fn list_checkpoint_files_io(io: &dyn Io, dir: &Path) -> Vec<(u64, PathBuf)> {
     let mut out = Vec::new();
-    let Ok(rd) = fs::read_dir(dir) else {
+    let Ok(names) = io.list_dir(dir) else {
         return out;
     };
-    for entry in rd.flatten() {
-        let name = entry.file_name();
+    for name in names {
         let Some(name) = name.to_str() else {
             continue;
         };
@@ -988,39 +1002,79 @@ pub fn list_checkpoint_files(dir: &Path) -> Vec<(u64, PathBuf)> {
         let Ok(epoch) = digits.parse::<u64>() else {
             continue;
         };
-        out.push((epoch, entry.path()));
+        out.push((epoch, dir.join(name)));
     }
     out.sort();
     out
 }
 
+/// Remove stale `ckpt-*.ckpt.tmp` files — the droppings of writes that
+/// died between `create` and `rename` (a crash, ENOSPC, or a failed
+/// fsync whose cleanup also failed). Called whenever a checkpoint
+/// directory is opened for a run or a resume; best-effort (a tmp that
+/// cannot be removed is left for the next sweep). Returns the number of
+/// files removed.
+pub fn sweep_stale_tmps(dir: &Path) -> usize {
+    sweep_stale_tmps_io(&RealIo, dir)
+}
+
+/// [`sweep_stale_tmps`] over an explicit [`Io`].
+pub fn sweep_stale_tmps_io(io: &dyn Io, dir: &Path) -> usize {
+    let Ok(names) = io.list_dir(dir) else {
+        return 0;
+    };
+    let mut removed = 0;
+    for name in names {
+        let Some(name) = name.to_str() else {
+            continue;
+        };
+        if name.starts_with("ckpt-")
+            && name.ends_with(".ckpt.tmp")
+            && io.remove_file(&dir.join(name)).is_ok()
+        {
+            removed += 1;
+        }
+    }
+    removed
+}
+
 /// Write `bytes` as the checkpoint for `epoch`: temp file in the same
 /// directory, fsync, atomic rename, directory fsync, then prune old
 /// checkpoints beyond `keep_last` (0 = keep everything).
+///
+/// On failure the temp file is removed rather than leaked — unless the
+/// failure is an injected crash point, where the "process" is dead and
+/// cleanup code would never have run; those tmps are collected by
+/// [`sweep_stale_tmps`] on the next open.
 pub(crate) fn write_atomic(
+    io: &dyn Io,
     dir: &Path,
     epoch: u64,
     bytes: &[u8],
     keep_last: usize,
 ) -> Result<(), CheckpointError> {
-    fs::create_dir_all(dir)?;
+    io.create_dir_all(dir)?;
     let tmp = dir.join(format!("ckpt-{epoch:010}.ckpt.tmp"));
-    {
-        let mut f = File::create(&tmp)?;
+    let written = (|| {
+        let mut f = io.create(&tmp)?;
         f.write_all(bytes)?;
         f.sync_all()?;
+        io.rename(&tmp, &checkpoint_path(dir, epoch))
+    })();
+    if let Err(e) = written {
+        if !e.is_crash() {
+            let _ = io.remove_file(&tmp);
+        }
+        return Err(e.into());
     }
-    fs::rename(&tmp, checkpoint_path(dir, epoch))?;
     // Make the rename durable. Directory fsync is best-effort: not every
     // filesystem supports opening a directory for sync.
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
-    }
+    let _ = io.sync_dir(dir);
     if keep_last > 0 {
-        let files = list_checkpoint_files(dir);
+        let files = list_checkpoint_files_io(io, dir);
         if files.len() > keep_last {
             for (_, path) in &files[..files.len() - keep_last] {
-                let _ = fs::remove_file(path);
+                let _ = io.remove_file(path);
             }
         }
     }
@@ -1249,6 +1303,17 @@ pub fn validate_checkpoint_bytes(bytes: &[u8]) -> Result<(), CheckpointError> {
     }
 }
 
+/// FNV-1a over the canonical checkpoint encoding of `m` — every
+/// counter, histogram bucket, and latency *bit pattern* contributes, so
+/// two metrics with equal digests are bit-for-bit identical for
+/// everything checkpoints preserve. The torture harness compares runs
+/// through this.
+pub fn metrics_digest(m: &SystemMetrics) -> u64 {
+    let mut w = ByteWriter::new();
+    put_metrics(&mut w, m);
+    fp_bytes(0xCBF2_9CE4_8422_2325, &w.into_bytes())
+}
+
 // ---------------------------------------------------------------------------
 // The checkpointed engine driver.
 // ---------------------------------------------------------------------------
@@ -1279,7 +1344,23 @@ pub fn run_space_checkpointed(
     policy: &CheckpointPolicy,
     rec: &dyn Recorder,
 ) -> Result<SystemMetrics, CheckpointError> {
-    drive_checkpointed(cdn, log, schedule, overload, policy, rec, None)
+    run_space_checkpointed_io(cdn, log, schedule, overload, policy, rec, &RealIo)
+}
+
+/// [`run_space_checkpointed`] over an explicit [`Io`] — the seam the
+/// storage-fault torture harness drives.
+#[allow(clippy::too_many_arguments)]
+pub fn run_space_checkpointed_io(
+    cdn: &mut SpaceCdn,
+    log: &AccessLog,
+    schedule: &FaultSchedule,
+    overload: &OverloadConfig,
+    policy: &CheckpointPolicy,
+    rec: &dyn Recorder,
+    io: &dyn Io,
+) -> Result<SystemMetrics, CheckpointError> {
+    sweep_stale_tmps_io(io, &policy.dir);
+    drive_checkpointed(cdn, log, schedule, overload, policy, rec, None, io)
 }
 
 /// Resume an interrupted [`run_space_checkpointed`] run from the newest
@@ -1300,13 +1381,28 @@ pub fn resume_space_checkpointed(
     policy: &CheckpointPolicy,
     rec: &dyn Recorder,
 ) -> Result<SystemMetrics, CheckpointError> {
+    resume_space_checkpointed_io(cdn, log, schedule, overload, policy, rec, &RealIo)
+}
+
+/// [`resume_space_checkpointed`] over an explicit [`Io`].
+#[allow(clippy::too_many_arguments)]
+pub fn resume_space_checkpointed_io(
+    cdn: &mut SpaceCdn,
+    log: &AccessLog,
+    schedule: &FaultSchedule,
+    overload: &OverloadConfig,
+    policy: &CheckpointPolicy,
+    rec: &dyn Recorder,
+    io: &dyn Io,
+) -> Result<SystemMetrics, CheckpointError> {
     let use_overload = overload.is_enabled();
     let use_cursor = !schedule.is_empty();
     let epoch_secs = log.epoch_secs.max(1);
     let fingerprint = config_fingerprint(cdn, epoch_secs, schedule, overload);
-    let files = list_checkpoint_files(&policy.dir);
+    sweep_stale_tmps_io(io, &policy.dir);
+    let files = list_checkpoint_files_io(io, &policy.dir);
     for (epoch, path) in files.iter().rev() {
-        let resume = match try_load_engine(path, fingerprint, use_cursor, use_overload, log) {
+        let resume = match try_load_engine(io, path, fingerprint, use_cursor, use_overload, log) {
             Ok((meta, body, telemetry)) => {
                 let state = CdnState {
                     failures: body.failures,
@@ -1334,20 +1430,21 @@ pub fn resume_space_checkpointed(
                 continue;
             }
         };
-        return drive_checkpointed(cdn, log, schedule, overload, policy, rec, Some(resume));
+        return drive_checkpointed(cdn, log, schedule, overload, policy, rec, Some(resume), io);
     }
     Err(CheckpointError::NoValidCheckpoint)
 }
 
 #[allow(clippy::type_complexity)]
 fn try_load_engine(
+    io: &dyn Io,
     path: &Path,
     fingerprint: u64,
     use_cursor: bool,
     use_overload: bool,
     log: &AccessLog,
 ) -> Result<(EngineMeta, EngineBody, Option<TelemetrySnapshot>), CheckpointError> {
-    let bytes = fs::read(path)?;
+    let bytes = io.read(path)?;
     let raw = decode_container(&bytes)?;
     if raw.kind != KIND_ENGINE {
         return Err(CheckpointError::ConfigMismatch);
@@ -1389,6 +1486,7 @@ fn drive_checkpointed(
     policy: &CheckpointPolicy,
     rec: &dyn Recorder,
     resume: Option<ResumeState>,
+    io: &dyn Io,
 ) -> Result<SystemMetrics, CheckpointError> {
     let use_overload = overload.is_enabled();
     let use_cursor = !schedule.is_empty();
@@ -1481,7 +1579,7 @@ fn drive_checkpointed(
                     &encode_engine_body(&body),
                     &encode_telemetry_section(tele.as_ref()),
                 );
-                write_atomic(&policy.dir, epoch, &bytes, policy.keep_last)?;
+                write_atomic(io, &policy.dir, epoch, &bytes, policy.keep_last)?;
                 last_written = Some(epoch);
             }
             if faulty && enabled && current_epoch != u64::MAX {
@@ -1646,6 +1744,7 @@ mod tests {
     use starcdn::config::{DelayedHitConfig, StarCdnConfig};
     use starcdn_constellation::schedule::{FaultEvent, TimedFault};
     use starcdn_orbit::time::SimTime;
+    use std::fs;
 
     fn log() -> AccessLog {
         let w = World::starlink_nine_cities();
@@ -2250,7 +2349,7 @@ mod tests {
     #[test]
     fn atomic_write_leaves_no_temp_files() {
         let dir = tmpdir("atomic");
-        write_atomic(&dir, 42, &sample_bytes(), 0).unwrap();
+        write_atomic(&RealIo, &dir, 42, &sample_bytes(), 0).unwrap();
         let names: Vec<String> = fs::read_dir(&dir)
             .unwrap()
             .flatten()

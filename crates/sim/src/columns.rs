@@ -225,32 +225,53 @@ impl AccessLogColumns {
             return Err(IoError::BadHeader);
         }
         let (_, epoch_b) = header.split_at(8);
-        let epoch_secs = u64::from_le_bytes(*<&[u8; 8]>::try_from(epoch_b).expect("8-byte field"));
+        let epoch_secs = spacegen::io::le_u64(epoch_b)?;
         let mut cols = AccessLogColumns::new(epoch_secs);
         let mut rec = [0u8; 39];
-        let field8 = |b: &[u8]| u64::from_le_bytes(*<&[u8; 8]>::try_from(b).expect("8 bytes"));
-        let field2 = |b: &[u8]| u16::from_le_bytes(*<&[u8; 2]>::try_from(b).expect("2 bytes"));
+        let field8 = spacegen::io::le_u64;
+        let field2 = spacegen::io::le_u16;
         while read_fixed_record(&mut r, &mut rec)? {
-            cols.time_ms.push(field8(&rec[0..8]));
-            cols.object.push(field8(&rec[8..16]));
-            cols.size.push(field8(&rec[16..24]));
-            cols.location.push(field2(&rec[24..26]));
+            cols.time_ms.push(field8(&rec[0..8])?);
+            cols.object.push(field8(&rec[8..16])?);
+            cols.size.push(field8(&rec[16..24])?);
+            cols.location.push(field2(&rec[24..26])?);
             cols.fc_tag.push(u8::from(rec[26] != 0));
-            cols.fc_orbit.push(field2(&rec[27..29]));
-            cols.fc_slot.push(field2(&rec[29..31]));
-            cols.gsl_oneway_ms.push(f64::from_bits(field8(&rec[31..39])));
+            cols.fc_orbit.push(field2(&rec[27..29])?);
+            cols.fc_slot.push(field2(&rec[29..31])?);
+            cols.gsl_oneway_ms.push(f64::from_bits(field8(&rec[31..39])?));
         }
         Ok(cols)
     }
 
     /// Write the binary format to `path` (created or truncated).
     pub fn write_binary_path(&self, path: impl AsRef<std::path::Path>) -> Result<(), IoError> {
-        self.write_binary(std::fs::File::create(path).map_err(IoError::Io)?)
+        self.write_binary_path_io(path.as_ref(), &starcdn_io::RealIo)
+    }
+
+    /// [`AccessLogColumns::write_binary_path`] over an explicit
+    /// [`starcdn_io::Io`].
+    pub fn write_binary_path_io(
+        &self,
+        path: &std::path::Path,
+        io: &dyn starcdn_io::Io,
+    ) -> Result<(), IoError> {
+        let mut f = io.create(path)?;
+        self.write_binary(starcdn_io::WriteAdapter(&mut *f))
     }
 
     /// Load a binary log from `path`.
     pub fn read_binary_path(path: impl AsRef<std::path::Path>) -> Result<Self, IoError> {
-        Self::read_binary(std::fs::File::open(path).map_err(IoError::Io)?)
+        Self::read_binary_path_io(path.as_ref(), &starcdn_io::RealIo)
+    }
+
+    /// [`AccessLogColumns::read_binary_path`] over an explicit
+    /// [`starcdn_io::Io`].
+    pub fn read_binary_path_io(
+        path: &std::path::Path,
+        io: &dyn starcdn_io::Io,
+    ) -> Result<Self, IoError> {
+        let mut f = io.open(path)?;
+        Self::read_binary(starcdn_io::ReadAdapter(&mut *f))
     }
 
     /// Grow every column to `n` entries, zero-filled — backing store for

@@ -46,8 +46,10 @@ pub use access_log::{
     build_access_log_recorded, AccessLog, AccessLogEntry,
 };
 pub use checkpoint::{
-    list_checkpoint_files, resume_space_checkpointed, run_space_checkpointed,
-    validate_checkpoint_bytes, CheckpointError, CheckpointPolicy,
+    list_checkpoint_files, list_checkpoint_files_io, metrics_digest, resume_space_checkpointed,
+    resume_space_checkpointed_io, run_space_checkpointed, run_space_checkpointed_io,
+    sweep_stale_tmps, sweep_stale_tmps_io, validate_checkpoint_bytes, CheckpointError,
+    CheckpointPolicy,
 };
 pub use columns::{
     build_access_log_columns, build_access_log_columns_parallel,
@@ -69,5 +71,8 @@ pub use replayer::{
     replay_parallel_recorded, replay_parallel_with_faults, replay_parallel_with_faults_columns,
     replay_parallel_with_faults_columns_recorded, replay_parallel_with_faults_recorded,
 };
-pub use replayer_checkpoint::{replay_parallel_checkpointed, resume_replay_checkpointed};
+pub use replayer_checkpoint::{
+    replay_parallel_checkpointed, replay_parallel_checkpointed_io, resume_replay_checkpointed,
+    resume_replay_checkpointed_io,
+};
 pub use world::World;

@@ -27,9 +27,9 @@
 use crate::access_log::AccessLog;
 use crate::checkpoint::{
     decode_container, encode_container, fp, fp_bytes, get_cache_state, get_inflight, get_metrics,
-    get_telemetry, list_checkpoint_files, put_cache_state, put_inflight, put_metrics,
-    put_telemetry, write_atomic, ByteReader, ByteWriter, CheckpointError, CheckpointPolicy,
-    RawCheckpoint, KIND_REPLAY,
+    get_telemetry, list_checkpoint_files_io, put_cache_state, put_inflight, put_metrics,
+    put_telemetry, sweep_stale_tmps_io, write_atomic, ByteReader, ByteWriter, CheckpointError,
+    CheckpointPolicy, RawCheckpoint, KIND_REPLAY,
 };
 use crate::overload::OverloadConfig;
 use crate::replayer::{prepare_shards, run_shard_ops, PrePass, WorkerCtx};
@@ -42,6 +42,7 @@ use starcdn_cache::policy::Cache;
 use starcdn_cache::{CacheState, InflightQueue, InflightState};
 use starcdn_constellation::failures::FailureModel;
 use starcdn_constellation::schedule::FaultSchedule;
+use starcdn_io::{Io, RealIo};
 use starcdn_telemetry::{Event, MemoryRecorder, Recorder, SpanTimer, Stage, TelemetrySnapshot};
 use std::path::Path;
 
@@ -232,9 +233,37 @@ pub fn replay_parallel_checkpointed(
     policy: &CheckpointPolicy,
     rec: &dyn Recorder,
 ) -> Result<SystemMetrics, CheckpointError> {
+    replay_parallel_checkpointed_io(
+        cfg,
+        failures,
+        log,
+        schedule,
+        num_workers,
+        overload,
+        policy,
+        rec,
+        &RealIo,
+    )
+}
+
+/// [`replay_parallel_checkpointed`] over an explicit [`Io`] — the seam
+/// the storage-fault torture harness drives.
+#[allow(clippy::too_many_arguments)]
+pub fn replay_parallel_checkpointed_io(
+    cfg: StarCdnConfig,
+    failures: FailureModel,
+    log: &AccessLog,
+    schedule: &FaultSchedule,
+    num_workers: usize,
+    overload: &OverloadConfig,
+    policy: &CheckpointPolicy,
+    rec: &dyn Recorder,
+    io: &dyn Io,
+) -> Result<SystemMetrics, CheckpointError> {
     let sched = (!schedule.is_empty()).then_some(schedule);
     let ov = overload.is_enabled().then_some(overload);
-    checkpointed_impl(cfg, failures, log, sched, num_workers, ov, policy, rec, None)
+    sweep_stale_tmps_io(io, &policy.dir);
+    checkpointed_impl(cfg, failures, log, sched, num_workers, ov, policy, rec, None, io)
 }
 
 /// Resume an interrupted [`replay_parallel_checkpointed`] run from the
@@ -255,13 +284,40 @@ pub fn resume_replay_checkpointed(
     policy: &CheckpointPolicy,
     rec: &dyn Recorder,
 ) -> Result<SystemMetrics, CheckpointError> {
+    resume_replay_checkpointed_io(
+        cfg,
+        failures,
+        log,
+        schedule,
+        num_workers,
+        overload,
+        policy,
+        rec,
+        &RealIo,
+    )
+}
+
+/// [`resume_replay_checkpointed`] over an explicit [`Io`].
+#[allow(clippy::too_many_arguments)]
+pub fn resume_replay_checkpointed_io(
+    cfg: StarCdnConfig,
+    failures: FailureModel,
+    log: &AccessLog,
+    schedule: &FaultSchedule,
+    num_workers: usize,
+    overload: &OverloadConfig,
+    policy: &CheckpointPolicy,
+    rec: &dyn Recorder,
+    io: &dyn Io,
+) -> Result<SystemMetrics, CheckpointError> {
     let sched = (!schedule.is_empty()).then_some(schedule);
     let ov = overload.is_enabled().then_some(overload);
     let fingerprint =
         replay_fingerprint(&cfg, &failures, log.epoch_secs.max(1), sched, ov, num_workers);
-    let files = list_checkpoint_files(&policy.dir);
+    sweep_stale_tmps_io(io, &policy.dir);
+    let files = list_checkpoint_files_io(io, &policy.dir);
     for (epoch, path) in files.iter().rev() {
-        let resume = match try_load_replay(path, fingerprint, &cfg, num_workers) {
+        let resume = match try_load_replay(io, path, fingerprint, &cfg, num_workers) {
             Ok(r) => r,
             Err(_) => {
                 rec.event(Event::CheckpointRestoreFallback, *epoch, 1);
@@ -278,6 +334,7 @@ pub fn resume_replay_checkpointed(
             policy,
             rec,
             Some(resume),
+            io,
         ) {
             Ok(m) => return Ok(m),
             // A structurally valid checkpoint can still fail semantic
@@ -295,12 +352,13 @@ pub fn resume_replay_checkpointed(
 }
 
 fn try_load_replay(
+    io: &dyn Io,
     path: &Path,
     fingerprint: u64,
     cfg: &StarCdnConfig,
     num_workers: usize,
 ) -> Result<ReplayResume, CheckpointError> {
-    let bytes = std::fs::read(path)?;
+    let bytes = io.read(path)?;
     let raw = decode_container(&bytes)?;
     if raw.kind != KIND_REPLAY {
         return Err(CheckpointError::ConfigMismatch);
@@ -343,6 +401,7 @@ fn checkpointed_impl(
     policy: &CheckpointPolicy,
     rec: &dyn Recorder,
     resume: Option<ReplayResume>,
+    io: &dyn Io,
 ) -> Result<SystemMetrics, CheckpointError> {
     assert!(num_workers > 0);
     let enabled = rec.is_enabled();
@@ -484,7 +543,7 @@ fn checkpointed_impl(
                 &encode_replay_body(&body),
                 &encode_worker_telemetry(&snaps),
             );
-            write_atomic(&policy.dir, cut.barrier_epoch, &bytes, policy.keep_last)?;
+            write_atomic(io, &policy.dir, cut.barrier_epoch, &bytes, policy.keep_last)?;
         }
     }
 
@@ -507,6 +566,7 @@ fn checkpointed_impl(
 mod tests {
     use super::*;
     use crate::access_log::build_access_log;
+    use crate::checkpoint::list_checkpoint_files;
     use crate::engine::SimConfig;
     use crate::replayer::replay_parallel_overloaded_recorded;
     use crate::world::World;

@@ -14,14 +14,18 @@ use crate::gpd::GlobalPopularity;
 use crate::trace::{LocationId, Request, Trace};
 use serde::{Deserialize, Serialize};
 use starcdn_cache::object::ObjectId;
+use starcdn_io::{Io, ReadAdapter, RealIo, WriteAdapter};
 use starcdn_orbit::time::SimTime;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
 
 /// Errors from trace/model I/O.
 #[derive(Debug)]
 pub enum IoError {
-    /// Underlying I/O failure.
+    /// Underlying stream I/O failure.
     Io(io::Error),
+    /// A filesystem operation failed, with operation + path context.
+    File(starcdn_io::IoError),
     /// A CSV line did not parse.
     BadCsvLine { line: usize, content: String },
     /// Binary stream truncated mid-record.
@@ -36,6 +40,7 @@ impl std::fmt::Display for IoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::File(e) => write!(f, "file error: {e}"),
             IoError::BadCsvLine { line, content } => {
                 write!(f, "malformed CSV at line {line}: `{content}`")
             }
@@ -46,12 +51,39 @@ impl std::fmt::Display for IoError {
     }
 }
 
-impl std::error::Error for IoError {}
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::File(e) => Some(e),
+            IoError::BadModel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<io::Error> for IoError {
     fn from(e: io::Error) -> Self {
         IoError::Io(e)
     }
+}
+
+impl From<starcdn_io::IoError> for IoError {
+    fn from(e: starcdn_io::IoError) -> Self {
+        IoError::File(e)
+    }
+}
+
+/// Decode a little-endian `u64` from a field slice, reporting
+/// [`IoError::TruncatedRecord`] instead of panicking when the slice has
+/// the wrong width. Shared by every fixed-record codec in the pipeline.
+pub fn le_u64(b: &[u8]) -> Result<u64, IoError> {
+    <[u8; 8]>::try_from(b).map(u64::from_le_bytes).map_err(|_| IoError::TruncatedRecord)
+}
+
+/// Decode a little-endian `u16` field; see [`le_u64`].
+pub fn le_u16(b: &[u8]) -> Result<u16, IoError> {
+    <[u8; 2]>::try_from(b).map(u16::from_le_bytes).map_err(|_| IoError::TruncatedRecord)
 }
 
 /// Write a trace as CSV with a header line.
@@ -146,15 +178,16 @@ pub fn read_binary(r: impl Read) -> Result<Trace, IoError> {
     let mut requests = Vec::new();
     let mut rec = [0u8; 26];
     while read_fixed_record(&mut r, &mut rec)? {
-        // Split the record into fixed-size fields without fallible
-        // conversions: the borrow checker proves these widths.
+        // Field widths are fixed by the splits over the 26-byte record;
+        // the decoders still return typed errors rather than panicking
+        // if a width is ever wrong.
         let (time_b, rest) = rec.split_at(8);
         let (object_b, rest) = rest.split_at(8);
         let (size_b, loc_b) = rest.split_at(8);
-        let time = u64::from_le_bytes(*<&[u8; 8]>::try_from(time_b).expect("8-byte field"));
-        let object = u64::from_le_bytes(*<&[u8; 8]>::try_from(object_b).expect("8-byte field"));
-        let size = u64::from_le_bytes(*<&[u8; 8]>::try_from(size_b).expect("8-byte field"));
-        let loc = u16::from_le_bytes(*<&[u8; 2]>::try_from(loc_b).expect("2-byte field"));
+        let time = le_u64(time_b)?;
+        let object = le_u64(object_b)?;
+        let size = le_u64(size_b)?;
+        let loc = le_u16(loc_b)?;
         requests.push(Request {
             time: SimTime::from_millis(time),
             object: ObjectId(object),
@@ -166,23 +199,47 @@ pub fn read_binary(r: impl Read) -> Result<Trace, IoError> {
 }
 
 /// Write a trace as CSV to `path` (created or truncated).
-pub fn write_csv_path(trace: &Trace, path: impl AsRef<std::path::Path>) -> Result<(), IoError> {
-    write_csv(trace, std::fs::File::create(path)?)
+pub fn write_csv_path(trace: &Trace, path: impl AsRef<Path>) -> Result<(), IoError> {
+    write_csv_path_io(trace, path.as_ref(), &RealIo)
+}
+
+/// [`write_csv_path`] over an explicit [`Io`].
+pub fn write_csv_path_io(trace: &Trace, path: &Path, io: &dyn Io) -> Result<(), IoError> {
+    let mut f = io.create(path)?;
+    write_csv(trace, WriteAdapter(&mut *f))
 }
 
 /// Read a CSV trace from `path`.
-pub fn read_csv_path(path: impl AsRef<std::path::Path>) -> Result<Trace, IoError> {
-    read_csv(std::fs::File::open(path)?)
+pub fn read_csv_path(path: impl AsRef<Path>) -> Result<Trace, IoError> {
+    read_csv_path_io(path.as_ref(), &RealIo)
+}
+
+/// [`read_csv_path`] over an explicit [`Io`].
+pub fn read_csv_path_io(path: &Path, io: &dyn Io) -> Result<Trace, IoError> {
+    let mut f = io.open(path)?;
+    read_csv(ReadAdapter(&mut *f))
 }
 
 /// Write a binary trace to `path` (created or truncated).
-pub fn write_binary_path(trace: &Trace, path: impl AsRef<std::path::Path>) -> Result<(), IoError> {
-    write_binary(trace, std::fs::File::create(path)?)
+pub fn write_binary_path(trace: &Trace, path: impl AsRef<Path>) -> Result<(), IoError> {
+    write_binary_path_io(trace, path.as_ref(), &RealIo)
+}
+
+/// [`write_binary_path`] over an explicit [`Io`].
+pub fn write_binary_path_io(trace: &Trace, path: &Path, io: &dyn Io) -> Result<(), IoError> {
+    let mut f = io.create(path)?;
+    write_binary(trace, WriteAdapter(&mut *f))
 }
 
 /// Read a binary trace from `path`.
-pub fn read_binary_path(path: impl AsRef<std::path::Path>) -> Result<Trace, IoError> {
-    read_binary(std::fs::File::open(path)?)
+pub fn read_binary_path(path: impl AsRef<Path>) -> Result<Trace, IoError> {
+    read_binary_path_io(path.as_ref(), &RealIo)
+}
+
+/// [`read_binary_path`] over an explicit [`Io`].
+pub fn read_binary_path_io(path: &Path, io: &dyn Io) -> Result<Trace, IoError> {
+    let mut f = io.open(path)?;
+    read_binary(ReadAdapter(&mut *f))
 }
 
 /// A serializable bundle of the traffic models SpaceGEN needs: one pFD
@@ -218,13 +275,25 @@ impl ModelBundle {
     }
 
     /// Serialize as JSON to `path` (created or truncated).
-    pub fn write_json_path(&self, path: impl AsRef<std::path::Path>) -> Result<(), IoError> {
-        self.write_json(std::fs::File::create(path)?)
+    pub fn write_json_path(&self, path: impl AsRef<Path>) -> Result<(), IoError> {
+        self.write_json_path_io(path.as_ref(), &RealIo)
+    }
+
+    /// [`ModelBundle::write_json_path`] over an explicit [`Io`].
+    pub fn write_json_path_io(&self, path: &Path, io: &dyn Io) -> Result<(), IoError> {
+        let mut f = io.create(path)?;
+        self.write_json(WriteAdapter(&mut *f))
     }
 
     /// Deserialize from the JSON file at `path`.
-    pub fn read_json_path(path: impl AsRef<std::path::Path>) -> Result<Self, IoError> {
-        Self::read_json(std::fs::File::open(path)?)
+    pub fn read_json_path(path: impl AsRef<Path>) -> Result<Self, IoError> {
+        Self::read_json_path_io(path.as_ref(), &RealIo)
+    }
+
+    /// [`ModelBundle::read_json_path`] over an explicit [`Io`].
+    pub fn read_json_path_io(path: &Path, io: &dyn Io) -> Result<Self, IoError> {
+        let mut f = io.open(path)?;
+        Self::read_json(ReadAdapter(&mut *f))
     }
 }
 
@@ -344,7 +413,7 @@ mod tests {
         let bin = dir.join("t.bin");
         write_binary_path(&t, &bin).unwrap();
         assert_eq!(read_binary_path(&bin).unwrap(), t);
-        assert!(matches!(read_binary_path(dir.join("missing.bin")), Err(IoError::Io(_))));
+        assert!(matches!(read_binary_path(dir.join("missing.bin")), Err(IoError::File(_))));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
