@@ -124,6 +124,7 @@ fn json_curve(curve: &[(u64, u32)]) -> String {
 }
 
 fn main() {
+    starcdn_bench::interrupt::install();
     let a = args::from_env();
     let horizon_secs = a.scale.trace_hours() * 3600;
     let world = World::starlink_nine_cities();
@@ -156,8 +157,12 @@ fn main() {
     let mut rows = Vec::new();
     let mut json_cells = Vec::new();
     let mut total_requests = 0usize;
-    for &halfwidth in halfwidths {
+    'sweep: for &halfwidth in halfwidths {
         for &spread in &spreads {
+            // Ctrl-C/SIGTERM: stop between cells, flush what finished.
+            if starcdn_bench::interrupt::interrupted() {
+                break 'sweep;
+            }
             let sched = FaultSchedule::solar_storm(
                 &world.grid,
                 &storm(horizon_secs, halfwidth, spread, a.seed),
@@ -303,4 +308,8 @@ fn main() {
         json_cells.join(",\n"),
     );
     starcdn_bench::output::write_root_artifact("BENCH_extreme.json", &json);
+    if starcdn_bench::interrupt::interrupted() {
+        eprintln!("interrupted; partial artifact flushed");
+        std::process::exit(starcdn_bench::interrupt::EXIT_INTERRUPTED);
+    }
 }

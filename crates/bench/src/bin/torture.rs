@@ -318,6 +318,7 @@ fn arg_value(args: &[String], key: &str) -> Option<String> {
 }
 
 fn main() {
+    starcdn_bench::interrupt::install();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut total: u64 = arg_value(&args, "--seeds").and_then(|s| s.parse().ok()).unwrap_or(1280);
     if arg_value(&args, "--scale").as_deref() == Some("smoke") {
@@ -380,6 +381,9 @@ fn main() {
 
     let mut t = Tally::default();
     for seed in 0..n_eng_seeded {
+        if starcdn_bench::interrupt::interrupted() {
+            break;
+        }
         let dir = tmpdir("eng-seeded");
         t.run(format!("engine-seeded {seed}"), |t| {
             engine_schedule(t, &log, eng_gold, FaultPlan::seeded(seed), &dir)
@@ -390,6 +394,9 @@ fn main() {
 
     let mut t = Tally::default();
     for seed in 0..n_eng_crash {
+        if starcdn_bench::interrupt::interrupted() {
+            break;
+        }
         let dir = tmpdir("eng-crash");
         t.run(format!("engine-crash {seed}"), |t| {
             engine_schedule(t, &log, eng_gold, FaultPlan::crash_only(seed), &dir)
@@ -400,6 +407,9 @@ fn main() {
 
     let mut t = Tally::default();
     for seed in 0..n_single {
+        if starcdn_bench::interrupt::interrupted() {
+            break;
+        }
         let dir = tmpdir("single");
         t.run(format!("single-keep2 {seed}"), |t| {
             single_fault_schedule(t, &log, single_gold, seed, &dir)
@@ -410,6 +420,9 @@ fn main() {
 
     let mut t = Tally::default();
     for seed in 0..n_read {
+        if starcdn_bench::interrupt::interrupted() {
+            break;
+        }
         t.run(format!("read-resume {seed}"), |t| {
             read_fault_schedule(t, &log, eng_gold, seed, &read_pol)
         });
@@ -418,6 +431,9 @@ fn main() {
 
     let mut t = Tally::default();
     for seed in 0..n_rep_seeded {
+        if starcdn_bench::interrupt::interrupted() {
+            break;
+        }
         let dir = tmpdir("rep-seeded");
         t.run(format!("replayer-seeded {seed}"), |t| {
             replayer_schedule(t, &log, rep_gold, FaultPlan::seeded(seed), &dir)
@@ -428,6 +444,9 @@ fn main() {
 
     let mut t = Tally::default();
     for seed in 0..n_rep_crash {
+        if starcdn_bench::interrupt::interrupted() {
+            break;
+        }
         let dir = tmpdir("rep-crash");
         t.run(format!("replayer-crash {seed}"), |t| {
             replayer_schedule(t, &log, rep_gold, FaultPlan::crash_only(seed), &dir)
@@ -486,9 +505,11 @@ fn main() {
         .collect();
     let panics: u64 = legs.iter().map(|(_, t)| t.panics).sum();
     let violations: usize = legs.iter().map(|(_, t)| t.violations.len()).sum();
+    let interrupted = starcdn_bench::interrupt::interrupted();
     let json = format!(
         "{{\n  \"schedules\": {schedules},\n  \"panics\": {panics},\n  \
-         \"violations\": {violations},\n  \"elapsed_secs\": {elapsed:.3},\n  \"legs\": [\n{}\n  ]\n}}\n",
+         \"violations\": {violations},\n  \"interrupted\": {interrupted},\n  \
+         \"elapsed_secs\": {elapsed:.3},\n  \"legs\": [\n{}\n  ]\n}}\n",
         json_legs.join(",\n")
     );
     starcdn_bench::output::write_root_artifact("BENCH_torture.json", &json);
@@ -497,6 +518,10 @@ fn main() {
         for v in &t.violations {
             eprintln!("VIOLATION: {v}");
         }
+    }
+    if interrupted && panics == 0 && violations == 0 {
+        eprintln!("interrupted after {schedules} schedules; partial artifact flushed");
+        std::process::exit(starcdn_bench::interrupt::EXIT_INTERRUPTED);
     }
     if panics > 0 || violations > 0 {
         eprintln!(

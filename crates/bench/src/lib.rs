@@ -15,6 +15,7 @@
 //! [`workload::cache_bytes_for_gb`] and EXPERIMENTS.md.
 
 pub mod args;
+pub mod interrupt;
 pub mod output;
 pub mod table;
 pub mod workload;

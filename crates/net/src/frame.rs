@@ -1,0 +1,394 @@
+//! The wire protocol: length-prefixed, CRC-guarded frames.
+//!
+//! Layout on the wire (all little-endian, same discipline as the
+//! `STARCKP1` checkpoint container):
+//!
+//! ```text
+//! u32 len | u8 kind | body (len-5 bytes) | u32 crc32(kind..body)
+//! ```
+//!
+//! `len` counts everything after itself (kind + body + CRC). The decoder
+//! is hostile-input safe: a length prefix below [`MIN_FRAME_LEN`]
+//! (zero-length frames included) or above [`MAX_FRAME_LEN`] fails typed
+//! before any allocation, a CRC mismatch fails before the body is
+//! interpreted, and body decoding never reads past its slice.
+//!
+//! Sequence numbers: `Ops` frames are numbered per shard from 0 in plan
+//! order. Acks are cumulative and carry the *next expected* sequence
+//! (`Ack { next }` means batches `0..next` are applied), which keeps the
+//! zero-applied case representable without underflow.
+
+use crate::error::NetError;
+use starcdn_sim::crc32;
+
+/// Hard cap on `len`: bounds the decoder's buffer and any allocation a
+/// hostile prefix could drive. Far above any real batch (a 256-op batch
+/// encodes to ~12 KiB).
+pub const MAX_FRAME_LEN: u32 = 4 * 1024 * 1024;
+
+/// Smallest well-formed `len`: one kind byte plus the CRC.
+pub const MIN_FRAME_LEN: u32 = 5;
+
+/// Cap on an `Error` frame's message.
+const MAX_ERR_MSG: usize = 256;
+
+const K_HELLO: u8 = 1;
+const K_HELLO_ACK: u8 = 2;
+const K_OPS: u8 = 3;
+const K_ACK: u8 = 4;
+const K_SKIP_TO: u8 = 5;
+const K_PING: u8 = 6;
+const K_PONG: u8 = 7;
+const K_DRAIN: u8 = 8;
+const K_DRAIN_ACK: u8 = 9;
+const K_SHUTDOWN: u8 = 10;
+const K_ERROR: u8 = 11;
+
+/// Error-frame codes (carried in [`Frame::Error`]).
+pub mod code {
+    /// The peer's Hello named a different plan fingerprint or shard.
+    pub const BAD_HANDSHAKE: u16 = 1;
+    /// A batch payload failed the shard-op codec.
+    pub const BAD_PAYLOAD: u16 = 2;
+    /// A frame kind arrived that this side never accepts.
+    pub const UNEXPECTED: u16 = 3;
+}
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Router → shard on every (re)connect: which shard it wants and
+    /// the plan fingerprint both sides must share.
+    Hello {
+        shard: u32,
+        fingerprint: u64,
+    },
+    /// Shard → router: handshake accepted; `next` is the next sequence
+    /// the shard expects (resync point after a reconnect).
+    HelloAck {
+        next: u64,
+    },
+    /// One encoded op batch.
+    Ops {
+        seq: u64,
+        payload: Vec<u8>,
+    },
+    /// Cumulative ack: batches `0..next` are applied (or skipped).
+    Ack {
+        next: u64,
+    },
+    /// Router → shard: advance the expected sequence to `next` without
+    /// applying (circuit-open degradation; the skipped ops are served
+    /// from the origin on the router side).
+    SkipTo {
+        next: u64,
+    },
+    /// Health check.
+    Ping {
+        nonce: u64,
+    },
+    Pong {
+        nonce: u64,
+    },
+    /// Router → shard: all ops acked, return your results.
+    Drain,
+    /// Shard → router: accumulated metrics (+ telemetry) payload.
+    DrainAck {
+        payload: Vec<u8>,
+    },
+    /// Router → shard: exit the serve loop.
+    Shutdown,
+    /// Either side: a typed protocol failure (connection is dropped
+    /// after sending).
+    Error {
+        code: u16,
+        msg: String,
+    },
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Bounds-checked little-endian reads over a frame body.
+struct Body<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Body<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Body { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {
+        if self.buf.len() - self.pos < n {
+            return Err(NetError::Malformed("body shorter than its fields"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, NetError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, NetError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, NetError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn rest(self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+
+    fn finish(self) -> Result<(), NetError> {
+        if self.pos != self.buf.len() {
+            return Err(NetError::Malformed("trailing bytes in frame body"));
+        }
+        Ok(())
+    }
+}
+
+impl Frame {
+    /// Serialize to the wire format (length prefix, kind, body, CRC).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut inner = Vec::new();
+        match self {
+            Frame::Hello { shard, fingerprint } => {
+                inner.push(K_HELLO);
+                put_u32(&mut inner, *shard);
+                put_u64(&mut inner, *fingerprint);
+            }
+            Frame::HelloAck { next } => {
+                inner.push(K_HELLO_ACK);
+                put_u64(&mut inner, *next);
+            }
+            Frame::Ops { seq, payload } => {
+                inner.push(K_OPS);
+                put_u64(&mut inner, *seq);
+                inner.extend_from_slice(payload);
+            }
+            Frame::Ack { next } => {
+                inner.push(K_ACK);
+                put_u64(&mut inner, *next);
+            }
+            Frame::SkipTo { next } => {
+                inner.push(K_SKIP_TO);
+                put_u64(&mut inner, *next);
+            }
+            Frame::Ping { nonce } => {
+                inner.push(K_PING);
+                put_u64(&mut inner, *nonce);
+            }
+            Frame::Pong { nonce } => {
+                inner.push(K_PONG);
+                put_u64(&mut inner, *nonce);
+            }
+            Frame::Drain => inner.push(K_DRAIN),
+            Frame::DrainAck { payload } => {
+                inner.push(K_DRAIN_ACK);
+                inner.extend_from_slice(payload);
+            }
+            Frame::Shutdown => inner.push(K_SHUTDOWN),
+            Frame::Error { code, msg } => {
+                inner.push(K_ERROR);
+                put_u16(&mut inner, *code);
+                let bytes = msg.as_bytes();
+                let n = bytes.len().min(MAX_ERR_MSG);
+                put_u16(&mut inner, n as u16);
+                inner.extend_from_slice(&bytes[..n]);
+            }
+        }
+        let crc = crc32(&inner);
+        let mut out = Vec::with_capacity(8 + inner.len());
+        put_u32(&mut out, (inner.len() + 4) as u32);
+        out.extend_from_slice(&inner);
+        put_u32(&mut out, crc);
+        out
+    }
+
+    /// Decode a complete kind+body slice (CRC already checked).
+    fn decode_inner(inner: &[u8]) -> Result<Frame, NetError> {
+        let kind = inner[0];
+        let mut b = Body::new(&inner[1..]);
+        match kind {
+            K_HELLO => {
+                let shard = b.u32()?;
+                let fingerprint = b.u64()?;
+                b.finish()?;
+                Ok(Frame::Hello { shard, fingerprint })
+            }
+            K_HELLO_ACK => {
+                let next = b.u64()?;
+                b.finish()?;
+                Ok(Frame::HelloAck { next })
+            }
+            K_OPS => {
+                let seq = b.u64()?;
+                Ok(Frame::Ops { seq, payload: b.rest().to_vec() })
+            }
+            K_ACK => {
+                let next = b.u64()?;
+                b.finish()?;
+                Ok(Frame::Ack { next })
+            }
+            K_SKIP_TO => {
+                let next = b.u64()?;
+                b.finish()?;
+                Ok(Frame::SkipTo { next })
+            }
+            K_PING => {
+                let nonce = b.u64()?;
+                b.finish()?;
+                Ok(Frame::Ping { nonce })
+            }
+            K_PONG => {
+                let nonce = b.u64()?;
+                b.finish()?;
+                Ok(Frame::Pong { nonce })
+            }
+            K_DRAIN => {
+                b.finish()?;
+                Ok(Frame::Drain)
+            }
+            K_DRAIN_ACK => Ok(Frame::DrainAck { payload: b.rest().to_vec() }),
+            K_SHUTDOWN => {
+                b.finish()?;
+                Ok(Frame::Shutdown)
+            }
+            K_ERROR => {
+                let code = b.u16()?;
+                let n = b.u16()? as usize;
+                if n > MAX_ERR_MSG {
+                    return Err(NetError::Malformed("error message over cap"));
+                }
+                let msg = String::from_utf8_lossy(b.take(n)?).into_owned();
+                b.finish()?;
+                Ok(Frame::Error { code, msg })
+            }
+            k => Err(NetError::BadKind(k)),
+        }
+    }
+}
+
+/// Incremental frame decoder over a byte stream.
+///
+/// Push received bytes in, pull complete frames out. The internal buffer
+/// is bounded: a hostile length prefix is rejected the moment the four
+/// prefix bytes arrive, so the buffer never grows past
+/// `MAX_FRAME_LEN + 4` plus one read's worth of slack.
+#[derive(Default)]
+pub struct FrameCodec {
+    buf: Vec<u8>,
+    /// Consumed prefix; compacted periodically instead of per frame.
+    start: usize,
+}
+
+impl FrameCodec {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact once the dead prefix dominates, keeping push O(1)
+        // amortized without shifting on every frame.
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Try to decode the next complete frame. `Ok(None)` means more
+    /// bytes are needed. Any error is fatal for the stream: framing is
+    /// lost and the connection should be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, NetError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes"));
+        if len < MIN_FRAME_LEN {
+            return Err(NetError::FrameTooShort(len));
+        }
+        if len > MAX_FRAME_LEN {
+            return Err(NetError::FrameTooLarge(len));
+        }
+        let total = 4 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let inner = &avail[4..total - 4];
+        let crc = u32::from_le_bytes(avail[total - 4..total].try_into().expect("4 bytes"));
+        if crc != crc32(inner) {
+            return Err(NetError::BadCrc);
+        }
+        let frame = Frame::decode_inner(inner)?;
+        self.start += total;
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_short_length_prefixes_rejected() {
+        let mut c = FrameCodec::new();
+        c.push(&0u32.to_le_bytes());
+        assert!(matches!(c.next_frame(), Err(NetError::FrameTooShort(0))));
+        let mut c = FrameCodec::new();
+        c.push(&4u32.to_le_bytes());
+        assert!(matches!(c.next_frame(), Err(NetError::FrameTooShort(4))));
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_body_arrives() {
+        let mut c = FrameCodec::new();
+        c.push(&u32::MAX.to_le_bytes());
+        assert!(matches!(c.next_frame(), Err(NetError::FrameTooLarge(_))));
+    }
+
+    #[test]
+    fn split_delivery_reassembles() {
+        let f = Frame::Ops { seq: 42, payload: vec![1, 2, 3, 4, 5] };
+        let bytes = f.encode();
+        let mut c = FrameCodec::new();
+        for b in &bytes {
+            assert!(c.next_frame().unwrap().is_none());
+            c.push(std::slice::from_ref(b));
+        }
+        assert_eq!(c.next_frame().unwrap(), Some(f));
+        assert!(c.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn error_message_truncated_at_cap() {
+        let f = Frame::Error { code: 7, msg: "x".repeat(1000) };
+        let bytes = f.encode();
+        let mut c = FrameCodec::new();
+        c.push(&bytes);
+        match c.next_frame().unwrap().unwrap() {
+            Frame::Error { code, msg } => {
+                assert_eq!(code, 7);
+                assert_eq!(msg.len(), 256);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+}

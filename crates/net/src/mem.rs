@@ -1,0 +1,165 @@
+//! In-process transport: paired byte queues behind the [`Net`] trait.
+//!
+//! Used by the chaos sweep, where hundreds of seeded runs must be fast
+//! and deterministic-ish without exhausting ephemeral ports. Semantics
+//! match [`RealNet`](crate::transport::RealNet): non-blocking reads,
+//! orderly close on drop, connect to a dropped listener refuses.
+
+use crate::error::NetError;
+use crate::transport::{Net, NetConn, NetListener};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+#[derive(Default)]
+struct Registry {
+    next_addr: u64,
+    /// Pending server-side connections per live listener address.
+    pending: HashMap<String, VecDeque<MemConn>>,
+}
+
+/// The in-memory connection fabric. Cloning shares the address space.
+#[derive(Clone, Default)]
+pub struct MemNet {
+    reg: Arc<Mutex<Registry>>,
+}
+
+impl MemNet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+struct Pipe {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+type Shared = Arc<Mutex<Pipe>>;
+
+fn pipe() -> Shared {
+    Arc::new(Mutex::new(Pipe { buf: VecDeque::new(), closed: false }))
+}
+
+struct MemConn {
+    rx: Shared,
+    tx: Shared,
+}
+
+impl Drop for MemConn {
+    fn drop(&mut self) {
+        // Orderly close: the peer drains buffered bytes, then sees EOF.
+        self.rx.lock().expect("pipe lock").closed = true;
+        self.tx.lock().expect("pipe lock").closed = true;
+    }
+}
+
+impl NetConn for MemConn {
+    fn send(&mut self, bytes: &[u8]) -> Result<(), NetError> {
+        let mut p = self.tx.lock().expect("pipe lock");
+        if p.closed {
+            return Err(NetError::Reset("peer gone"));
+        }
+        p.buf.extend(bytes);
+        Ok(())
+    }
+
+    fn recv(&mut self, buf: &mut [u8]) -> Result<usize, NetError> {
+        let mut p = self.rx.lock().expect("pipe lock");
+        if p.buf.is_empty() {
+            return if p.closed { Err(NetError::Closed) } else { Ok(0) };
+        }
+        let n = p.buf.len().min(buf.len());
+        for slot in buf.iter_mut().take(n) {
+            *slot = p.buf.pop_front().expect("non-empty");
+        }
+        Ok(n)
+    }
+}
+
+struct MemListener {
+    addr: String,
+    reg: Arc<Mutex<Registry>>,
+}
+
+impl Drop for MemListener {
+    fn drop(&mut self) {
+        self.reg.lock().expect("registry lock").pending.remove(&self.addr);
+    }
+}
+
+impl NetListener for MemListener {
+    fn accept(&mut self) -> Result<Option<Box<dyn NetConn>>, NetError> {
+        let mut reg = self.reg.lock().expect("registry lock");
+        let q = reg.pending.get_mut(&self.addr).ok_or_else(|| NetError::Addr(self.addr.clone()))?;
+        Ok(q.pop_front().map(|c| Box::new(c) as Box<dyn NetConn>))
+    }
+
+    fn addr(&self) -> String {
+        self.addr.clone()
+    }
+}
+
+impl Net for MemNet {
+    fn listen(&self, hint: &str) -> Result<Box<dyn NetListener>, NetError> {
+        let mut reg = self.reg.lock().expect("registry lock");
+        let addr = if hint.is_empty() {
+            reg.next_addr += 1;
+            format!("mem:{}", reg.next_addr)
+        } else {
+            hint.to_string()
+        };
+        if reg.pending.contains_key(&addr) {
+            return Err(NetError::Addr(format!("{addr} already bound")));
+        }
+        reg.pending.insert(addr.clone(), VecDeque::new());
+        Ok(Box::new(MemListener { addr, reg: Arc::clone(&self.reg) }))
+    }
+
+    fn connect(&self, addr: &str) -> Result<Box<dyn NetConn>, NetError> {
+        let mut reg = self.reg.lock().expect("registry lock");
+        let Some(q) = reg.pending.get_mut(addr) else {
+            return Err(NetError::Refused(addr.to_string()));
+        };
+        let a = pipe();
+        let b = pipe();
+        let client = MemConn { rx: Arc::clone(&a), tx: Arc::clone(&b) };
+        let server = MemConn { rx: b, tx: a };
+        q.push_back(server);
+        Ok(Box::new(client))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_close_semantics() {
+        let net = MemNet::new();
+        let mut l = net.listen("").unwrap();
+        let mut c = net.connect(&l.addr()).unwrap();
+        let mut s = l.accept().unwrap().expect("pending conn");
+        assert!(l.accept().unwrap().is_none());
+        c.send(b"hello").unwrap();
+        let mut buf = [0u8; 16];
+        assert_eq!(s.recv(&mut buf).unwrap(), 5);
+        assert_eq!(&buf[..5], b"hello");
+        assert_eq!(s.recv(&mut buf).unwrap(), 0, "drained pipe would-blocks");
+        s.send(b"hi").unwrap();
+        drop(s);
+        // Buffered bytes still readable, then EOF.
+        assert_eq!(c.recv(&mut buf).unwrap(), 2);
+        assert!(matches!(c.recv(&mut buf), Err(NetError::Closed)));
+        assert!(matches!(c.send(b"x"), Err(NetError::Reset(_))));
+    }
+
+    #[test]
+    fn connect_without_listener_refused() {
+        let net = MemNet::new();
+        assert!(matches!(net.connect("mem:999"), Err(NetError::Refused(_))));
+        let l = net.listen("").unwrap();
+        let addr = l.addr();
+        drop(l);
+        assert!(matches!(net.connect(&addr), Err(NetError::Refused(_))));
+    }
+}

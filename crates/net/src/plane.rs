@@ -1,0 +1,603 @@
+//! The front-door router: fans op batches out to shard servers with
+//! deadlines, bounded retries, and circuit breaking.
+//!
+//! [`serve_replay`] is the socket analogue of
+//! `starcdn_sim::replay_parallel`: it spawns one shard-server thread per
+//! shard of a [`ServePlan`], streams each shard's batches over the
+//! [`Net`] transport with a bounded in-flight window, and merges drain
+//! results in shard index order — so a zero-fault run reproduces the
+//! in-process replayer's `metrics_digest` bit-for-bit.
+//!
+//! ## Failure handling
+//!
+//! Every frame the router sends starts a deadline; progress (acks,
+//! handshakes, pongs, drain results) resets it. A missed deadline or a
+//! connection error tears the connection down and schedules a reconnect
+//! after jittered exponential backoff (the jitter is a pure function of
+//! plan fingerprint, shard, and attempt — no RNG state, runs stay
+//! reproducible). Reconnects resync via the handshake: `HelloAck`
+//! carries the shard's authoritative next sequence, so the router
+//! resends exactly the unapplied suffix and duplicates are dedup'd
+//! server-side.
+//!
+//! After `max_attempts` consecutive failures the shard's circuit opens:
+//!
+//! * [`CircuitAction::Fail`] — the run aborts with a typed
+//!   [`NetError::RetriesExhausted`]. This is the digest-gated mode: a
+//!   run either matches the golden replay bit-for-bit or fails typed.
+//! * [`CircuitAction::DegradeOrigin`] — the router stops sending ops and
+//!   serves the shard's unapplied suffix from the origin bent pipe
+//!   (the PR 6 `Partitioned` path, via
+//!   [`ServePlan::degraded_metrics`]). One successful resync is still
+//!   required to learn which batches the shard applied (and to drain
+//!   its metrics); a shard that never comes back fails typed.
+//!
+//! Graceful shutdown: once a shard's batches are all acked the router
+//! health-checks it (ping/pong), drains it (metrics + telemetry
+//! payload), and broadcasts `Shutdown`; in-process supervisors also get
+//! a stop flag for teardown on error paths.
+
+use crate::chaos::splitmix64;
+use crate::error::NetError;
+use crate::frame::{code, Frame, FrameCodec, MAX_FRAME_LEN};
+use crate::shard::run_shard_server;
+use crate::transport::{Net, NetConn};
+use starcdn::metrics::SystemMetrics;
+use starcdn_sim::serve::{decode_drain, ServePlan};
+use starcdn_telemetry::{Counter, Histo, Recorder};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What happens when a shard's circuit opens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitAction {
+    /// Abort the run with [`NetError::RetriesExhausted`].
+    Fail,
+    /// Serve the shard's unapplied batches from the origin bent pipe.
+    DegradeOrigin,
+}
+
+/// Router tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Max unacked `Ops` frames in flight per shard.
+    pub window: u64,
+    /// Deadline for any awaited response (handshake, ack, pong, drain).
+    pub deadline: Duration,
+    /// Consecutive failures on one shard before its circuit opens.
+    pub max_attempts: u32,
+    /// First backoff step; doubles per consecutive failure.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// What an open circuit does.
+    pub on_circuit_open: CircuitAction,
+    /// Extra reconnect budget a degraded shard gets for its final
+    /// resync + drain before the run fails typed anyway.
+    pub degrade_attempts: u32,
+    /// Hard wall-clock bound on the whole serve.
+    pub overall_deadline: Duration,
+    /// Record per-shard telemetry and ship it home in the drain.
+    pub record_shards: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            window: 8,
+            deadline: Duration::from_millis(1000),
+            max_attempts: 6,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(100),
+            on_circuit_open: CircuitAction::Fail,
+            degrade_attempts: 24,
+            overall_deadline: Duration::from_secs(120),
+            record_shards: false,
+        }
+    }
+}
+
+/// Router-side counters for one serve run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ServeStats {
+    pub frames_sent: u64,
+    pub frames_resent: u64,
+    pub timeouts: u64,
+    pub reconnects: u64,
+    pub circuit_opens: u64,
+    /// Batches served from the origin instead of a shard.
+    pub degraded_batches: u64,
+    /// Requests inside those batches.
+    pub degraded_requests: u64,
+    /// Duplicate frames the shard servers dedup'd.
+    pub duplicates_dropped: u64,
+}
+
+/// A completed serve: merged metrics plus the router's accounting.
+#[derive(Debug)]
+pub struct ServeReport {
+    pub metrics: SystemMetrics,
+    pub stats: ServeStats,
+}
+
+struct Endpoint {
+    shard: u32,
+    addr: String,
+    total: u64,
+    conn: Option<Box<dyn NetConn>>,
+    codec: FrameCodec,
+    helloed: bool,
+    acked: u64,
+    next_send: u64,
+    /// Highest sequence ever sent + 1; sends below it count as resends.
+    high_water: u64,
+    sent_at: VecDeque<(u64, Instant)>,
+    /// Deadline for the response currently awaited, if any.
+    wait: Option<(Instant, &'static str)>,
+    attempts: u32,
+    ever_connected: bool,
+    backoff_until: Option<Instant>,
+    degraded: bool,
+    /// First unapplied batch, learned from the resync after degrading.
+    degraded_from: Option<u64>,
+    skip_sent: bool,
+    probe_sent: bool,
+    drain_sent: bool,
+    nonce: u64,
+    drain: Option<Vec<u8>>,
+    done: bool,
+}
+
+impl Endpoint {
+    /// Tear down the connection state after a failure; retry/circuit
+    /// bookkeeping is the caller's job.
+    fn reset_conn(&mut self) {
+        self.conn = None;
+        self.codec = FrameCodec::new();
+        self.helloed = false;
+        self.sent_at.clear();
+        self.wait = None;
+        self.skip_sent = false;
+        self.probe_sent = false;
+        self.drain_sent = false;
+    }
+
+    /// Is the router waiting on the shard for anything right now?
+    fn outstanding(&self) -> bool {
+        if self.done || self.conn.is_none() {
+            return false;
+        }
+        if !self.helloed {
+            return true;
+        }
+        // `probe_sent` stays true through drain (Drain is only sent
+        // from the Pong handler), so it covers both awaited replies.
+        self.acked < self.next_send
+            || (self.skip_sent && self.acked < self.total)
+            || self.probe_sent
+    }
+}
+
+/// Serve a plan over sockets and merge the results.
+///
+/// Spawns `plan.num_shards()` shard-server threads on listeners bound
+/// from `net`, routes every batch, health-checks and drains each shard,
+/// and merges: pre-pass direct metrics, then each shard's drain payload
+/// in shard index order (the replayer's determinism rule), then any
+/// origin-degraded suffixes.
+pub fn serve_replay(
+    net: &dyn Net,
+    plan: &ServePlan,
+    scfg: &ServeConfig,
+    rec: &dyn Recorder,
+) -> Result<ServeReport, NetError> {
+    let shards = plan.num_shards();
+    for k in 0..shards {
+        for b in 0..plan.batch_count(k) {
+            if plan.batch_bytes(k, b).len() + 13 > MAX_FRAME_LEN as usize {
+                return Err(NetError::Malformed("batch exceeds frame cap"));
+            }
+        }
+    }
+    let record = scfg.record_shards && rec.is_enabled();
+    let mut stops: Vec<Arc<AtomicBool>> = Vec::with_capacity(shards);
+    let mut handles = Vec::with_capacity(shards);
+    let mut eps: Vec<Endpoint> = Vec::with_capacity(shards);
+    for k in 0..shards {
+        let listener = match net.listen("") {
+            Ok(l) => l,
+            Err(e) => {
+                // Earlier shard threads are already up: stop them before
+                // bailing.
+                for s in &stops {
+                    s.store(true, Ordering::Relaxed);
+                }
+                for h in handles {
+                    join_shard(h);
+                }
+                return Err(e);
+            }
+        };
+        let addr = listener.addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        stops.push(Arc::clone(&stop));
+        let state = plan.shard_state(record);
+        let fingerprint = plan.fingerprint();
+        handles.push(std::thread::spawn(move || {
+            run_shard_server(listener, state, k as u32, fingerprint, stop)
+        }));
+        eps.push(Endpoint {
+            shard: k as u32,
+            addr,
+            total: plan.batch_count(k) as u64,
+            conn: None,
+            codec: FrameCodec::new(),
+            helloed: false,
+            acked: 0,
+            next_send: 0,
+            high_water: 0,
+            sent_at: VecDeque::new(),
+            wait: None,
+            attempts: 0,
+            ever_connected: false,
+            backoff_until: None,
+            degraded: false,
+            degraded_from: None,
+            skip_sent: false,
+            probe_sent: false,
+            drain_sent: false,
+            nonce: 0,
+            drain: None,
+            done: false,
+        });
+    }
+
+    let mut stats = ServeStats::default();
+    let result = route_all(net, plan, scfg, rec, &mut eps, &mut stats);
+
+    // Teardown: polite Shutdown to live connections, stop flags for the
+    // rest, then join (propagating any shard panic — a panic is a bug,
+    // not a fault).
+    for ep in &mut eps {
+        if let Some(conn) = ep.conn.as_mut() {
+            let _ = conn.send(&Frame::Shutdown.encode());
+        }
+    }
+    for s in &stops {
+        s.store(true, Ordering::Relaxed);
+    }
+    let mut duplicates = 0;
+    for h in handles {
+        duplicates += join_shard(h).duplicates;
+    }
+    stats.duplicates_dropped = duplicates;
+    if duplicates > 0 {
+        rec.add(Counter::NetDuplicatesDropped, duplicates);
+    }
+    result?;
+
+    // Merge in shard index order — the replayer's determinism rule.
+    let mut total = plan.direct_metrics().clone();
+    for ep in &eps {
+        let payload = ep.drain.as_ref().expect("done endpoint has drain payload");
+        let (m, snap) = decode_drain(payload)?;
+        total.merge(&m);
+        if let Some(snap) = &snap {
+            rec.absorb(snap);
+        }
+        if let Some(from) = ep.degraded_from {
+            let deg = plan.degraded_metrics(ep.shard as usize, from as usize);
+            stats.degraded_batches += ep.total - from;
+            stats.degraded_requests += deg.partitioned_requests;
+            rec.add(Counter::NetRequestsDegraded, deg.partitioned_requests);
+            total.merge(&deg);
+        }
+    }
+    Ok(ServeReport { metrics: total, stats })
+}
+
+fn join_shard(
+    h: std::thread::JoinHandle<(crate::shard::ShardServerStats, starcdn_sim::ShardState)>,
+) -> crate::shard::ShardServerStats {
+    match h.join() {
+        Ok((stats, _state)) => stats,
+        Err(p) => std::panic::resume_unwind(p),
+    }
+}
+
+fn route_all(
+    net: &dyn Net,
+    plan: &ServePlan,
+    scfg: &ServeConfig,
+    rec: &dyn Recorder,
+    eps: &mut [Endpoint],
+    stats: &mut ServeStats,
+) -> Result<(), NetError> {
+    let start = Instant::now();
+    loop {
+        if eps.iter().all(|e| e.done) {
+            return Ok(());
+        }
+        if start.elapsed() > scfg.overall_deadline {
+            return Err(NetError::Timeout("serve overall deadline"));
+        }
+        let mut progress = false;
+        for ep in eps.iter_mut() {
+            progress |= drive(net, plan, scfg, rec, ep, stats)?;
+        }
+        if !progress {
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+}
+
+/// One failure on this endpoint: tear down the connection, consume one
+/// retry, open the circuit when the budget is gone.
+fn register_failure(
+    ep: &mut Endpoint,
+    scfg: &ServeConfig,
+    rec: &dyn Recorder,
+    stats: &mut ServeStats,
+    plan: &ServePlan,
+) -> Result<(), NetError> {
+    ep.reset_conn();
+    ep.attempts += 1;
+    let budget = if ep.degraded {
+        scfg.max_attempts.saturating_add(scfg.degrade_attempts)
+    } else {
+        scfg.max_attempts
+    };
+    if ep.attempts >= budget {
+        if ep.degraded {
+            // Even the degrade path needs one successful resync; this
+            // shard never came back.
+            return Err(NetError::RetriesExhausted { shard: ep.shard, attempts: ep.attempts });
+        }
+        stats.circuit_opens += 1;
+        rec.add(Counter::NetCircuitOpens, 1);
+        match scfg.on_circuit_open {
+            CircuitAction::Fail => {
+                return Err(NetError::RetriesExhausted { shard: ep.shard, attempts: ep.attempts })
+            }
+            CircuitAction::DegradeOrigin => {
+                ep.degraded = true;
+            }
+        }
+    }
+    // Jittered exponential backoff, deterministic in (plan, shard,
+    // attempt) so chaos runs replay exactly.
+    let exp = ep.attempts.min(16);
+    let base = scfg.backoff_base.as_micros() as u64;
+    let cap = scfg.backoff_cap.as_micros() as u64;
+    let raw = base.saturating_mul(1u64 << exp.min(20)).min(cap.max(1));
+    let jitter = splitmix64(plan.fingerprint() ^ ((ep.shard as u64) << 32) ^ ep.attempts as u64)
+        % raw.max(1);
+    ep.backoff_until = Some(Instant::now() + Duration::from_micros(raw / 2 + jitter / 2));
+    Ok(())
+}
+
+/// Advance one endpoint's state machine a step. Returns whether any
+/// visible work happened (bytes moved, frames handled, sends issued).
+fn drive(
+    net: &dyn Net,
+    plan: &ServePlan,
+    scfg: &ServeConfig,
+    rec: &dyn Recorder,
+    ep: &mut Endpoint,
+    stats: &mut ServeStats,
+) -> Result<bool, NetError> {
+    if ep.done {
+        return Ok(false);
+    }
+    let now = Instant::now();
+    if let Some(t) = ep.backoff_until {
+        if now < t {
+            return Ok(false);
+        }
+        ep.backoff_until = None;
+    }
+
+    // Connect + handshake.
+    if ep.conn.is_none() {
+        if ep.ever_connected {
+            stats.reconnects += 1;
+            rec.add(Counter::NetReconnects, 1);
+        }
+        match net.connect(&ep.addr) {
+            Ok(conn) => {
+                ep.conn = Some(conn);
+                ep.ever_connected = true;
+                let hello =
+                    Frame::Hello { shard: ep.shard, fingerprint: plan.fingerprint() }.encode();
+                if send_raw(ep, &hello, rec, stats).is_err() {
+                    register_failure(ep, scfg, rec, stats, plan)?;
+                    return Ok(true);
+                }
+                ep.wait = Some((now + scfg.deadline, "hello ack"));
+            }
+            Err(_) => {
+                register_failure(ep, scfg, rec, stats, plan)?;
+                return Ok(true);
+            }
+        }
+    }
+
+    // Pump the receive side.
+    let mut progress = false;
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        let conn = ep.conn.as_mut().expect("connected above");
+        match conn.recv(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                progress = true;
+                ep.codec.push(&buf[..n]);
+            }
+            Err(_) => {
+                register_failure(ep, scfg, rec, stats, plan)?;
+                return Ok(true);
+            }
+        }
+    }
+
+    // Handle every complete frame.
+    loop {
+        let frame = match ep.codec.next_frame() {
+            Ok(Some(f)) => f,
+            Ok(None) => break,
+            Err(_) => {
+                register_failure(ep, scfg, rec, stats, plan)?;
+                return Ok(true);
+            }
+        };
+        progress = true;
+        match frame {
+            Frame::HelloAck { next } => {
+                ep.helloed = true;
+                ep.acked = next;
+                ep.next_send = next;
+                ep.sent_at.clear();
+                ep.attempts = 0;
+                ep.wait = None;
+                if ep.degraded && ep.degraded_from.is_none() {
+                    ep.degraded_from = Some(next);
+                }
+            }
+            Frame::Ack { next } => {
+                if next > ep.acked {
+                    while let Some(&(seq, at)) = ep.sent_at.front() {
+                        if seq >= next {
+                            break;
+                        }
+                        rec.observe(Histo::NetAckRttUs, at.elapsed().as_micros() as u64);
+                        ep.sent_at.pop_front();
+                    }
+                    ep.acked = next;
+                    ep.attempts = 0;
+                    ep.wait = None;
+                    if ep.next_send < next {
+                        ep.next_send = next;
+                    }
+                }
+            }
+            Frame::Pong { nonce } => {
+                if nonce == ep.nonce && ep.probe_sent && !ep.drain_sent {
+                    ep.wait = None;
+                    let drain = Frame::Drain.encode();
+                    if send_raw(ep, &drain, rec, stats).is_err() {
+                        register_failure(ep, scfg, rec, stats, plan)?;
+                        return Ok(true);
+                    }
+                    ep.drain_sent = true;
+                    ep.wait = Some((Instant::now() + scfg.deadline, "drain ack"));
+                }
+            }
+            Frame::DrainAck { payload } => {
+                ep.drain = Some(payload);
+                ep.done = true;
+                ep.wait = None;
+                return Ok(true);
+            }
+            Frame::Error { code: c, msg } => {
+                // Handshake and payload rejections are plan-level bugs:
+                // retrying cannot fix them, so they surface typed.
+                if c == code::BAD_HANDSHAKE || c == code::BAD_PAYLOAD {
+                    return Err(NetError::Protocol { code: c, msg });
+                }
+                register_failure(ep, scfg, rec, stats, plan)?;
+                return Ok(true);
+            }
+            // Server-only frames arriving at the router: protocol
+            // confusion, treat as a connection fault.
+            Frame::Hello { .. }
+            | Frame::Ops { .. }
+            | Frame::SkipTo { .. }
+            | Frame::Ping { .. }
+            | Frame::Drain
+            | Frame::Shutdown => {
+                register_failure(ep, scfg, rec, stats, plan)?;
+                return Ok(true);
+            }
+        }
+    }
+
+    // Send side.
+    if ep.helloed && !ep.done {
+        if ep.degraded {
+            if ep.acked < ep.total && !ep.skip_sent {
+                let f = Frame::SkipTo { next: ep.total }.encode();
+                if send_raw(ep, &f, rec, stats).is_err() {
+                    register_failure(ep, scfg, rec, stats, plan)?;
+                    return Ok(true);
+                }
+                ep.skip_sent = true;
+                progress = true;
+            }
+        } else {
+            while ep.next_send < ep.total && ep.next_send - ep.acked < scfg.window {
+                let seq = ep.next_send;
+                let payload = plan.batch_bytes(ep.shard as usize, seq as usize).to_vec();
+                let f = Frame::Ops { seq, payload }.encode();
+                if seq < ep.high_water {
+                    stats.frames_resent += 1;
+                    rec.add(Counter::NetFramesResent, 1);
+                } else {
+                    ep.high_water = seq + 1;
+                }
+                if send_raw(ep, &f, rec, stats).is_err() {
+                    register_failure(ep, scfg, rec, stats, plan)?;
+                    return Ok(true);
+                }
+                ep.sent_at.push_back((seq, Instant::now()));
+                ep.next_send = seq + 1;
+                progress = true;
+            }
+        }
+        if ep.acked == ep.total && !ep.probe_sent {
+            // All applied (or skipped): health-check, then drain on the
+            // pong. The nonce is deterministic but connection-unique.
+            ep.nonce = splitmix64(plan.fingerprint() ^ ep.shard as u64 ^ ep.acked);
+            let f = Frame::Ping { nonce: ep.nonce }.encode();
+            if send_raw(ep, &f, rec, stats).is_err() {
+                register_failure(ep, scfg, rec, stats, plan)?;
+                return Ok(true);
+            }
+            ep.probe_sent = true;
+            progress = true;
+        }
+    }
+
+    // Arm or fire the deadline.
+    let now = Instant::now();
+    if ep.outstanding() {
+        match ep.wait {
+            None => ep.wait = Some((now + scfg.deadline, "ack progress")),
+            Some((t, _what)) if now > t => {
+                stats.timeouts += 1;
+                rec.add(Counter::NetTimeouts, 1);
+                register_failure(ep, scfg, rec, stats, plan)?;
+                return Ok(true);
+            }
+            Some(_) => {}
+        }
+    } else {
+        ep.wait = None;
+    }
+    Ok(progress)
+}
+
+/// Send a pre-encoded frame on the endpoint's live connection, with the
+/// router-side counters every send shares.
+fn send_raw(
+    ep: &mut Endpoint,
+    bytes: &[u8],
+    rec: &dyn Recorder,
+    stats: &mut ServeStats,
+) -> Result<(), NetError> {
+    stats.frames_sent += 1;
+    rec.add(Counter::NetFramesSent, 1);
+    rec.observe(Histo::NetFrameBytes, bytes.len() as u64);
+    ep.conn.as_mut().expect("live connection").send(bytes)
+}

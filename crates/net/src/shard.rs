@@ -1,0 +1,241 @@
+//! The shard server: one event loop owning one shard's cache state.
+//!
+//! A shard server accepts connections from the front-door router,
+//! validates the plan fingerprint on handshake, applies `Ops` batches
+//! in sequence through [`ShardState::apply_batch`], and acks
+//! cumulatively. Reconnects are first-class: a fresh `Hello` gets the
+//! current resync point (`HelloAck { next }`), duplicate frames from
+//! retries or chaos duplication are acked-and-dropped, and `SkipTo`
+//! advances past batches the router chose to serve from the origin
+//! instead. `Drain` returns the accumulated metrics; `Shutdown` (or the
+//! shared stop flag, the in-process supervisor's teardown path) ends
+//! the loop.
+//!
+//! Per-connection failures never kill the shard: a bad fingerprint, a
+//! torn frame, or a hostile payload sends a best-effort `Error` frame
+//! and drops that one connection — robustness to one bad peer or one
+//! chaos-torn stream must not take the serving state down.
+//!
+//! Single-threaded and non-blocking throughout: the loop polls its
+//! listener and every live connection, sleeping briefly only when a
+//! full pass made no progress.
+
+use crate::frame::{code, Frame, FrameCodec};
+use crate::transport::{NetConn, NetListener};
+use starcdn_sim::ShardState;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What one shard server did, returned when its loop exits.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ShardServerStats {
+    /// Batches applied to the cache state.
+    pub applied: u64,
+    /// Batches skipped via `SkipTo`.
+    pub skipped: u64,
+    /// Duplicate `Ops` frames dropped by sequence dedup.
+    pub duplicates: u64,
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+}
+
+struct SrvConn {
+    conn: Box<dyn NetConn>,
+    codec: FrameCodec,
+    greeted: bool,
+}
+
+/// What to do with a connection after handling one frame.
+enum Action {
+    Keep,
+    Drop,
+    Shutdown,
+}
+
+/// Run one shard server until `Shutdown` arrives or `stop` is set.
+/// Returns the final cache state alongside the stats so in-process
+/// supervisors can inspect it after a teardown without a drain.
+pub fn run_shard_server(
+    mut listener: Box<dyn NetListener>,
+    mut state: ShardState,
+    shard: u32,
+    fingerprint: u64,
+    stop: Arc<AtomicBool>,
+) -> (ShardServerStats, ShardState) {
+    let mut stats = ShardServerStats::default();
+    let mut conns: Vec<SrvConn> = Vec::new();
+    let mut next: u64 = 0;
+    while !stop.load(Ordering::Relaxed) {
+        let mut progress = false;
+        match listener.accept() {
+            Ok(Some(conn)) => {
+                stats.accepted += 1;
+                conns.push(SrvConn { conn, codec: FrameCodec::new(), greeted: false });
+                progress = true;
+            }
+            Ok(None) => {}
+            // A dead listener is unrecoverable: exit; the supervisor
+            // notices the missing drain and fails typed on its side.
+            Err(_) => break,
+        }
+        let mut shutdown = false;
+        let mut i = 0;
+        while i < conns.len() {
+            let (moved, action) =
+                pump_conn(&mut conns[i], &mut state, shard, fingerprint, &mut next, &mut stats);
+            progress |= moved;
+            match action {
+                Action::Keep => i += 1,
+                Action::Drop => {
+                    conns.swap_remove(i);
+                }
+                Action::Shutdown => {
+                    shutdown = true;
+                    break;
+                }
+            }
+        }
+        if shutdown {
+            break;
+        }
+        if !progress {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    (stats, state)
+}
+
+/// Read whatever is available on one connection and handle every
+/// complete frame. Returns whether any byte or frame moved, and the
+/// connection's fate.
+fn pump_conn(
+    sc: &mut SrvConn,
+    state: &mut ShardState,
+    shard: u32,
+    fingerprint: u64,
+    next: &mut u64,
+    stats: &mut ShardServerStats,
+) -> (bool, Action) {
+    let mut progress = false;
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match sc.conn.recv(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                progress = true;
+                sc.codec.push(&buf[..n]);
+            }
+            // EOF or reset: the router went away (or chaos killed the
+            // stream); it will reconnect and resync via Hello.
+            Err(_) => return (progress, Action::Drop),
+        }
+    }
+    loop {
+        let frame = match sc.codec.next_frame() {
+            Ok(Some(f)) => f,
+            Ok(None) => break,
+            Err(e) => {
+                // Torn/hostile stream: framing is unrecoverable on this
+                // connection. Tell the peer (best effort) and drop.
+                let _ = sc
+                    .conn
+                    .send(&Frame::Error { code: code::UNEXPECTED, msg: e.to_string() }.encode());
+                return (progress, Action::Drop);
+            }
+        };
+        progress = true;
+        match handle_frame(frame, sc, state, shard, fingerprint, next, stats) {
+            Action::Keep => {}
+            fate => return (progress, fate),
+        }
+    }
+    (progress, Action::Keep)
+}
+
+fn handle_frame(
+    frame: Frame,
+    sc: &mut SrvConn,
+    state: &mut ShardState,
+    shard: u32,
+    fingerprint: u64,
+    next: &mut u64,
+    stats: &mut ShardServerStats,
+) -> Action {
+    // An ack that fails to send means the connection is gone; dropping
+    // it is the whole remedy (the router resyncs on reconnect).
+    let send = |sc: &mut SrvConn, f: Frame| -> Action {
+        if sc.conn.send(&f.encode()).is_ok() {
+            Action::Keep
+        } else {
+            Action::Drop
+        }
+    };
+    match frame {
+        Frame::Hello { shard: s, fingerprint: f } => {
+            if s != shard || f != fingerprint {
+                let _ = sc.conn.send(
+                    &Frame::Error { code: code::BAD_HANDSHAKE, msg: "wrong shard or plan".into() }
+                        .encode(),
+                );
+                return Action::Drop;
+            }
+            sc.greeted = true;
+            send(sc, Frame::HelloAck { next: *next })
+        }
+        Frame::Ops { seq, payload } => {
+            if !sc.greeted {
+                let _ = sc.conn.send(
+                    &Frame::Error { code: code::UNEXPECTED, msg: "ops before hello".into() }
+                        .encode(),
+                );
+                return Action::Drop;
+            }
+            if seq < *next {
+                // Retry or chaos duplicate of an applied batch: count it,
+                // ack where we are, move on.
+                stats.duplicates += 1;
+            } else if seq == *next {
+                match state.apply_batch(&payload) {
+                    Ok(_) => {
+                        stats.applied += 1;
+                        *next += 1;
+                    }
+                    Err(e) => {
+                        let _ = sc.conn.send(
+                            &Frame::Error { code: code::BAD_PAYLOAD, msg: e.to_string() }.encode(),
+                        );
+                        return Action::Drop;
+                    }
+                }
+            }
+            // seq > next is a gap (a swallowed frame): fall through — the
+            // cumulative ack below doubles as a NAK telling the router
+            // where to resume.
+            send(sc, Frame::Ack { next: *next })
+        }
+        Frame::SkipTo { next: target } => {
+            if target > *next {
+                stats.skipped += target - *next;
+                *next = target;
+            }
+            send(sc, Frame::Ack { next: *next })
+        }
+        Frame::Ping { nonce } => send(sc, Frame::Pong { nonce }),
+        Frame::Drain => {
+            let payload = state.drain_bytes();
+            send(sc, Frame::DrainAck { payload })
+        }
+        Frame::Shutdown => Action::Shutdown,
+        Frame::Error { .. } => Action::Drop,
+        Frame::HelloAck { .. }
+        | Frame::Ack { .. }
+        | Frame::Pong { .. }
+        | Frame::DrainAck { .. } => {
+            let _ = sc.conn.send(
+                &Frame::Error { code: code::UNEXPECTED, msg: "client-only frame".into() }.encode(),
+            );
+            Action::Drop
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! End-to-end tests for the socket serving plane.
+//!
+//! The contract under test: with zero faults the socket plane
+//! reproduces `replay_parallel`'s `metrics_digest` bit-for-bit over
+//! both transports; with seeded chaos every run either matches that
+//! golden digest or fails with a typed [`NetError`] — never a panic,
+//! never silent divergence.
+
+use spacegen::trace::{LocationId, Request, Trace};
+use starcdn::config::StarCdnConfig;
+use starcdn::metrics::SystemMetrics;
+use starcdn_cache::object::ObjectId;
+use starcdn_constellation::failures::FailureModel;
+use starcdn_net::{
+    serve_replay, ChaosNet, ChaosPlan, CircuitAction, MemNet, Net, NetConn, NetError, NetListener,
+    RealNet, ServeConfig,
+};
+use starcdn_orbit::time::SimTime;
+use starcdn_sim::engine::SimConfig;
+use starcdn_sim::{build_access_log, metrics_digest, replay_parallel, AccessLog, ServePlan, World};
+use starcdn_telemetry::Noop;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+fn log() -> AccessLog {
+    let w = World::starlink_nine_cities();
+    let reqs: Vec<Request> = (0..2500u64)
+        .map(|k| Request {
+            time: SimTime::from_secs(k / 6),
+            object: ObjectId((k * 7919) % 180),
+            size: 500 + (k % 5) * 100,
+            location: LocationId((k % 9) as u16),
+        })
+        .collect();
+    build_access_log(&w, &Trace::new(reqs), 15, &SimConfig::default().scheduler())
+}
+
+fn cfg() -> StarCdnConfig {
+    StarCdnConfig::starcdn_no_relay(4, 100_000)
+}
+
+fn plan(l: &AccessLog, shards: usize) -> ServePlan {
+    ServePlan::build(&cfg(), &FailureModel::none(), l, None, None, shards, 64, &Noop).unwrap()
+}
+
+fn golden(l: &AccessLog, shards: usize) -> SystemMetrics {
+    replay_parallel(cfg(), FailureModel::none(), l, shards)
+}
+
+/// Fast deadlines for loopback/in-memory tests: stalls and losses are
+/// detected in milliseconds, keeping chaos sweeps cheap.
+fn fast(action: CircuitAction) -> ServeConfig {
+    ServeConfig {
+        deadline: Duration::from_millis(40),
+        backoff_base: Duration::from_micros(200),
+        backoff_cap: Duration::from_millis(5),
+        max_attempts: 8,
+        degrade_attempts: 40,
+        on_circuit_open: action,
+        overall_deadline: Duration::from_secs(30),
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn zero_fault_memnet_matches_replayer_digest() {
+    let l = log();
+    for shards in [1usize, 4, 8] {
+        let p = plan(&l, shards);
+        let report = serve_replay(&MemNet::new(), &p, &fast(CircuitAction::Fail), &Noop).unwrap();
+        assert_eq!(
+            metrics_digest(&golden(&l, shards)),
+            metrics_digest(&report.metrics),
+            "socket parity over MemNet at {shards} shards"
+        );
+        assert_eq!(report.stats.reconnects, 0, "zero faults, zero reconnects");
+        assert_eq!(report.stats.degraded_batches, 0);
+    }
+}
+
+#[test]
+fn zero_fault_realnet_matches_replayer_digest() {
+    let l = log();
+    for shards in [1usize, 4, 8] {
+        let p = plan(&l, shards);
+        let report = serve_replay(&RealNet, &p, &fast(CircuitAction::Fail), &Noop).unwrap();
+        assert_eq!(
+            metrics_digest(&golden(&l, shards)),
+            metrics_digest(&report.metrics),
+            "socket parity over loopback TCP at {shards} shards"
+        );
+    }
+}
+
+/// The acceptance gate in miniature (the full ≥500-seed sweep lives in
+/// the serve_soak bench): every seeded chaos schedule either converges
+/// to the golden digest or fails typed. Nothing panics, nothing
+/// silently diverges.
+#[test]
+fn chaos_sweep_matches_golden_or_fails_typed() {
+    let l = log();
+    let shards = 4;
+    let gold = metrics_digest(&golden(&l, shards));
+    let p = plan(&l, shards);
+    let mut matched = 0u32;
+    let mut typed = 0u32;
+    for seed in 0..40u64 {
+        let net = ChaosNet::new(Box::new(MemNet::new()), ChaosPlan::all(seed, 23));
+        match serve_replay(&net, &p, &fast(CircuitAction::Fail), &Noop) {
+            Ok(report) => {
+                assert_eq!(
+                    gold,
+                    metrics_digest(&report.metrics),
+                    "seed {seed} converged but diverged from golden"
+                );
+                matched += 1;
+            }
+            Err(e) => {
+                // Typed failure: RetriesExhausted (circuit) or the
+                // overall deadline. Anything else is a protocol bug.
+                assert!(
+                    matches!(e, NetError::RetriesExhausted { .. } | NetError::Timeout(_)),
+                    "seed {seed}: unexpected error {e}"
+                );
+                typed += 1;
+            }
+        }
+    }
+    assert!(matched > 0, "some chaos schedules must converge");
+    // With denom 23 and retries, most schedules should still converge.
+    assert!(
+        matched + typed == 40,
+        "every schedule accounted for: {matched} matched, {typed} typed"
+    );
+}
+
+/// Degraded serving conserves requests: when one shard's circuit opens
+/// and its suffix is served from the origin bent pipe, total requests
+/// still equal the golden run's, and the degraded share is visible in
+/// `partitioned_requests`.
+#[test]
+fn degraded_shard_conserves_requests() {
+    struct RefuseFirst {
+        inner: MemNet,
+        victim: String,
+        refusals_left: AtomicU64,
+    }
+    impl Net for RefuseFirst {
+        fn listen(&self, hint: &str) -> Result<Box<dyn NetListener>, NetError> {
+            self.inner.listen(hint)
+        }
+        fn connect(&self, addr: &str) -> Result<Box<dyn NetConn>, NetError> {
+            if addr == self.victim
+                && self
+                    .refusals_left
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                    .is_ok()
+            {
+                return Err(NetError::Refused(addr.to_string()));
+            }
+            self.inner.connect(addr)
+        }
+    }
+
+    let l = log();
+    let shards = 2;
+    let gold = golden(&l, shards);
+    let p = plan(&l, shards);
+    // MemNet assigns listener addresses in listen order: the second
+    // shard gets "mem:2". Refuse it until past the circuit threshold so
+    // the router degrades, then let the resync + drain through.
+    let mut scfg = fast(CircuitAction::DegradeOrigin);
+    scfg.max_attempts = 3;
+    let net = RefuseFirst {
+        inner: MemNet::new(),
+        victim: "mem:2".to_string(),
+        refusals_left: AtomicU64::new(5),
+    };
+    let report = serve_replay(&net, &p, &scfg, &Noop).unwrap();
+    assert!(report.stats.circuit_opens >= 1, "circuit must have opened");
+    assert!(report.stats.degraded_batches > 0, "suffix served from origin");
+    assert!(report.metrics.partitioned_requests > 0);
+    assert_eq!(
+        gold.stats.requests, report.metrics.stats.requests,
+        "degradation must conserve total requests"
+    );
+    assert_ne!(
+        metrics_digest(&gold),
+        metrics_digest(&report.metrics),
+        "origin-served suffix is visible in the metrics"
+    );
+}
+
+/// A shard that never answers with `CircuitAction::Fail` surfaces as a
+/// typed RetriesExhausted, not a hang or a panic.
+#[test]
+fn unreachable_shard_fails_typed() {
+    struct RefuseAlways {
+        inner: MemNet,
+        victim: String,
+    }
+    impl Net for RefuseAlways {
+        fn listen(&self, hint: &str) -> Result<Box<dyn NetListener>, NetError> {
+            self.inner.listen(hint)
+        }
+        fn connect(&self, addr: &str) -> Result<Box<dyn NetConn>, NetError> {
+            if addr == self.victim {
+                return Err(NetError::Refused(addr.to_string()));
+            }
+            self.inner.connect(addr)
+        }
+    }
+    let l = log();
+    let p = plan(&l, 2);
+    let net = RefuseAlways { inner: MemNet::new(), victim: "mem:2".to_string() };
+    let mut scfg = fast(CircuitAction::Fail);
+    scfg.max_attempts = 3;
+    let err = serve_replay(&net, &p, &scfg, &Noop).err().unwrap();
+    assert!(matches!(err, NetError::RetriesExhausted { shard: 1, .. }), "wrong error: {err}");
+}
+
+/// ChaosNet's op index advances only on connects and sends, so a fault
+/// schedule is a pure function of the op sequence — identical across
+/// runs, reconnects included, no matter how often either side polls.
+#[test]
+fn chaos_schedule_stable_across_reconnects_and_polls() {
+    let run = |poll_factor: usize| -> (Vec<bool>, starcdn_net::ChaosStats) {
+        let net = ChaosNet::new(Box::new(MemNet::new()), ChaosPlan::all(0xC0FFEE, 5));
+        let mut outcomes = Vec::new();
+        let mut listener = net.listen("").unwrap();
+        for _round in 0..20 {
+            // Reconnect each round; poll recv a varying number of times
+            // (idle polls must not consume op indices).
+            match net.connect(&listener.addr()) {
+                Err(_) => outcomes.push(false),
+                Ok(mut conn) => {
+                    outcomes.push(true);
+                    if let Ok(Some(mut server)) = listener.accept() {
+                        let mut buf = [0u8; 64];
+                        for _ in 0..poll_factor {
+                            let _ = server.recv(&mut buf);
+                        }
+                        for i in 0..5u8 {
+                            outcomes.push(conn.send(&[i; 16]).is_ok());
+                            for _ in 0..poll_factor {
+                                let _ = server.recv(&mut buf);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (outcomes, net.stats())
+    };
+    let (a, sa) = run(1);
+    let (b, sb) = run(7);
+    assert_eq!(a, b, "op-index schedule must ignore polling frequency");
+    assert_eq!(sa, sb, "fault counts must be identical");
+    assert!(sa.injected > 0, "schedule actually injected faults");
+}

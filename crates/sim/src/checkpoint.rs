@@ -153,8 +153,10 @@ const CRC_TABLE: [u32; 256] = {
     table
 };
 
-/// CRC-32 (IEEE) of `bytes`.
-pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+/// CRC-32 (IEEE) of `bytes`. Public so the wire protocol in
+/// `starcdn-net` guards its frames with the same checksum discipline as
+/// the checkpoint container.
+pub fn crc32(bytes: &[u8]) -> u32 {
     let mut c = !0u32;
     for &b in bytes {
         c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
@@ -914,10 +916,20 @@ pub(crate) fn encode_container(kind: u32, meta: &[u8], body: &[u8], telemetry: &
     out
 }
 
+/// Upper bound on a single section payload. The length prefix is also
+/// bounded by the bytes actually present, so a hostile header can never
+/// drive a large allocation — this cap exists so an absurd length in an
+/// (attacker-sized) file fails typed before the copy, mirroring the
+/// frame cap in `starcdn-net`.
+pub(crate) const MAX_SECTION_LEN: u64 = 1 << 30;
+
 fn read_section(r: &mut ByteReader, expect_tag: u32) -> Result<Vec<u8>, CheckpointError> {
     let start = r.pos;
     let tag = r.u32()?;
     let len = r.u64()?;
+    if len > MAX_SECTION_LEN {
+        return Err(CheckpointError::Malformed("section length exceeds cap"));
+    }
     if len > r.remaining() as u64 {
         return Err(CheckpointError::Truncated);
     }
@@ -1961,6 +1973,25 @@ mod tests {
         let mut trailing = bytes.clone();
         trailing.push(0);
         assert!(matches!(decode_container(&trailing), Err(CheckpointError::Malformed(_))));
+    }
+
+    #[test]
+    fn hostile_section_length_rejected() {
+        // A header whose META section claims an absurd length: the
+        // length prefix must fail typed *before* any allocation, both
+        // when it exceeds the cap and when it merely exceeds the bytes
+        // present.
+        let bytes = sample_bytes();
+        let mut huge = bytes.clone();
+        // Section layout after the 24-byte header: tag u32, then len u64.
+        huge[28..36].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_container(&huge),
+            Err(CheckpointError::Malformed("section length exceeds cap"))
+        ));
+        let mut oversize = bytes.clone();
+        oversize[28..36].copy_from_slice(&(MAX_SECTION_LEN - 1).to_le_bytes());
+        assert!(matches!(decode_container(&oversize), Err(CheckpointError::Truncated)));
     }
 
     #[test]

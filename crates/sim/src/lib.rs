@@ -38,6 +38,7 @@ pub mod overload;
 pub mod replayer;
 pub mod replayer_checkpoint;
 pub mod scheduler;
+pub mod serve;
 pub mod transfers;
 pub mod world;
 
@@ -46,10 +47,10 @@ pub use access_log::{
     build_access_log_recorded, AccessLog, AccessLogEntry,
 };
 pub use checkpoint::{
-    list_checkpoint_files, list_checkpoint_files_io, metrics_digest, resume_space_checkpointed,
-    resume_space_checkpointed_io, run_space_checkpointed, run_space_checkpointed_io,
-    sweep_stale_tmps, sweep_stale_tmps_io, validate_checkpoint_bytes, CheckpointError,
-    CheckpointPolicy,
+    crc32, list_checkpoint_files, list_checkpoint_files_io, metrics_digest,
+    resume_space_checkpointed, resume_space_checkpointed_io, run_space_checkpointed,
+    run_space_checkpointed_io, sweep_stale_tmps, sweep_stale_tmps_io, validate_checkpoint_bytes,
+    CheckpointError, CheckpointPolicy,
 };
 pub use columns::{
     build_access_log_columns, build_access_log_columns_parallel,
@@ -75,4 +76,5 @@ pub use replayer_checkpoint::{
     replay_parallel_checkpointed, replay_parallel_checkpointed_io, resume_replay_checkpointed,
     resume_replay_checkpointed_io,
 };
+pub use serve::{decode_drain, ServePlan, ServePlanError, ShardState};
 pub use world::World;

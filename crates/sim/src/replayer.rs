@@ -906,6 +906,123 @@ fn replay_impl(
     total
 }
 
+// ---------------------------------------------------------------------------
+// Shard-op wire codec (used by the socket serving plane in `crate::serve`).
+//
+// `ResolvedEntry`'s fields are private to this module, so the byte codec
+// lives here next to the struct: the serving plane ships pre-resolved op
+// streams over TCP and must decode them without ever panicking on
+// hostile input.
+// ---------------------------------------------------------------------------
+
+const OP_REQUEST: u8 = 0;
+const OP_WIPE: u8 = 1;
+const OP_MARK_COLD: u8 = 2;
+
+/// Append one shard op to `w` (tag byte + fields, little-endian; floats
+/// travel as bit patterns so replay stays bit-exact).
+pub(crate) fn put_shard_op(w: &mut crate::checkpoint::ByteWriter, op: &ShardOp) {
+    match op {
+        ShardOp::Request(e) => {
+            w.u8(OP_REQUEST);
+            w.u64(e.object.0);
+            w.u64(e.size);
+            w.u16(e.owner.orbit);
+            w.u16(e.owner.slot);
+            w.u16(e.intra);
+            w.u16(e.inter);
+            w.f64_bits(e.gsl_oneway_ms);
+            w.f64_bits(e.penalty_ms);
+            w.u8(match e.replica {
+                None => 0,
+                Some(false) => 1,
+                Some(true) => 2,
+            });
+            w.u64(e.epoch);
+        }
+        ShardOp::Wipe(idx) => {
+            w.u8(OP_WIPE);
+            w.u64(*idx as u64);
+        }
+        ShardOp::MarkCold(idx) => {
+            w.u8(OP_MARK_COLD);
+            w.u64(*idx as u64);
+        }
+    }
+}
+
+/// Decode one shard op. Slot indices and owner ids are validated against
+/// `total_slots` (with `spp` = sats per plane) so a corrupt or hostile
+/// stream becomes a typed error instead of an out-of-bounds panic in
+/// [`run_shard_ops`].
+pub(crate) fn get_shard_op(
+    r: &mut crate::checkpoint::ByteReader<'_>,
+    spp: u16,
+    total_slots: usize,
+) -> Result<ShardOp, crate::checkpoint::CheckpointError> {
+    use crate::checkpoint::CheckpointError;
+    match r.u8()? {
+        OP_REQUEST => {
+            let object = starcdn_cache::object::ObjectId(r.u64()?);
+            let size = r.u64()?;
+            let owner = starcdn_orbit::walker::SatelliteId::new(r.u16()?, r.u16()?);
+            let intra = r.u16()?;
+            let inter = r.u16()?;
+            let gsl_oneway_ms = r.f64_bits()?;
+            let penalty_ms = r.f64_bits()?;
+            let replica = match r.u8()? {
+                0 => None,
+                1 => Some(false),
+                2 => Some(true),
+                _ => return Err(CheckpointError::Malformed("bad replica tag")),
+            };
+            let epoch = r.u64()?;
+            if owner.index(spp) >= total_slots {
+                return Err(CheckpointError::Malformed("op owner out of range"));
+            }
+            Ok(ShardOp::Request(ResolvedEntry {
+                object,
+                size,
+                owner,
+                intra,
+                inter,
+                gsl_oneway_ms,
+                penalty_ms,
+                replica,
+                epoch,
+            }))
+        }
+        OP_WIPE => {
+            let idx = r.u64()? as usize;
+            if idx >= total_slots {
+                return Err(CheckpointError::Malformed("wipe slot out of range"));
+            }
+            Ok(ShardOp::Wipe(idx))
+        }
+        OP_MARK_COLD => {
+            let idx = r.u64()? as usize;
+            if idx >= total_slots {
+                return Err(CheckpointError::Malformed("mark-cold slot out of range"));
+            }
+            Ok(ShardOp::MarkCold(idx))
+        }
+        _ => Err(CheckpointError::Malformed("unknown shard op tag")),
+    }
+}
+
+/// Origin bent-pipe accounting for one degraded request: the serving
+/// plane charges an op it could not deliver to a shard exactly like the
+/// engine's `Partitioned` path (uplink on the request's GSL, zero ISL
+/// hops), attributed to the resolved owner.
+pub(crate) fn degrade_op_to_origin(op: &ShardOp, latency: &LatencyModel, m: &mut SystemMetrics) {
+    if let ShardOp::Request(e) = op {
+        let base = latency.ground_miss_rtt_ms(e.gsl_oneway_ms, 0, 0, 0);
+        let lat = if e.penalty_ms > 0.0 { base + e.penalty_ms } else { base };
+        m.record(e.owner, ServedFrom::Ground, e.size, lat);
+        m.partitioned_requests += 1;
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn neighbor_contains(
     caches: &[Mutex<Box<dyn Cache + Send>>],

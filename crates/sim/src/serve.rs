@@ -1,0 +1,529 @@
+//! Serving-plane support: pre-resolved shard op streams packaged for
+//! transport, and the per-shard cache state a socket server owns.
+//!
+//! The paper's artifact runs one cache process per satellite and speaks
+//! TCP between them; `starcdn-net` reproduces that shape with one
+//! socket-served shard per worker. This module is the boundary between
+//! the deterministic replayer core and that wire world:
+//!
+//! * [`ServePlan`] runs the sequential pre-pass
+//!   ([`crate::replayer::prepare_shards`]) once on the router side and
+//!   freezes each shard's op stream into CRC-friendly byte batches. The
+//!   directly-accounted metrics (unroutable, partitioned, overload
+//!   decisions, availability timeline) stay on the router, exactly as
+//!   `replay_parallel` keeps them on the caller.
+//! * [`ShardState`] is what a shard server owns: every slot's cache,
+//!   inflight queues, cold flags, and its accumulated
+//!   [`SystemMetrics`]. [`ShardState::apply_batch`] decodes a batch and
+//!   feeds it through [`crate::replayer::run_shard_ops`] — the very
+//!   function the in-process replayer uses — so a zero-fault socket run
+//!   is bit-for-bit identical to `replay_parallel` by construction.
+//!
+//! Only no-relay, no-probe configurations are accepted: relay probes
+//! read *neighbour* caches, which live on other shards once the plane is
+//! distributed, and their in-process semantics (bounded skew) cannot be
+//! reproduced over a wire without cross-shard reads. [`ServePlan::build`]
+//! rejects such configs with a typed error instead of silently
+//! diverging.
+//!
+//! Every decoder here is hostile-input safe: batch payloads, drain
+//! payloads, and op records all fail with typed [`CheckpointError`]s —
+//! never a panic, never an unbounded allocation.
+
+use crate::access_log::AccessLog;
+use crate::checkpoint::{
+    fp, fp_bytes, get_metrics, get_telemetry, put_metrics, put_telemetry, ByteReader, ByteWriter,
+    CheckpointError,
+};
+use crate::overload::OverloadConfig;
+use crate::replayer::{
+    degrade_op_to_origin, get_shard_op, prepare_shards, put_shard_op, run_shard_ops, PrePass,
+    ShardOp, WorkerCtx,
+};
+use parking_lot::Mutex;
+use starcdn::config::StarCdnConfig;
+use starcdn::latency::LatencyModel;
+use starcdn::metrics::SystemMetrics;
+use starcdn_cache::policy::Cache;
+use starcdn_cache::InflightQueue;
+use starcdn_constellation::failures::FailureModel;
+use starcdn_constellation::schedule::FaultSchedule;
+use starcdn_telemetry::{MemoryRecorder, Recorder, TelemetrySnapshot};
+
+/// Why a configuration cannot be served over the socket plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServePlanError {
+    /// `num_shards` was zero.
+    NoShards,
+    /// Relayed fetch reads neighbour caches across shards; the socket
+    /// plane gives each shard only its own slots.
+    RelayUnsupported,
+    /// Neighbour probing has the same cross-shard read problem.
+    ProbeUnsupported,
+    /// `batch_ops` was zero.
+    EmptyBatch,
+}
+
+impl std::fmt::Display for ServePlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServePlanError::NoShards => write!(f, "serving plane needs at least one shard"),
+            ServePlanError::RelayUnsupported => {
+                write!(f, "relay configs are not servable over sockets (cross-shard reads)")
+            }
+            ServePlanError::ProbeUnsupported => {
+                write!(f, "neighbour-probe configs are not servable over sockets")
+            }
+            ServePlanError::EmptyBatch => write!(f, "batch size must be at least one op"),
+        }
+    }
+}
+
+impl std::error::Error for ServePlanError {}
+
+fn validate(
+    cfg: &StarCdnConfig,
+    num_shards: usize,
+    batch_ops: usize,
+) -> Result<(), ServePlanError> {
+    if num_shards == 0 {
+        return Err(ServePlanError::NoShards);
+    }
+    if batch_ops == 0 {
+        return Err(ServePlanError::EmptyBatch);
+    }
+    if cfg.relay.enabled() {
+        return Err(ServePlanError::RelayUnsupported);
+    }
+    if cfg.probe_neighbors_on_miss {
+        return Err(ServePlanError::ProbeUnsupported);
+    }
+    Ok(())
+}
+
+/// One shard's frozen op stream: encoded byte batches plus the retained
+/// ops for origin-degradation accounting.
+struct ShardStream {
+    ops: Vec<ShardOp>,
+    /// `(start, end)` op ranges, one per encoded batch.
+    ranges: Vec<(usize, usize)>,
+    batches: Vec<Vec<u8>>,
+}
+
+/// The router side of a socket-served replay: per-shard encoded op
+/// batches, the pre-pass's directly-accounted metrics, and a fingerprint
+/// every shard server must agree with before ops flow.
+pub struct ServePlan {
+    cfg: StarCdnConfig,
+    failures: FailureModel,
+    latency: LatencyModel,
+    shards: Vec<ShardStream>,
+    direct: SystemMetrics,
+    fingerprint: u64,
+}
+
+impl ServePlan {
+    /// Run the sequential pre-pass and freeze per-shard op batches of at
+    /// most `batch_ops` ops each. Rejects configurations whose parallel
+    /// replay is not bit-deterministic when distributed (relay, probe).
+    #[allow(clippy::too_many_arguments)]
+    pub fn build(
+        cfg: &StarCdnConfig,
+        failures: &FailureModel,
+        log: &AccessLog,
+        schedule: Option<&FaultSchedule>,
+        overload: Option<&OverloadConfig>,
+        num_shards: usize,
+        batch_ops: usize,
+        rec: &dyn Recorder,
+    ) -> Result<ServePlan, ServePlanError> {
+        validate(cfg, num_shards, batch_ops)?;
+        let PrePass { shards, direct, .. } =
+            prepare_shards(cfg, failures, log.view(), schedule, num_shards, rec, overload, None);
+        let mut streams = Vec::with_capacity(num_shards);
+        let mut h = 0x7365_7276_6531_3030u64; // "serve100"
+        h = fp(h, num_shards as u64);
+        h = fp(h, cfg.grid.total_slots() as u64);
+        h = fp_bytes(h, cfg.policy.name().as_bytes());
+        h = fp(h, cfg.cache_capacity_bytes);
+        for ops in shards {
+            let mut ranges = Vec::new();
+            let mut batches = Vec::new();
+            let mut start = 0usize;
+            while start < ops.len() {
+                let end = (start + batch_ops).min(ops.len());
+                let mut w = ByteWriter::new();
+                w.u32((end - start) as u32);
+                for op in &ops[start..end] {
+                    put_shard_op(&mut w, op);
+                }
+                let bytes = w.into_bytes();
+                h = fp_bytes(h, &bytes);
+                ranges.push((start, end));
+                batches.push(bytes);
+                start = end;
+            }
+            h = fp(h, batches.len() as u64);
+            streams.push(ShardStream { ops, ranges, batches });
+        }
+        Ok(ServePlan {
+            cfg: cfg.clone(),
+            failures: failures.clone(),
+            latency: LatencyModel { link: cfg.link_model.clone(), ..LatencyModel::default() },
+            shards: streams,
+            direct,
+            fingerprint: h,
+        })
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// FNV fingerprint over the config identity and every encoded batch;
+    /// carried in the protocol handshake so a shard server never applies
+    /// ops from a plan it was not built for.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of encoded batches queued for `shard`.
+    pub fn batch_count(&self, shard: usize) -> usize {
+        self.shards[shard].batches.len()
+    }
+
+    /// The encoded payload of one batch (framing is the transport's job).
+    pub fn batch_bytes(&self, shard: usize, batch: usize) -> &[u8] {
+        &self.shards[shard].batches[batch]
+    }
+
+    /// Ops queued for `shard` (requests plus churn pseudo-ops).
+    pub fn op_count(&self, shard: usize) -> usize {
+        self.shards[shard].ops.len()
+    }
+
+    /// Request ops queued for `shard` (excludes churn pseudo-ops).
+    pub fn request_count(&self, shard: usize) -> u64 {
+        self.shards[shard].ops.iter().filter(|op| matches!(op, ShardOp::Request(_))).count() as u64
+    }
+
+    /// The pre-pass's directly-accounted metrics: merge shard results
+    /// into a clone of this, in shard index order, to reproduce
+    /// `replay_parallel` exactly.
+    pub fn direct_metrics(&self) -> &SystemMetrics {
+        &self.direct
+    }
+
+    /// Origin bent-pipe accounting for every request op in batches
+    /// `from_batch..` of `shard` — the circuit-breaker degradation path.
+    /// Each request is served exactly like the engine's `Partitioned`
+    /// outcome; churn pseudo-ops are skipped (a degraded shard's cache
+    /// state is gone anyway).
+    pub fn degraded_metrics(&self, shard: usize, from_batch: usize) -> SystemMetrics {
+        let mut m = SystemMetrics::default();
+        let s = &self.shards[shard];
+        let Some(&(start, _)) = s.ranges.get(from_batch) else {
+            return m;
+        };
+        for op in &s.ops[start..] {
+            degrade_op_to_origin(op, &self.latency, &mut m);
+        }
+        m
+    }
+
+    /// A fresh shard server state matching this plan's configuration.
+    pub fn shard_state(&self, record: bool) -> ShardState {
+        ShardState::new(&self.cfg, &self.failures, record)
+    }
+
+    pub fn config(&self) -> &StarCdnConfig {
+        &self.cfg
+    }
+
+    pub fn failures(&self) -> &FailureModel {
+        &self.failures
+    }
+}
+
+/// Everything one shard server owns: per-slot caches, inflight queues,
+/// cold flags, accumulated metrics, and an optional telemetry recorder.
+///
+/// The slot vectors are full-size (`total_slots`): a shard only ever
+/// receives ops for slots it owns (`owner.index(spp) % num_shards`), so
+/// the untouched slots cost empty caches and nothing else — exactly the
+/// in-process replayer's memory layout, which keeps the parity argument
+/// trivial.
+pub struct ShardState {
+    cfg: StarCdnConfig,
+    failures: FailureModel,
+    latency: LatencyModel,
+    caches: Vec<Mutex<Box<dyn Cache + Send>>>,
+    inflight: Vec<Mutex<InflightQueue>>,
+    cold: Vec<bool>,
+    metrics: SystemMetrics,
+    rec: Option<MemoryRecorder>,
+    total_slots: usize,
+}
+
+impl ShardState {
+    pub fn new(cfg: &StarCdnConfig, failures: &FailureModel, record: bool) -> ShardState {
+        let total_slots = cfg.grid.total_slots();
+        ShardState {
+            cfg: cfg.clone(),
+            failures: failures.clone(),
+            latency: LatencyModel { link: cfg.link_model.clone(), ..LatencyModel::default() },
+            caches: (0..total_slots)
+                .map(|_| Mutex::new(cfg.policy.build(cfg.cache_capacity_bytes)))
+                .collect(),
+            inflight: (0..total_slots).map(|_| Mutex::new(InflightQueue::new())).collect(),
+            cold: vec![false; total_slots],
+            metrics: SystemMetrics::default(),
+            rec: record.then(MemoryRecorder::new),
+            total_slots,
+        }
+    }
+
+    /// Decode one batch payload and replay it through
+    /// [`crate::replayer::run_shard_ops`]. Returns the number of ops
+    /// applied. Any malformed byte — bad tag, out-of-range slot,
+    /// truncation, trailing garbage — is a typed error and leaves the
+    /// state untouched (the batch is decoded in full before any op
+    /// runs).
+    pub fn apply_batch(&mut self, payload: &[u8]) -> Result<u32, CheckpointError> {
+        let spp = self.cfg.grid.sats_per_plane;
+        let mut r = ByteReader::new(payload);
+        let count = r.u32()?;
+        if count as usize > payload.len() {
+            // Each op costs at least one tag byte: a count beyond the
+            // payload size is hostile, fail before allocating.
+            return Err(CheckpointError::Truncated);
+        }
+        let mut ops = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            ops.push(get_shard_op(&mut r, spp, self.total_slots)?);
+        }
+        r.finish()?;
+        let ctx = WorkerCtx {
+            caches: &self.caches,
+            inflight: &self.inflight,
+            delayed: self.cfg.delayed,
+            grid: &self.cfg.grid,
+            failures: &self.failures,
+            latency: &self.latency,
+            relay: self.cfg.relay,
+            probe: self.cfg.probe_neighbors_on_miss,
+            span: self.cfg.relay_span_planes(),
+            spp,
+        };
+        run_shard_ops(&ops, &ctx, &mut self.metrics, &mut self.cold, self.rec.as_ref());
+        Ok(count)
+    }
+
+    /// The drain payload: accumulated metrics plus the telemetry
+    /// snapshot when recording. Bit-exact via the checkpoint codec.
+    pub fn drain_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        put_metrics(&mut w, &self.metrics);
+        match &self.rec {
+            Some(r) => {
+                w.boolean(true);
+                put_telemetry(&mut w, &r.snapshot());
+            }
+            None => w.boolean(false),
+        }
+        w.into_bytes()
+    }
+
+    pub fn metrics(&self) -> &SystemMetrics {
+        &self.metrics
+    }
+}
+
+/// Decode a shard's drain payload back into metrics (+ telemetry when
+/// the shard recorded).
+pub fn decode_drain(
+    bytes: &[u8],
+) -> Result<(SystemMetrics, Option<TelemetrySnapshot>), CheckpointError> {
+    let mut r = ByteReader::new(bytes);
+    let m = get_metrics(&mut r)?;
+    let snap = if r.boolean()? { Some(get_telemetry(&mut r)?) } else { None };
+    r.finish()?;
+    Ok((m, snap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access_log::build_access_log;
+    use crate::checkpoint::metrics_digest;
+    use crate::engine::SimConfig;
+    use crate::replayer::replay_parallel;
+    use crate::world::World;
+    use spacegen::trace::{LocationId, Request, Trace};
+    use starcdn_cache::object::ObjectId;
+    use starcdn_orbit::time::SimTime;
+    use starcdn_telemetry::Noop;
+
+    fn log() -> AccessLog {
+        let w = World::starlink_nine_cities();
+        let reqs: Vec<Request> = (0..3000u64)
+            .map(|k| Request {
+                time: SimTime::from_secs(k / 6),
+                object: ObjectId((k * 7919) % 200),
+                size: 500 + (k % 5) * 100,
+                location: LocationId((k % 9) as u16),
+            })
+            .collect();
+        build_access_log(&w, &Trace::new(reqs), 15, &SimConfig::default().scheduler())
+    }
+
+    fn plan(num_shards: usize) -> ServePlan {
+        let cfg = StarCdnConfig::starcdn_no_relay(4, 100_000);
+        ServePlan::build(&cfg, &FailureModel::none(), &log(), None, None, num_shards, 64, &Noop)
+            .unwrap()
+    }
+
+    /// Applying every batch through ShardStates and merging in shard
+    /// order reproduces `replay_parallel` bit-for-bit — the parity
+    /// argument the socket plane inherits.
+    #[test]
+    fn in_process_apply_matches_replayer() {
+        let l = log();
+        let cfg = StarCdnConfig::starcdn_no_relay(4, 100_000);
+        for shards in [1usize, 4, 8] {
+            let golden = replay_parallel(cfg.clone(), FailureModel::none(), &l, shards);
+            let p =
+                ServePlan::build(&cfg, &FailureModel::none(), &l, None, None, shards, 64, &Noop)
+                    .unwrap();
+            let mut total = p.direct_metrics().clone();
+            for k in 0..shards {
+                let mut st = p.shard_state(false);
+                for b in 0..p.batch_count(k) {
+                    st.apply_batch(p.batch_bytes(k, b)).unwrap();
+                }
+                let (m, snap) = decode_drain(&st.drain_bytes()).unwrap();
+                assert!(snap.is_none());
+                total.merge(&m);
+            }
+            assert_eq!(
+                metrics_digest(&golden),
+                metrics_digest(&total),
+                "serve parity at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn relay_and_probe_configs_rejected() {
+        let cfg = StarCdnConfig::starcdn(4, 100_000);
+        let err = ServePlan::build(&cfg, &FailureModel::none(), &log(), None, None, 2, 64, &Noop)
+            .err()
+            .unwrap();
+        assert_eq!(err, ServePlanError::RelayUnsupported);
+        let mut cfg = StarCdnConfig::starcdn_no_relay(4, 100_000);
+        cfg.probe_neighbors_on_miss = true;
+        let err = ServePlan::build(&cfg, &FailureModel::none(), &log(), None, None, 2, 64, &Noop)
+            .err()
+            .unwrap();
+        assert_eq!(err, ServePlanError::ProbeUnsupported);
+        let cfg = StarCdnConfig::starcdn_no_relay(4, 100_000);
+        assert_eq!(
+            ServePlan::build(&cfg, &FailureModel::none(), &log(), None, None, 0, 64, &Noop)
+                .err()
+                .unwrap(),
+            ServePlanError::NoShards
+        );
+    }
+
+    /// Corrupt batch payloads are typed errors, never panics, and never
+    /// perturb the state.
+    #[test]
+    fn hostile_batches_fail_typed() {
+        let p = plan(2);
+        let mut st = p.shard_state(false);
+        let before = metrics_digest(st.metrics());
+        assert!(st.apply_batch(&[]).is_err());
+        // Hostile count prefix far beyond the payload.
+        assert!(matches!(st.apply_batch(&u32::MAX.to_le_bytes()), Err(CheckpointError::Truncated)));
+        let good = p.batch_bytes(0, 0).to_vec();
+        // Truncations of a real batch.
+        for cut in 0..good.len().min(64) {
+            assert!(st.apply_batch(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage after a full batch.
+        let mut trailing = good.clone();
+        trailing.push(0xAB);
+        assert!(st.apply_batch(&trailing).is_err());
+        // Unknown op tag.
+        let mut w = ByteWriter::new();
+        w.u32(1);
+        w.u8(9);
+        assert!(matches!(
+            st.apply_batch(&w.into_bytes()),
+            Err(CheckpointError::Malformed("unknown shard op tag"))
+        ));
+        // Out-of-range wipe slot.
+        let mut w = ByteWriter::new();
+        w.u32(1);
+        w.u8(1);
+        w.u64(u64::MAX);
+        assert!(matches!(
+            st.apply_batch(&w.into_bytes()),
+            Err(CheckpointError::Malformed("wipe slot out of range"))
+        ));
+        assert_eq!(before, metrics_digest(st.metrics()), "failed batches leave state untouched");
+    }
+
+    /// Degrading a suffix of a shard's stream to the origin conserves
+    /// the request count: direct + served shards + degraded tail covers
+    /// every request in the log exactly once.
+    #[test]
+    fn degraded_tail_conserves_requests() {
+        let l = log();
+        let cfg = StarCdnConfig::starcdn_no_relay(4, 100_000);
+        let golden = replay_parallel(cfg.clone(), FailureModel::none(), &l, 4);
+        let p =
+            ServePlan::build(&cfg, &FailureModel::none(), &l, None, None, 4, 64, &Noop).unwrap();
+        // Serve shards 0..3 fully; shard 3 degrades from its midpoint.
+        let mut total = p.direct_metrics().clone();
+        for k in 0..4 {
+            let mut st = p.shard_state(false);
+            let cutoff = if k == 3 { p.batch_count(k) / 2 } else { p.batch_count(k) };
+            for b in 0..cutoff {
+                st.apply_batch(p.batch_bytes(k, b)).unwrap();
+            }
+            total.merge(st.metrics());
+            if cutoff < p.batch_count(k) {
+                let deg = p.degraded_metrics(k, cutoff);
+                assert!(deg.partitioned_requests > 0, "midpoint cut degrades something");
+                total.merge(&deg);
+            }
+        }
+        assert_eq!(golden.stats.requests, total.stats.requests, "no request lost or doubled");
+    }
+
+    #[test]
+    fn fingerprint_tracks_plan_identity() {
+        let a = plan(2);
+        let b = plan(2);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same inputs, same fingerprint");
+        let c = plan(4);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "shard count is part of the identity");
+    }
+
+    #[test]
+    fn drain_roundtrip_with_telemetry() {
+        let p = plan(1);
+        let mut st = p.shard_state(true);
+        for b in 0..p.batch_count(0) {
+            st.apply_batch(p.batch_bytes(0, b)).unwrap();
+        }
+        let (m, snap) = decode_drain(&st.drain_bytes()).unwrap();
+        assert_eq!(metrics_digest(&m), metrics_digest(st.metrics()));
+        assert!(snap.is_some(), "recording shard ships telemetry");
+        assert!(decode_drain(&[]).is_err());
+        let mut bytes = st.drain_bytes();
+        bytes.push(7);
+        assert!(decode_drain(&bytes).is_err(), "trailing bytes rejected");
+    }
+}

@@ -57,11 +57,27 @@ pub enum Counter {
     /// Origin fetches retired (completed and admitted) by the
     /// delayed-hit model.
     FetchesRetired,
+    /// Protocol frames sent by the serving-plane router (first sends
+    /// and resends both count).
+    NetFramesSent,
+    /// Frames re-sent after a timeout or reconnect resync.
+    NetFramesResent,
+    /// Per-frame deadline expiries observed by the router.
+    NetTimeouts,
+    /// Router reconnect attempts (initial connects excluded).
+    NetReconnects,
+    /// Circuit-breaker transitions into the open state.
+    NetCircuitOpens,
+    /// Duplicate frames dropped by shard-server sequence dedup.
+    NetDuplicatesDropped,
+    /// Requests degraded to the origin bent pipe because a shard's
+    /// circuit stayed open.
+    NetRequestsDegraded,
 }
 
 impl Counter {
     /// Every counter, in snapshot order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 30] = [
         Counter::RequestsRouted,
         Counter::RequestsUnreachable,
         Counter::RequestsUnroutable,
@@ -85,6 +101,13 @@ impl Counter {
         Counter::DelayedHits,
         Counter::CoalescedRequests,
         Counter::FetchesRetired,
+        Counter::NetFramesSent,
+        Counter::NetFramesResent,
+        Counter::NetTimeouts,
+        Counter::NetReconnects,
+        Counter::NetCircuitOpens,
+        Counter::NetDuplicatesDropped,
+        Counter::NetRequestsDegraded,
     ];
 
     /// Stable snake_case name used by the exporters.
@@ -113,6 +136,13 @@ impl Counter {
             Counter::DelayedHits => "delayed_hits",
             Counter::CoalescedRequests => "coalesced_requests",
             Counter::FetchesRetired => "fetches_retired",
+            Counter::NetFramesSent => "net_frames_sent",
+            Counter::NetFramesResent => "net_frames_resent",
+            Counter::NetTimeouts => "net_timeouts",
+            Counter::NetReconnects => "net_reconnects",
+            Counter::NetCircuitOpens => "net_circuit_opens",
+            Counter::NetDuplicatesDropped => "net_duplicates_dropped",
+            Counter::NetRequestsDegraded => "net_requests_degraded",
         }
     }
 }
@@ -138,11 +168,15 @@ pub enum Histo {
     RetryCount,
     /// Residual fetch wait charged to a delayed hit, in epochs.
     ResidualWaitEpochs,
+    /// Round trip from frame send to its cumulative ack, microseconds.
+    NetAckRttUs,
+    /// Encoded frame size on the wire, bytes.
+    NetFrameBytes,
 }
 
 impl Histo {
     /// Every histogram, in snapshot order.
-    pub const ALL: [Histo; 8] = [
+    pub const ALL: [Histo; 10] = [
         Histo::LatencyUs,
         Histo::IslHops,
         Histo::ObjectBytes,
@@ -151,6 +185,8 @@ impl Histo {
         Histo::BfsPathHops,
         Histo::RetryCount,
         Histo::ResidualWaitEpochs,
+        Histo::NetAckRttUs,
+        Histo::NetFrameBytes,
     ];
 
     /// Stable snake_case name used by the exporters.
@@ -164,6 +200,8 @@ impl Histo {
             Histo::BfsPathHops => "bfs_path_hops",
             Histo::RetryCount => "retry_count",
             Histo::ResidualWaitEpochs => "residual_wait_epochs",
+            Histo::NetAckRttUs => "net_ack_rtt_us",
+            Histo::NetFrameBytes => "net_frame_bytes",
         }
     }
 }
