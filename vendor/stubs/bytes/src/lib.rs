@@ -1,0 +1,2 @@
+//! Offline stand-in for `bytes`; the workspace declares the dependency
+//! but uses no items from it.

@@ -1,0 +1,456 @@
+//! Offline stand-in for `serde` with a real (if miniature) data model.
+//!
+//! The real crate threads values through `Serializer`/`Deserializer`
+//! visitors; this stand-in materializes a [`Value`] tree instead. The
+//! derive macros (see the vendored `serde_derive`) generate genuine
+//! per-field code against these traits, and the vendored `serde_json`
+//! encodes/decodes the tree with the same JSON shapes real serde_json
+//! produces for the forms this workspace uses:
+//!
+//! * named struct → object, newtype struct → inner value,
+//!   tuple struct → array, unit struct → null
+//! * unit enum variant → `"Name"`; data variants → `{"Name": ...}`
+//!   (newtype payload inline, tuple payload as array, struct payload
+//!   as object) — serde's default externally-tagged representation
+//! * `Option`: `None` → null, `Some(v)` → v
+//! * maps → objects with stringified keys (entries emitted in sorted
+//!   key order so `HashMap` output is deterministic)
+//! * `#[serde(default)]` fields fall back to `Default::default()` when
+//!   the key is missing
+//!
+//! Not implemented: borrowed (zero-copy) deserialization, rename/skip/
+//! flatten attributes, `deny_unknown_fields` (unknown keys are ignored,
+//! matching serde's default), and non-externally-tagged enum reprs —
+//! none of which this workspace uses.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The in-memory serialization tree (a superset of JSON scalars: signed,
+/// unsigned, and float numbers are kept distinct so integer round-trips
+/// are exact).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    UInt(u64),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Insertion-ordered map (JSON object).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Short noun for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+
+    /// Look up `key` in a map value.
+    pub fn get_field(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Typed deserialization error (also wrapped by the vendored
+/// `serde_json`'s error type).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Build a `DeError` for an unexpected value shape.
+pub fn type_err(expected: &str, got: &Value) -> DeError {
+    DeError(format!("expected {expected}, got {}", got.kind()))
+}
+
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+pub trait Deserialize<'de>: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Scalars
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let u = match *v {
+                    Value::UInt(u) => u,
+                    Value::Int(i) if i >= 0 => i as u64,
+                    _ => return Err(type_err("unsigned integer", v)),
+                };
+                <$t>::try_from(u)
+                    .map_err(|_| DeError(format!("{} out of range for {}", u, stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 { Value::UInt(i as u64) } else { Value::Int(i) }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let i = match *v {
+                    Value::Int(i) => i,
+                    Value::UInt(u) => {
+                        i64::try_from(u).map_err(|_| DeError(format!("{u} overflows i64")))?
+                    }
+                    _ => return Err(type_err("integer", v)),
+                };
+                <$t>::try_from(i)
+                    .map_err(|_| DeError(format!("{} out of range for {}", i, stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::UInt(u) => Ok(u as $t),
+                    Value::Int(i) => Ok(i as $t),
+                    _ => Err(type_err("number", v)),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(type_err("bool", v)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl<'de> Deserialize<'de> for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => {
+                let mut it = s.chars();
+                match (it.next(), it.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(DeError(format!("expected single-char string, got {s:?}"))),
+                }
+            }
+            _ => Err(type_err("string", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(type_err("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Forwarding and containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(s) => s.iter().map(T::from_value).collect(),
+            _ => Err(type_err("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(s) => s.iter().map(T::from_value).collect(),
+            _ => Err(type_err("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::HashSet<T> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output (hash iteration order is not).
+        let mut items: Vec<Value> = self.iter().map(Serialize::to_value).collect();
+        items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Value::Seq(items)
+    }
+}
+impl<'de, T: Deserialize<'de> + Eq + std::hash::Hash> Deserialize<'de>
+    for std::collections::HashSet<T>
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(s) => s.iter().map(T::from_value).collect(),
+            _ => Err(type_err("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(s) => s.iter().map(T::from_value).collect(),
+            _ => Err(type_err("array", v)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+ ; $len:expr))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Seq(s) if s.len() == $len => {
+                        Ok(($($t::from_value(&s[$idx])?,)+))
+                    }
+                    Value::Seq(s) => Err(DeError(format!(
+                        "expected {}-tuple, got array of length {}", $len, s.len()
+                    ))),
+                    _ => Err(type_err("array", v)),
+                }
+            }
+        }
+    )+};
+}
+impl_tuple! {
+    (A.0 ; 1)
+    (A.0, B.1 ; 2)
+    (A.0, B.1, C.2 ; 3)
+    (A.0, B.1, C.2, D.3 ; 4)
+    (A.0, B.1, C.2, D.3, E.4 ; 5)
+    (A.0, B.1, C.2, D.3, E.4, F.5 ; 6)
+}
+
+// ---------------------------------------------------------------------------
+// Maps: JSON objects require string keys, so scalar keys are stringified
+// on the way out and re-parsed on the way in (what real serde_json does
+// for integer map keys). HashMap entries are emitted in sorted key order
+// so serialization is deterministic.
+// ---------------------------------------------------------------------------
+
+fn key_to_string(k: Value) -> String {
+    match k {
+        Value::Str(s) => s,
+        Value::UInt(u) => u.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("map keys must serialize to a scalar, got {}", other.kind()),
+    }
+}
+
+/// Deserialize a map key from its JSON-object string form: try the
+/// string directly, then a numeric re-parse (integer keys arrive as
+/// `"42"`).
+fn key_from_string<'de, K: Deserialize<'de>>(s: &str) -> Result<K, DeError> {
+    if let Ok(k) = K::from_value(&Value::Str(s.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(u) = s.parse::<u64>() {
+        return K::from_value(&Value::UInt(u));
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return K::from_value(&Value::Int(i));
+    }
+    if let Ok(b) = s.parse::<bool>() {
+        return K::from_value(&Value::Bool(b));
+    }
+    Err(DeError(format!("cannot deserialize map key from {s:?}")))
+}
+
+fn map_to_value<'a, K, V, I>(iter: I, sort: bool) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let mut entries: Vec<(String, Value)> =
+        iter.map(|(k, v)| (key_to_string(k.to_value()), v.to_value())).collect();
+    if sort {
+        entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+    }
+    Value::Map(entries)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter(), false)
+    }
+}
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(m) => m
+                .iter()
+                .map(|(k, val)| Ok((key_from_string(k)?, V::from_value(val)?)))
+                .collect(),
+            _ => Err(type_err("object", v)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter(), true)
+    }
+}
+impl<'de, K: Deserialize<'de> + Eq + std::hash::Hash, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::HashMap<K, V>
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(m) => m
+                .iter()
+                .map(|(k, val)| Ok((key_from_string(k)?, V::from_value(val)?)))
+                .collect(),
+            _ => Err(type_err("object", v)),
+        }
+    }
+}

@@ -1,0 +1,597 @@
+//! Offline stand-in for `serde_derive` that generates real code.
+//!
+//! Unlike the original marker-impl stub, these derives emit working
+//! `to_value`/`from_value` bodies against the vendored `serde` crate's
+//! [`Value`] data model, covering every shape this workspace derives on:
+//! named/tuple/unit structs, enums with unit, tuple, and struct
+//! variants, simply-generic types (inline bounds, no `where` clauses),
+//! and the `#[serde(default)]` field attribute. Other `#[serde(...)]`
+//! attributes are rejected at compile time rather than silently ignored,
+//! so a derive that would change meaning under real serde cannot slip
+//! through.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+// ---------------------------------------------------------------------------
+// Parsed shape of the derive input
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: fall back to `Default::default()` when the
+    /// key is missing during deserialization.
+    default: bool,
+}
+
+enum Fields {
+    Unit,
+    /// Tuple fields; only the count matters (types are inferred).
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum ParamKind {
+    Lifetime,
+    Const,
+    Type,
+}
+
+struct Param {
+    kind: ParamKind,
+    /// Bare name (`N`, `'a`) for the `for Name<...>` argument list.
+    name: String,
+    /// Full declaration with inline bounds (`N : Clone + Eq`).
+    decl: String,
+}
+
+struct Input {
+    name: String,
+    params: Vec<Param>,
+    data: Data,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing (no syn in the offline container)
+// ---------------------------------------------------------------------------
+
+type Toks = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consume one `#[...]` attribute if present; returns Some(true) when it
+/// was `#[serde(default)]`, panics on any other `#[serde(...)]` content.
+fn eat_attr(toks: &mut Toks) -> Option<bool> {
+    match toks.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '#' => {}
+        _ => return None,
+    }
+    toks.next();
+    let group = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+        other => panic!("serde_derive stub: malformed attribute near {other:?}"),
+    };
+    let mut inner = group.stream().into_iter();
+    match inner.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {
+            let args = match inner.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    g.stream().to_string()
+                }
+                other => panic!("serde_derive stub: malformed #[serde] attribute: {other:?}"),
+            };
+            if args.trim() == "default" {
+                Some(true)
+            } else {
+                panic!(
+                    "serde_derive stub: unsupported #[serde({args})] — only \
+                     #[serde(default)] is implemented; other attributes would \
+                     silently change meaning"
+                );
+            }
+        }
+        _ => Some(false),
+    }
+}
+
+/// Consume every leading attribute; true if any was `#[serde(default)]`.
+fn eat_attrs(toks: &mut Toks) -> bool {
+    let mut default = false;
+    while let Some(d) = eat_attr(toks) {
+        default |= d;
+    }
+    default
+}
+
+/// Consume `pub` / `pub(...)` if present.
+fn eat_vis(toks: &mut Toks) {
+    if matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        toks.next();
+        if matches!(
+            toks.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            toks.next();
+        }
+    }
+}
+
+/// Parse the generic parameter list after the type name, `<` peeked but
+/// not yet consumed. Handles lifetimes, const params, and bounded type
+/// params; `where` clauses are rejected later by the caller.
+fn parse_generics(toks: &mut Toks) -> Vec<Param> {
+    toks.next(); // consume `<`
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    let mut segment: Vec<TokenTree> = Vec::new();
+    for tt in toks.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                ',' if depth == 1 => {
+                    params.push(finish_param(&segment));
+                    segment.clear();
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        segment.push(tt);
+    }
+    if !segment.is_empty() {
+        params.push(finish_param(&segment));
+    }
+    params
+}
+
+fn finish_param(segment: &[TokenTree]) -> Param {
+    let decl: String = segment.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ");
+    match segment.first() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+            let name = format!("'{}", segment.get(1).map(|t| t.to_string()).unwrap_or_default());
+            Param { kind: ParamKind::Lifetime, name, decl }
+        }
+        Some(TokenTree::Ident(id)) if id.to_string() == "const" => {
+            let name = segment.get(1).map(|t| t.to_string()).unwrap_or_default();
+            Param { kind: ParamKind::Const, name, decl }
+        }
+        Some(TokenTree::Ident(id)) => Param { kind: ParamKind::Type, name: id.to_string(), decl },
+        other => panic!("serde_derive stub: cannot parse generic parameter at {other:?}"),
+    }
+}
+
+/// Parse named fields from the token stream of a brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks: Toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let default = eat_attrs(&mut toks);
+        eat_vis(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive stub: expected field name, got {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive stub: expected `:` after field {name}, got {other:?}"),
+        }
+        // Skip the type: everything up to a comma outside angle brackets
+        // (parens/brackets/braces arrive as single Group tokens, so only
+        // angle-bracket nesting needs tracking).
+        let mut angle = 0usize;
+        for tt in toks.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle = angle.saturating_sub(1),
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Count tuple fields in the token stream of a paren group.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut toks = stream.into_iter().peekable();
+    if toks.peek().is_none() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle = 0usize;
+    let mut saw_tokens_since_comma = false;
+    for tt in toks {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle = angle.saturating_sub(1),
+                ',' if angle == 0 => {
+                    saw_tokens_since_comma = false;
+                    count += 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens_since_comma = true;
+    }
+    // A trailing comma opens no new field.
+    if !saw_tokens_since_comma {
+        count -= 1;
+    }
+    count
+}
+
+/// Parse enum variants from the token stream of the enum's brace group.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks: Toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        eat_attrs(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive stub: expected variant name, got {other:?}"),
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                toks.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                toks.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separator.
+        for tt in toks.by_ref() {
+            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut toks: Toks = input.into_iter().peekable();
+    // Skip outer attributes, visibility, and doc comments up to the item
+    // keyword.
+    let is_struct = loop {
+        match toks.next() {
+            Some(TokenTree::Ident(id)) => match id.to_string().as_str() {
+                "struct" => break true,
+                "enum" => break false,
+                _ => {}
+            },
+            Some(_) => {}
+            None => panic!("serde_derive stub: no struct/enum found"),
+        }
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+    };
+    let params = match toks.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => parse_generics(&mut toks),
+        _ => Vec::new(),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        panic!("serde_derive stub: `where` clauses are not supported (type {name})");
+    }
+    let data = if is_struct {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Struct(Fields::Unit),
+            other => panic!("serde_derive stub: malformed struct {name} body: {other:?}"),
+        }
+    } else {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive stub: malformed enum {name} body: {other:?}"),
+        }
+    };
+    Input { name, params, data }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+impl Input {
+    /// `impl<...>` parameter list with `bound` appended to every type
+    /// parameter, plus `extra` (the `'de` lifetime) prepended. Empty
+    /// string when there is nothing to declare.
+    fn impl_decl(&self, extra: &str, bound: &str) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        if !extra.is_empty() {
+            parts.push(extra.to_string());
+        }
+        for p in &self.params {
+            match p.kind {
+                ParamKind::Type => {
+                    let sep = if p.decl.contains(':') { '+' } else { ':' };
+                    parts.push(format!("{} {} {}", p.decl, sep, bound));
+                }
+                _ => parts.push(p.decl.clone()),
+            }
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", parts.join(", "))
+        }
+    }
+
+    /// `<A, B>` argument list for the `for Name<...>` position.
+    fn type_args(&self) -> String {
+        if self.params.is_empty() {
+            String::new()
+        } else {
+            let names: Vec<&str> = self.params.iter().map(|p| p.name.as_str()).collect();
+            format!("<{}>", names.join(", "))
+        }
+    }
+}
+
+/// Expression serializing named fields, with `access` mapping a field
+/// name to the expression that borrows it.
+fn ser_named(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "({:?}.to_string(), ::serde::Serialize::to_value({}))",
+                f.name,
+                access(&f.name)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+/// Struct-literal body deserializing named fields out of map ident `m`;
+/// `path` names the type/variant in error messages.
+fn de_named(fields: &[Field], m: &str, path: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let missing = if f.default {
+                "::core::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return Err(::serde::DeError(\"missing field `{}` in {}\".to_string()))",
+                    f.name, path
+                )
+            };
+            format!(
+                "{name}: match {m}.iter().find(|(__k, _)| __k.as_str() == {name:?}) {{ \
+                   Some((_, __fv)) => ::serde::Deserialize::from_value(__fv)?, \
+                   None => {missing}, \
+                 }}",
+                name = f.name,
+            )
+        })
+        .collect();
+    format!("{{ {} }}", inits.join(", "))
+}
+
+fn ser_body(input: &Input) -> String {
+    match &input.data {
+        Data::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Data::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Data::Struct(Fields::Named(fields)) => ser_named(fields, |name| format!("&self.{name}")),
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "Self::{vname} => ::serde::Value::Str({vname:?}.to_string()),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "Self::{vname}(__f0) => ::serde::Value::Map(vec![({vname:?}\
+                             .to_string(), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "Self::{vname}({}) => ::serde::Value::Map(vec![({vname:?}\
+                                 .to_string(), ::serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let inner = ser_named(fields, |name| name.to_string());
+                            format!(
+                                "Self::{vname} {{ {} }} => ::serde::Value::Map(vec![({vname:?}\
+                                 .to_string(), {inner})]),",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    }
+}
+
+fn de_body(input: &Input) -> String {
+    let name = &input.name;
+    match &input.data {
+        Data::Struct(Fields::Unit) => format!(
+            "match __v {{ ::serde::Value::Null => Ok(Self), \
+             _ => Err(::serde::type_err(\"null for unit struct {name}\", __v)) }}"
+        ),
+        Data::Struct(Fields::Tuple(1)) => {
+            "Ok(Self(::serde::Deserialize::from_value(__v)?))".to_string()
+        }
+        Data::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{ \
+                   ::serde::Value::Seq(__s) if __s.len() == {n} => Ok(Self({items})), \
+                   _ => Err(::serde::type_err(\"array of length {n} for {name}\", __v)) \
+                 }}",
+                items = items.join(", ")
+            )
+        }
+        Data::Struct(Fields::Named(fields)) => {
+            let body = de_named(fields, "__m", name);
+            format!(
+                "match __v {{ \
+                   ::serde::Value::Map(__m) => Ok(Self {body}), \
+                   _ => Err(::serde::type_err(\"object for struct {name}\", __v)) \
+                 }}"
+            )
+        }
+        Data::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("{:?} => Ok(Self::{}),", v.name, v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "{vname:?} => Ok(Self::{vname}(\
+                             ::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => match __inner {{ \
+                                   ::serde::Value::Seq(__s) if __s.len() == {n} => \
+                                     Ok(Self::{vname}({items})), \
+                                   _ => Err(::serde::type_err(\
+                                     \"array of length {n} for variant {vname}\", __inner)) \
+                                 }},",
+                                items = items.join(", ")
+                            ))
+                        }
+                        Fields::Named(fields) => {
+                            let body = de_named(fields, "__fm", &format!("{name}::{vname}"));
+                            Some(format!(
+                                "{vname:?} => match __inner {{ \
+                                   ::serde::Value::Map(__fm) => Ok(Self::{vname} {body}), \
+                                   _ => Err(::serde::type_err(\
+                                     \"object for variant {vname}\", __inner)) \
+                                 }},"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{ \
+                   ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                     {unit} \
+                     __other => Err(::serde::DeError(format!(\
+                       \"unknown variant `{{__other}}` for enum {name}\"))), \
+                   }}, \
+                   ::serde::Value::Map(__m) if __m.len() == 1 => {{ \
+                     let (__tag, __inner) = &__m[0]; \
+                     match __tag.as_str() {{ \
+                       {data} \
+                       __other => Err(::serde::DeError(format!(\
+                         \"unknown variant `{{__other}}` for enum {name}\"))), \
+                     }} \
+                   }} \
+                   _ => Err(::serde::type_err(\"enum {name}\", __v)) \
+                 }}",
+                unit = unit_arms.join(" "),
+                data = data_arms.join(" "),
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let decl = parsed.impl_decl("", "::serde::Serialize");
+    let args = parsed.type_args();
+    let name = &parsed.name;
+    let body = ser_body(&parsed);
+    format!(
+        "#[automatically_derived] \
+         impl{decl} ::serde::Serialize for {name}{args} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let decl = parsed.impl_decl("'de", "::serde::Deserialize<'de>");
+    let args = parsed.type_args();
+    let name = &parsed.name;
+    let body = de_body(&parsed);
+    format!(
+        "#[automatically_derived] \
+         impl{decl} ::serde::Deserialize<'de> for {name}{args} {{ \
+           fn from_value(__v: &::serde::Value) \
+             -> ::core::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
